@@ -1,0 +1,102 @@
+// The §2 status quo: NetFlow-style flow export vs Jaal summaries.
+//
+// Flow records are the coarse view ISPs already collect.  This bench
+// measures, on identical traffic, (a) export bytes, (b) TPR per attack,
+// and (c) benign false alarms — showing why flow records are cheap but not
+// a substitute for per-packet evidence (flag-OR smearing, missing fields).
+#include "common.hpp"
+
+#include "baseline/netflow.hpp"
+
+namespace {
+
+using namespace jaal;
+using packet::AttackType;
+
+struct Outcome {
+  double tpr = 0.0;
+  double fpr = 0.0;
+  double bytes_ratio = 0.0;  ///< Export bytes / raw header bytes.
+};
+
+Outcome evaluate_netflow(AttackType attack, std::size_t positives,
+                         std::size_t negatives) {
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  cfg.attack_intensity_min = 1.0;
+  cfg.attack_intensity_max = 1.0;
+  const auto& sids = core::sids_for(attack);
+  const double scale = core::tau_c_scale_for(cfg);
+
+  Outcome out;
+  double export_bytes = 0.0, raw_bytes = 0.0;
+  std::size_t tp = 0, fp = 0;
+  for (std::size_t i = 0; i < positives + negatives; ++i) {
+    const bool positive = i < positives;
+    const core::Trial trial = core::make_trial(
+        positive ? attack : AttackType::kNone, cfg, 9000 + i * 13);
+
+    baseline::FlowCache cache;
+    for (const auto& batch : trial.monitor_packets) {
+      for (const auto& pkt : batch) cache.observe(pkt);
+    }
+    cache.flush();
+    const auto records = cache.drain();
+    export_bytes += static_cast<double>(cache.exported_bytes());
+    raw_bytes += static_cast<double>(trial.raw_header_bytes);
+
+    const auto alerts = baseline::detect_on_flow_records(
+        bench::evaluation_ruleset(), records, scale);
+    bool fired = false;
+    for (const auto& alert : alerts) {
+      for (std::uint32_t sid : sids) fired |= alert.sid == sid;
+    }
+    if (positive && fired) ++tp;
+    if (!positive && fired) ++fp;
+  }
+  out.tpr = static_cast<double>(tp) / positives;
+  out.fpr = static_cast<double>(fp) / negatives;
+  out.bytes_ratio = export_bytes / raw_bytes;
+  return out;
+}
+
+double jaal_tpr(AttackType attack, std::size_t trials) {
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  cfg.attack_intensity_min = 1.0;
+  cfg.attack_intensity_max = 1.0;
+  const auto engine_cfg =
+      bench::operating_point(core::tau_c_scale_for(cfg), true);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const core::Trial trial = core::make_trial(attack, cfg, 9000 + i * 13);
+    hits += core::detect(trial, attack, bench::evaluation_ruleset(),
+                         engine_cfg)
+                ? 1
+                : 0;
+  }
+  return static_cast<double>(hits) / trials;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jaal;
+  bench::print_header(
+      "Ablation: NetFlow-style flow export vs Jaal summaries (§2)");
+  constexpr std::size_t kPos = 15, kNeg = 15;
+  std::printf("  %-24s %-12s %-12s %-14s %-10s\n", "attack", "netflow TPR",
+              "netflow FPR", "export/raw %", "Jaal TPR");
+  for (AttackType attack :
+       {packet::AttackType::kDistributedSynFlood,
+        packet::AttackType::kPortScan, packet::AttackType::kSockstress}) {
+    const Outcome netflow = evaluate_netflow(attack, kPos, kNeg);
+    const double jaal = jaal_tpr(attack, kPos);
+    std::printf("  %-24s %-12.2f %-12.2f %-14.1f %-10.2f\n",
+                packet::attack_name(attack), netflow.tpr, netflow.fpr,
+                100.0 * netflow.bytes_ratio, jaal);
+  }
+  std::printf(
+      "\n  flow export is tiny but the OR-ed flag byte matches completed\n"
+      "  handshakes (false alarms) and window-based signatures (Sockstress)\n"
+      "  are invisible; summaries keep the per-packet evidence.\n");
+  return 0;
+}

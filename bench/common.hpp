@@ -1,0 +1,72 @@
+// Shared helpers for the evaluation benches (one binary per paper
+// table/figure).  Each bench prints the rows/series of its figure; absolute
+// numbers come from the simulated substrate, so EXPERIMENTS.md records the
+// shape comparison against the paper.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace jaal::bench {
+
+inline const std::vector<rules::Rule>& evaluation_ruleset() {
+  static const std::vector<rules::Rule> kRules = rules::parse_rules(
+      rules::default_ruleset_text(), core::evaluation_rule_vars());
+  return kRules;
+}
+
+/// Paper-standard trial configuration: n-packet batches, rank r, k
+/// centroids, M monitors, Trace 1 background, 10% attack injection.
+inline core::TrialConfig trial_config(std::size_t n, std::size_t r,
+                                      std::size_t k, std::size_t monitors = 3,
+                                      std::uint64_t seed = 1) {
+  core::TrialConfig cfg;
+  cfg.summarizer.batch_size = n;
+  cfg.summarizer.min_batch = n / 2;
+  cfg.summarizer.rank = r;
+  cfg.summarizer.centroids = k;
+  cfg.monitor_count = monitors;
+  cfg.profile = trace::trace1_profile();
+  cfg.seed = seed;
+  return cfg;
+}
+
+/// The tau_d sweep used for ROC curves.
+inline std::vector<double> roc_taus() {
+  return {0.0005, 0.001, 0.002, 0.004, 0.008, 0.015, 0.03, 0.06, 0.12};
+}
+
+/// The paper's chosen per-attack operating point (strict/loose pair for the
+/// feedback loop; tau_d1 == tau_d2 when feedback is off).
+inline inference::EngineConfig operating_point(double tau_c_scale,
+                                               bool feedback) {
+  inference::EngineConfig cfg;
+  cfg.default_thresholds = feedback
+                               ? inference::ThresholdPair{0.008, 0.03}
+                               : inference::ThresholdPair{0.015, 0.015};
+  cfg.feedback_enabled = feedback;
+  cfg.tau_c_scale = tau_c_scale;
+  return cfg;
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void print_roc(const core::RocCurve& curve) {
+  const core::RocCurve env = curve.envelope();
+  std::printf("  %-24s tau_d    tau_c_x   FPR     TPR\n", curve.label.c_str());
+  for (const auto& p : env.points) {
+    std::printf("  %-24s %.4f  %6.2f  %6.3f  %6.3f\n", "", p.tau_d,
+                p.tau_c_scale, p.fpr, p.tpr);
+  }
+  std::printf("  %-24s AUC = %.3f, TPR@FPR<=0.10 = %.3f\n", "", curve.auc(),
+              curve.tpr_at_fpr(0.10));
+}
+
+}  // namespace jaal::bench

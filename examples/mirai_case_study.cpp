@@ -1,0 +1,81 @@
+// Mirai case study (paper §2 and §8): watch the botnet's telnet scan get
+// flagged by the variance postprocessor, then compare outbreak trajectories
+// with and without the detect-and-shut-off response.
+//
+//   $ ./mirai_case_study
+#include <cstdio>
+
+#include "attack/mirai.hpp"
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "trace/mix.hpp"
+
+int main() {
+  using namespace jaal;
+
+  std::printf("--- Part 1: detecting the scan itself ---\n");
+  const auto ruleset = rules::parse_rules(rules::default_ruleset_text(),
+                                          core::evaluation_rule_vars());
+
+  trace::BackgroundTraffic background(trace::trace1_profile(), 3);
+  attack::AttackConfig scan_cfg;
+  scan_cfg.packets_per_second = 8000.0;
+  scan_cfg.source_count = 40;  // infected devices scanning
+  scan_cfg.seed = 4;
+  attack::MiraiScan scan(scan_cfg);
+  trace::TrafficMix mix(background, {&scan}, 0.10);
+
+  core::JaalConfig cfg;
+  cfg.monitor_count = 4;
+  cfg.epoch_seconds = 0.04;
+  cfg.summarizer.batch_size = 1000;
+  cfg.summarizer.min_batch = 300;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 200;
+  cfg.engine.default_thresholds = {0.01, 0.01};
+  core::JaalController jaal(cfg, ruleset);
+
+  double first_detection = -1.0;
+  for (const auto& epoch : jaal.run(mix, 0.4)) {
+    for (const auto& alert : epoch.alerts) {
+      if (alert.sid == 1000006 || alert.sid == 1000007) {
+        std::printf("t=%.2fs: %s (dst-IP variance %.4f, distributed=%d)\n",
+                    epoch.end_time, alert.msg.c_str(), alert.variance,
+                    alert.distributed ? 1 : 0);
+        if (first_detection < 0.0) first_detection = epoch.end_time;
+      }
+    }
+  }
+  if (first_detection >= 0.0) {
+    std::printf("scan first flagged after %.2f simulated seconds\n",
+                first_detection);
+  } else {
+    std::printf("scan not detected (try a larger bot count)\n");
+  }
+
+  std::printf("\n--- Part 2: what detection buys (Fig. 8) ---\n");
+  attack::MiraiConfig outbreak;
+  outbreak.vulnerable_count = 150;
+  outbreak.duration = 120.0;
+
+  attack::ResponsePolicy response;
+  response.enabled = true;
+  response.detection_latency = 3.0;   // one 2s epoch + aggregation
+  response.detection_probability = 0.95;
+
+  const auto unchecked =
+      attack::simulate_outbreak(outbreak, attack::ResponsePolicy{});
+  const auto defended = attack::simulate_outbreak(outbreak, response);
+
+  std::printf("%-8s %-12s %-12s\n", "t(s)", "unchecked", "with Jaal");
+  for (std::size_t i = 0; i < unchecked.size(); i += 40) {
+    std::printf("%-8.0f %-12zu %-12zu\n", unchecked[i].time,
+                unchecked[i].total_infected, defended[i].total_infected);
+  }
+  std::printf(
+      "\nunchecked outbreak reached %zu devices; with detection and\n"
+      "shut-off it stayed at %zu (%zu devices disconnected).\n",
+      unchecked.back().total_infected, defended.back().total_infected,
+      defended.back().shut_off);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Payload-based detection demo (§10 extension): build term-frequency
+// summaries over packet payloads and match keyword rules against them —
+// the paper's sketch of extending Jaal beyond headers.
+//
+//   $ ./payload_detect [inject_rate]
+#include <cstdio>
+#include <cstdlib>
+
+#include "payload/term_matrix.hpp"
+
+int main(int argc, char** argv) {
+  using namespace jaal::payload;
+  const double inject_rate = argc > 1 ? std::atof(argv[1]) : 0.08;
+
+  const Vocabulary vocab = default_vocabulary();
+  std::printf("tracking %zu terms:", vocab.size());
+  for (const auto& term : vocab.terms()) std::printf(" '%s'", term.c_str());
+  std::printf("\n\n");
+
+  // A batch of payloads: benign web/mail/TLS traffic with a fraction
+  // carrying an executable-download marker.
+  PayloadGenerator gen(/*seed=*/7, inject_rate);
+  const auto payloads = gen.batch(1000);
+  std::size_t truth = 0;
+  for (const auto& p : payloads) {
+    truth += p.find(".exe") != std::string::npos ? 1 : 0;
+  }
+  std::printf("batch: 1000 payloads, %zu carry '.exe' (inject rate %.2f)\n",
+              truth, inject_rate);
+
+  // Summarize: term matrix -> rank reduction -> k-means++ (32 centroids).
+  PayloadSummarizerConfig cfg;
+  const PayloadSummary summary = summarize_payloads(vocab, payloads, cfg);
+  std::printf("summary: %zu centroids x %zu terms (vs 1000 raw payloads)\n",
+              summary.centroids.rows(), vocab.size());
+
+  // Keyword rules, matched against the summary alone.
+  const std::vector<KeywordRule> rules = {
+      {".exe", 15, "executable download burst"},
+      {"powershell", 5, "script-host invocation"},
+      {"union select", 3, "SQL injection probe"},
+  };
+  const auto alerts = match_keywords(vocab, summary, rules);
+  if (alerts.empty()) {
+    std::printf("\nno keyword rule fired\n");
+  } else {
+    std::printf("\nalerts:\n");
+    for (const auto& alert : alerts) {
+      std::printf("  '%s': %s (estimated %.0f packets)\n",
+                  alert.term.c_str(), alert.msg.c_str(),
+                  alert.estimated_packets);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,215 @@
+#include "assign/assigner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace jaal::assign {
+
+MonitorIndex GreedyAssigner::choose(const MonitorGroup& group,
+                                    const std::vector<double>& visible_loads,
+                                    double /*true_weight*/) {
+  MonitorIndex best = group.monitors.front();
+  for (MonitorIndex m : group.monitors) {
+    if (visible_loads[m] < visible_loads[best]) best = m;
+  }
+  return best;
+}
+
+MonitorIndex RandomAssigner::choose(const MonitorGroup& group,
+                                    const std::vector<double>& /*loads*/,
+                                    double /*true_weight*/) {
+  return group.monitors[rng_() % group.monitors.size()];
+}
+
+RobinHoodAssigner::RobinHoodAssigner(std::size_t monitor_count)
+    : monitor_count_(monitor_count), rich_since_(monitor_count, 0) {}
+
+MonitorIndex RobinHoodAssigner::choose(const MonitorGroup& group,
+                                       const std::vector<double>& visible_loads,
+                                       double true_weight) {
+  ++arrivals_;
+  total_weight_ += true_weight;
+  // Refresh the OPT lower bound: no schedule can beat the largest single
+  // job, nor the average load if weight were spread perfectly.
+  opt_bound_ = std::max({opt_bound_, true_weight,
+                         total_weight_ / static_cast<double>(monitor_count_)});
+  const double rich_line =
+      std::sqrt(static_cast<double>(monitor_count_)) * opt_bound_;
+
+  // Track rich transitions for the whole pool.
+  for (std::size_t m = 0; m < monitor_count_; ++m) {
+    const bool rich = visible_loads[m] >= rich_line;
+    if (rich && rich_since_[m] == 0) {
+      rich_since_[m] = arrivals_;
+    } else if (!rich) {
+      rich_since_[m] = 0;
+    }
+  }
+
+  // Prefer the least-loaded poor machine in the group.
+  MonitorIndex best_poor = group.monitors.front();
+  bool found_poor = false;
+  for (MonitorIndex m : group.monitors) {
+    if (rich_since_[m] == 0) {
+      if (!found_poor || visible_loads[m] < visible_loads[best_poor]) {
+        best_poor = m;
+        found_poor = true;
+      }
+    }
+  }
+  if (found_poor) return best_poor;
+
+  // All rich: pick the one that became rich most recently.
+  MonitorIndex newest = group.monitors.front();
+  for (MonitorIndex m : group.monitors) {
+    if (rich_since_[m] > rich_since_[newest]) newest = m;
+  }
+  return newest;
+}
+
+AssignmentOutcome simulate_assignment(Assigner& policy,
+                                      std::vector<FlowEvent> flows,
+                                      const std::vector<MonitorGroup>& groups,
+                                      std::size_t monitor_count,
+                                      double update_period) {
+  for (const MonitorGroup& g : groups) {
+    if (g.monitors.empty()) {
+      throw std::invalid_argument("simulate_assignment: empty monitor group");
+    }
+    for (MonitorIndex m : g.monitors) {
+      if (m >= monitor_count) {
+        throw std::invalid_argument("simulate_assignment: monitor out of range");
+      }
+    }
+  }
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowEvent& a, const FlowEvent& b) {
+              return a.arrival < b.arrival;
+            });
+
+  std::vector<double> true_load(monitor_count, 0.0);
+  std::vector<double> visible_load(monitor_count, 0.0);
+  std::vector<double> load_time_integral(monitor_count, 0.0);
+
+  // Departure queue: (time, monitor, weight, group).
+  struct Departure {
+    double time;
+    MonitorIndex monitor;
+    double weight;
+    std::size_t group;
+  };
+  auto later = [](const Departure& a, const Departure& b) {
+    return a.time > b.time;
+  };
+  std::priority_queue<Departure, std::vector<Departure>, decltype(later)>
+      departures(later);
+
+  double now = 0.0;
+  double last_update = 0.0;
+  double peak = 0.0;
+
+  auto advance_to = [&](double t) {
+    const double dt = t - now;
+    if (dt > 0.0) {
+      for (std::size_t m = 0; m < monitor_count; ++m) {
+        load_time_integral[m] += true_load[m] * dt;
+      }
+      now = t;
+    }
+    // Periodic visibility refresh (P in §7; the controller polls loads).
+    if (update_period <= 0.0) {
+      visible_load = true_load;
+    } else {
+      while (last_update + update_period <= now) {
+        last_update += update_period;
+        visible_load = true_load;
+      }
+    }
+  };
+
+  for (const FlowEvent& flow : flows) {
+    if (flow.group >= groups.size()) {
+      throw std::invalid_argument("simulate_assignment: group out of range");
+    }
+    // Process departures before this arrival.
+    while (!departures.empty() && departures.top().time <= flow.arrival) {
+      const Departure d = departures.top();
+      departures.pop();
+      advance_to(d.time);
+      true_load[d.monitor] -= d.weight;
+    }
+    advance_to(flow.arrival);
+
+    const MonitorIndex m =
+        policy.choose(groups[flow.group],
+                      update_period <= 0.0 ? true_load : visible_load,
+                      flow.weight);
+    true_load[m] += flow.weight;
+    peak = std::max(peak, true_load[m]);
+    departures.push({flow.arrival + flow.duration, m, flow.weight, flow.group});
+  }
+  while (!departures.empty()) {
+    const Departure d = departures.top();
+    departures.pop();
+    advance_to(d.time);
+    true_load[d.monitor] -= d.weight;
+  }
+
+  AssignmentOutcome out;
+  const double horizon = now > 0.0 ? now : 1.0;
+  out.time_avg_load.resize(monitor_count);
+  for (std::size_t m = 0; m < monitor_count; ++m) {
+    out.time_avg_load[m] = load_time_integral[m] / horizon;
+    out.max_time_avg_load = std::max(out.max_time_avg_load,
+                                     out.time_avg_load[m]);
+  }
+  // Per-group view: mean time-averaged load across the group's monitors.
+  out.group_avg_load.resize(groups.size());
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    double sum = 0.0;
+    for (MonitorIndex m : groups[g].monitors) sum += out.time_avg_load[m];
+    out.group_avg_load[g] = sum / static_cast<double>(groups[g].monitors.size());
+  }
+  out.peak_load = peak;
+  return out;
+}
+
+Workload make_workload(const WorkloadConfig& cfg) {
+  std::mt19937_64 rng(cfg.seed);
+  std::exponential_distribution<double> gap(1.0 / cfg.mean_arrival_gap);
+  std::exponential_distribution<double> duration(1.0 / cfg.mean_duration);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  Workload w;
+  w.groups.resize(cfg.group_count);
+  for (std::size_t g = 0; g < cfg.group_count; ++g) {
+    const std::size_t size = 2 + rng() % 4;  // groups of 2-5 monitors
+    std::vector<MonitorIndex> chosen;
+    while (chosen.size() < size) {
+      const MonitorIndex m = rng() % cfg.monitor_count;
+      if (std::find(chosen.begin(), chosen.end(), m) == chosen.end()) {
+        chosen.push_back(m);
+      }
+    }
+    w.groups[g].monitors = std::move(chosen);
+  }
+
+  double t = 0.0;
+  w.flows.reserve(cfg.flow_count);
+  for (std::size_t i = 0; i < cfg.flow_count; ++i) {
+    t += gap(rng);
+    FlowEvent f;
+    f.arrival = t;
+    f.duration = duration(rng);
+    // Pareto(1.5) weights: elephants and mice.
+    f.weight = cfg.mean_weight / 3.0 / std::pow(1.0 - unit(rng), 1.0 / 1.5);
+    f.weight = std::min(f.weight, cfg.mean_weight * 50.0);
+    f.group = rng() % cfg.group_count;
+    w.flows.push_back(f);
+  }
+  return w;
+}
+
+}  // namespace jaal::assign

@@ -1,0 +1,127 @@
+// Flow assignment (§6): map flows to monitors so that every flow is
+// monitored exactly once and the maximum monitor load is minimized.
+//
+// Three policies:
+//  * Greedy — assign to the least-loaded monitor in the flow's monitor
+//    group, using load values refreshed every P seconds (Jaal's choice;
+//    competitive ratio (3M)^{2/3}/2 (1+o(1))).
+//  * Robin Hood — the optimal online algorithm for unknown-duration tasks
+//    with assignment restrictions (competitive ratio O(sqrt(M))); needs the
+//    true flow weights at arrival, which is impractical but serves as the
+//    paper's reference ("ideal but impractical scenario", §8.2).
+//  * Random — uniform choice within the monitor group (lower baseline).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace jaal::assign {
+
+using MonitorIndex = std::size_t;
+
+/// A flow group is identified by the subset of monitors on its path (§6);
+/// every flow in the group may be assigned to any of them.
+struct MonitorGroup {
+  std::vector<MonitorIndex> monitors;
+};
+
+/// One flow's lifecycle for the offline simulation.
+struct FlowEvent {
+  double arrival = 0.0;
+  double duration = 0.0;
+  double weight = 0.0;        ///< Packet rate contributed while active.
+  std::size_t group = 0;      ///< Index into the monitor-group table.
+};
+
+class Assigner {
+ public:
+  virtual ~Assigner() = default;
+
+  /// Chooses a monitor for a new flow.  `visible_loads` is the load
+  /// information available to the policy (possibly stale for greedy);
+  /// `true_weight` is only meaningful to Robin Hood.
+  [[nodiscard]] virtual MonitorIndex choose(
+      const MonitorGroup& group, const std::vector<double>& visible_loads,
+      double true_weight) = 0;
+};
+
+class GreedyAssigner final : public Assigner {
+ public:
+  [[nodiscard]] MonitorIndex choose(const MonitorGroup& group,
+                                    const std::vector<double>& visible_loads,
+                                    double true_weight) override;
+};
+
+class RandomAssigner final : public Assigner {
+ public:
+  explicit RandomAssigner(std::uint64_t seed) : rng_(seed) {}
+  [[nodiscard]] MonitorIndex choose(const MonitorGroup& group,
+                                    const std::vector<double>& visible_loads,
+                                    double true_weight) override;
+
+ private:
+  std::mt19937_64 rng_;
+};
+
+/// Robin Hood (Azar, Kalyanasundaram, Plotkin, Pruhs, Waarts 1997).
+/// Maintains a lower bound L on the optimal max load; a machine is "rich"
+/// when its load >= sqrt(M) * L.  New jobs go to a poor machine in their
+/// group if one exists, otherwise to the machine that became rich most
+/// recently.
+class RobinHoodAssigner final : public Assigner {
+ public:
+  explicit RobinHoodAssigner(std::size_t monitor_count);
+  [[nodiscard]] MonitorIndex choose(const MonitorGroup& group,
+                                    const std::vector<double>& visible_loads,
+                                    double true_weight) override;
+
+ private:
+  std::size_t monitor_count_;
+  double opt_bound_ = 0.0;          ///< L: lower bound estimate of OPT.
+  double total_weight_ = 0.0;       ///< Aggregate of arrived weights.
+  std::vector<std::uint64_t> rich_since_;  ///< Arrival index when it became rich.
+  std::uint64_t arrivals_ = 0;
+};
+
+/// Outcome of replaying a flow sequence against a policy.
+struct AssignmentOutcome {
+  std::vector<double> time_avg_load;   ///< Per monitor.
+  /// Per monitor group: mean time-averaged load over the group's monitors
+  /// (the quantity Fig. 9 plots — it reflects how well the policy balanced
+  /// the monitors each group can use).
+  std::vector<double> group_avg_load;
+  double peak_load = 0.0;              ///< Max instantaneous monitor load.
+  double max_time_avg_load = 0.0;
+};
+
+/// Replays `flows` (sorted or not; sorted internally by arrival) against the
+/// policy.  Greedy-style policies see loads refreshed every
+/// `update_period` seconds; pass 0 for always-fresh loads.
+/// Throws std::invalid_argument on empty groups or out-of-range indices.
+[[nodiscard]] AssignmentOutcome simulate_assignment(
+    Assigner& policy, std::vector<FlowEvent> flows,
+    const std::vector<MonitorGroup>& groups, std::size_t monitor_count,
+    double update_period);
+
+/// Generates a random flow workload over `group_count` monitor groups drawn
+/// from `monitor_count` monitors (each group: 2-5 monitors).  Flow weights
+/// are heavy-tailed, durations exponential.
+struct WorkloadConfig {
+  std::size_t monitor_count = 25;
+  std::size_t group_count = 12;
+  std::size_t flow_count = 5000;
+  double mean_arrival_gap = 0.01;
+  double mean_duration = 8.0;
+  double mean_weight = 100.0;
+  std::uint64_t seed = 11;
+};
+
+struct Workload {
+  std::vector<FlowEvent> flows;
+  std::vector<MonitorGroup> groups;
+};
+
+[[nodiscard]] Workload make_workload(const WorkloadConfig& cfg);
+
+}  // namespace jaal::assign

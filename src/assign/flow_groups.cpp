@@ -1,0 +1,135 @@
+#include "assign/flow_groups.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace jaal::assign {
+
+std::size_t RoutedGroups::uncovered_pairs() const {
+  std::size_t n = 0;
+  for (std::size_t g : group_of_pair) n += (g == kUncovered) ? 1 : 0;
+  return n;
+}
+
+RoutedGroups derive_monitor_groups(
+    const netsim::Topology& topo,
+    const std::vector<netsim::NodeId>& monitor_sites,
+    const std::vector<std::pair<netsim::NodeId, netsim::NodeId>>& od_pairs) {
+  for (netsim::NodeId site : monitor_sites) {
+    if (site >= topo.node_count()) {
+      throw std::invalid_argument("derive_monitor_groups: bad monitor site");
+    }
+  }
+  // node -> monitor index, for O(1) path scanning.
+  std::vector<std::size_t> monitor_at(topo.node_count(),
+                                      RoutedGroups::kUncovered);
+  for (std::size_t i = 0; i < monitor_sites.size(); ++i) {
+    monitor_at[monitor_sites[i]] = i;
+  }
+
+  RoutedGroups out;
+  out.group_of_pair.reserve(od_pairs.size());
+  for (const auto& [src, dst] : od_pairs) {
+    std::vector<MonitorIndex> on_path;
+    for (netsim::NodeId node : topo.shortest_path(src, dst)) {
+      if (monitor_at[node] != RoutedGroups::kUncovered) {
+        on_path.push_back(monitor_at[node]);
+      }
+    }
+    if (on_path.empty()) {
+      out.group_of_pair.push_back(RoutedGroups::kUncovered);
+      continue;
+    }
+    std::sort(on_path.begin(), on_path.end());
+    on_path.erase(std::unique(on_path.begin(), on_path.end()), on_path.end());
+
+    std::size_t group_index = out.groups.size();
+    for (std::size_t g = 0; g < out.groups.size(); ++g) {
+      if (out.groups[g].monitors == on_path) {
+        group_index = g;
+        break;
+      }
+    }
+    if (group_index == out.groups.size()) {
+      out.groups.push_back(MonitorGroup{std::move(on_path)});
+    }
+    out.group_of_pair.push_back(group_index);
+  }
+  return out;
+}
+
+std::vector<netsim::NodeId> place_monitors_coverage(
+    const netsim::Topology& topo, const std::vector<netsim::Demand>& demands,
+    std::size_t count) {
+  if (count == 0) {
+    throw std::invalid_argument("place_monitors_coverage: count == 0");
+  }
+  if (demands.empty()) {
+    throw std::invalid_argument("place_monitors_coverage: no demands");
+  }
+
+  // Precompute each demand's path node set.
+  std::vector<std::vector<netsim::NodeId>> paths;
+  paths.reserve(demands.size());
+  for (const auto& d : demands) {
+    paths.push_back(topo.shortest_path(d.src, d.dst));
+  }
+
+  std::vector<bool> covered(demands.size(), false);
+  std::vector<netsim::NodeId> chosen;
+  chosen.reserve(count);
+  for (std::size_t round = 0; round < count; ++round) {
+    // Gain of adding each node = pps of uncovered demands through it.
+    std::vector<double> gain(topo.node_count(), 0.0);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (covered[d]) continue;
+      for (netsim::NodeId n : paths[d]) gain[n] += demands[d].pps;
+    }
+    netsim::NodeId best = 0;
+    for (std::size_t n = 1; n < topo.node_count(); ++n) {
+      if (gain[n] > gain[best]) best = static_cast<netsim::NodeId>(n);
+    }
+    // Skip already-chosen nodes (their gain is 0 once demands are covered,
+    // but guard against degenerate all-covered rounds).
+    if (std::find(chosen.begin(), chosen.end(), best) != chosen.end()) {
+      // Everything coverable is covered; fill with highest-degree unused.
+      for (std::size_t n = 0; n < topo.node_count(); ++n) {
+        const auto id = static_cast<netsim::NodeId>(n);
+        if (std::find(chosen.begin(), chosen.end(), id) == chosen.end()) {
+          best = id;
+          break;
+        }
+      }
+    }
+    chosen.push_back(best);
+    for (std::size_t d = 0; d < demands.size(); ++d) {
+      if (covered[d]) continue;
+      if (std::find(paths[d].begin(), paths[d].end(), best) !=
+          paths[d].end()) {
+        covered[d] = true;
+      }
+    }
+  }
+  return chosen;
+}
+
+double coverage_fraction(const netsim::Topology& topo,
+                         const std::vector<netsim::Demand>& demands,
+                         const std::vector<netsim::NodeId>& sites) {
+  const std::unordered_set<netsim::NodeId> site_set(sites.begin(),
+                                                    sites.end());
+  double covered = 0.0, total = 0.0;
+  for (const auto& d : demands) {
+    total += d.pps;
+    for (netsim::NodeId n : topo.shortest_path(d.src, d.dst)) {
+      if (site_set.count(n)) {
+        covered += d.pps;
+        break;
+      }
+    }
+  }
+  return total > 0.0 ? covered / total : 0.0;
+}
+
+}  // namespace jaal::assign

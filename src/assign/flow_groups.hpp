@@ -1,0 +1,54 @@
+// Monitor-group construction from actual routing (§6).
+//
+// A flow group is a set of flows that traverse a common set of monitors;
+// its monitor group is that subset of monitors.  This module derives the
+// groups from a topology, a monitor placement, and a set of origin-
+// destination pairs — the production path from routing state to the flow
+// assignment module's input.  It also provides a greedy coverage-maximizing
+// monitor placement (the paper assumes placement is given; this is the
+// obvious way to produce one).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "assign/assigner.hpp"
+#include "netsim/replication.hpp"
+#include "netsim/topology.hpp"
+
+namespace jaal::assign {
+
+struct RoutedGroups {
+  /// Distinct monitor groups, deduplicated.
+  std::vector<MonitorGroup> groups;
+  /// groups index for each input OD pair; kUncovered when no monitor lies
+  /// on the pair's path.
+  std::vector<std::size_t> group_of_pair;
+  static constexpr std::size_t kUncovered = static_cast<std::size_t>(-1);
+
+  [[nodiscard]] std::size_t uncovered_pairs() const;
+};
+
+/// Routes every OD pair on the topology and groups them by the set of
+/// monitors their shortest path crosses.  `monitor_sites[i]` is the
+/// topology node hosting assign-module monitor index i.
+/// Throws std::invalid_argument on out-of-range nodes.
+[[nodiscard]] RoutedGroups derive_monitor_groups(
+    const netsim::Topology& topo,
+    const std::vector<netsim::NodeId>& monitor_sites,
+    const std::vector<std::pair<netsim::NodeId, netsim::NodeId>>& od_pairs);
+
+/// Greedy maximum-coverage monitor placement: repeatedly picks the node
+/// whose addition covers the most yet-uncovered demand (by pps).  Returns
+/// `count` topology nodes.  Throws std::invalid_argument for count == 0 or
+/// empty demands.
+[[nodiscard]] std::vector<netsim::NodeId> place_monitors_coverage(
+    const netsim::Topology& topo, const std::vector<netsim::Demand>& demands,
+    std::size_t count);
+
+/// Fraction of demand pps whose path crosses at least one of `sites`.
+[[nodiscard]] double coverage_fraction(
+    const netsim::Topology& topo, const std::vector<netsim::Demand>& demands,
+    const std::vector<netsim::NodeId>& sites);
+
+}  // namespace jaal::assign

@@ -1,0 +1,141 @@
+// Packet-level generators for the five attack classes evaluated in §8:
+// SYN flood (DoS), distributed SYN flood (DDoS), distributed port scan,
+// distributed SSH brute force, and Sockstress.  Each emits the header
+// stream the real tools (hping3, Nmap, SSH dictionaries, sockstress) put on
+// the wire, labelled with ground truth for TPR/FPR accounting.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "trace/background.hpp"
+
+namespace jaal::attack {
+
+/// Parameters shared by all attack generators.
+struct AttackConfig {
+  std::uint32_t victim_ip = 0;        ///< Target host.
+  double start_time = 0.0;            ///< Seconds; first packet at/after this.
+  double packets_per_second = 5000.0; ///< Aggregate attack rate.
+  std::size_t source_count = 200;     ///< Distinct attacking IPs (paper: ~200).
+  std::uint64_t seed = 1;
+};
+
+/// Base with the bookkeeping every generator shares: exponential packet
+/// interarrivals from `start_time` and a pool of attacker IPs drawn from
+/// distinct /16 subnets (the paper randomizes sources across subnets so
+/// packets traverse different monitors).
+class AttackSource : public trace::PacketSource {
+ public:
+  explicit AttackSource(const AttackConfig& cfg);
+
+  [[nodiscard]] double peek_time() const final { return next_time_; }
+  [[nodiscard]] packet::PacketRecord next() final;
+
+  [[nodiscard]] const std::vector<std::uint32_t>& sources() const noexcept {
+    return sources_;
+  }
+
+ protected:
+  /// Fills in the attack-specific header fields; base has set timestamp.
+  virtual void fill(packet::PacketRecord& pkt) = 0;
+
+  [[nodiscard]] std::uint32_t random_source() {
+    return sources_[rng_() % sources_.size()];
+  }
+
+  AttackConfig cfg_;
+  std::mt19937_64 rng_;
+
+ private:
+  std::exponential_distribution<double> interarrival_;
+  std::vector<std::uint32_t> sources_;
+  double next_time_;
+};
+
+/// Classic single-source SYN flood (DoS): one spoof-stable source hammering
+/// one victim port with SYNs from random ephemeral ports.
+class SynFlood final : public AttackSource {
+ public:
+  SynFlood(const AttackConfig& cfg, std::uint16_t victim_port = 80);
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  std::uint16_t victim_port_;
+  std::uint32_t attacker_ip_;
+};
+
+/// Distributed SYN flood (DDoS): ~200 sources across subnets, same victim.
+class DistributedSynFlood final : public AttackSource {
+ public:
+  DistributedSynFlood(const AttackConfig& cfg, std::uint16_t victim_port = 80);
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  std::uint16_t victim_port_;
+};
+
+/// Adaptive attacker (§10, "Adaptive attackers"): a distributed SYN flood
+/// whose free header fields mimic benign handshake traffic — realistic OS
+/// windows, option-bearing SYN lengths/offsets, benign-like TTLs — to pull
+/// its packets into benign clusters and bias the summarization.  The
+/// essential fields (victim address/port, the SYN flag) cannot be disguised
+/// without neutering the attack.
+class MimicrySynFlood final : public AttackSource {
+ public:
+  MimicrySynFlood(const AttackConfig& cfg, std::uint16_t victim_port = 80);
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  std::uint16_t victim_port_;
+};
+
+/// Distributed port scan: sources sweep the victim's ports following the
+/// Nmap default port list (§8 uses Nmap defaults).
+class PortScan final : public AttackSource {
+ public:
+  explicit PortScan(const AttackConfig& cfg);
+
+  /// The embedded Nmap-style default port list (most common service ports).
+  [[nodiscard]] static const std::vector<std::uint16_t>& nmap_default_ports();
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  std::size_t cursor_ = 0;
+};
+
+/// Distributed SSH brute force: repeated short login attempts to victim:22.
+/// Each source cycles SYN -> ACK -> PSH|ACK ("SSH-" banner + auth attempt)
+/// so the victim sees >=5 attempts per source per minute (Snort sid 19559).
+class SshBruteForce final : public AttackSource {
+ public:
+  explicit SshBruteForce(const AttackConfig& cfg);
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  struct SourceState {
+    std::uint32_t seq = 0;
+    int stage = 0;  // 0=SYN, 1=handshake ACK, 2..4=auth attempt packets
+  };
+  std::vector<SourceState> state_;
+};
+
+/// Sockstress: completes the TCP handshake, then advertises a zero receive
+/// window and trickles window-probe ACKs, pinning server-side connections.
+/// Low-rate by design (the paper exempts it from the 10% cap).
+class Sockstress final : public AttackSource {
+ public:
+  Sockstress(const AttackConfig& cfg, std::uint16_t victim_port = 80);
+
+ private:
+  void fill(packet::PacketRecord& pkt) override;
+  std::uint16_t victim_port_;
+  struct SourceState {
+    std::uint32_t seq = 0;
+    int stage = 0;  // 0=SYN, 1=final ACK (win 0), >=2 zero-window probes
+  };
+  std::vector<SourceState> state_;
+};
+
+}  // namespace jaal::attack

@@ -1,0 +1,119 @@
+#include "attack/mirai.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace jaal::attack {
+
+using packet::AttackType;
+using packet::PacketRecord;
+using packet::TcpFlag;
+
+MiraiScan::MiraiScan(const AttackConfig& cfg, std::vector<std::uint32_t> bot_ips)
+    : AttackSource(cfg), bots_(std::move(bot_ips)) {
+  if (bots_.empty()) bots_ = sources();
+}
+
+void MiraiScan::fill(PacketRecord& pkt) {
+  pkt.label = AttackType::kMiraiScan;
+  pkt.ip.src_ip = bots_[rng_() % bots_.size()];
+  // Mirai scans (nearly) the whole IPv4 space; exclude multicast/reserved
+  // ranges the real scanner also skips.
+  for (;;) {
+    const auto ip = static_cast<std::uint32_t>(rng_());
+    const std::uint8_t first = static_cast<std::uint8_t>(ip >> 24);
+    if (first == 0 || first == 10 || first == 127 || first >= 224) continue;
+    pkt.ip.dst_ip = ip;
+    break;
+  }
+  pkt.ip.total_length = 40;
+  pkt.tcp.src_port = static_cast<std::uint16_t>(1024 + rng_() % 64000);
+  // scanner.c: 10 attempts target 23, one in ~10 targets 2323.
+  pkt.tcp.dst_port = (rng_() % 10 == 0) ? 2323 : 23;
+  // Mirai's scanner sets seq = dst address (a known fingerprint).
+  pkt.tcp.seq = pkt.ip.dst_ip;
+  pkt.tcp.ack = 0;
+  pkt.tcp.set(TcpFlag::kSyn);
+  pkt.tcp.window = static_cast<std::uint16_t>(rng_());
+}
+
+std::vector<OutbreakPoint> simulate_outbreak(const MiraiConfig& cfg,
+                                             const ResponsePolicy& response) {
+  std::mt19937_64 rng(cfg.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  enum class DeviceState : std::uint8_t { kClean, kInfected, kShutOff };
+  struct Device {
+    DeviceState state = DeviceState::kClean;
+    bool vulnerable = false;
+    double infected_at = 0.0;
+    double next_detection_attempt = 0.0;
+  };
+
+  std::vector<Device> devices(cfg.device_count);
+  // Vulnerable devices are a random subset.
+  std::vector<std::size_t> order(cfg.device_count);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  const std::size_t vulnerable =
+      std::min(cfg.vulnerable_count, cfg.device_count);
+  for (std::size_t i = 0; i < vulnerable; ++i) {
+    devices[order[i]].vulnerable = true;
+  }
+  std::size_t infected_total = 0;
+  for (std::size_t i = 0;
+       i < std::min(cfg.initially_infected, vulnerable); ++i) {
+    Device& d = devices[order[i]];
+    d.state = DeviceState::kInfected;
+    d.infected_at = 0.0;
+    d.next_detection_attempt = response.detection_latency;
+    ++infected_total;
+  }
+
+  std::vector<OutbreakPoint> trajectory;
+  for (double t = 0.0; t <= cfg.duration + 1e-9; t += cfg.tick) {
+    std::size_t active = 0, off = 0;
+    for (const Device& d : devices) {
+      if (d.state == DeviceState::kInfected) ++active;
+      if (d.state == DeviceState::kShutOff) ++off;
+    }
+    trajectory.push_back({t, infected_total, active, off});
+
+    // Each active bot emits scan probes this tick; a probe that lands on a
+    // clean vulnerable device compromises it (default credentials).
+    const double probes_per_bot = cfg.scan_rate_per_bot * cfg.tick;
+    std::poisson_distribution<int> probe_count(probes_per_bot *
+                                               cfg.hit_probability);
+    for (std::size_t bot = 0; bot < devices.size(); ++bot) {
+      if (devices[bot].state != DeviceState::kInfected) continue;
+      const int hits = probe_count(rng);
+      for (int h = 0; h < hits; ++h) {
+        Device& target = devices[rng() % devices.size()];
+        if (target.vulnerable && target.state == DeviceState::kClean) {
+          target.state = DeviceState::kInfected;
+          target.infected_at = t;
+          target.next_detection_attempt = t + response.detection_latency;
+          ++infected_total;
+        }
+      }
+    }
+
+    // Jaal response: per detection window, each active bot's scan is flagged
+    // with the configured probability and the device is disconnected.
+    if (response.enabled) {
+      for (Device& d : devices) {
+        if (d.state != DeviceState::kInfected) continue;
+        while (d.next_detection_attempt <= t) {
+          if (unit(rng) < response.detection_probability) {
+            d.state = DeviceState::kShutOff;
+            break;
+          }
+          d.next_detection_attempt += response.detection_latency;
+        }
+      }
+    }
+  }
+  return trajectory;
+}
+
+}  // namespace jaal::attack

@@ -1,0 +1,101 @@
+#include "baseline/countmin.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+namespace jaal::baseline {
+namespace {
+
+/// 64-bit FNV-1a seeded by xor-folding the row seed in.
+[[nodiscard]] std::uint64_t hash_bytes(std::span<const std::uint8_t> key,
+                                       std::uint64_t seed) noexcept {
+  std::uint64_t h = 1469598103934665603ULL ^ seed;
+  for (std::uint8_t b : key) {
+    h ^= b;
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche (splitmix64 tail) to decorrelate nearby keys.
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ULL;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBULL;
+  h ^= h >> 31;
+  return h;
+}
+
+[[nodiscard]] std::array<std::uint8_t, 8> to_bytes(std::uint64_t key) noexcept {
+  std::array<std::uint8_t, 8> out{};
+  for (int i = 0; i < 8; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(key >> (8 * i));
+  }
+  return out;
+}
+
+}  // namespace
+
+CountMinSketch::CountMinSketch(std::size_t width, std::size_t depth,
+                               std::uint64_t seed)
+    : width_(width), depth_(depth) {
+  if (width_ == 0 || depth_ == 0) {
+    throw std::invalid_argument("CountMinSketch: zero geometry");
+  }
+  row_seeds_.reserve(depth_);
+  std::uint64_t s = seed;
+  for (std::size_t i = 0; i < depth_; ++i) {
+    s += 0x9E3779B97F4A7C15ULL;
+    row_seeds_.push_back(s);
+  }
+  counters_.assign(width_ * depth_, 0);
+}
+
+std::size_t CountMinSketch::cell(std::size_t row,
+                                 std::span<const std::uint8_t> key) const {
+  return row * width_ + hash_bytes(key, row_seeds_[row]) % width_;
+}
+
+void CountMinSketch::add(std::span<const std::uint8_t> key,
+                         std::uint64_t count) {
+  for (std::size_t row = 0; row < depth_; ++row) {
+    counters_[cell(row, key)] += count;
+  }
+  total_ += count;
+}
+
+void CountMinSketch::add(std::uint64_t key, std::uint64_t count) {
+  const auto bytes = to_bytes(key);
+  add(std::span<const std::uint8_t>(bytes), count);
+}
+
+std::uint64_t CountMinSketch::estimate(
+    std::span<const std::uint8_t> key) const {
+  std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+  for (std::size_t row = 0; row < depth_; ++row) {
+    best = std::min(best, counters_[cell(row, key)]);
+  }
+  return best;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  const auto bytes = to_bytes(key);
+  return estimate(std::span<const std::uint8_t>(bytes));
+}
+
+std::size_t CountMinSketch::memory_bytes() const noexcept {
+  return counters_.size() * sizeof(std::uint64_t);
+}
+
+void CountMinSketch::merge(const CountMinSketch& other) {
+  if (other.width_ != width_ || other.depth_ != depth_ ||
+      other.row_seeds_ != row_seeds_) {
+    throw std::invalid_argument("CountMinSketch::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    counters_[i] += other.counters_[i];
+  }
+  total_ += other.total_;
+}
+
+}  // namespace jaal::baseline

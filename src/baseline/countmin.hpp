@@ -1,0 +1,51 @@
+// Count-min sketch baseline (§2's sketching discussion).
+//
+// Sketches give strong per-dimension guarantees but are single-dimensional:
+// a sketch keyed on (src IP) cannot answer questions about (src IP, SYN
+// flag) and vice versa, which is the paper's core argument for summaries.
+// This implementation backs the overhead-comparison bench: covering all
+// 2^18 field combinations with one sketch each is shown to be prohibitive.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace jaal::baseline {
+
+class CountMinSketch {
+ public:
+  /// width: counters per row; depth: independent hash rows.
+  /// Throws std::invalid_argument when either is zero.
+  CountMinSketch(std::size_t width, std::size_t depth,
+                 std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Adds `count` occurrences of the key.
+  void add(std::span<const std::uint8_t> key, std::uint64_t count = 1);
+  void add(std::uint64_t key, std::uint64_t count = 1);
+
+  /// Point query: overestimates with bounded error (epsilon = e/width).
+  [[nodiscard]] std::uint64_t estimate(std::span<const std::uint8_t> key) const;
+  [[nodiscard]] std::uint64_t estimate(std::uint64_t key) const;
+
+  /// Total stream count added.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Memory footprint in bytes (what a monitor would ship).
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+  /// Merges another sketch of identical geometry; throws on mismatch.
+  void merge(const CountMinSketch& other);
+
+ private:
+  [[nodiscard]] std::size_t cell(std::size_t row,
+                                 std::span<const std::uint8_t> key) const;
+
+  std::size_t width_;
+  std::size_t depth_;
+  std::vector<std::uint64_t> row_seeds_;
+  std::vector<std::uint64_t> counters_;  ///< depth_ x width_, row-major.
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace jaal::baseline

@@ -1,0 +1,151 @@
+#include "baseline/netflow.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/stats.hpp"
+
+namespace jaal::baseline {
+
+FlowCache::FlowCache(const FlowCacheConfig& cfg) : cfg_(cfg) {}
+
+void FlowCache::export_record(const FlowRecord& rec) {
+  export_queue_.push_back(rec);
+  ++exported_records_;
+}
+
+void FlowCache::observe(const packet::PacketRecord& pkt) {
+  ++seen_;
+  now_ = std::max(now_, pkt.timestamp);
+
+  FlowRecord& rec = cache_[pkt.flow()];
+  if (rec.packets == 0) {
+    rec.key = pkt.flow();
+    rec.first_seen = pkt.timestamp;
+  } else if (pkt.timestamp - rec.first_seen > cfg_.active_timeout) {
+    // Active timeout: export the long-running flow and restart the record.
+    export_record(rec);
+    rec = FlowRecord{};
+    rec.key = pkt.flow();
+    rec.first_seen = pkt.timestamp;
+  }
+  ++rec.packets;
+  rec.bytes += pkt.ip.total_length;
+  rec.last_seen = pkt.timestamp;
+  rec.tcp_flags_or =
+      static_cast<std::uint8_t>(rec.tcp_flags_or | pkt.tcp.flags);
+
+  if (cache_.size() > cfg_.max_entries) {
+    // Emergency eviction: export the stalest entries (quarter of the cache),
+    // as real exporters do under pressure.
+    std::vector<std::pair<double, packet::FlowKey>> by_age;
+    by_age.reserve(cache_.size());
+    for (const auto& [key, record] : cache_) {
+      by_age.emplace_back(record.last_seen, key);
+    }
+    std::sort(by_age.begin(), by_age.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const std::size_t evict = cache_.size() / 4 + 1;
+    for (std::size_t i = 0; i < evict && i < by_age.size(); ++i) {
+      const auto it = cache_.find(by_age[i].second);
+      export_record(it->second);
+      cache_.erase(it);
+    }
+  }
+}
+
+std::size_t FlowCache::expire(double now) {
+  now_ = std::max(now_, now);
+  std::size_t exported = 0;
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    const FlowRecord& rec = it->second;
+    if (now_ - rec.last_seen > cfg_.inactive_timeout ||
+        now_ - rec.first_seen > cfg_.active_timeout) {
+      export_record(rec);
+      it = cache_.erase(it);
+      ++exported;
+    } else {
+      ++it;
+    }
+  }
+  return exported;
+}
+
+std::vector<FlowRecord> FlowCache::drain() {
+  std::vector<FlowRecord> out;
+  out.swap(export_queue_);
+  return out;
+}
+
+void FlowCache::flush() {
+  for (const auto& [key, rec] : cache_) export_record(rec);
+  cache_.clear();
+}
+
+std::vector<rules::RawAlert> detect_on_flow_records(
+    const std::vector<rules::Rule>& ruleset,
+    const std::vector<FlowRecord>& records, double threshold_scale) {
+  std::vector<rules::RawAlert> alerts;
+  for (const rules::Rule& rule : ruleset) {
+    if (rule.window.has_value()) continue;  // field not exported by NetFlow
+
+    std::uint64_t matched = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> per_source;
+    linalg::RunningStats field_stats;
+    for (const FlowRecord& rec : records) {
+      if (!rule.src_addr.matches(rec.key.src_ip)) continue;
+      if (!rule.dst_addr.matches(rec.key.dst_ip)) continue;
+      if (!rule.src_port.matches(rec.key.src_port)) continue;
+      if (!rule.dst_port.matches(rec.key.dst_port)) continue;
+      // Precision loss: the record can only prove the rule's flags appeared
+      // somewhere in the flow, not that any single packet carried exactly
+      // that combination.
+      if (rule.flags && (rec.tcp_flags_or & *rule.flags) != *rule.flags) {
+        continue;
+      }
+      matched += rec.packets;
+      per_source[rec.key.src_ip] += rec.packets;
+      if (rule.variance) {
+        // Reconstruct the field value from the record where possible.
+        double raw = 0.0;
+        switch (rule.variance->field) {
+          case packet::FieldIndex::kIpSrcAddr: raw = rec.key.src_ip; break;
+          case packet::FieldIndex::kIpDstAddr: raw = rec.key.dst_ip; break;
+          case packet::FieldIndex::kTcpSrcPort: raw = rec.key.src_port; break;
+          case packet::FieldIndex::kTcpDstPort: raw = rec.key.dst_port; break;
+          default: raw = 0.0; break;  // field absent from flow records
+        }
+        field_stats.add(packet::normalize_field(rule.variance->field, raw),
+                        rec.packets);
+      }
+    }
+    if (matched == 0) continue;
+
+    std::uint64_t threshold = 1;
+    if (rule.detection_filter) {
+      threshold = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 std::ceil(rule.detection_filter->count * threshold_scale)));
+    }
+    std::uint64_t max_src = 0;
+    for (const auto& [src, count] : per_source) {
+      max_src = std::max(max_src, count);
+    }
+    if (matched < threshold && max_src < threshold) continue;
+
+    rules::RawAlert alert;
+    alert.sid = rule.sid;
+    alert.msg = rule.msg;
+    alert.matched_packets = matched;
+    alert.max_per_source = max_src;
+    if (rule.variance) {
+      alert.variance_triggered =
+          field_stats.variance() >= rule.variance->threshold;
+      if (!alert.variance_triggered) continue;
+    }
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+}  // namespace jaal::baseline

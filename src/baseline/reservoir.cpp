@@ -1,0 +1,49 @@
+#include "baseline/reservoir.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace jaal::baseline {
+
+ReservoirSampler::ReservoirSampler(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), rng_(seed) {
+  if (capacity_ == 0) {
+    throw std::invalid_argument("ReservoirSampler: zero capacity");
+  }
+  sample_.reserve(capacity_);
+}
+
+void ReservoirSampler::add(const packet::PacketRecord& pkt) {
+  ++seen_;
+  if (sample_.size() < capacity_) {
+    sample_.push_back(pkt);
+    return;
+  }
+  // Algorithm R: keep the new item with probability capacity/seen.
+  const std::uint64_t j = rng_() % seen_;
+  if (j < capacity_) sample_[j] = pkt;
+}
+
+double ReservoirSampler::scale_factor() const noexcept {
+  if (sample_.empty()) return 1.0;
+  return static_cast<double>(seen_) / static_cast<double>(sample_.size());
+}
+
+void ReservoirSampler::reset() noexcept {
+  sample_.clear();
+  seen_ = 0;
+}
+
+std::vector<rules::RawAlert> detect_on_sample(const rules::RawMatcher& matcher,
+                                              const ReservoirSampler& sampler,
+                                              double window_seconds) {
+  // Scaling the thresholds down by the sampling ratio is equivalent to
+  // scaling the observed counts up; RawMatcher scales thresholds by
+  // window ratio already, so fold the sampling ratio into window_seconds.
+  // A 1/s sample of a w-second window carries the evidence density of a
+  // w/s-second window.
+  const double effective_window = window_seconds / sampler.scale_factor();
+  return matcher.analyze(sampler.sample(), effective_window);
+}
+
+}  // namespace jaal::baseline

@@ -1,0 +1,61 @@
+#include "core/assignment_service.hpp"
+
+#include <stdexcept>
+
+namespace jaal::core {
+
+AssignmentService::AssignmentService(std::vector<assign::MonitorGroup> groups,
+                                     std::size_t monitor_count)
+    : groups_(std::move(groups)),
+      reported_(monitor_count, 0.0),
+      optimistic_(monitor_count, 0.0) {
+  if (monitor_count == 0) {
+    throw std::invalid_argument("AssignmentService: zero monitors");
+  }
+  if (groups_.empty()) {
+    throw std::invalid_argument("AssignmentService: no monitor groups");
+  }
+  for (const auto& g : groups_) {
+    if (g.monitors.empty()) {
+      throw std::invalid_argument("AssignmentService: empty group");
+    }
+    for (assign::MonitorIndex m : g.monitors) {
+      if (m >= monitor_count) {
+        throw std::invalid_argument(
+            "AssignmentService: group references unknown monitor");
+      }
+    }
+  }
+}
+
+void AssignmentService::on_load_update(const proto::LoadUpdate& update) {
+  if (update.monitor >= reported_.size()) {
+    throw std::out_of_range("AssignmentService: unknown monitor in update");
+  }
+  reported_[update.monitor] = update.load_pps;
+  optimistic_[update.monitor] = 0.0;  // the report supersedes local guesses
+}
+
+assign::MonitorIndex AssignmentService::assign(std::size_t group,
+                                               double weight_estimate) {
+  if (group >= groups_.size()) {
+    throw std::out_of_range("AssignmentService: bad group index");
+  }
+  const auto& monitors = groups_[group].monitors;
+  assign::MonitorIndex best = monitors.front();
+  for (assign::MonitorIndex m : monitors) {
+    if (visible_load(m) < visible_load(best)) best = m;
+  }
+  optimistic_[best] += weight_estimate;
+  ++assignments_;
+  return best;
+}
+
+double AssignmentService::visible_load(assign::MonitorIndex m) const {
+  if (m >= reported_.size()) {
+    throw std::out_of_range("AssignmentService: bad monitor index");
+  }
+  return reported_[m] + optimistic_[m];
+}
+
+}  // namespace jaal::core

@@ -1,0 +1,59 @@
+// Flow-assignment service — the controller-side state of §7's deployment:
+// monitors report loads over their long-lived connections (proto
+// LoadUpdate, polled every P seconds); incoming flows are assigned greedily
+// to the least-loaded monitor of their monitor group.
+//
+// Between load reports the service works with *visible* loads plus an
+// optimistic local increment for every assignment it makes — without it,
+// all flows arriving within one poll period would herd onto the same
+// monitor (the thundering-herd artifact of stale load data).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assign/assigner.hpp"
+#include "proto/messages.hpp"
+
+namespace jaal::core {
+
+class AssignmentService {
+ public:
+  /// Throws std::invalid_argument on empty groups, zero monitors, or group
+  /// entries referencing out-of-range monitors.
+  AssignmentService(std::vector<assign::MonitorGroup> groups,
+                    std::size_t monitor_count);
+
+  /// Ingests a monitor's load report (replaces the visible load and clears
+  /// the optimistic increments accumulated since the last report).
+  void on_load_update(const proto::LoadUpdate& update);
+
+  /// Assigns a new flow from `group`; `weight_estimate` is added to the
+  /// optimistic local view (use the expected flow rate, or a fixed nominal
+  /// value when unknown — the greedy policy needs no true weights).
+  /// Throws std::out_of_range on a bad group index.
+  [[nodiscard]] assign::MonitorIndex assign(std::size_t group,
+                                            double weight_estimate);
+
+  /// Visible load of a monitor (last report + optimistic increments).
+  [[nodiscard]] double visible_load(assign::MonitorIndex m) const;
+
+  [[nodiscard]] std::size_t monitor_count() const noexcept {
+    return reported_.size();
+  }
+  [[nodiscard]] const std::vector<assign::MonitorGroup>& groups()
+      const noexcept {
+    return groups_;
+  }
+  [[nodiscard]] std::uint64_t assignments() const noexcept {
+    return assignments_;
+  }
+
+ private:
+  std::vector<assign::MonitorGroup> groups_;
+  std::vector<double> reported_;    ///< Last LoadUpdate per monitor.
+  std::vector<double> optimistic_;  ///< Assignments since that update.
+  std::uint64_t assignments_ = 0;
+};
+
+}  // namespace jaal::core

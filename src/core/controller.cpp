@@ -1,0 +1,101 @@
+#include "core/controller.hpp"
+
+#include <stdexcept>
+
+namespace jaal::core {
+
+JaalController::JaalController(const JaalConfig& cfg,
+                               std::vector<rules::Rule> rules)
+    : cfg_(cfg), engine_(std::move(rules), cfg.engine) {
+  if (cfg_.monitor_count == 0) {
+    throw std::invalid_argument("JaalController: need at least one monitor");
+  }
+  monitors_.reserve(cfg_.monitor_count);
+  for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
+    summarize::SummarizerConfig scfg = cfg_.summarizer;
+    scfg.seed = cfg_.summarizer.seed + i;  // decorrelate k-means seeding
+    monitors_.emplace_back(static_cast<summarize::MonitorId>(i), scfg);
+  }
+}
+
+void JaalController::ingest(const packet::PacketRecord& pkt) {
+  const std::size_t m =
+      packet::FlowKeyHash{}(pkt.flow()) % monitors_.size();
+  monitors_[m].observe(pkt);
+  ++epoch_packets_;
+}
+
+EpochResult JaalController::close_epoch(double now) {
+  inference::Aggregator aggregator;
+  EpochResult result;
+  result.end_time = now;
+  result.packets = epoch_packets_;
+  epoch_packets_ = 0;
+
+  for (Monitor& m : monitors_) {
+    if (auto summary = m.flush_epoch()) {
+      aggregator.add(*summary);
+      ++result.monitors_reporting;
+    }
+  }
+  if (result.monitors_reporting == 0) return result;
+
+  const inference::AggregatedSummary aggregate = aggregator.take();
+  const inference::RawPacketFetcher fetch =
+      [this](summarize::MonitorId id,
+             const std::vector<std::size_t>& centroids) {
+        return monitors_.at(id).raw_packets_for(centroids);
+      };
+  // Scale rule counts to this epoch's actual packet volume (counts are
+  // calibrated for a nominal 2000-packet window), on top of the deployment's
+  // configured headroom factor.
+  engine_.set_tau_c_scale(cfg_.engine.tau_c_scale *
+                          static_cast<double>(result.packets) / 2000.0);
+  result.alerts = engine_.infer(aggregate, fetch);
+  return result;
+}
+
+std::vector<EpochResult> JaalController::run(trace::PacketSource& source,
+                                             double duration) {
+  std::vector<EpochResult> epochs;
+  const double start = source.peek_time();
+
+  if (cfg_.trigger == EpochTrigger::kBatchTriggered) {
+    // §5.1 second mode: when any monitor reaches a full batch of n packets,
+    // the controller requests summaries from everyone (monitors below
+    // n_min stay silent and keep buffering).
+    while (source.peek_time() - start < duration) {
+      const packet::PacketRecord pkt = source.next();
+      ingest(pkt);
+      for (const Monitor& m : monitors_) {
+        if (m.batch_ready()) {
+          epochs.push_back(close_epoch(pkt.timestamp));
+          break;
+        }
+      }
+    }
+    epochs.push_back(close_epoch(start + duration));
+    return epochs;
+  }
+
+  double epoch_end = start + cfg_.epoch_seconds;
+  while (source.peek_time() - start < duration) {
+    if (source.peek_time() >= epoch_end) {
+      epochs.push_back(close_epoch(epoch_end));
+      epoch_end += cfg_.epoch_seconds;
+      continue;
+    }
+    ingest(source.next());
+  }
+  epochs.push_back(close_epoch(epoch_end));
+  return epochs;
+}
+
+CommStats JaalController::comm() const {
+  CommStats total;
+  for (const Monitor& m : monitors_) total += m.comm();
+  total.feedback_bytes += engine_.stats().raw_bytes_fetched;
+  return total;
+}
+
+}  // namespace jaal::core

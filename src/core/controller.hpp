@@ -1,0 +1,74 @@
+// JaalController: end-to-end orchestration of one deployment (Fig. 1).
+//
+// Distributes a packet stream across monitors (each flow observed by exactly
+// one monitor — here via consistent flow hashing, which realizes the §6
+// "monitored exactly once" invariant; path-aware load balancing is evaluated
+// separately in jaal_assign), drives epochs, aggregates summaries, runs the
+// inference engine with the feedback loop wired to the monitors, and
+// accounts every byte moved.
+#pragma once
+
+#include <vector>
+
+#include "core/monitor.hpp"
+#include "inference/engine.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::core {
+
+/// §5.1 names two ways the controller fetches summaries: periodically, or
+/// when some monitor accumulates a full batch of n packets (at which point
+/// every other monitor with at least n_min packets reports too).
+enum class EpochTrigger : std::uint8_t { kPeriodic, kBatchTriggered };
+
+struct JaalConfig {
+  summarize::SummarizerConfig summarizer;
+  inference::EngineConfig engine;
+  std::size_t monitor_count = 4;
+  EpochTrigger trigger = EpochTrigger::kPeriodic;
+  double epoch_seconds = 2.0;  ///< The §7 epoch (periodic trigger).
+};
+
+/// Everything observed during one epoch.
+struct EpochResult {
+  double end_time = 0.0;
+  std::vector<inference::Alert> alerts;
+  std::size_t monitors_reporting = 0;
+  std::uint64_t packets = 0;
+};
+
+class JaalController {
+ public:
+  /// Throws std::invalid_argument for zero monitors.
+  JaalController(const JaalConfig& cfg, std::vector<rules::Rule> rules);
+
+  /// Feeds packets from `source` until `duration` simulated seconds elapse,
+  /// closing an epoch every cfg.epoch_seconds.  Returns per-epoch results.
+  [[nodiscard]] std::vector<EpochResult> run(trace::PacketSource& source,
+                                             double duration);
+
+  /// Routes one packet to its monitor (flow-hash); exposed for tests and
+  /// for callers that drive epochs manually.
+  void ingest(const packet::PacketRecord& pkt);
+
+  /// Closes the current epoch: flush monitors, aggregate, infer.
+  [[nodiscard]] EpochResult close_epoch(double now);
+
+  /// Aggregate communication statistics over all monitors plus feedback.
+  [[nodiscard]] CommStats comm() const;
+
+  [[nodiscard]] const inference::InferenceEngine& engine() const noexcept {
+    return engine_;
+  }
+  [[nodiscard]] const std::vector<Monitor>& monitors() const noexcept {
+    return monitors_;
+  }
+
+ private:
+  JaalConfig cfg_;
+  std::vector<Monitor> monitors_;
+  inference::InferenceEngine engine_;
+  std::uint64_t epoch_packets_ = 0;
+};
+
+}  // namespace jaal::core

@@ -1,0 +1,267 @@
+#include "core/experiment.hpp"
+
+#include <memory>
+#include <random>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "attack/generators.hpp"
+#include "attack/mirai.hpp"
+#include "trace/mix.hpp"
+
+namespace jaal::core {
+
+using packet::AttackType;
+
+rules::RuleVars evaluation_rule_vars() {
+  rules::RuleVars vars;
+  vars.home_net =
+      rules::AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  return vars;
+}
+
+std::uint32_t evaluation_victim_ip() { return packet::make_ip(203, 0, 10, 5); }
+
+const std::vector<std::uint32_t>& sids_for(AttackType type) {
+  static const std::unordered_map<AttackType, std::vector<std::uint32_t>> kMap = {
+      {AttackType::kSynFlood, {1000001}},
+      {AttackType::kDistributedSynFlood, {1000002}},
+      {AttackType::kPortScan, {1000003}},
+      {AttackType::kSshBruteForce, {19559}},
+      {AttackType::kSockstress, {1000005}},
+      {AttackType::kMiraiScan, {1000006, 1000007}},
+  };
+  static const std::vector<std::uint32_t> kEmpty;
+  const auto it = kMap.find(type);
+  return it == kMap.end() ? kEmpty : it->second;
+}
+
+std::span<const AttackType> evaluation_attacks() {
+  static const AttackType kAttacks[] = {
+      AttackType::kSynFlood,       AttackType::kDistributedSynFlood,
+      AttackType::kPortScan,       AttackType::kSshBruteForce,
+      AttackType::kSockstress,
+  };
+  return kAttacks;
+}
+
+namespace {
+
+/// Instantiates the attack source for a trial (nullptr for benign trials).
+std::unique_ptr<attack::AttackSource> make_attack(AttackType type,
+                                                  const TrialConfig& cfg,
+                                                  std::uint64_t seed) {
+  attack::AttackConfig acfg;
+  acfg.victim_ip = evaluation_victim_ip();
+  acfg.packets_per_second = cfg.attack_rate_pps;
+  acfg.seed = seed;
+  switch (type) {
+    case AttackType::kNone:
+      return nullptr;
+    case AttackType::kSynFlood:
+      acfg.source_count = 1;
+      return std::make_unique<attack::SynFlood>(acfg);
+    case AttackType::kDistributedSynFlood:
+      return std::make_unique<attack::DistributedSynFlood>(acfg);
+    case AttackType::kPortScan:
+      return std::make_unique<attack::PortScan>(acfg);
+    case AttackType::kSshBruteForce:
+      return std::make_unique<attack::SshBruteForce>(acfg);
+    case AttackType::kSockstress:
+      // Stealthy and low-rate by design (§8: the 10% cap is not needed).
+      acfg.packets_per_second = cfg.attack_rate_pps / 8.0;
+      return std::make_unique<attack::Sockstress>(acfg);
+    case AttackType::kMiraiScan:
+      return std::make_unique<attack::MiraiScan>(acfg);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+inference::RawPacketFetcher Trial::fetcher() const {
+  return [this](summarize::MonitorId monitor,
+                const std::vector<std::size_t>& centroids) {
+    std::vector<packet::PacketRecord> out;
+    if (monitor >= monitor_packets.size()) return out;
+    const auto& packets = monitor_packets[monitor];
+    const auto& assignment = monitor_assignment[monitor];
+    for (std::size_t i = 0; i < packets.size(); ++i) {
+      for (std::size_t c : centroids) {
+        if (assignment[i] == c) {
+          out.push_back(packets[i]);
+          break;
+        }
+      }
+    }
+    return out;
+  };
+}
+
+Trial make_trial(AttackType attack, const TrialConfig& cfg,
+                 std::uint64_t seed) {
+  trace::BackgroundTraffic background(cfg.profile, seed);
+  // Attack intensity for this trial (the 10% quota is a cap, not a floor).
+  std::mt19937_64 intensity_rng(seed ^ 0x17EA51ULL);
+  TrialConfig trial_cfg = cfg;
+  trial_cfg.attack_rate_pps *= std::uniform_real_distribution<double>(
+      cfg.attack_intensity_min, cfg.attack_intensity_max)(intensity_rng);
+  auto attacker = make_attack(attack, trial_cfg, seed ^ 0xA77AC4ULL);
+  std::vector<trace::PacketSource*> attack_list;
+  if (attacker) attack_list.push_back(attacker.get());
+  trace::TrafficMix mix(background, attack_list, cfg.attack_fraction);
+
+  // One inference window's worth of traffic: enough for every monitor to
+  // accumulate a nominal batch.
+  const std::size_t total_packets =
+      cfg.monitor_count * cfg.summarizer.batch_size;
+
+  Trial trial;
+  trial.injected = attack;
+  trial.monitor_packets.resize(cfg.monitor_count);
+  trial.monitor_assignment.resize(cfg.monitor_count);
+  for (std::size_t i = 0; i < total_packets; ++i) {
+    const packet::PacketRecord pkt = mix.next();
+    const std::size_t m =
+        packet::FlowKeyHash{}(pkt.flow()) % cfg.monitor_count;
+    trial.monitor_packets[m].push_back(pkt);
+  }
+
+  inference::Aggregator aggregator;
+  for (std::size_t m = 0; m < cfg.monitor_count; ++m) {
+    auto& batch = trial.monitor_packets[m];
+    trial.raw_header_bytes += batch.size() * packet::kHeadersBytes;
+    if (batch.size() < cfg.summarizer.min_batch) {
+      trial.monitor_assignment[m].assign(batch.size(), 0);
+      continue;  // silent monitor (§5.1)
+    }
+    summarize::SummarizerConfig scfg = cfg.summarizer;
+    scfg.seed = seed * 1315423911ULL + m;
+    summarize::Summarizer summarizer(scfg,
+                                     static_cast<summarize::MonitorId>(m));
+    summarize::SummarizeOutput out = summarizer.summarize(batch);
+    trial.summary_bytes += summarize::wire_bytes(out.summary);
+    trial.monitor_assignment[m] = std::move(out.assignment);
+    aggregator.add(out.summary);
+  }
+  trial.aggregate = aggregator.take();
+  return trial;
+}
+
+std::vector<Trial> make_trial_set(std::span<const AttackType> attacks,
+                                  std::size_t positives, std::size_t negatives,
+                                  const TrialConfig& cfg) {
+  std::vector<Trial> trials;
+  trials.reserve(attacks.size() * positives + negatives);
+  std::uint64_t salt = cfg.seed;
+  for (AttackType a : attacks) {
+    for (std::size_t i = 0; i < positives; ++i) {
+      trials.push_back(make_trial(a, cfg, ++salt * 2654435761ULL));
+    }
+  }
+  for (std::size_t i = 0; i < negatives; ++i) {
+    trials.push_back(make_trial(AttackType::kNone, cfg,
+                                ++salt * 2654435761ULL));
+  }
+  return trials;
+}
+
+double tau_c_scale_for(const TrialConfig& cfg) {
+  const double window_packets = static_cast<double>(
+      cfg.monitor_count * cfg.summarizer.batch_size);
+  return window_packets / 2000.0;
+}
+
+bool detect(const Trial& trial, AttackType target,
+            const std::vector<rules::Rule>& ruleset,
+            const inference::EngineConfig& engine_cfg) {
+  inference::InferenceEngine engine(ruleset, engine_cfg);
+  const auto alerts =
+      engine.infer(trial.aggregate,
+                   engine_cfg.feedback_enabled ? trial.fetcher() : nullptr);
+  const auto& sids = sids_for(target);
+  for (const auto& alert : alerts) {
+    for (std::uint32_t sid : sids) {
+      if (alert.sid == sid) return true;
+    }
+  }
+  return false;
+}
+
+std::span<const double> default_tau_c_scales() {
+  static const double kScales[] = {0.35, 0.5, 0.7, 1.0, 1.4, 2.0, 3.0};
+  return kScales;
+}
+
+RocCurve roc_sweep(std::span<const Trial> trials, AttackType target,
+                   const std::vector<rules::Rule>& ruleset,
+                   std::span<const double> tau_ds,
+                   std::span<const double> tau_c_scales,
+                   double volume_scale) {
+  RocCurve curve;
+  curve.label = packet::attack_name(target);
+  for (double tau : tau_ds) {
+    for (double cscale : tau_c_scales) {
+      inference::EngineConfig cfg;
+      cfg.default_thresholds = {tau, tau};
+      cfg.feedback_enabled = false;
+      cfg.tau_c_scale = cscale * volume_scale;
+      const ConfusionCounts counts = evaluate(trials, target, ruleset, cfg);
+      curve.points.push_back({tau, cscale, counts.fpr(), counts.tpr()});
+    }
+  }
+  return curve;
+}
+
+ConfusionCounts evaluate(std::span<const Trial> trials, AttackType target,
+                         const std::vector<rules::Rule>& ruleset,
+                         const inference::EngineConfig& engine_cfg) {
+  ConfusionCounts counts;
+  for (const Trial& trial : trials) {
+    // Per-attack TPR/FPR: positives are trials with this attack injected,
+    // negatives are benign trials; trials carrying other attacks are not
+    // counted against this target.
+    if (trial.injected != target && trial.injected != AttackType::kNone) {
+      continue;
+    }
+    const bool actual = trial.injected == target;
+    const bool predicted = detect(trial, target, ruleset, engine_cfg);
+    counts.add(predicted, actual);
+  }
+  return counts;
+}
+
+FeedbackOutcome evaluate_with_feedback(
+    std::span<const Trial> trials, std::span<const AttackType> targets,
+    const std::vector<rules::Rule>& ruleset,
+    const inference::EngineConfig& engine_cfg) {
+  FeedbackOutcome outcome;
+  std::uint64_t raw_bytes = 0, jaal_bytes = 0;
+  for (const Trial& trial : trials) {
+    inference::InferenceEngine engine(ruleset, engine_cfg);
+    const auto alerts = engine.infer(
+        trial.aggregate,
+        engine_cfg.feedback_enabled ? trial.fetcher() : nullptr);
+    raw_bytes += trial.raw_header_bytes;
+    jaal_bytes += trial.summary_bytes + engine.stats().raw_bytes_fetched;
+
+    for (AttackType target : targets) {
+      if (trial.injected != target && trial.injected != AttackType::kNone) {
+        continue;
+      }
+      const auto& sids = sids_for(target);
+      bool predicted = false;
+      for (const auto& alert : alerts) {
+        for (std::uint32_t sid : sids) predicted |= alert.sid == sid;
+      }
+      outcome.confusion.add(predicted, trial.injected == target);
+    }
+  }
+  outcome.comm_overhead_ratio =
+      raw_bytes == 0 ? 0.0
+                     : static_cast<double>(jaal_bytes) /
+                           static_cast<double>(raw_bytes);
+  return outcome;
+}
+
+}  // namespace jaal::core

@@ -1,0 +1,115 @@
+// Evaluation harness (§8): trial generation and threshold sweeps.
+//
+// A *trial* is one inference window: background traffic (optionally with one
+// injected attack) split across monitors by flow hash, each monitor batch
+// summarized, and the summaries aggregated.  Building trials is the
+// expensive part (SVD + k-means); sweeping detection thresholds over
+// already-built trials is cheap, which is how the ROC figures are produced.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/metrics.hpp"
+
+namespace jaal::core {
+
+/// The home network every evaluation rule protects: the synthetic traces
+/// place all servers (and thus attack victims) in 203.0.0.0/16.
+[[nodiscard]] rules::RuleVars evaluation_rule_vars();
+
+/// The victim host attacks are aimed at (inside the home network).
+[[nodiscard]] std::uint32_t evaluation_victim_ip();
+
+/// Snort sids that indicate each attack type, per the built-in ruleset.
+[[nodiscard]] const std::vector<std::uint32_t>& sids_for(
+    packet::AttackType type);
+
+struct TrialConfig {
+  summarize::SummarizerConfig summarizer;
+  std::size_t monitor_count = 3;
+  double epoch_seconds = 2.0;
+  trace::TraceProfile profile;          ///< Background traffic preset.
+  double attack_fraction = 0.10;        ///< The paper's 10% injection cap.
+  double attack_rate_pps = 5000.0;
+  /// Per-trial attack intensity multiplier range: injected attacks are
+  /// throttled to *at most* attack_fraction (§8); actual intensity varies
+  /// from trial to trial within [min, max] x attack_rate_pps.
+  double attack_intensity_min = 0.35;
+  double attack_intensity_max = 1.0;
+  std::uint64_t seed = 1;
+};
+
+struct Trial {
+  inference::AggregatedSummary aggregate;
+  packet::AttackType injected = packet::AttackType::kNone;
+  /// Raw batches and centroid assignments per monitor, for feedback.
+  std::vector<std::vector<packet::PacketRecord>> monitor_packets;
+  std::vector<std::vector<std::size_t>> monitor_assignment;
+  std::uint64_t summary_bytes = 0;
+  std::uint64_t raw_header_bytes = 0;
+
+  /// Fetcher resolving centroid indices to this trial's raw packets.
+  [[nodiscard]] inference::RawPacketFetcher fetcher() const;
+};
+
+/// Builds one trial.  `attack == kNone` produces a benign (negative) trial.
+[[nodiscard]] Trial make_trial(packet::AttackType attack,
+                               const TrialConfig& cfg, std::uint64_t seed);
+
+/// Builds `positives` trials per attack in `attacks` plus `negatives`
+/// benign trials, with per-trial seeds derived from cfg.seed.
+[[nodiscard]] std::vector<Trial> make_trial_set(
+    std::span<const packet::AttackType> attacks, std::size_t positives,
+    std::size_t negatives, const TrialConfig& cfg);
+
+/// tau_c scale factor matching a trial's window volume against the nominal
+/// ~2000-packet epoch the built-in rule counts are calibrated for.
+[[nodiscard]] double tau_c_scale_for(const TrialConfig& cfg);
+
+/// Decision for one trial at the given engine configuration: does any alert
+/// carry a sid associated with `target`?  Runs the real inference engine
+/// (feedback honored when cfg.feedback_enabled and the trial has raw data).
+[[nodiscard]] bool detect(const Trial& trial, packet::AttackType target,
+                          const std::vector<rules::Rule>& ruleset,
+                          const inference::EngineConfig& engine_cfg);
+
+/// ROC sweep for one attack, matching the §8.1 methodology: every
+/// (tau_d, tau_c) threshold combination is one operating point
+/// (tau_d1 = tau_d2 = tau_d, no feedback).  `tau_c_scales` multiply the
+/// per-rule counts on top of `volume_scale` (the window-volume adjustment);
+/// pass a single 1.0 to sweep tau_d only.
+[[nodiscard]] RocCurve roc_sweep(std::span<const Trial> trials,
+                                 packet::AttackType target,
+                                 const std::vector<rules::Rule>& ruleset,
+                                 std::span<const double> tau_ds,
+                                 std::span<const double> tau_c_scales,
+                                 double volume_scale = 1.0);
+
+/// The tau_c multipliers used by the evaluation ROC sweeps.
+[[nodiscard]] std::span<const double> default_tau_c_scales();
+
+/// Confusion counts for one attack at a fixed engine configuration.
+[[nodiscard]] ConfusionCounts evaluate(std::span<const Trial> trials,
+                                       packet::AttackType target,
+                                       const std::vector<rules::Rule>& ruleset,
+                                       const inference::EngineConfig& engine_cfg);
+
+/// Feedback-loop operating point (Fig. 6): TPR/FPR plus total bytes
+/// (summaries + feedback raw retrievals) relative to shipping raw headers.
+struct FeedbackOutcome {
+  ConfusionCounts confusion;
+  double comm_overhead_ratio = 0.0;  ///< (summary+feedback) / raw bytes.
+};
+
+[[nodiscard]] FeedbackOutcome evaluate_with_feedback(
+    std::span<const Trial> trials,
+    std::span<const packet::AttackType> targets,
+    const std::vector<rules::Rule>& ruleset,
+    const inference::EngineConfig& engine_cfg);
+
+/// The five §8 evaluation attacks, in paper order.
+[[nodiscard]] std::span<const packet::AttackType> evaluation_attacks();
+
+}  // namespace jaal::core

@@ -1,0 +1,55 @@
+#include "core/monitor.hpp"
+
+#include <algorithm>
+
+namespace jaal::core {
+
+Monitor::Monitor(summarize::MonitorId id,
+                 const summarize::SummarizerConfig& cfg)
+    : id_(id), summarizer_(cfg, id) {
+  buffer_.reserve(cfg.batch_size);
+}
+
+void Monitor::observe(const packet::PacketRecord& pkt) {
+  buffer_.push_back(pkt);
+  ++observed_;
+  comm_.raw_header_bytes += packet::kHeadersBytes;
+}
+
+bool Monitor::batch_ready() const noexcept {
+  return buffer_.size() >= summarizer_.config().batch_size;
+}
+
+std::optional<summarize::MonitorSummary> Monitor::flush_epoch() {
+  epoch_store_.clear();
+  if (buffer_.size() < summarizer_.config().min_batch) {
+    // Below n_min the SVD/clustering quality collapses (§5.1): keep
+    // buffering; the packets roll into the next epoch.
+    return std::nullopt;
+  }
+  summarize::SummarizeOutput out = summarizer_.summarize(buffer_);
+
+  // Build the per-epoch centroid -> raw packet map (§7's hash table).
+  std::size_t k = 0;
+  for (std::size_t c : out.assignment) k = std::max(k, c + 1);
+  epoch_store_.assign(k, {});
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    epoch_store_[out.assignment[i]].push_back(buffer_[i]);
+  }
+  buffer_.clear();
+
+  comm_.summary_bytes += summarize::wire_bytes(out.summary);
+  return std::move(out.summary);
+}
+
+std::vector<packet::PacketRecord> Monitor::raw_packets_for(
+    const std::vector<std::size_t>& centroid_indices) const {
+  std::vector<packet::PacketRecord> out;
+  for (std::size_t c : centroid_indices) {
+    if (c >= epoch_store_.size()) continue;
+    out.insert(out.end(), epoch_store_[c].begin(), epoch_store_[c].end());
+  }
+  return out;
+}
+
+}  // namespace jaal::core

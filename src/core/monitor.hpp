@@ -1,0 +1,65 @@
+// Monitor node (§7, "Monitors").
+//
+// A monitor buffers headers of the flows assigned to it, summarizes each
+// epoch's batch, and keeps a per-epoch map from centroid index to the raw
+// packets behind it (the hash table of §7) so the inference engine's
+// feedback loop can retrieve raw evidence.  The map is discarded when the
+// next epoch begins.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "packet/wire.hpp"
+#include "summarize/summarizer.hpp"
+
+namespace jaal::core {
+
+class Monitor {
+ public:
+  Monitor(summarize::MonitorId id, const summarize::SummarizerConfig& cfg);
+
+  [[nodiscard]] summarize::MonitorId id() const noexcept { return id_; }
+
+  /// Buffers one observed packet.
+  void observe(const packet::PacketRecord& pkt);
+
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size();
+  }
+
+  /// True when the buffer reached the configured batch size n.
+  [[nodiscard]] bool batch_ready() const noexcept;
+
+  /// Ends the epoch: summarizes the buffered batch (nullopt when fewer than
+  /// n_min packets accumulated — such monitors stay silent, §5.1), retains
+  /// the centroid -> packets map for feedback, clears the buffer, and
+  /// updates communication accounting.
+  [[nodiscard]] std::optional<summarize::MonitorSummary> flush_epoch();
+
+  /// Raw packets behind the given centroids of the *last flushed* epoch
+  /// (the feedback path).  Unknown indices are ignored.
+  [[nodiscard]] std::vector<packet::PacketRecord> raw_packets_for(
+      const std::vector<std::size_t>& centroid_indices) const;
+
+  /// Bytes accounting: raw_header_bytes accrues for every observed packet
+  /// (what a copy-everything design would ship), summary_bytes for every
+  /// summary actually produced.
+  [[nodiscard]] const CommStats& comm() const noexcept { return comm_; }
+
+  [[nodiscard]] std::uint64_t packets_observed() const noexcept {
+    return observed_;
+  }
+
+ private:
+  summarize::MonitorId id_;
+  summarize::Summarizer summarizer_;
+  std::vector<packet::PacketRecord> buffer_;
+  /// Last epoch's packets grouped by centroid index.
+  std::vector<std::vector<packet::PacketRecord>> epoch_store_;
+  CommStats comm_;
+  std::uint64_t observed_ = 0;
+};
+
+}  // namespace jaal::core

@@ -1,0 +1,89 @@
+#include "inference/aggregate.hpp"
+
+#include <random>
+#include <stdexcept>
+
+#include "summarize/kmeans.hpp"
+
+namespace jaal::inference {
+
+AggregatedSummary reduce_aggregate(const AggregatedSummary& aggregate,
+                                   std::size_t k2, std::uint64_t seed) {
+  if (aggregate.empty()) {
+    throw std::invalid_argument("reduce_aggregate: empty aggregate");
+  }
+  if (k2 == 0) {
+    throw std::invalid_argument("reduce_aggregate: k2 must be positive");
+  }
+  std::mt19937_64 rng(seed);
+  const auto km = summarize::weighted_kmeans(aggregate.centroids,
+                                             aggregate.counts, k2, rng);
+
+  AggregatedSummary out;
+  // Drop empty clusters so counts stay meaningful.
+  std::size_t live = 0;
+  for (std::uint64_t c : km.counts) live += c > 0 ? 1 : 0;
+  out.centroids = linalg::Matrix(live, aggregate.centroids.cols());
+  out.counts.reserve(live);
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < km.centroids.rows(); ++c) {
+    if (km.counts[c] == 0) continue;
+    const auto src = km.centroids.row(c);
+    std::copy(src.begin(), src.end(), out.centroids.row(row).begin());
+    out.counts.push_back(km.counts[c]);
+    out.origin.push_back(kNoOrigin);
+    out.local_index.push_back(row);
+    ++row;
+  }
+  return out;
+}
+
+std::uint64_t AggregatedSummary::total_packets() const noexcept {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+void Aggregator::add(const summarize::MonitorSummary& summary) {
+  summarize::CombinedSummary combined;
+  if (const auto* c = std::get_if<summarize::CombinedSummary>(&summary)) {
+    combined = *c;
+  } else {
+    combined = std::get<summarize::SplitSummary>(summary).reconstruct();
+  }
+  combined.check_invariants();
+  if (!pending_.empty() &&
+      pending_.front().centroids.cols() != combined.centroids.cols()) {
+    throw std::invalid_argument("Aggregator: field-width mismatch");
+  }
+  pending_.push_back(std::move(combined));
+  ++added_;
+}
+
+AggregatedSummary Aggregator::take() {
+  AggregatedSummary agg;
+  std::size_t total_rows = 0;
+  for (const auto& s : pending_) total_rows += s.centroids.rows();
+  const std::size_t cols =
+      pending_.empty() ? 0 : pending_.front().centroids.cols();
+  agg.centroids = linalg::Matrix(total_rows, cols);
+  agg.counts.reserve(total_rows);
+  agg.origin.reserve(total_rows);
+  agg.local_index.reserve(total_rows);
+
+  std::size_t row = 0;
+  for (const auto& s : pending_) {
+    for (std::size_t i = 0; i < s.centroids.rows(); ++i, ++row) {
+      const auto src = s.centroids.row(i);
+      std::copy(src.begin(), src.end(), agg.centroids.row(row).begin());
+      agg.counts.push_back(s.counts[i]);
+      agg.origin.push_back(s.monitor);
+      agg.local_index.push_back(i);
+    }
+  }
+  pending_.clear();
+  added_ = 0;
+  return agg;
+}
+
+}  // namespace jaal::inference

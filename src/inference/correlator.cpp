@@ -1,0 +1,35 @@
+#include "inference/correlator.hpp"
+
+#include <stdexcept>
+
+namespace jaal::inference {
+
+AlertCorrelator::AlertCorrelator(const CorrelatorConfig& cfg) : cfg_(cfg) {
+  if (cfg_.required == 0 || cfg_.required > cfg_.window) {
+    throw std::invalid_argument(
+        "AlertCorrelator: need 1 <= required <= window");
+  }
+}
+
+std::vector<Alert> AlertCorrelator::observe(const std::vector<Alert>& alerts) {
+  ++epochs_;
+  std::set<std::uint32_t> fired;
+  for (const Alert& a : alerts) fired.insert(a.sid);
+  history_.push_back(std::move(fired));
+  while (history_.size() > cfg_.window) history_.pop_front();
+
+  std::vector<Alert> confirmed;
+  for (const Alert& a : alerts) {
+    std::size_t hits = 0;
+    for (const auto& epoch : history_) hits += epoch.count(a.sid);
+    if (hits >= cfg_.required) confirmed.push_back(a);
+  }
+  return confirmed;
+}
+
+void AlertCorrelator::reset() {
+  history_.clear();
+  epochs_ = 0;
+}
+
+}  // namespace jaal::inference

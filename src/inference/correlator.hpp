@@ -1,0 +1,46 @@
+// Multi-window alert correlation (§10, "False Positives").
+//
+// The paper proposes reducing the FPR by "using multiple windows of packet
+// summaries and correlating the inferences from those windows".  This
+// correlator holds a sliding window of per-epoch alert sets and only
+// surfaces an alert once its rule has fired in at least `required` of the
+// last `window` epochs.  Sporadic benign threshold crossings (composition
+// drift) rarely repeat; sustained attacks do.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <set>
+#include <vector>
+
+#include "inference/engine.hpp"
+
+namespace jaal::inference {
+
+struct CorrelatorConfig {
+  std::size_t window = 4;    ///< Epochs of history considered.
+  std::size_t required = 2;  ///< Firings needed within the window.
+};
+
+class AlertCorrelator {
+ public:
+  /// Throws std::invalid_argument unless 1 <= required <= window.
+  explicit AlertCorrelator(const CorrelatorConfig& cfg);
+
+  /// Feeds one epoch's raw alerts; returns the alerts that satisfy the
+  /// correlation requirement as of this epoch (latest instance of each).
+  [[nodiscard]] std::vector<Alert> observe(const std::vector<Alert>& alerts);
+
+  /// Epochs seen so far.
+  [[nodiscard]] std::size_t epochs() const noexcept { return epochs_; }
+
+  /// Clears all history.
+  void reset();
+
+ private:
+  CorrelatorConfig cfg_;
+  std::deque<std::set<std::uint32_t>> history_;  ///< Sids fired per epoch.
+  std::size_t epochs_ = 0;
+};
+
+}  // namespace jaal::inference

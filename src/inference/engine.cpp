@@ -1,0 +1,172 @@
+#include "inference/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "packet/wire.hpp"
+
+namespace jaal::inference {
+namespace {
+
+/// The rule as applied during raw verification: exact-match evidence uses
+/// the rule's jaal_raw_count when given, otherwise a kRawEvidenceFactor
+/// fraction of the summary-domain count.
+rules::Rule verification_rule(const rules::Rule& rule) {
+  rules::Rule v = rule;
+  if (v.raw_count) {
+    if (!v.detection_filter) v.detection_filter.emplace();
+    v.detection_filter->count = *v.raw_count;
+  } else if (v.detection_filter) {
+    v.detection_filter->count = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(
+               std::ceil(v.detection_filter->count * kRawEvidenceFactor)));
+  }
+  return v;
+}
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(std::vector<rules::Rule> rules,
+                                 EngineConfig config)
+    : matcher_(std::move(rules)),
+      questions_(rules::translate(matcher_.rules())),
+      config_(std::move(config)) {
+  if (questions_.empty()) {
+    throw std::invalid_argument("InferenceEngine: empty rule set");
+  }
+  auto check = [](const ThresholdPair& t) {
+    if (t.tau_d2 < t.tau_d1 || t.tau_d1 < 0.0) {
+      throw std::invalid_argument(
+          "InferenceEngine: need 0 <= tau_d1 <= tau_d2");
+    }
+  };
+  check(config_.default_thresholds);
+  for (const auto& [sid, pair] : config_.per_rule) check(pair);
+}
+
+ThresholdPair InferenceEngine::thresholds_for(std::uint32_t sid) const {
+  const auto it = config_.per_rule.find(sid);
+  return it == config_.per_rule.end() ? config_.default_thresholds : it->second;
+}
+
+std::uint64_t InferenceEngine::scaled_tau_c(const rules::Question& q) const {
+  const double t = static_cast<double>(q.tau_c) * config_.tau_c_scale;
+  return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(t)));
+}
+
+std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
+                                          const RawPacketFetcher& fetch) {
+  std::vector<Alert> alerts;
+  if (aggregate.empty()) return alerts;
+
+  // Per-pass cache of raw packets fetched by the feedback loop: different
+  // questions often flag overlapping centroid sets (e.g. the SYN-family
+  // rules), and the monitor only has to ship each centroid's packets once
+  // per epoch.  Bytes are accounted on first fetch only.
+  std::unordered_map<std::uint64_t, std::vector<packet::PacketRecord>>
+      fetch_cache;
+  auto fetch_cached = [&](summarize::MonitorId monitor, std::size_t centroid)
+      -> const std::vector<packet::PacketRecord>& {
+    const std::uint64_t key = (std::uint64_t{monitor} << 32) | centroid;
+    auto it = fetch_cache.find(key);
+    if (it == fetch_cache.end()) {
+      auto packets = fetch(monitor, {centroid});
+      stats_.raw_packets_fetched += packets.size();
+      stats_.raw_bytes_fetched += packets.size() * packet::kHeadersBytes;
+      it = fetch_cache.emplace(key, std::move(packets)).first;
+    }
+    return it->second;
+  };
+
+  const auto& rule_list = matcher_.rules();
+  for (std::size_t qi = 0; qi < questions_.size(); ++qi) {
+    const rules::Question& q = questions_[qi];
+    const rules::Rule& rule = rule_list[qi];
+    const ThresholdPair th = thresholds_for(q.sid);
+    const std::uint64_t tau_c = scaled_tau_c(q);
+
+    const SimilarityResult strict =
+        estimate_similarity(q, aggregate, th.tau_d1, tau_c);
+    const SimilarityResult loose =
+        estimate_similarity(q, aggregate, th.tau_d2, tau_c);
+
+    // Matched sets are nested (tau_d2 >= tau_d1), so t1+ implies t2+.
+    if (strict.alert && !loose.alert) ++stats_.case4_anomalies;
+
+    bool fire = false;
+    bool via_feedback = false;
+    const SimilarityResult* evidence = &strict;
+
+    if (strict.alert) {
+      fire = true;  // case 1
+      evidence = &strict;
+    } else if (!loose.alert) {
+      fire = false;  // case 2
+    } else {
+      // Case 3: uncertain.  Pull raw packets behind the loose-match
+      // centroids and let traditional Snort matching decide.
+      evidence = &loose;
+      if (config_.feedback_enabled && fetch) {
+        ++stats_.feedback_requests;
+        std::vector<packet::PacketRecord> raw;
+        for (std::size_t row : loose.matched_rows) {
+          const auto& packets =
+              fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
+          raw.insert(raw.end(), packets.begin(), packets.end());
+        }
+
+        // Raw verification: exact signature matches over the retrieved
+        // packets, against the rule's raw-evidence threshold.
+        const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
+                                    .analyze(raw, 0.0, config_.tau_c_scale);
+        fire = !raw_alerts.empty();
+        via_feedback = true;
+      } else {
+        // No feedback available: accept the loose decision (higher TPR at
+        // the cost of FPR), which is the tau_d1 == tau_d2 operating mode.
+        fire = true;
+      }
+    }
+
+    if (!fire) continue;
+
+    // §10 extension: confirm any remaining alert against raw evidence.
+    if (config_.verify_all_alerts && fetch && !via_feedback) {
+      std::vector<packet::PacketRecord> raw;
+      for (std::size_t row : evidence->matched_rows) {
+        const auto& packets =
+            fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
+        raw.insert(raw.end(), packets.begin(), packets.end());
+      }
+      const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
+                                  .analyze(raw, 0.0, config_.tau_c_scale);
+      if (raw_alerts.empty()) {
+        ++stats_.alerts_suppressed;
+        continue;
+      }
+    }
+
+    Alert alert;
+    alert.sid = q.sid;
+    alert.msg = q.msg;
+    alert.matched_packets = evidence->matched_count;
+    alert.via_feedback = via_feedback;
+    if (q.variance) {
+      alert.variance =
+          matched_variance(aggregate, evidence->matched_rows, q.variance->field);
+      alert.distributed = alert.variance >= q.variance->threshold;
+      if (!alert.distributed) continue;  // equivalent rule requires spread
+    } else {
+      // Opportunistic classification: a signature alert whose sources vary
+      // widely is flagged distributed (the paper's SYN-flood example, §5.2).
+      alert.variance = matched_variance(aggregate, evidence->matched_rows,
+                                        packet::FieldIndex::kIpSrcAddr);
+      alert.distributed = alert.variance >= 0.005;
+    }
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+}  // namespace jaal::inference

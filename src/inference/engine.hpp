@@ -1,0 +1,128 @@
+// Central inference engine (§5) with the two-threshold feedback loop (§5.3).
+//
+// For every translated rule the engine runs Algorithm 1 twice, with a strict
+// threshold tau_d1 (low FPR) and a loose one tau_d2 > tau_d1 (high TPR):
+//   t1+, t2+  -> alert (case 1, high confidence);
+//   t1-, t2-  -> no alert (case 2);
+//   t1-, t2+  -> case 3: fetch the raw packets behind the uncertain
+//                centroids and decide with traditional Snort matching;
+//   t1+, t2-  -> cannot happen with tau_d2 > tau_d1 (case 4; matched sets
+//                are nested), asserted in code.
+// Variance-based rules additionally run Algorithm 2 over the matched set;
+// plain signature rules run it opportunistically to tag alerts as
+// "distributed".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "inference/aggregate.hpp"
+#include "inference/postprocessor.hpp"
+#include "inference/similarity.hpp"
+#include "rules/raw_matcher.hpp"
+
+namespace jaal::inference {
+
+/// Per-rule threshold pair; tau_d2 >= tau_d1.
+struct ThresholdPair {
+  double tau_d1 = 0.02;
+  double tau_d2 = 0.05;
+};
+
+/// Case-3 raw verification applies rule counts scaled by this factor:
+/// exact signature matches over retrieved packets are far more precise
+/// evidence than summary-domain centroid matches (whose counts absorb
+/// near-miss benign centroids under normalized-field distances).  About a
+/// third of the summary threshold in exact matches confirms an attack,
+/// while benign retrievals (whose exact matches are a small fraction of
+/// their centroid-level matches) fall short.
+inline constexpr double kRawEvidenceFactor = 0.35;
+
+struct EngineConfig {
+  ThresholdPair default_thresholds;
+  /// Per-sid overrides ("attack specific thresholds", §8.1).
+  std::unordered_map<std::uint32_t, ThresholdPair> per_rule;
+  bool feedback_enabled = true;
+  /// Multiplied into every question's tau_c.  Rule counts are calibrated
+  /// for a nominal epoch packet volume; windows carrying more or fewer
+  /// packets scale proportionally (e.g. window_packets / 2000 for the
+  /// built-in ruleset).
+  double tau_c_scale = 1.0;
+  /// The paper's §10 future-work extension: verify *every* alert (not just
+  /// case-3 uncertain ones) against the raw packets behind its matched
+  /// centroids before raising it.  Costs extra retrieval bandwidth but
+  /// suppresses false positives from near-miss centroid matches (e.g. a
+  /// port-80 flood tripping the port-22 rule after normalization collapses
+  /// the port distance).  Requires a fetcher.
+  bool verify_all_alerts = false;
+};
+
+struct Alert {
+  std::uint32_t sid = 0;
+  std::string msg;
+  std::uint64_t matched_packets = 0;
+  bool distributed = false;      ///< Postprocessor classification.
+  bool via_feedback = false;     ///< Decided by case-3 raw analysis.
+  double variance = 0.0;         ///< Measured field variance (if checked).
+};
+
+/// Callback the controller wires to monitors: fetch raw packets behind the
+/// given centroid indices at one monitor (§7's per-epoch hash table).
+using RawPacketFetcher = std::function<std::vector<packet::PacketRecord>(
+    summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
+
+struct InferenceStats {
+  std::uint64_t feedback_requests = 0;   ///< Case-3 occurrences.
+  std::uint64_t raw_packets_fetched = 0;
+  std::uint64_t raw_bytes_fetched = 0;   ///< Header bytes pulled by feedback.
+  std::uint64_t case4_anomalies = 0;     ///< t1+ t2- (expected 0).
+  std::uint64_t alerts_suppressed = 0;   ///< Killed by verify_all_alerts.
+};
+
+class InferenceEngine {
+ public:
+  /// `rules` supplies both the question vectors (translated internally) and
+  /// the raw-matching semantics for feedback.  Throws on empty rules or
+  /// threshold pairs with tau_d2 < tau_d1.
+  InferenceEngine(std::vector<rules::Rule> rules, EngineConfig config);
+
+  /// Runs the full inference pass over one aggregated summary.  `fetch` may
+  /// be null when feedback is disabled; case-3 outcomes then fall back to
+  /// the loose-threshold decision (alert, trading FPR for TPR).
+  [[nodiscard]] std::vector<Alert> infer(const AggregatedSummary& aggregate,
+                                         const RawPacketFetcher& fetch);
+
+  [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+  [[nodiscard]] const std::vector<rules::Question>& questions() const noexcept {
+    return questions_;
+  }
+  [[nodiscard]] const std::vector<rules::Rule>& rules() const noexcept {
+    return matcher_.rules();
+  }
+
+  /// Thresholds in effect for a rule.
+  [[nodiscard]] ThresholdPair thresholds_for(std::uint32_t sid) const;
+
+  /// Adjusts the tau_c scale at runtime (e.g. per-epoch, when epochs carry
+  /// varying packet volumes).
+  void set_tau_c_scale(double scale) noexcept { config_.tau_c_scale = scale; }
+  [[nodiscard]] double tau_c_scale() const noexcept {
+    return config_.tau_c_scale;
+  }
+
+ private:
+  [[nodiscard]] std::uint64_t scaled_tau_c(const rules::Question& q) const;
+
+  rules::RawMatcher matcher_;
+  std::vector<rules::Question> questions_;
+  EngineConfig config_;
+  InferenceStats stats_;
+};
+
+}  // namespace jaal::inference

@@ -1,0 +1,24 @@
+#include "inference/postprocessor.hpp"
+
+#include "linalg/stats.hpp"
+
+namespace jaal::inference {
+
+double matched_variance(const AggregatedSummary& aggregate,
+                        std::span<const std::size_t> matched_rows,
+                        packet::FieldIndex field) {
+  linalg::RunningStats stats;
+  const std::size_t col = packet::index(field);
+  for (std::size_t row : matched_rows) {
+    stats.add(aggregate.centroids(row, col), aggregate.counts[row]);
+  }
+  return stats.variance();
+}
+
+bool postprocess(const AggregatedSummary& aggregate,
+                 std::span<const std::size_t> matched_rows,
+                 packet::FieldIndex field, double tau_v) {
+  return matched_variance(aggregate, matched_rows, field) >= tau_v;
+}
+
+}  // namespace jaal::inference

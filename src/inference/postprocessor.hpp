@@ -1,0 +1,28 @@
+// Postprocessor — Algorithm 2 of the paper.
+//
+// Snort handles distributed attacks (port scans, DDoS) with preprocessors
+// rather than signatures.  Jaal's equivalent measures the count-weighted
+// variance of one header field across the matched centroids Q: a large
+// spread in, say, destination ports (scan) or source addresses (DDoS)
+// indicates a distributed pattern.
+#pragma once
+
+#include <span>
+
+#include "inference/aggregate.hpp"
+#include "packet/fields.hpp"
+
+namespace jaal::inference {
+
+/// Count-weighted variance of normalized field h over the rows in Q.
+/// This is exactly Algorithm 2's var(Z) where x_i(h) is added c_i times.
+[[nodiscard]] double matched_variance(const AggregatedSummary& aggregate,
+                                      std::span<const std::size_t> matched_rows,
+                                      packet::FieldIndex field);
+
+/// Algorithm 2: alert when the variance exceeds tau_v.
+[[nodiscard]] bool postprocess(const AggregatedSummary& aggregate,
+                               std::span<const std::size_t> matched_rows,
+                               packet::FieldIndex field, double tau_v);
+
+}  // namespace jaal::inference

@@ -1,0 +1,22 @@
+#include "inference/similarity.hpp"
+
+namespace jaal::inference {
+
+SimilarityResult estimate_similarity(const rules::Question& question,
+                                     const AggregatedSummary& aggregate,
+                                     double tau_d,
+                                     std::uint64_t tau_c_override) {
+  SimilarityResult res;
+  const std::uint64_t tau_c =
+      tau_c_override > 0 ? tau_c_override : question.tau_c;
+  for (std::size_t i = 0; i < aggregate.rows(); ++i) {
+    if (question.distance(aggregate.centroids.row(i)) <= tau_d) {
+      res.matched_count += aggregate.counts[i];
+      res.matched_rows.push_back(i);
+    }
+  }
+  res.alert = res.matched_count >= tau_c;
+  return res;
+}
+
+}  // namespace jaal::inference

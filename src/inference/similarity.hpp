@@ -1,0 +1,28 @@
+// Similarity estimation — Algorithm 1 of the paper.
+//
+// For a question vector q, sum the membership counts of all aggregated
+// centroids within distance tau_d of q; alert when the sum reaches tau_c and
+// return the matched set Q for the postprocessor / feedback loop.
+#pragma once
+
+#include <vector>
+
+#include "inference/aggregate.hpp"
+#include "rules/question.hpp"
+
+namespace jaal::inference {
+
+struct SimilarityResult {
+  bool alert = false;                    ///< sum >= tau_c.
+  std::uint64_t matched_count = 0;       ///< Sum of counts over matched rows.
+  std::vector<std::size_t> matched_rows; ///< Q: indices into the aggregate.
+};
+
+/// Runs Algorithm 1 with distance threshold `tau_d`.  `tau_c` defaults to
+/// the question's own threshold; pass an explicit value to override (the
+/// ROC sweeps scan threshold combinations).
+[[nodiscard]] SimilarityResult estimate_similarity(
+    const rules::Question& question, const AggregatedSummary& aggregate,
+    double tau_d, std::uint64_t tau_c_override = 0);
+
+}  // namespace jaal::inference

@@ -1,0 +1,218 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace jaal::linalg {
+namespace {
+
+/// One-sided Jacobi on an n x p matrix with n >= p.  Orthogonalizes the
+/// columns of a working copy W by plane rotations, accumulating them in V;
+/// afterwards W = U * diag(sigma).
+SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+
+  // Column-major working copy: Jacobi touches column pairs, so keep each
+  // column contiguous.
+  std::vector<std::vector<double>> w(p, std::vector<double>(n));
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < p; ++c) w[c][r] = a(r, c);
+  }
+  Matrix v = Matrix::identity(p);
+
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    bool rotated = false;
+    for (std::size_t i = 0; i + 1 < p; ++i) {
+      for (std::size_t j = i + 1; j < p; ++j) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (std::size_t r = 0; r < n; ++r) {
+          alpha += w[i][r] * w[i][r];
+          beta += w[j][r] * w[j][r];
+          gamma += w[i][r] * w[j][r];
+        }
+        // Numerically-zero columns (rank deficiency) rotate against noise
+        // forever; skip them outright.
+        if (alpha < 1e-30 || beta < 1e-30) continue;
+        if (std::abs(gamma) <= opts.tolerance * std::sqrt(alpha * beta)) {
+          continue;
+        }
+        rotated = true;
+        // Rotation angle that zeroes the off-diagonal of the 2x2 Gram block.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = std::copysign(
+            1.0 / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        for (std::size_t r = 0; r < n; ++r) {
+          const double wi = w[i][r];
+          w[i][r] = cs * wi - sn * w[j][r];
+          w[j][r] = sn * wi + cs * w[j][r];
+        }
+        for (std::size_t r = 0; r < p; ++r) {
+          const double vi = v(r, i);
+          v(r, i) = cs * vi - sn * v(r, j);
+          v(r, j) = sn * vi + cs * v(r, j);
+        }
+      }
+    }
+    if (!rotated) break;
+    if (sweep + 1 == opts.max_sweeps) {
+      throw std::runtime_error("svd: Jacobi did not converge");
+    }
+  }
+
+  // Extract sigma = column norms, U = normalized columns; sort descending.
+  std::vector<double> sigma(p);
+  for (std::size_t c = 0; c < p; ++c) {
+    double s = 0.0;
+    for (std::size_t r = 0; r < n; ++r) s += w[c][r] * w[c][r];
+    sigma[c] = std::sqrt(s);
+  }
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
+
+  SvdResult out;
+  out.sigma.resize(p);
+  out.u = Matrix(n, p);
+  out.v = Matrix(p, p);
+  for (std::size_t c = 0; c < p; ++c) {
+    const std::size_t src = order[c];
+    out.sigma[c] = sigma[src];
+    // A numerically zero singular value gets a zero U column; reconstruction
+    // is unaffected because it is scaled by sigma = 0.
+    const double inv = sigma[src] > 0.0 ? 1.0 / sigma[src] : 0.0;
+    for (std::size_t r = 0; r < n; ++r) out.u(r, c) = w[src][r] * inv;
+    for (std::size_t r = 0; r < p; ++r) out.v(r, c) = v(r, src);
+  }
+  return out;
+}
+
+}  // namespace
+
+Matrix SvdResult::reconstruct() const { return reconstruct_rank(sigma.size()); }
+
+Matrix SvdResult::reconstruct_rank(std::size_t r) const {
+  if (r > sigma.size()) {
+    throw std::invalid_argument("SvdResult::reconstruct_rank: r too large");
+  }
+  Matrix out(u.rows(), v.rows());
+  for (std::size_t i = 0; i < u.rows(); ++i) {
+    for (std::size_t k = 0; k < r; ++k) {
+      const double scaled = u(i, k) * sigma[k];
+      if (scaled == 0.0) continue;
+      for (std::size_t j = 0; j < v.rows(); ++j) {
+        out(i, j) += scaled * v(j, k);
+      }
+    }
+  }
+  return out;
+}
+
+std::size_t SvdResult::rank_for_energy(double fraction) const {
+  double total = 0.0;
+  for (double s : sigma) total += s * s;
+  if (total == 0.0) return 0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < sigma.size(); ++i) {
+    acc += sigma[i] * sigma[i];
+    if (acc >= fraction * total) return i + 1;
+  }
+  return sigma.size();
+}
+
+SvdResult svd(const Matrix& a, const SvdOptions& opts) {
+  if (a.empty()) throw std::invalid_argument("svd: empty matrix");
+  if (a.rows() >= a.cols()) return jacobi_tall(a, opts);
+  // Wide matrix: decompose the transpose and swap the factor roles.
+  SvdResult t = jacobi_tall(a.transposed(), opts);
+  SvdResult out;
+  out.u = std::move(t.v);
+  out.v = std::move(t.u);
+  out.sigma = std::move(t.sigma);
+  return out;
+}
+
+SvdResult truncated_svd(const Matrix& a, std::size_t r, const SvdOptions& opts) {
+  if (r == 0) throw std::invalid_argument("truncated_svd: r must be positive");
+  SvdResult full = svd(a, opts);
+  if (r > full.sigma.size()) {
+    throw std::invalid_argument("truncated_svd: r exceeds min(n, p)");
+  }
+  SvdResult out;
+  out.u = full.u.left_cols(r);
+  out.v = full.v.left_cols(r);
+  out.sigma.assign(full.sigma.begin(),
+                   full.sigma.begin() + static_cast<std::ptrdiff_t>(r));
+  return out;
+}
+
+namespace {
+
+/// Modified Gram-Schmidt: orthonormalizes the columns of m in place.
+/// Numerically-zero columns are left zero (rank deficiency).
+void orthonormalize_columns(Matrix& m) {
+  const std::size_t n = m.rows();
+  const std::size_t cols = m.cols();
+  for (std::size_t c = 0; c < cols; ++c) {
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      double dot = 0.0;
+      for (std::size_t r = 0; r < n; ++r) dot += m(r, c) * m(r, prev);
+      for (std::size_t r = 0; r < n; ++r) m(r, c) -= dot * m(r, prev);
+    }
+    double norm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) norm += m(r, c) * m(r, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) {
+      for (std::size_t r = 0; r < n; ++r) m(r, c) = 0.0;
+      continue;
+    }
+    for (std::size_t r = 0; r < n; ++r) m(r, c) /= norm;
+  }
+}
+
+}  // namespace
+
+SvdResult randomized_svd(const Matrix& a, std::size_t r, std::mt19937_64& rng,
+                         std::size_t oversample, int power_iterations) {
+  if (a.empty()) throw std::invalid_argument("randomized_svd: empty matrix");
+  const std::size_t n = a.rows();
+  const std::size_t p = a.cols();
+  const std::size_t m = std::min(n, p);
+  if (r == 0 || r > m) {
+    throw std::invalid_argument("randomized_svd: r outside [1, min(n, p)]");
+  }
+  const std::size_t l = std::min(m, r + oversample);
+
+  // Stage A: sketch the range.  Y = A * Omega, refined by power iterations
+  // (A A^T)^q Y with re-orthonormalization for stability.
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  Matrix omega(p, l);
+  for (double& v : omega.data()) v = gauss(rng);
+  Matrix y = a * omega;
+  orthonormalize_columns(y);
+  const Matrix at = a.transposed();
+  for (int q = 0; q < power_iterations; ++q) {
+    Matrix z = at * y;
+    orthonormalize_columns(z);
+    y = a * z;
+    orthonormalize_columns(y);
+  }
+
+  // Stage B: exact SVD of the small projected matrix B = Q^T A  (l x p).
+  const Matrix b = y.transposed() * a;
+  SvdResult small = svd(b);
+
+  SvdResult out;
+  out.sigma.assign(small.sigma.begin(),
+                   small.sigma.begin() + static_cast<std::ptrdiff_t>(r));
+  out.v = small.v.left_cols(r);
+  out.u = y * small.u.left_cols(r);
+  return out;
+}
+
+}  // namespace jaal::linalg

@@ -1,0 +1,47 @@
+#include "netsim/event.hpp"
+
+#include <stdexcept>
+
+namespace jaal::netsim {
+
+void EventQueue::schedule(double when, Callback cb) {
+  if (when < now_) {
+    throw std::invalid_argument("EventQueue::schedule: time in the past");
+  }
+  heap_.push(Entry{when, next_sequence_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(double delay, Callback cb) {
+  if (delay < 0.0) {
+    throw std::invalid_argument("EventQueue::schedule_in: negative delay");
+  }
+  schedule(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top is const; move is safe because we pop immediately.
+  Entry e = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  now_ = e.when;
+  e.cb();
+  return true;
+}
+
+std::size_t EventQueue::run_until(double until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    step();
+    ++executed;
+  }
+  if (now_ < until) now_ = until;
+  return executed;
+}
+
+std::size_t EventQueue::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+}  // namespace jaal::netsim

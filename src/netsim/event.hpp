@@ -1,0 +1,61 @@
+// Discrete-event engine.
+//
+// A minimal deterministic event loop: events fire in timestamp order with
+// FIFO tie-breaking (insertion order), which keeps simulations reproducible
+// across runs and platforms.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace jaal::netsim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when`.  Throws std::invalid_argument
+  /// if `when` is before the current simulation time.
+  void schedule(double when, Callback cb);
+
+  /// Schedules `cb` `delay` seconds from now (delay >= 0).
+  void schedule_in(double delay, Callback cb);
+
+  /// Current simulation time (time of the last event run, 0 initially).
+  [[nodiscard]] double now() const noexcept { return now_; }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Runs the next event; returns false if none are pending.
+  bool step();
+
+  /// Runs events until the queue drains or `until` is passed; events
+  /// scheduled during the run are honored.  Advances now() to min(until,
+  /// last event time).  Returns the number of events executed.
+  std::size_t run_until(double until);
+
+  /// Drains the queue completely.  Returns the number of events executed.
+  std::size_t run();
+
+ private:
+  struct Entry {
+    double when;
+    std::uint64_t sequence;  // FIFO among equal timestamps
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::uint64_t next_sequence_ = 0;
+  double now_ = 0.0;
+};
+
+}  // namespace jaal::netsim

@@ -1,0 +1,52 @@
+#include "netsim/latency.hpp"
+
+#include <stdexcept>
+
+namespace jaal::netsim {
+
+double delivery_latency(const Topology& topo, NodeId src, NodeId dst,
+                        std::size_t payload_bytes, const LatencyModel& model) {
+  if (src == dst) return model.serialization_overhead_s;
+  const auto path = topo.shortest_path(src, dst);
+  double latency = model.serialization_overhead_s;
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    latency += model.per_hop_propagation_s;
+    const auto link = topo.link_between(path[i - 1], path[i]);
+    if (!link) throw std::runtime_error("delivery_latency: broken path");
+    // Control-plane share of the link, in bits/s.
+    const double bps = topo.links()[*link].capacity_pps *
+                       model.nominal_packet_bits *
+                       model.control_plane_fraction;
+    latency += static_cast<double>(payload_bytes) * 8.0 / bps;
+  }
+  return latency;
+}
+
+CollectionLatency collection_latency(const Topology& topo,
+                                     const std::vector<NodeId>& monitors,
+                                     NodeId engine, std::size_t summary_bytes,
+                                     const LatencyModel& model) {
+  if (monitors.empty()) {
+    throw std::invalid_argument("collection_latency: no monitors");
+  }
+  CollectionLatency out;
+  out.per_monitor.reserve(monitors.size());
+  double sum = 0.0;
+  for (NodeId m : monitors) {
+    const double latency =
+        delivery_latency(topo, m, engine, summary_bytes, model);
+    out.per_monitor.push_back(latency);
+    out.worst = std::max(out.worst, latency);
+    sum += latency;
+  }
+  out.mean = sum / static_cast<double>(monitors.size());
+  return out;
+}
+
+double detection_latency_estimate(double epoch_seconds,
+                                  const CollectionLatency& collection,
+                                  double inference_seconds) {
+  return epoch_seconds + collection.worst + inference_seconds;
+}
+
+}  // namespace jaal::netsim

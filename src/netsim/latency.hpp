@@ -1,0 +1,52 @@
+// Summary-delivery latency model: how long after an epoch closes does the
+// central engine have everything it needs?
+//
+// The paper reports detecting the Mirai scan "within 3s": one 2-second
+// epoch plus collection/aggregation.  This model computes the wire part of
+// that budget: each monitor's summary traverses its shortest path to the
+// engine, paying per-hop propagation plus transmission at each link's
+// capacity; the engine can only aggregate when the LAST summary arrives.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace jaal::netsim {
+
+struct LatencyModel {
+  double per_hop_propagation_s = 0.002;   ///< 2 ms/hop (WAN scale).
+  double serialization_overhead_s = 0.0005;  ///< Framing/syscall per message.
+  /// Bits per second available to control traffic on each link, as a
+  /// fraction of the link's packet capacity x a nominal packet size.
+  double control_plane_fraction = 0.05;
+  double nominal_packet_bits = 12000.0;   ///< 1500 B.
+};
+
+/// Delivery latency of one message of `payload_bytes` from `src` to `dst`.
+/// Throws std::out_of_range on bad nodes.
+[[nodiscard]] double delivery_latency(const Topology& topo, NodeId src,
+                                      NodeId dst, std::size_t payload_bytes,
+                                      const LatencyModel& model = {});
+
+struct CollectionLatency {
+  double worst = 0.0;   ///< The engine waits for the slowest monitor.
+  double mean = 0.0;
+  std::vector<double> per_monitor;
+};
+
+/// Latency for the engine at `engine` to collect one summary of
+/// `summary_bytes` from every monitor (§5.1's "controller requests every
+/// other monitor to send its summary").
+[[nodiscard]] CollectionLatency collection_latency(
+    const Topology& topo, const std::vector<NodeId>& monitors, NodeId engine,
+    std::size_t summary_bytes, const LatencyModel& model = {});
+
+/// End-to-end detection latency estimate: epoch length (evidence
+/// accumulation) + summary collection + inference compute.
+[[nodiscard]] double detection_latency_estimate(
+    double epoch_seconds, const CollectionLatency& collection,
+    double inference_seconds);
+
+}  // namespace jaal::netsim

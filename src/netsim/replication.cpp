@@ -1,0 +1,209 @@
+#include "netsim/replication.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jaal::netsim {
+namespace {
+
+/// Link ids along the shortest path between two nodes.
+std::vector<std::size_t> path_links(const Topology& topo, NodeId src,
+                                    NodeId dst) {
+  std::vector<std::size_t> out;
+  const auto path = topo.shortest_path(src, dst);
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    const auto link = topo.link_between(path[i - 1], path[i]);
+    if (!link) throw std::runtime_error("path_links: missing link on path");
+    out.push_back(*link);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Demand> random_demands(const Topology& topo, std::size_t count,
+                                   double mean_pps, std::uint64_t seed) {
+  const auto edges = topo.edge_nodes();
+  if (edges.size() < 2) {
+    throw std::invalid_argument("random_demands: topology has <2 edge nodes");
+  }
+  std::mt19937_64 rng(seed);
+  std::exponential_distribution<double> size(1.0 / mean_pps);
+  std::vector<Demand> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Demand d;
+    d.src = edges[rng() % edges.size()];
+    do {
+      d.dst = edges[rng() % edges.size()];
+    } while (d.dst == d.src);
+    d.pps = size(rng);
+    out.push_back(d);
+  }
+  return out;
+}
+
+ReplicationExperiment::ReplicationExperiment(const Topology& topo,
+                                             std::vector<NodeId> monitors,
+                                             NodeId engine,
+                                             std::vector<Demand> demands,
+                                             double engine_capacity_pps,
+                                             double router_headroom)
+    : topo_(&topo),
+      monitors_(std::move(monitors)),
+      engine_(engine),
+      demands_(std::move(demands)),
+      engine_capacity_pps_(engine_capacity_pps),
+      router_headroom_(router_headroom) {
+  if (monitors_.empty()) {
+    throw std::invalid_argument("ReplicationExperiment: no monitors");
+  }
+  if (engine_ >= topo.node_count()) {
+    throw std::invalid_argument("ReplicationExperiment: bad engine node");
+  }
+  if (engine_capacity_pps_ <= 0.0) {
+    throw std::invalid_argument("ReplicationExperiment: bad engine capacity");
+  }
+  if (router_headroom_ <= 1.0) {
+    throw std::invalid_argument(
+        "ReplicationExperiment: headroom must exceed 1");
+  }
+
+  demand_links_.reserve(demands_.size());
+  demand_nodes_.reserve(demands_.size());
+  monitored_pps_.assign(monitors_.size(), 0.0);
+  router_base_work_.assign(topo.node_count(), 0.0);
+  for (const Demand& d : demands_) {
+    demand_links_.push_back(path_links(*topo_, d.src, d.dst));
+    const auto path = topo_->shortest_path(d.src, d.dst);
+    for (NodeId n : path) router_base_work_[n] += d.pps;
+    // Unique assignment: the first monitor on the demand's path observes it.
+    for (NodeId n : path) {
+      const auto it = std::find(monitors_.begin(), monitors_.end(), n);
+      if (it != monitors_.end()) {
+        monitored_pps_[static_cast<std::size_t>(it - monitors_.begin())] +=
+            d.pps;
+        break;
+      }
+    }
+    demand_nodes_.push_back(path);
+  }
+  monitor_links_.reserve(monitors_.size());
+  monitor_nodes_.reserve(monitors_.size());
+  router_copy_full_.assign(topo.node_count(), 0.0);
+  for (std::size_t m = 0; m < monitors_.size(); ++m) {
+    monitor_links_.push_back(path_links(*topo_, monitors_[m], engine_));
+    monitor_nodes_.push_back(topo_->shortest_path(monitors_[m], engine_));
+    router_copy_full_[monitors_[m]] += monitored_pps_[m];  // duplication work
+    for (NodeId n : monitor_nodes_[m]) router_copy_full_[n] += monitored_pps_[m];
+  }
+}
+
+ReplicationResult ReplicationExperiment::evaluate(
+    double replication_fraction) const {
+  if (replication_fraction < 0.0 || replication_fraction > 1.0) {
+    throw std::invalid_argument("evaluate: fraction outside [0, 1]");
+  }
+  const std::size_t n_links = topo_->link_count();
+
+  // Fixed point: copy traffic that is dropped upstream does not load
+  // downstream links, so iterate offered load -> loss -> offered load.
+  std::vector<double> loss(n_links, 0.0);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<double> offered(n_links, 0.0);
+    // Customer traffic: attenuated by loss on upstream links of its path.
+    for (std::size_t d = 0; d < demands_.size(); ++d) {
+      double rate = demands_[d].pps;
+      for (std::size_t link : demand_links_[d]) {
+        offered[link] += rate;
+        rate *= 1.0 - loss[link];
+      }
+    }
+    // Copy traffic from each monitor toward the engine.
+    for (std::size_t m = 0; m < monitors_.size(); ++m) {
+      double rate = replication_fraction * monitored_pps_[m];
+      for (std::size_t link : monitor_links_[m]) {
+        offered[link] += rate;
+        rate *= 1.0 - loss[link];
+      }
+    }
+    double delta = 0.0;
+    for (std::size_t l = 0; l < n_links; ++l) {
+      const double cap = topo_->links()[l].capacity_pps;
+      const double new_loss =
+          offered[l] > cap ? 1.0 - cap / offered[l] : 0.0;
+      delta = std::max(delta, std::abs(new_loss - loss[l]));
+      loss[l] = new_loss;
+    }
+    if (delta < 1e-9) break;
+  }
+
+  ReplicationResult r;
+  r.replication_fraction = replication_fraction;
+
+  // Customer throughput after loss.
+  double offered_total = 0.0, delivered_total = 0.0, worst = 0.0;
+  for (std::size_t d = 0; d < demands_.size(); ++d) {
+    double through = 1.0;
+    for (std::size_t link : demand_links_[d]) through *= 1.0 - loss[link];
+    offered_total += demands_[d].pps;
+    delivered_total += demands_[d].pps * through;
+    worst = std::max(worst, 1.0 - through);
+  }
+  r.throughput_loss =
+      offered_total > 0.0 ? 1.0 - delivered_total / offered_total : 0.0;
+  r.worst_demand_loss = worst;
+
+  // Copy delivery to the engine.
+  double copies_sent = 0.0, copies_arrived = 0.0;
+  for (std::size_t m = 0; m < monitors_.size(); ++m) {
+    const double sent = replication_fraction * monitored_pps_[m];
+    double through = 1.0;
+    for (std::size_t link : monitor_links_[m]) through *= 1.0 - loss[link];
+    copies_sent += sent;
+    copies_arrived += sent * through;
+  }
+  r.copy_delivery_fraction =
+      copies_sent > 0.0 ? copies_arrived / copies_sent : 1.0;
+
+  // Router-processing view: the duplicating monitor does the copy work and
+  // every router on the copy's path forwards it, eating into forwarding
+  // headroom provisioned relative to the baseline workload.
+  std::vector<double> router_work = router_base_work_;
+  for (std::size_t m = 0; m < monitors_.size(); ++m) {
+    const double copy_rate = replication_fraction * monitored_pps_[m];
+    router_work[monitors_[m]] += copy_rate;  // duplication work at the tap
+    for (NodeId n : monitor_nodes_[m]) router_work[n] += copy_rate;
+  }
+  std::vector<double> router_ok(topo_->node_count(), 1.0);
+  for (std::size_t n = 0; n < topo_->node_count(); ++n) {
+    const double cap =
+        router_headroom_ * (router_base_work_[n] +
+                            kProvisionedReplication * router_copy_full_[n]);
+    if (router_work[n] > cap && router_work[n] > 0.0) {
+      router_ok[n] = cap / router_work[n];
+    }
+  }
+  double weighted_through = 0.0, worst_router = 0.0;
+  for (std::size_t d = 0; d < demands_.size(); ++d) {
+    double through = 1.0;
+    for (NodeId n : demand_nodes_[d]) through *= router_ok[n];
+    weighted_through += demands_[d].pps * through;
+    worst_router = std::max(worst_router, 1.0 - through);
+  }
+  r.router_throughput_loss =
+      offered_total > 0.0 ? 1.0 - weighted_through / offered_total : 0.0;
+  r.worst_router_demand_loss = worst_router;
+  r.engine_processing_fraction =
+      copies_arrived > engine_capacity_pps_
+          ? engine_capacity_pps_ / copies_arrived
+          : 1.0;
+  // Relative to lossless full-packet DPI: the engine only sees the sampled,
+  // surviving, processable share of the evidence.
+  r.detection_accuracy = replication_fraction * r.copy_delivery_fraction *
+                         r.engine_processing_fraction;
+  return r;
+}
+
+}  // namespace jaal::netsim

@@ -1,0 +1,103 @@
+// Raw-packet replication feasibility model (Fig. 7).
+//
+// Models the "vanilla" alternative to Jaal: every monitor copies a fraction
+// of the traffic it observes and forwards the copies to a central inference
+// engine.  Copies share link capacity with customer traffic, so replication
+// congests the paths toward the engine; the engine itself has finite DPI
+// capacity (open-source IDSs collapse past ~20 Gbps, §2).  The model
+// computes the resulting customer throughput loss and the fraction of
+// attack evidence that actually reaches and is processed by the engine.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "netsim/topology.hpp"
+
+namespace jaal::netsim {
+
+/// One aggregate customer demand between two edge routers.
+struct Demand {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double pps = 0.0;
+};
+
+/// Generates `count` random edge-to-edge demands with exponential sizes
+/// around mean_pps (deterministic for a given seed).
+[[nodiscard]] std::vector<Demand> random_demands(const Topology& topo,
+                                                 std::size_t count,
+                                                 double mean_pps,
+                                                 std::uint64_t seed);
+
+struct ReplicationResult {
+  double replication_fraction = 0.0;
+  /// 1 - (delivered customer pps / offered customer pps), averaged over
+  /// demands ("loss in throughput" on Fig. 7's y-axis).
+  double throughput_loss = 0.0;
+  /// Worst single-demand throughput loss.
+  double worst_demand_loss = 0.0;
+  /// Router-processing view (the paper's testbed metric: "the average rate
+  /// at which normal traffic is processed at each switch ... takes a hit
+  /// when it processes the copied traffic"): every copy consumes forwarding
+  /// capacity at the duplicating monitor and at every router en route to
+  /// the engine.  Routers are provisioned with limited headroom over their
+  /// baseline workload, as in the paper's NFV testbed.
+  double router_throughput_loss = 0.0;  ///< Average over demands.
+  double worst_router_demand_loss = 0.0;
+  /// Fraction of generated copies that survive the network path.
+  double copy_delivery_fraction = 1.0;
+  /// Fraction of arriving copies the engine can process.
+  double engine_processing_fraction = 1.0;
+  /// Detection accuracy relative to lossless full-packet analysis:
+  /// replication_fraction x copy delivery x engine processing.
+  double detection_accuracy = 1.0;
+};
+
+class ReplicationExperiment {
+ public:
+  /// `monitors`: nodes that copy traffic; `engine`: where copies are sent.
+  /// `engine_capacity_pps`: DPI throughput of the central engine.
+  /// `router_headroom`: forwarding capacity of each router as a multiple of
+  /// its provisioned workload.  Routers are provisioned for their customer
+  /// baseline plus a kProvisionedReplication share of monitoring export —
+  /// an operator plans for moderate telemetry, not for wholesale packet
+  /// duplication.  Throws std::invalid_argument on empty monitors or bad
+  /// node ids.
+  ReplicationExperiment(const Topology& topo, std::vector<NodeId> monitors,
+                        NodeId engine, std::vector<Demand> demands,
+                        double engine_capacity_pps,
+                        double router_headroom = 1.3);
+
+  /// Replication share routers are provisioned to carry comfortably.
+  static constexpr double kProvisionedReplication = 0.35;
+
+  /// Evaluates the steady state at a given replication fraction in [0, 1].
+  /// Fixed-point iteration: link losses reduce offered copy load, which
+  /// changes losses; iterate until stable.
+  [[nodiscard]] ReplicationResult evaluate(double replication_fraction) const;
+
+  /// Per-monitor observed traffic (pps), after unique flow-to-monitor
+  /// assignment (first monitor on each demand's path).
+  [[nodiscard]] const std::vector<double>& monitored_pps() const noexcept {
+    return monitored_pps_;
+  }
+
+ private:
+  const Topology* topo_;
+  std::vector<NodeId> monitors_;
+  NodeId engine_;
+  std::vector<Demand> demands_;
+  double engine_capacity_pps_;
+  double router_headroom_;
+  std::vector<std::vector<std::size_t>> demand_links_;    ///< Link ids per demand.
+  std::vector<std::vector<std::size_t>> monitor_links_;   ///< Monitor->engine link ids.
+  std::vector<std::vector<NodeId>> demand_nodes_;         ///< Routers per demand.
+  std::vector<std::vector<NodeId>> monitor_nodes_;        ///< Routers, monitor->engine.
+  std::vector<double> monitored_pps_;                     ///< Per monitor.
+  std::vector<double> router_base_work_;                  ///< Baseline pps per router.
+  std::vector<double> router_copy_full_;                  ///< Copy pps at f = 1.
+};
+
+}  // namespace jaal::netsim

@@ -1,0 +1,245 @@
+#include "netsim/topology.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <stdexcept>
+
+namespace jaal::netsim {
+
+Topology::Topology(std::string name, std::vector<Router> routers,
+                   std::vector<LinkSpec> links)
+    : name_(std::move(name)),
+      routers_(std::move(routers)),
+      links_(std::move(links)),
+      adjacency_(routers_.size()) {
+  for (const LinkSpec& l : links_) {
+    if (l.a >= routers_.size() || l.b >= routers_.size()) {
+      throw std::invalid_argument("Topology: link endpoint out of range");
+    }
+    if (l.a == l.b) throw std::invalid_argument("Topology: self-loop");
+    adjacency_[l.a].push_back(l.b);
+    adjacency_[l.b].push_back(l.a);
+  }
+  for (auto& adj : adjacency_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+  }
+  // Connectivity check (BFS from node 0).
+  if (!routers_.empty()) {
+    std::vector<bool> seen(routers_.size(), false);
+    std::deque<NodeId> queue{0};
+    seen[0] = true;
+    std::size_t visited = 1;
+    while (!queue.empty()) {
+      const NodeId n = queue.front();
+      queue.pop_front();
+      for (NodeId nb : adjacency_[n]) {
+        if (!seen[nb]) {
+          seen[nb] = true;
+          ++visited;
+          queue.push_back(nb);
+        }
+      }
+    }
+    if (visited != routers_.size()) {
+      throw std::invalid_argument("Topology: graph is disconnected");
+    }
+  }
+}
+
+const std::vector<NodeId>& Topology::neighbors(NodeId n) const {
+  if (n >= adjacency_.size()) throw std::out_of_range("Topology::neighbors");
+  return adjacency_[n];
+}
+
+std::vector<NodeId> Topology::shortest_path(NodeId src, NodeId dst) const {
+  if (src >= routers_.size() || dst >= routers_.size()) {
+    throw std::out_of_range("Topology::shortest_path");
+  }
+  if (src == dst) return {src};
+  constexpr NodeId kUnset = static_cast<NodeId>(-1);
+  std::vector<NodeId> parent(routers_.size(), kUnset);
+  std::deque<NodeId> queue{src};
+  parent[src] = src;
+  while (!queue.empty()) {
+    const NodeId n = queue.front();
+    queue.pop_front();
+    if (n == dst) break;
+    for (NodeId nb : adjacency_[n]) {  // adjacency sorted => deterministic
+      if (parent[nb] == kUnset) {
+        parent[nb] = n;
+        queue.push_back(nb);
+      }
+    }
+  }
+  if (parent[dst] == kUnset) {
+    throw std::runtime_error("Topology::shortest_path: unreachable");
+  }
+  std::vector<NodeId> path{dst};
+  for (NodeId n = dst; n != src; n = parent[n]) path.push_back(parent[n]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::optional<std::size_t> Topology::link_between(NodeId a, NodeId b) const {
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if ((links_[i].a == a && links_[i].b == b) ||
+        (links_[i].a == b && links_[i].b == a)) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<NodeId> Topology::edge_nodes() const {
+  std::vector<NodeId> out;
+  for (const Router& r : routers_) {
+    if (r.role == RouterRole::kEdge) out.push_back(r.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::default_monitor_sites(std::size_t count) const {
+  // Highest-degree non-edge routers first: these see the most transit
+  // traffic, the natural monitor locations (§2: co-located with routers or
+  // at IXPs).
+  std::vector<NodeId> candidates;
+  for (const Router& r : routers_) {
+    if (r.role != RouterRole::kEdge) candidates.push_back(r.id);
+  }
+  std::stable_sort(candidates.begin(), candidates.end(),
+                   [this](NodeId a, NodeId b) {
+                     return adjacency_[a].size() > adjacency_[b].size();
+                   });
+  if (count > candidates.size()) count = candidates.size();
+  candidates.resize(count);
+  return candidates;
+}
+
+IspProfile abovenet_profile() {
+  IspProfile p;
+  p.name = "abovenet";
+  p.pop_count = 22;
+  p.routers_per_pop_min = 8;
+  p.routers_per_pop_max = 28;
+  p.backbone_extra_link_fraction = 0.40;
+  p.target_router_count = 367;
+  return p;
+}
+
+IspProfile exodus_profile() {
+  IspProfile p;
+  p.name = "exodus";
+  p.pop_count = 24;
+  p.routers_per_pop_min = 6;
+  p.routers_per_pop_max = 24;
+  p.backbone_extra_link_fraction = 0.30;
+  p.target_router_count = 338;
+  return p;
+}
+
+Topology make_isp_topology(const IspProfile& profile, std::uint64_t seed) {
+  if (profile.pop_count < 3) {
+    throw std::invalid_argument("make_isp_topology: need at least 3 PoPs");
+  }
+  if (profile.target_router_count < profile.pop_count * 2) {
+    throw std::invalid_argument("make_isp_topology: too few routers for PoPs");
+  }
+  std::mt19937_64 rng(seed);
+  std::vector<Router> routers;
+  std::vector<LinkSpec> links;
+
+  // Pass 1: size each PoP, then rescale so totals hit the target exactly.
+  std::vector<std::uint32_t> pop_sizes(profile.pop_count);
+  std::uniform_int_distribution<std::uint32_t> size_pick(
+      profile.routers_per_pop_min, profile.routers_per_pop_max);
+  std::uint32_t total = 0;
+  for (auto& s : pop_sizes) {
+    s = size_pick(rng);
+    total += s;
+  }
+  // Adjust sizes one by one until the sum matches the target.
+  while (total != profile.target_router_count) {
+    auto& s = pop_sizes[rng() % pop_sizes.size()];
+    if (total < profile.target_router_count) {
+      ++s;
+      ++total;
+    } else if (s > 2) {
+      --s;
+      --total;
+    }
+  }
+
+  // Pass 2: build each PoP: 1-2 backbone routers, a few aggregation
+  // routers, rest edge.  Edge connects to aggregation, aggregation to
+  // backbone (a tree inside the PoP plus one redundant uplink).
+  std::vector<NodeId> backbone;  // all backbone routers, for the core mesh
+  for (std::uint32_t pop = 0; pop < profile.pop_count; ++pop) {
+    const std::uint32_t size = pop_sizes[pop];
+    const std::uint32_t n_backbone = size >= 16 ? 2 : 1;
+    const std::uint32_t n_agg = std::max<std::uint32_t>(1, size / 6);
+
+    std::vector<NodeId> pop_backbone, pop_agg;
+    for (std::uint32_t i = 0; i < size; ++i) {
+      Router r;
+      r.id = static_cast<NodeId>(routers.size());
+      r.pop = pop;
+      if (i < n_backbone) {
+        r.role = RouterRole::kBackbone;
+        pop_backbone.push_back(r.id);
+        backbone.push_back(r.id);
+      } else if (i < n_backbone + n_agg) {
+        r.role = RouterRole::kAggregation;
+        pop_agg.push_back(r.id);
+      } else {
+        r.role = RouterRole::kEdge;
+      }
+      routers.push_back(r);
+    }
+    // Backbone routers inside a PoP are directly linked.
+    for (std::size_t i = 1; i < pop_backbone.size(); ++i) {
+      links.push_back({pop_backbone[i - 1], pop_backbone[i],
+                       profile.backbone_capacity_pps});
+    }
+    // Aggregation dual-homes to backbone where possible.
+    for (std::size_t i = 0; i < pop_agg.size(); ++i) {
+      links.push_back({pop_agg[i], pop_backbone[i % pop_backbone.size()],
+                       profile.backbone_capacity_pps});
+      if (pop_backbone.size() > 1) {
+        links.push_back({pop_agg[i],
+                         pop_backbone[(i + 1) % pop_backbone.size()],
+                         profile.backbone_capacity_pps});
+      }
+    }
+    // Edge routers home to a random aggregation router.
+    for (std::uint32_t i = n_backbone + n_agg; i < size; ++i) {
+      const NodeId edge_id = routers[routers.size() - size + i].id;
+      links.push_back({edge_id, pop_agg[rng() % pop_agg.size()],
+                       profile.edge_capacity_pps});
+    }
+  }
+
+  // Pass 3: backbone — ring over PoPs for connectivity, then extra chords
+  // for the meshy RocketFuel look.
+  std::vector<NodeId> pop_gateway(profile.pop_count);
+  for (const Router& r : routers) {
+    if (r.role == RouterRole::kBackbone) pop_gateway[r.pop] = r.id;
+  }
+  for (std::uint32_t pop = 0; pop < profile.pop_count; ++pop) {
+    const NodeId a = pop_gateway[pop];
+    const NodeId b = pop_gateway[(pop + 1) % profile.pop_count];
+    links.push_back({a, b, profile.backbone_capacity_pps});
+  }
+  const auto extra = static_cast<std::size_t>(
+      profile.backbone_extra_link_fraction * static_cast<double>(backbone.size()));
+  for (std::size_t i = 0; i < extra; ++i) {
+    const NodeId a = backbone[rng() % backbone.size()];
+    const NodeId b = backbone[rng() % backbone.size()];
+    if (a != b) links.push_back({a, b, profile.backbone_capacity_pps});
+  }
+
+  return Topology(profile.name, std::move(routers), std::move(links));
+}
+
+}  // namespace jaal::netsim

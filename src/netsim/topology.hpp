@@ -1,0 +1,99 @@
+// ISP topology substrate.
+//
+// The paper evaluates on two RocketFuel ISP maps realized as Open vSwitch
+// networks: Abovenet ("topology 1", 367 routers) and Exodus ("topology 2",
+// 338 routers).  We reproduce their two-level PoP structure with a
+// deterministic generator: a meshed backbone of PoP core routers plus
+// aggregation/edge routers inside each PoP, with a long-tailed degree
+// distribution like the measured maps.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace jaal::netsim {
+
+using NodeId = std::uint32_t;
+
+enum class RouterRole : std::uint8_t { kBackbone, kAggregation, kEdge };
+
+struct Router {
+  NodeId id = 0;
+  RouterRole role = RouterRole::kEdge;
+  std::uint32_t pop = 0;  ///< Point-of-presence this router belongs to.
+};
+
+struct LinkSpec {
+  NodeId a = 0;
+  NodeId b = 0;
+  double capacity_pps = 1.0e6;  ///< Packets per second the link sustains.
+};
+
+/// Immutable router-level graph with all-pairs shortest paths on demand.
+class Topology {
+ public:
+  /// Builds from explicit routers/links.  Throws std::invalid_argument on
+  /// out-of-range endpoints, self-loops, or a disconnected graph.
+  Topology(std::string name, std::vector<Router> routers,
+           std::vector<LinkSpec> links);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t node_count() const noexcept { return routers_.size(); }
+  [[nodiscard]] std::size_t link_count() const noexcept { return links_.size(); }
+  [[nodiscard]] const std::vector<Router>& routers() const noexcept {
+    return routers_;
+  }
+  [[nodiscard]] const std::vector<LinkSpec>& links() const noexcept {
+    return links_;
+  }
+  [[nodiscard]] const std::vector<NodeId>& neighbors(NodeId n) const;
+
+  /// Hop-count shortest path (BFS, deterministic tie-break by node id),
+  /// including both endpoints.  src == dst yields {src}.
+  [[nodiscard]] std::vector<NodeId> shortest_path(NodeId src, NodeId dst) const;
+
+  /// Link index between adjacent nodes, if any.
+  [[nodiscard]] std::optional<std::size_t> link_between(NodeId a,
+                                                        NodeId b) const;
+
+  /// Nodes with role kEdge — where customer traffic enters/leaves.
+  [[nodiscard]] std::vector<NodeId> edge_nodes() const;
+
+  /// Picks `count` monitor locations spread over the highest-degree
+  /// aggregation/backbone routers (deterministic given the topology).
+  [[nodiscard]] std::vector<NodeId> default_monitor_sites(std::size_t count) const;
+
+ private:
+  std::string name_;
+  std::vector<Router> routers_;
+  std::vector<LinkSpec> links_;
+  std::vector<std::vector<NodeId>> adjacency_;
+};
+
+/// Parameters for the RocketFuel-like generator.
+struct IspProfile {
+  std::string name;
+  std::uint32_t pop_count = 20;
+  std::uint32_t routers_per_pop_min = 8;
+  std::uint32_t routers_per_pop_max = 28;
+  double backbone_extra_link_fraction = 0.35;  ///< Mesh density beyond a ring.
+  double backbone_capacity_pps = 4.0e6;
+  double edge_capacity_pps = 1.0e6;
+  std::uint32_t target_router_count = 367;
+};
+
+/// Abovenet-like profile: 367 routers ("topology 1" in §8).
+[[nodiscard]] IspProfile abovenet_profile();
+
+/// Exodus-like profile: 338 routers ("topology 2" in §8).
+[[nodiscard]] IspProfile exodus_profile();
+
+/// Deterministically generates an ISP topology from a profile and seed.
+/// The router count matches profile.target_router_count exactly.
+[[nodiscard]] Topology make_isp_topology(const IspProfile& profile,
+                                         std::uint64_t seed);
+
+}  // namespace jaal::netsim

@@ -1,0 +1,111 @@
+#include "packet/fields.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace jaal::packet {
+namespace {
+
+constexpr std::array<std::string_view, kFieldCount> kNames = {
+    "ip.version",      "ip.ihl",         "ip.tos",
+    "ip.total_length", "ip.id",          "ip.flags",
+    "ip.frag_offset",  "ip.ttl",         "ip.protocol",
+    "ip.src",          "ip.dst",         "tcp.src_port",
+    "tcp.dst_port",    "tcp.seq",        "tcp.ack",
+    "tcp.data_offset", "tcp.flags",      "tcp.window",
+};
+
+constexpr std::array<double, kFieldCount> kMaxValues = {
+    15.0,          // ip.version (4 bits)
+    15.0,          // ip.ihl (4 bits)
+    255.0,         // ip.tos
+    65535.0,       // ip.total_length
+    65535.0,       // ip.id
+    7.0,           // ip.flags (3 bits)
+    8191.0,        // ip.frag_offset (13 bits)
+    255.0,         // ip.ttl
+    255.0,         // ip.protocol
+    4294967295.0,  // ip.src
+    4294967295.0,  // ip.dst
+    65535.0,       // tcp.src_port
+    65535.0,       // tcp.dst_port
+    4294967295.0,  // tcp.seq
+    4294967295.0,  // tcp.ack
+    15.0,          // tcp.data_offset (4 bits)
+    63.0,          // tcp.flags (6 flag bits)
+    65535.0,       // tcp.window
+};
+
+constexpr std::array<FieldIndex, kFieldCount> kAllFields = [] {
+  std::array<FieldIndex, kFieldCount> a{};
+  for (std::size_t i = 0; i < kFieldCount; ++i) a[i] = static_cast<FieldIndex>(i);
+  return a;
+}();
+
+}  // namespace
+
+std::string_view field_name(FieldIndex f) noexcept { return kNames[index(f)]; }
+
+FieldIndex field_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kFieldCount; ++i) {
+    if (kNames[i] == name) return static_cast<FieldIndex>(i);
+  }
+  throw std::invalid_argument("field_from_name: unknown field '" +
+                              std::string(name) + "'");
+}
+
+double field_max(FieldIndex f) noexcept { return kMaxValues[index(f)]; }
+
+FieldVector to_field_vector(const PacketRecord& pkt) noexcept {
+  FieldVector v{};
+  v[index(FieldIndex::kIpVersion)] = pkt.ip.version;
+  v[index(FieldIndex::kIpIhl)] = pkt.ip.ihl;
+  v[index(FieldIndex::kIpTos)] = pkt.ip.tos;
+  v[index(FieldIndex::kIpTotalLength)] = pkt.ip.total_length;
+  v[index(FieldIndex::kIpIdentification)] = pkt.ip.identification;
+  v[index(FieldIndex::kIpFlags)] = pkt.ip.flags;
+  v[index(FieldIndex::kIpFragmentOffset)] = pkt.ip.fragment_offset;
+  v[index(FieldIndex::kIpTtl)] = pkt.ip.ttl;
+  v[index(FieldIndex::kIpProtocol)] = pkt.ip.protocol;
+  v[index(FieldIndex::kIpSrcAddr)] = pkt.ip.src_ip;
+  v[index(FieldIndex::kIpDstAddr)] = pkt.ip.dst_ip;
+  v[index(FieldIndex::kTcpSrcPort)] = pkt.tcp.src_port;
+  v[index(FieldIndex::kTcpDstPort)] = pkt.tcp.dst_port;
+  v[index(FieldIndex::kTcpSeq)] = pkt.tcp.seq;
+  v[index(FieldIndex::kTcpAck)] = pkt.tcp.ack;
+  v[index(FieldIndex::kTcpDataOffset)] = pkt.tcp.data_offset;
+  v[index(FieldIndex::kTcpFlags)] = pkt.tcp.flags;
+  v[index(FieldIndex::kTcpWindow)] = pkt.tcp.window;
+  return v;
+}
+
+FieldVector to_normalized_vector(const PacketRecord& pkt) noexcept {
+  FieldVector v = to_field_vector(pkt);
+  for (std::size_t i = 0; i < kFieldCount; ++i) v[i] /= kMaxValues[i];
+  return v;
+}
+
+double normalize_field(FieldIndex f, double raw) noexcept {
+  return raw / kMaxValues[index(f)];
+}
+
+double denormalize_field(FieldIndex f, double normalized) noexcept {
+  return normalized * kMaxValues[index(f)];
+}
+
+std::span<const FieldIndex> all_fields() noexcept { return kAllFields; }
+
+const char* attack_name(AttackType t) noexcept {
+  switch (t) {
+    case AttackType::kNone: return "none";
+    case AttackType::kSynFlood: return "syn_flood";
+    case AttackType::kDistributedSynFlood: return "distributed_syn_flood";
+    case AttackType::kPortScan: return "port_scan";
+    case AttackType::kSshBruteForce: return "ssh_brute_force";
+    case AttackType::kSockstress: return "sockstress";
+    case AttackType::kMiraiScan: return "mirai_scan";
+  }
+  return "unknown";
+}
+
+}  // namespace jaal::packet

@@ -1,0 +1,76 @@
+// The 18 TCP/IP header fields Jaal treats as the "fields mode" of a batch
+// (§4.1), their normalization bounds, and packet <-> vector conversion.
+//
+// The paper treats all header fields as equally important and normalizes
+// each by its maximum possible value so that x_bar in [0, 1] (§4.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "packet/packet.hpp"
+
+namespace jaal::packet {
+
+/// Index of each header field in a packet vector.  10 IPv4 fields + 8 TCP
+/// fields = p = 18 dimensions, matching "18 header fields" in §2 and the
+/// question-vector length in §5.2.
+enum class FieldIndex : std::size_t {
+  kIpVersion = 0,
+  kIpIhl,
+  kIpTos,
+  kIpTotalLength,
+  kIpIdentification,
+  kIpFlags,
+  kIpFragmentOffset,
+  kIpTtl,
+  kIpProtocol,
+  kIpSrcAddr,
+  kIpDstAddr,
+  kTcpSrcPort,
+  kTcpDstPort,
+  kTcpSeq,
+  kTcpAck,
+  kTcpDataOffset,
+  kTcpFlags,
+  kTcpWindow,
+};
+
+/// Number of header fields, p in the paper.
+inline constexpr std::size_t kFieldCount = 18;
+
+/// A packet rendered as a p-vector of raw (unnormalized) field values.
+using FieldVector = std::array<double, kFieldCount>;
+
+[[nodiscard]] constexpr std::size_t index(FieldIndex f) noexcept {
+  return static_cast<std::size_t>(f);
+}
+
+/// Human-readable field name ("tcp.dst_port" etc.) for logs and tooling.
+[[nodiscard]] std::string_view field_name(FieldIndex f) noexcept;
+
+/// Parses a field name back to its index; throws std::invalid_argument.
+[[nodiscard]] FieldIndex field_from_name(std::string_view name);
+
+/// Maximum possible value of each field, the max(x) of §4.1's
+/// normalization x_bar = x / max(x).
+[[nodiscard]] double field_max(FieldIndex f) noexcept;
+
+/// Extracts the raw field values of a packet, in FieldIndex order.
+[[nodiscard]] FieldVector to_field_vector(const PacketRecord& pkt) noexcept;
+
+/// Extracts and normalizes: every entry is in [0, 1].
+[[nodiscard]] FieldVector to_normalized_vector(const PacketRecord& pkt) noexcept;
+
+/// Normalizes a single raw field value to [0, 1].
+[[nodiscard]] double normalize_field(FieldIndex f, double raw) noexcept;
+
+/// Maps a normalized value back to the raw field range.
+[[nodiscard]] double denormalize_field(FieldIndex f, double normalized) noexcept;
+
+/// All field indices, for iteration and parameterized tests.
+[[nodiscard]] std::span<const FieldIndex> all_fields() noexcept;
+
+}  // namespace jaal::packet

@@ -1,0 +1,83 @@
+// IPv4 and TCP header value types.
+//
+// These are plain structs (no invariants beyond field ranges) mirroring the
+// on-wire headers; `wire.hpp` converts to/from network byte order.  Jaal's
+// summarization treats the 18 fields defined in `fields.hpp` as the data
+// modes (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace jaal::packet {
+
+/// TCP flag bits as they appear in the wire flags octet.
+enum class TcpFlag : std::uint8_t {
+  kFin = 0x01,
+  kSyn = 0x02,
+  kRst = 0x04,
+  kPsh = 0x08,
+  kAck = 0x10,
+  kUrg = 0x20,
+};
+
+[[nodiscard]] constexpr std::uint8_t flag_bit(TcpFlag f) noexcept {
+  return static_cast<std::uint8_t>(f);
+}
+
+struct Ipv4Header {
+  std::uint8_t version = 4;          ///< Always 4 for IPv4.
+  std::uint8_t ihl = 5;              ///< Header length in 32-bit words.
+  std::uint8_t tos = 0;              ///< DSCP/ECN octet.
+  std::uint16_t total_length = 40;   ///< Header + payload bytes.
+  std::uint16_t identification = 0;
+  std::uint8_t flags = 0;            ///< 3 bits: reserved/DF/MF.
+  std::uint16_t fragment_offset = 0; ///< In 8-byte units, 13 bits.
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 6;         ///< 6 = TCP.
+  std::uint16_t checksum = 0;        ///< Filled in by the serializer.
+  std::uint32_t src_ip = 0;          ///< Host byte order.
+  std::uint32_t dst_ip = 0;          ///< Host byte order.
+
+  bool operator==(const Ipv4Header&) const = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t data_offset = 5;      ///< Header length in 32-bit words.
+  std::uint8_t flags = 0;            ///< OR of TcpFlag bits.
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;        ///< Filled in by the serializer.
+  std::uint16_t urgent_ptr = 0;
+
+  [[nodiscard]] bool has(TcpFlag f) const noexcept {
+    return (flags & flag_bit(f)) != 0;
+  }
+  void set(TcpFlag f, bool on = true) noexcept {
+    if (on) {
+      flags = static_cast<std::uint8_t>(flags | flag_bit(f));
+    } else {
+      flags = static_cast<std::uint8_t>(flags & ~flag_bit(f));
+    }
+  }
+
+  bool operator==(const TcpHeader&) const = default;
+};
+
+/// Renders a host-order IPv4 address as dotted quad ("10.1.2.3").
+[[nodiscard]] std::string ip_to_string(std::uint32_t ip_host_order);
+
+/// Parses dotted quad into host byte order; throws std::invalid_argument.
+[[nodiscard]] std::uint32_t ip_from_string(const std::string& dotted);
+
+/// Builds a host-order address from octets: make_ip(10,0,0,1) = 10.0.0.1.
+[[nodiscard]] constexpr std::uint32_t make_ip(std::uint8_t a, std::uint8_t b,
+                                              std::uint8_t c, std::uint8_t d) noexcept {
+  return (std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+         (std::uint32_t{c} << 8) | std::uint32_t{d};
+}
+
+}  // namespace jaal::packet

@@ -1,0 +1,68 @@
+// PacketRecord: one observed TCP/IPv4 packet plus experiment metadata.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "packet/headers.hpp"
+
+namespace jaal::packet {
+
+/// Ground-truth label carried out-of-band with every generated packet so the
+/// evaluation can compute TPR/FPR exactly as the paper does ("relative to
+/// ground truth", §8).  The detection pipeline never reads this.
+enum class AttackType : std::uint8_t {
+  kNone = 0,
+  kSynFlood,
+  kDistributedSynFlood,
+  kPortScan,
+  kSshBruteForce,
+  kSockstress,
+  kMiraiScan,
+};
+
+[[nodiscard]] const char* attack_name(AttackType t) noexcept;
+
+/// Number of AttackType values including kNone.
+inline constexpr std::size_t kAttackTypeCount = 7;
+
+/// Flow 4-tuple (§4.1): src/dst IP and ports.  Protocol is implicitly TCP.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+
+  bool operator==(const FlowKey&) const = default;
+};
+
+struct FlowKeyHash {
+  [[nodiscard]] std::size_t operator()(const FlowKey& k) const noexcept {
+    // FNV-1a over the packed tuple.
+    std::uint64_t h = 1469598103934665603ULL;
+    auto mix = [&h](std::uint64_t v) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    };
+    mix(k.src_ip);
+    mix(k.dst_ip);
+    mix((std::uint64_t{k.src_port} << 16) | k.src_port);
+    mix((std::uint64_t{k.dst_port} << 16) | k.dst_port);
+    return static_cast<std::size_t>(h);
+  }
+};
+
+struct PacketRecord {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  double timestamp = 0.0;                 ///< Seconds since trace start.
+  AttackType label = AttackType::kNone;   ///< Ground truth, out-of-band.
+
+  [[nodiscard]] FlowKey flow() const noexcept {
+    return {ip.src_ip, ip.dst_ip, tcp.src_port, tcp.dst_port};
+  }
+
+  bool operator==(const PacketRecord&) const = default;
+};
+
+}  // namespace jaal::packet

@@ -1,0 +1,199 @@
+#include "packet/wire.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <string>
+
+namespace jaal::packet {
+namespace {
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+[[nodiscard]] std::uint16_t get_u16(std::span<const std::uint8_t> b,
+                                    std::size_t off) noexcept {
+  return static_cast<std::uint16_t>((std::uint16_t{b[off]} << 8) | b[off + 1]);
+}
+
+[[nodiscard]] std::uint32_t get_u32(std::span<const std::uint8_t> b,
+                                    std::size_t off) noexcept {
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | std::uint32_t{b[off + 3]};
+}
+
+/// TCP pseudo-header contribution to the checksum (RFC 793).
+[[nodiscard]] std::uint32_t pseudo_header_sum(const Ipv4Header& ip,
+                                              std::uint16_t tcp_length) noexcept {
+  std::uint32_t sum = 0;
+  sum += ip.src_ip >> 16;
+  sum += ip.src_ip & 0xFFFF;
+  sum += ip.dst_ip >> 16;
+  sum += ip.dst_ip & 0xFFFF;
+  sum += ip.protocol;
+  sum += tcp_length;
+  return sum;
+}
+
+}  // namespace
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes,
+                                std::uint32_t initial) noexcept {
+  std::uint32_t sum = initial;
+  std::size_t i = 0;
+  for (; i + 1 < bytes.size(); i += 2) {
+    sum += (std::uint32_t{bytes[i]} << 8) | bytes[i + 1];
+  }
+  if (i < bytes.size()) sum += std::uint32_t{bytes[i]} << 8;
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::vector<std::uint8_t> serialize_headers(const Ipv4Header& ip,
+                                            const TcpHeader& tcp) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeadersBytes);
+
+  // --- IPv4 header, checksum zero for now.
+  put_u8(out, static_cast<std::uint8_t>((ip.version << 4) | (ip.ihl & 0x0F)));
+  put_u8(out, ip.tos);
+  put_u16(out, ip.total_length);
+  put_u16(out, ip.identification);
+  put_u16(out, static_cast<std::uint16_t>((std::uint16_t{ip.flags} << 13) |
+                                          (ip.fragment_offset & 0x1FFF)));
+  put_u8(out, ip.ttl);
+  put_u8(out, ip.protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, ip.src_ip);
+  put_u32(out, ip.dst_ip);
+
+  const std::uint16_t ip_csum =
+      internet_checksum({out.data(), kIpv4HeaderBytes});
+  out[10] = static_cast<std::uint8_t>(ip_csum >> 8);
+  out[11] = static_cast<std::uint8_t>(ip_csum & 0xFF);
+
+  // --- TCP header, checksum zero for now.
+  const std::size_t tcp_off = out.size();
+  put_u16(out, tcp.src_port);
+  put_u16(out, tcp.dst_port);
+  put_u32(out, tcp.seq);
+  put_u32(out, tcp.ack);
+  put_u8(out, static_cast<std::uint8_t>(tcp.data_offset << 4));
+  put_u8(out, tcp.flags);
+  put_u16(out, tcp.window);
+  put_u16(out, 0);  // checksum placeholder
+  put_u16(out, tcp.urgent_ptr);
+
+  // The checksum covers the pseudo-header plus the whole TCP segment; we
+  // only serialize the fixed header, so a payload (if any per total_length)
+  // is treated as zeros, which contributes nothing to the sum.
+  const std::uint16_t ip_header_bytes = static_cast<std::uint16_t>(ip.ihl * 4);
+  const std::uint16_t tcp_length =
+      ip.total_length >= ip_header_bytes
+          ? static_cast<std::uint16_t>(ip.total_length - ip_header_bytes)
+          : static_cast<std::uint16_t>(kTcpHeaderBytes);
+  const std::uint16_t tcp_csum = internet_checksum(
+      {out.data() + tcp_off, kTcpHeaderBytes}, pseudo_header_sum(ip, tcp_length));
+  out[tcp_off + 16] = static_cast<std::uint8_t>(tcp_csum >> 8);
+  out[tcp_off + 17] = static_cast<std::uint8_t>(tcp_csum & 0xFF);
+
+  return out;
+}
+
+std::optional<ParseResult> parse_headers(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kIpv4HeaderBytes) return std::nullopt;
+
+  ParseResult r;
+  r.ip.version = bytes[0] >> 4;
+  r.ip.ihl = bytes[0] & 0x0F;
+  if (r.ip.version != 4 || r.ip.ihl < 5) return std::nullopt;
+
+  const std::size_t ip_header_bytes = std::size_t{r.ip.ihl} * 4;
+  if (bytes.size() < ip_header_bytes + kTcpHeaderBytes) return std::nullopt;
+
+  r.ip.tos = bytes[1];
+  r.ip.total_length = get_u16(bytes, 2);
+  r.ip.identification = get_u16(bytes, 4);
+  const std::uint16_t frag = get_u16(bytes, 6);
+  r.ip.flags = static_cast<std::uint8_t>(frag >> 13);
+  r.ip.fragment_offset = frag & 0x1FFF;
+  r.ip.ttl = bytes[8];
+  r.ip.protocol = bytes[9];
+  r.ip.checksum = get_u16(bytes, 10);
+  r.ip.src_ip = get_u32(bytes, 12);
+  r.ip.dst_ip = get_u32(bytes, 16);
+
+  if (r.ip.protocol != 6) return std::nullopt;  // not TCP
+
+  // Checksum over the header as received must fold to zero.
+  r.ip_checksum_ok =
+      internet_checksum(bytes.subspan(0, ip_header_bytes)) == 0;
+
+  const std::span<const std::uint8_t> t = bytes.subspan(ip_header_bytes);
+  r.tcp.src_port = get_u16(t, 0);
+  r.tcp.dst_port = get_u16(t, 2);
+  r.tcp.seq = get_u32(t, 4);
+  r.tcp.ack = get_u32(t, 8);
+  r.tcp.data_offset = t[12] >> 4;
+  r.tcp.flags = t[13] & 0x3F;
+  r.tcp.window = get_u16(t, 14);
+  r.tcp.checksum = get_u16(t, 16);
+  r.tcp.urgent_ptr = get_u16(t, 18);
+
+  const std::uint16_t tcp_length =
+      r.ip.total_length >= ip_header_bytes
+          ? static_cast<std::uint16_t>(r.ip.total_length - ip_header_bytes)
+          : static_cast<std::uint16_t>(kTcpHeaderBytes);
+  // Verify over the bytes we actually have (header only when the buffer is
+  // truncated to headers, as in our pcap captures).
+  const std::size_t avail = std::min<std::size_t>(t.size(), tcp_length);
+  r.tcp_checksum_ok =
+      internet_checksum(t.subspan(0, avail),
+                        pseudo_header_sum(r.ip, tcp_length)) == 0;
+  return r;
+}
+
+std::string ip_to_string(std::uint32_t ip) {
+  return std::to_string(ip >> 24) + "." + std::to_string((ip >> 16) & 0xFF) +
+         "." + std::to_string((ip >> 8) & 0xFF) + "." + std::to_string(ip & 0xFF);
+}
+
+std::uint32_t ip_from_string(const std::string& dotted) {
+  std::array<std::uint32_t, 4> octets{};
+  std::size_t pos = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (pos >= dotted.size()) {
+      throw std::invalid_argument("ip_from_string: too few octets");
+    }
+    std::size_t end = 0;
+    const unsigned long v = std::stoul(dotted.substr(pos), &end, 10);
+    if (end == 0 || v > 255) {
+      throw std::invalid_argument("ip_from_string: bad octet in '" + dotted + "'");
+    }
+    octets[i] = static_cast<std::uint32_t>(v);
+    pos += end;
+    if (i < 3) {
+      if (pos >= dotted.size() || dotted[pos] != '.') {
+        throw std::invalid_argument("ip_from_string: missing dot in '" + dotted + "'");
+      }
+      ++pos;
+    }
+  }
+  if (pos != dotted.size()) {
+    throw std::invalid_argument("ip_from_string: trailing characters in '" + dotted + "'");
+  }
+  return (octets[0] << 24) | (octets[1] << 16) | (octets[2] << 8) | octets[3];
+}
+
+}  // namespace jaal::packet

@@ -1,0 +1,49 @@
+// Wire-format codec for TCP/IPv4 headers.
+//
+// Monitors in a real deployment parse headers off the wire; this codec is the
+// parsing substrate for the pcap reader and for tests that round-trip real
+// byte layouts (network byte order, IPv4 and TCP checksums).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace jaal::packet {
+
+/// Serialized size of the two fixed headers (no IP or TCP options).
+inline constexpr std::size_t kIpv4HeaderBytes = 20;
+inline constexpr std::size_t kTcpHeaderBytes = 20;
+inline constexpr std::size_t kHeadersBytes = kIpv4HeaderBytes + kTcpHeaderBytes;
+
+/// Serializes ip+tcp headers into exactly kHeadersBytes network-order bytes.
+/// Computes both checksums (including the TCP pseudo-header, with the TCP
+/// segment length taken from ip.total_length - 4*ip.ihl).  The `checksum`
+/// members of the inputs are ignored.
+[[nodiscard]] std::vector<std::uint8_t> serialize_headers(const Ipv4Header& ip,
+                                                          const TcpHeader& tcp);
+
+/// Result of parsing a buffer that starts with an IPv4 header.
+struct ParseResult {
+  Ipv4Header ip;
+  TcpHeader tcp;
+  bool ip_checksum_ok = false;
+  bool tcp_checksum_ok = false;
+};
+
+/// Parses IPv4+TCP headers from `bytes`.  Returns nullopt when the buffer is
+/// too short, not IPv4, or not TCP.  Verifies checksums but does not reject
+/// on mismatch (real monitors observe damaged packets too); callers can
+/// inspect the *_checksum_ok flags.
+[[nodiscard]] std::optional<ParseResult> parse_headers(
+    std::span<const std::uint8_t> bytes);
+
+/// RFC 1071 ones-complement checksum over `bytes` (odd length allowed).
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> bytes,
+                                              std::uint32_t initial = 0) noexcept;
+
+}  // namespace jaal::packet

@@ -1,0 +1,185 @@
+#include "payload/term_matrix.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "linalg/svd.hpp"
+
+namespace jaal::payload {
+namespace {
+
+[[nodiscard]] std::string lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Overlap-counting case-insensitive substring search.
+[[nodiscard]] std::uint32_t count_occurrences(const std::string& haystack,
+                                              const std::string& needle) {
+  std::uint32_t count = 0;
+  std::size_t pos = 0;
+  while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+    ++count;
+    ++pos;
+  }
+  return count;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(std::vector<std::string> terms) {
+  if (terms.empty()) {
+    throw std::invalid_argument("Vocabulary: no terms");
+  }
+  terms_.reserve(terms.size());
+  for (auto& t : terms) {
+    if (t.empty()) throw std::invalid_argument("Vocabulary: empty term");
+    terms_.push_back(lower(t));
+  }
+}
+
+std::size_t Vocabulary::index_of(std::string_view term) const {
+  const std::string needle = lower(term);
+  for (std::size_t i = 0; i < terms_.size(); ++i) {
+    if (terms_[i] == needle) return i;
+  }
+  throw std::invalid_argument("Vocabulary: unknown term '" +
+                              std::string(term) + "'");
+}
+
+std::vector<std::uint32_t> Vocabulary::count(std::string_view payload) const {
+  const std::string hay = lower(payload);
+  std::vector<std::uint32_t> out;
+  out.reserve(terms_.size());
+  for (const std::string& term : terms_) {
+    out.push_back(count_occurrences(hay, term));
+  }
+  return out;
+}
+
+Vocabulary default_vocabulary() {
+  // The paper names ".exe" (executable transfer) and the SSH banner; the
+  // rest are common infection/exfiltration indicators a DPI rule set
+  // would track.
+  return Vocabulary({".exe", "ssh-", "/bin/sh", "powershell", "cmd.exe",
+                     "wget ", "base64,", "eval(", "union select",
+                     "../..", "x-shellcode", "botnet"});
+}
+
+linalg::Matrix term_frequency_matrix(const Vocabulary& vocab,
+                                     const std::vector<std::string>& payloads) {
+  linalg::Matrix x(payloads.size(), vocab.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const auto counts = vocab.count(payloads[i]);
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < counts.size(); ++j) {
+      row[j] = static_cast<double>(counts[j]);
+    }
+  }
+  return x;
+}
+
+PayloadSummary summarize_payloads(const Vocabulary& vocab,
+                                  const std::vector<std::string>& payloads,
+                                  const PayloadSummarizerConfig& cfg) {
+  if (payloads.empty()) {
+    throw std::invalid_argument("summarize_payloads: empty batch");
+  }
+  linalg::Matrix x = term_frequency_matrix(vocab, payloads);
+
+  // §4.1 normalization, column-wise: divide by the batch maximum so a term
+  // appearing many times in one packet doesn't dominate distances.
+  PayloadSummary summary;
+  summary.column_max.assign(vocab.size(), 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      summary.column_max[j] = std::max(summary.column_max[j], x(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    auto row = x.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      if (summary.column_max[j] > 0.0) row[j] /= summary.column_max[j];
+    }
+  }
+
+  // §4.2 fields-mode reduction; term matrices are very low-rank (most
+  // packets carry no tracked terms at all).
+  const std::size_t r =
+      std::min({cfg.rank, x.rows(), x.cols()});
+  const auto svd = linalg::truncated_svd(x, std::max<std::size_t>(1, r));
+  const linalg::Matrix reduced = svd.reconstruct();
+
+  // §4.3 packets-mode clustering.
+  std::mt19937_64 rng(cfg.seed);
+  const auto km = summarize::kmeans(reduced, cfg.centroids, rng);
+  summary.centroids = km.centroids;
+  summary.counts = km.counts;
+  return summary;
+}
+
+std::vector<KeywordAlert> match_keywords(const Vocabulary& vocab,
+                                         const PayloadSummary& summary,
+                                         const std::vector<KeywordRule>& rules) {
+  std::vector<KeywordAlert> alerts;
+  for (const KeywordRule& rule : rules) {
+    const std::size_t col = vocab.index_of(rule.term);
+    // Estimated term-carrying packets: each centroid's normalized frequency
+    // approximates the mean occurrences of its members; counts weight it.
+    double estimate = 0.0;
+    for (std::size_t c = 0; c < summary.centroids.rows(); ++c) {
+      const double freq = std::max(0.0, summary.centroids(c, col));
+      estimate += freq * static_cast<double>(summary.counts[c]);
+    }
+    // De-normalize: frequency 1.0 means column_max occurrences per packet,
+    // so the weighted mass times column_max estimates total occurrences
+    // (>= packets carrying the term at least once).
+    estimate *= summary.column_max[col];
+    if (estimate >= static_cast<double>(rule.min_count)) {
+      alerts.push_back({rule.term, rule.msg, estimate});
+    }
+  }
+  return alerts;
+}
+
+PayloadGenerator::PayloadGenerator(std::uint64_t seed,
+                                   double malicious_fraction,
+                                   std::string marker)
+    : rng_(seed),
+      malicious_fraction_(malicious_fraction),
+      marker_(std::move(marker)) {}
+
+std::string PayloadGenerator::next() {
+  static const char* kBenign[] = {
+      "GET /index.html HTTP/1.1\r\nHost: example.com\r\nAccept: */*\r\n",
+      "POST /api/v2/metrics HTTP/1.1\r\nContent-Type: application/json\r\n",
+      "HTTP/1.1 200 OK\r\nContent-Type: text/html\r\nCache-Control: no-store\r\n",
+      "\x16\x03\x01\x02\x00\x01\x00\x01\xfc\x03\x03",  // TLS client hello-ish
+      "{\"user\":\"alice\",\"action\":\"sync\",\"items\":[1,2,3]}",
+      "220 mail.example.com ESMTP ready\r\nEHLO client.example.org\r\n",
+  };
+  std::string payload = kBenign[rng_() % std::size(kBenign)];
+  // Random filler so payload lengths and contents vary.
+  const std::size_t filler = rng_() % 64;
+  for (std::size_t i = 0; i < filler; ++i) {
+    payload.push_back(static_cast<char>('a' + rng_() % 26));
+  }
+  if (std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+      malicious_fraction_) {
+    payload += " /download/update" + marker_ + " ";
+  }
+  return payload;
+}
+
+std::vector<std::string> PayloadGenerator::batch(std::size_t n) {
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(next());
+  return out;
+}
+
+}  // namespace jaal::payload

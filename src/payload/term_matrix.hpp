@@ -1,0 +1,115 @@
+// Payload-based detection extension (§10, "Payload-based Attacks").
+//
+// The paper sketches how Jaal can handle rudimentary payload attacks: build
+// a term-frequency matrix over a batch of packet payloads ("a popular
+// technique used in sentiment analysis and recommender systems") and treat
+// it exactly like the headers-only batch — reduce, cluster, and match
+// keyword questions against centroids.  This module implements that
+// pipeline over a fixed vocabulary of tracked terms.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "summarize/kmeans.hpp"
+
+namespace jaal::payload {
+
+/// The set of terms whose per-packet frequencies form the matrix columns.
+/// Matching is case-insensitive and byte-oriented (payloads are treated as
+/// opaque byte strings, as a DPI engine would).
+class Vocabulary {
+ public:
+  /// Throws std::invalid_argument on empty vocabularies or empty terms.
+  explicit Vocabulary(std::vector<std::string> terms);
+
+  [[nodiscard]] std::size_t size() const noexcept { return terms_.size(); }
+  [[nodiscard]] const std::vector<std::string>& terms() const noexcept {
+    return terms_;
+  }
+
+  /// Index of a term; throws std::invalid_argument if absent.
+  [[nodiscard]] std::size_t index_of(std::string_view term) const;
+
+  /// Occurrence counts of every term in one payload (overlapping matches
+  /// counted, case-insensitive).
+  [[nodiscard]] std::vector<std::uint32_t> count(
+      std::string_view payload) const;
+
+ private:
+  std::vector<std::string> terms_;  ///< Lower-cased.
+};
+
+/// Default vocabulary: indicators the paper names (".exe", the SSH banner)
+/// plus common exfiltration/infection markers.
+[[nodiscard]] Vocabulary default_vocabulary();
+
+/// n x |V| term-frequency matrix: row i = term counts of payloads[i],
+/// normalized per §4.1 (x / max(x), column-wise over the batch, so all
+/// counts land in [0, 1]; an all-zero column stays zero).
+[[nodiscard]] linalg::Matrix term_frequency_matrix(
+    const Vocabulary& vocab, const std::vector<std::string>& payloads);
+
+/// Summary of a payload batch: k centroids in normalized term space plus
+/// cluster sizes — directly analogous to a header CombinedSummary.
+struct PayloadSummary {
+  linalg::Matrix centroids;            ///< k x |V|.
+  std::vector<std::uint64_t> counts;
+  /// Per-column normalization divisors used (max raw count per term).
+  std::vector<double> column_max;
+};
+
+struct PayloadSummarizerConfig {
+  std::size_t rank = 4;       ///< Term co-occurrence structure is low-rank.
+  std::size_t centroids = 32;
+  std::uint64_t seed = 99;
+};
+
+/// Full pipeline: term matrix -> rank reduction -> k-means++.
+/// Throws std::invalid_argument on an empty batch.
+[[nodiscard]] PayloadSummary summarize_payloads(
+    const Vocabulary& vocab, const std::vector<std::string>& payloads,
+    const PayloadSummarizerConfig& cfg);
+
+/// Keyword rule: alert when at least min_count packets in the batch carry
+/// the term (estimated from the summary's centroids and counts).
+struct KeywordRule {
+  std::string term;
+  std::uint64_t min_count = 1;
+  std::string msg;
+};
+
+struct KeywordAlert {
+  std::string term;
+  std::string msg;
+  double estimated_packets = 0.0;
+};
+
+/// Estimates, from the summary alone, how many packets carry each rule's
+/// term (sum over centroids of count x normalized frequency x column max),
+/// and alerts when the estimate crosses the rule threshold.
+[[nodiscard]] std::vector<KeywordAlert> match_keywords(
+    const Vocabulary& vocab, const PayloadSummary& summary,
+    const std::vector<KeywordRule>& rules);
+
+/// Synthetic payload generator for tests/benches: benign HTTP/TLS-ish
+/// payloads, with a configurable fraction carrying a malicious marker term.
+class PayloadGenerator {
+ public:
+  PayloadGenerator(std::uint64_t seed, double malicious_fraction = 0.0,
+                   std::string marker = ".exe");
+
+  [[nodiscard]] std::string next();
+  [[nodiscard]] std::vector<std::string> batch(std::size_t n);
+
+ private:
+  std::mt19937_64 rng_;
+  double malicious_fraction_;
+  std::string marker_;
+};
+
+}  // namespace jaal::payload

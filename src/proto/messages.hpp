@@ -1,0 +1,96 @@
+// Monitor <-> controller control-plane messages (§7).
+//
+// The paper's deployment keeps a long-lived TCP connection between the
+// controller and every monitor, carrying: periodic load updates (flow
+// assignment), summary uploads, raw-packet requests/responses (feedback),
+// and alert logs.  This module defines those messages and a
+// length-prefixed, type-tagged framing so they can travel over any ordered
+// byte stream.  Encoding is little-endian, independent of host order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "packet/packet.hpp"
+#include "summarize/summary.hpp"
+
+namespace jaal::proto {
+
+/// Monitor -> controller: periodic load report (assignment module input).
+struct LoadUpdate {
+  summarize::MonitorId monitor = 0;
+  double load_pps = 0.0;          ///< Current monitored packet rate.
+  std::uint64_t buffered = 0;     ///< Packets awaiting summarization.
+
+  bool operator==(const LoadUpdate&) const = default;
+};
+
+/// Monitor -> controller: one epoch's summary.
+struct SummaryUpload {
+  std::uint32_t epoch = 0;
+  summarize::MonitorSummary summary;
+};
+
+/// Controller -> monitor: feedback request for the raw packets behind
+/// specific centroids of a given epoch (§5.3 case 3).
+struct RawPacketRequest {
+  std::uint32_t epoch = 0;
+  std::vector<std::uint32_t> centroids;
+
+  bool operator==(const RawPacketRequest&) const = default;
+};
+
+/// Monitor -> controller: the requested raw packets (headers only).
+struct RawPacketResponse {
+  std::uint32_t epoch = 0;
+  std::vector<packet::PacketRecord> packets;
+};
+
+/// Controller -> operator log: one alert (§5).
+struct AlertRecord {
+  std::uint32_t sid = 0;
+  std::string msg;
+  std::uint64_t matched_packets = 0;
+  bool distributed = false;
+  bool via_feedback = false;
+
+  bool operator==(const AlertRecord&) const = default;
+};
+
+using Message = std::variant<LoadUpdate, SummaryUpload, RawPacketRequest,
+                             RawPacketResponse, AlertRecord>;
+
+/// Serializes a message into a self-contained frame:
+/// [u32 length of payload][u8 type tag][payload...].
+[[nodiscard]] std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decodes one frame previously produced by encode().  Throws
+/// std::runtime_error on truncation, bad tags, or length mismatch.
+[[nodiscard]] Message decode(std::span<const std::uint8_t> frame);
+
+/// Incremental frame reassembly over a byte stream: feed arbitrary chunks,
+/// pop complete messages.  This is what each end of the long-lived TCP
+/// connection runs.
+class FrameReader {
+ public:
+  /// Appends received bytes to the reassembly buffer.
+  void feed(std::span<const std::uint8_t> bytes);
+
+  /// Extracts the next complete message, if any.  Throws std::runtime_error
+  /// on a malformed frame (the connection would be reset).
+  [[nodiscard]] std::optional<Message> next();
+
+  /// Bytes currently buffered (for flow-control accounting).
+  [[nodiscard]] std::size_t buffered() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace jaal::proto

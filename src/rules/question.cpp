@@ -1,0 +1,84 @@
+#include "rules/question.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace jaal::rules {
+
+using packet::FieldIndex;
+
+double Question::distance(std::span<const double> x) const noexcept {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    if (q[j] == kWildcard) continue;
+    sum += std::abs(q[j] - x[j]);
+    ++n;
+  }
+  if (n == 0) return std::numeric_limits<double>::infinity();
+  return sum / static_cast<double>(n);
+}
+
+std::size_t Question::constrained_fields() const noexcept {
+  std::size_t n = 0;
+  for (double v : q) n += (v != kWildcard) ? 1 : 0;
+  return n;
+}
+
+namespace {
+
+void pin(Question& question, FieldIndex f, double raw_value) {
+  question.q[packet::index(f)] = packet::normalize_field(f, raw_value);
+}
+
+void pin_addr(Question& question, FieldIndex f, const AddrSpec& spec) {
+  if (spec.any || spec.negated) return;  // unconstrainable as a point value
+  // Midpoint of the covered span: worst-case distance for any in-range
+  // address is half the (normalized) span width.  For block lists, use the
+  // span from the lowest block start to the highest block end.
+  std::uint32_t lo = ~std::uint32_t{0};
+  std::uint32_t hi = 0;
+  for (const AddrSpec::Block& b : spec.blocks) {
+    const std::uint32_t mask =
+        b.prefix == 0 ? 0 : ~std::uint32_t{0} << (32 - b.prefix);
+    lo = std::min(lo, b.addr & mask);
+    hi = std::max(hi, (b.addr & mask) | ~mask);
+  }
+  pin(question, f, (static_cast<double>(lo) + static_cast<double>(hi)) / 2.0);
+}
+
+}  // namespace
+
+Question translate(const Rule& rule) {
+  Question question;
+  question.q.fill(kWildcard);
+  question.sid = rule.sid;
+  question.msg = rule.msg;
+
+  pin_addr(question, FieldIndex::kIpSrcAddr, rule.src_addr);
+  pin_addr(question, FieldIndex::kIpDstAddr, rule.dst_addr);
+  if (rule.src_port.is_exact_port()) {
+    pin(question, FieldIndex::kTcpSrcPort, rule.src_port.value());
+  }
+  if (rule.dst_port.is_exact_port()) {
+    pin(question, FieldIndex::kTcpDstPort, rule.dst_port.value());
+  }
+  if (rule.flags) pin(question, FieldIndex::kTcpFlags, *rule.flags);
+  if (rule.window) pin(question, FieldIndex::kTcpWindow, *rule.window);
+
+  if (rule.detection_filter) {
+    question.tau_c = rule.detection_filter->count;
+    question.window_seconds = rule.detection_filter->seconds;
+  }
+  question.variance = rule.variance;
+  return question;
+}
+
+std::vector<Question> translate(const std::vector<Rule>& rules) {
+  std::vector<Question> out;
+  out.reserve(rules.size());
+  for (const Rule& r : rules) out.push_back(translate(r));
+  return out;
+}
+
+}  // namespace jaal::rules

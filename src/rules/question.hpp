@@ -1,0 +1,50 @@
+// Rule -> question-vector translation (§5.2, "Translator").
+//
+// A question vector q has length p = 18; entry j is the normalized value the
+// rule pins for header field j, or -1 when the rule does not constrain that
+// field.  The similarity estimator (Algorithm 1) compares q against summary
+// centroids with the normalized L1 distance of Eq. 5.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace jaal::rules {
+
+/// Wildcard marker inside a question vector.
+inline constexpr double kWildcard = -1.0;
+
+struct Question {
+  std::array<double, packet::kFieldCount> q{};  ///< Normalized or kWildcard.
+  std::uint32_t sid = 0;
+  std::string msg;
+  /// Minimum matched-packet count before alerting (tau_c, Algorithm 1);
+  /// carried over from the rule's detection_filter (default 1).
+  std::uint64_t tau_c = 1;
+  /// Time window the count applies to (from detection_filter.seconds).
+  double window_seconds = 60.0;
+  /// Postprocessor check for preprocessor-style distributed attacks.
+  std::optional<VarianceCheck> variance;
+
+  /// Eq. 5: mean |q_j - x_j| over constrained fields j.  Returns +inf for a
+  /// fully wildcarded question (nothing to match on).
+  [[nodiscard]] double distance(std::span<const double> x) const noexcept;
+
+  /// Number of constrained (non-wildcard) entries.
+  [[nodiscard]] std::size_t constrained_fields() const noexcept;
+};
+
+/// Translates one rule.  Address constraints map to the midpoint of their
+/// CIDR range (minimizing worst-case distance for in-range traffic); negated
+/// specs ($EXTERNAL_NET) cannot be pinned to a value and stay wildcards.
+[[nodiscard]] Question translate(const Rule& rule);
+
+/// Translates a whole ruleset.
+[[nodiscard]] std::vector<Question> translate(const std::vector<Rule>& rules);
+
+}  // namespace jaal::rules

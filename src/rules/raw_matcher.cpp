@@ -1,0 +1,66 @@
+#include "rules/raw_matcher.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "linalg/stats.hpp"
+
+namespace jaal::rules {
+
+RawMatcher::RawMatcher(std::vector<Rule> rules) : rules_(std::move(rules)) {}
+
+std::vector<RawAlert> RawMatcher::analyze(
+    std::span<const packet::PacketRecord> window, double window_seconds,
+    double threshold_scale) const {
+  std::vector<RawAlert> alerts;
+  for (const Rule& rule : rules_) {
+    std::uint64_t matched = 0;
+    std::unordered_map<std::uint32_t, std::uint64_t> per_source;
+    linalg::RunningStats field_stats;
+    for (const auto& pkt : window) {
+      if (!rule.matches_packet(pkt)) continue;
+      ++matched;
+      ++per_source[pkt.ip.src_ip];
+      if (rule.variance) {
+        const auto v = packet::to_normalized_vector(pkt);
+        field_stats.add(v[packet::index(rule.variance->field)]);
+      }
+    }
+    if (matched == 0) continue;
+
+    std::uint64_t max_src = 0;
+    for (const auto& [src, count] : per_source) {
+      max_src = std::max(max_src, count);
+    }
+
+    // Threshold, scaled down when we only observed a fraction of the
+    // filter's period (e.g. a 2 s window against a 60 s filter).
+    std::uint64_t threshold = 1;
+    if (rule.detection_filter) {
+      double t = rule.detection_filter->count * threshold_scale;
+      if (window_seconds > 0.0 &&
+          window_seconds < rule.detection_filter->seconds) {
+        t *= window_seconds / rule.detection_filter->seconds;
+      }
+      threshold = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::ceil(t)));
+    }
+    if (max_src < threshold && matched < threshold) continue;
+
+    RawAlert alert;
+    alert.sid = rule.sid;
+    alert.msg = rule.msg;
+    alert.matched_packets = matched;
+    alert.max_per_source = max_src;
+    if (rule.variance) {
+      alert.variance_triggered =
+          field_stats.variance() >= rule.variance->threshold;
+      if (!alert.variance_triggered) continue;  // equivalent rule not met
+    }
+    alerts.push_back(std::move(alert));
+  }
+  return alerts;
+}
+
+}  // namespace jaal::rules

@@ -1,0 +1,52 @@
+// Snort-equivalent raw-packet detection engine.
+//
+// Used in three places that need ground-truth-style raw analysis:
+//  * the feedback loop (§5.3 case 3): uncertain centroids trigger retrieval
+//    of raw packets, which are then "done by pattern matching using
+//    traditional Snort rules";
+//  * the Fig. 7 vanilla baseline (copy everything to a central Snort);
+//  * baseline comparisons (reservoir sampling, Table 1).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rules/rule.hpp"
+
+namespace jaal::rules {
+
+struct RawAlert {
+  std::uint32_t sid = 0;
+  std::string msg;
+  std::uint64_t matched_packets = 0;
+  /// Highest per-source match count (what "track by_src" thresholds on).
+  std::uint64_t max_per_source = 0;
+  bool variance_triggered = false;  ///< Postprocessor-equivalent outcome.
+};
+
+class RawMatcher {
+ public:
+  explicit RawMatcher(std::vector<Rule> rules);
+
+  /// Analyzes one time window of packets.  A rule fires when
+  ///  * its signature matches at least detection_filter.count packets
+  ///    (tracked per source, scaled to the window length when the filter's
+  ///    period exceeds it), and
+  ///  * its variance check (if any) passes over the matching packets.
+  /// `window_seconds` is the span the packets cover (used for threshold
+  /// scaling); pass 0 to apply thresholds unscaled.  `threshold_scale`
+  /// multiplies every count threshold — callers evaluating windows of
+  /// non-nominal packet volume (or sampled views) adjust with it.
+  [[nodiscard]] std::vector<RawAlert> analyze(
+      std::span<const packet::PacketRecord> window,
+      double window_seconds = 0.0, double threshold_scale = 1.0) const;
+
+  [[nodiscard]] const std::vector<Rule>& rules() const noexcept {
+    return rules_;
+  }
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+}  // namespace jaal::rules

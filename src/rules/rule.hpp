@@ -1,0 +1,165 @@
+// Snort-subset rule model and parser.
+//
+// Jaal translates Snort signature rules into question vectors (§5.2).  This
+// module models the rule subset relevant to transport-layer attacks (the
+// paper's threat model): 5-tuple constraints, TCP flag tests, window tests,
+// detection_filter thresholds — plus Jaal's "equivalent rules" for
+// preprocessor-style distributed attacks, expressed as a variance check on
+// one header field (Algorithm 2).
+//
+// Grammar (one rule per line; '#' starts a comment):
+//   alert tcp <addr> <port> -> <addr> <port> ( option; option; ... )
+// where <addr> is any | $HOME_NET | $EXTERNAL_NET | a.b.c.d | a.b.c.d/nn
+// and <port> is any | integer.
+// Options understood: msg, sid, rev, flags, window, content, depth,
+// detection_filter (track by_src, count N, seconds S), classtype, metadata,
+// flow (accepted, ignored), threshold (as detection_filter), and the Jaal
+// extension `jaal_variance: <field>, <tau_v>`.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "packet/fields.hpp"
+
+namespace jaal::rules {
+
+/// Address constraint: `any`, a CIDR block, or a bracketed list of CIDR
+/// blocks ("[10.0.0.0/8,192.168.1.0/24]"), optionally negated with '!'
+/// (e.g. $EXTERNAL_NET = !$HOME_NET, or "![10.0.0.0/8]").
+struct AddrSpec {
+  struct Block {
+    std::uint32_t addr = 0;   ///< Network address, host order.
+    std::uint32_t prefix = 32;
+
+    [[nodiscard]] bool contains(std::uint32_t ip) const noexcept;
+    bool operator==(const Block&) const = default;
+  };
+
+  bool any = true;
+  bool negated = false;       ///< Match = NOT in any block.
+  std::vector<Block> blocks;  ///< Union of CIDR blocks (>=1 when !any).
+
+  [[nodiscard]] bool matches(std::uint32_t ip) const noexcept;
+  /// True when the spec pins one exact host address.
+  [[nodiscard]] bool is_exact_host() const noexcept {
+    return !any && !negated && blocks.size() == 1 && blocks[0].prefix == 32;
+  }
+  /// Convenience accessors for the single-block case (the common one).
+  [[nodiscard]] std::uint32_t addr() const noexcept {
+    return blocks.empty() ? 0 : blocks[0].addr;
+  }
+  [[nodiscard]] std::uint32_t prefix() const noexcept {
+    return blocks.empty() ? 32 : blocks[0].prefix;
+  }
+
+  /// Builds a single-block spec.
+  [[nodiscard]] static AddrSpec cidr(std::uint32_t addr, std::uint32_t prefix,
+                                     bool negated = false);
+};
+
+/// Port constraint: `any`, a single port, a Snort range "lo:hi" (either
+/// bound omittable: ":1024", "1024:"), or a bracketed list mixing both
+/// ("[22,80,8000:8080]"), optionally negated with '!'.
+struct PortSpec {
+  struct Range {
+    std::uint16_t lo = 0;
+    std::uint16_t hi = 65535;
+
+    [[nodiscard]] bool contains(std::uint16_t p) const noexcept {
+      return p >= lo && p <= hi;
+    }
+    bool operator==(const Range&) const = default;
+  };
+
+  bool any = true;
+  bool negated = false;
+  std::vector<Range> ranges;
+
+  [[nodiscard]] bool matches(std::uint16_t port) const noexcept;
+  /// True when the spec pins exactly one port.
+  [[nodiscard]] bool is_exact_port() const noexcept {
+    return !any && !negated && ranges.size() == 1 &&
+           ranges[0].lo == ranges[0].hi;
+  }
+  [[nodiscard]] std::uint16_t value() const noexcept {
+    return ranges.empty() ? 0 : ranges[0].lo;
+  }
+
+  /// Builds a single-port spec.
+  [[nodiscard]] static PortSpec exact(std::uint16_t port);
+};
+
+/// detection_filter / threshold option: alert only after `count` matching
+/// packets within `seconds`, tracked by source.
+struct DetectionFilter {
+  std::uint32_t count = 1;
+  double seconds = 60.0;
+};
+
+/// Jaal's preprocessor-equivalent extension: alert when the variance of a
+/// header field across matching packets exceeds tau_v (Algorithm 2).
+struct VarianceCheck {
+  packet::FieldIndex field = packet::FieldIndex::kTcpDstPort;
+  double threshold = 0.0;  ///< tau_v in normalized-field units.
+};
+
+struct Rule {
+  std::string action = "alert";
+  std::string proto = "tcp";
+  AddrSpec src_addr;
+  PortSpec src_port;
+  AddrSpec dst_addr;
+  PortSpec dst_port;
+
+  std::string msg;
+  std::uint32_t sid = 0;
+  std::uint32_t rev = 0;
+  /// Exact TCP flag byte the packet must carry (flags:S -> SYN only).
+  std::optional<std::uint8_t> flags;
+  std::optional<std::uint16_t> window;
+  std::optional<std::string> content;  ///< Accepted; headers-only engines ignore it.
+  std::optional<DetectionFilter> detection_filter;
+  std::optional<VarianceCheck> variance;
+  /// Jaal extension `jaal_raw_count`: the exact-match packet count that
+  /// confirms this rule during raw verification (feedback case 3 and the
+  /// verify-all-alerts mode).  Summary-domain counts (detection_filter)
+  /// absorb near-miss benign centroids under normalized distances; exact
+  /// matching does not, so its confirmation threshold is separate and
+  /// typically much lower.  Absent: a kRawEvidenceFactor fraction of the
+  /// detection_filter count is used.
+  std::optional<std::uint32_t> raw_count;
+
+  /// Does the packet's 5-tuple + header constraints satisfy this rule
+  /// (ignoring detection_filter counting)?
+  [[nodiscard]] bool matches_packet(const packet::PacketRecord& pkt) const noexcept;
+};
+
+/// Variable bindings used during parsing.
+struct RuleVars {
+  AddrSpec home_net;  ///< $HOME_NET; $EXTERNAL_NET is its negation.
+};
+
+/// Parses one rule line.  Throws std::invalid_argument with a diagnostic on
+/// malformed input.
+[[nodiscard]] Rule parse_rule(const std::string& line, const RuleVars& vars);
+
+/// Parses a rule file (skips blanks and comments).
+[[nodiscard]] std::vector<Rule> parse_rules(const std::string& text,
+                                            const RuleVars& vars);
+
+/// Loads and parses a rule file from disk.  Throws std::runtime_error if
+/// the file cannot be read, std::invalid_argument on malformed rules.
+[[nodiscard]] std::vector<Rule> load_rules_file(const std::string& path,
+                                                const RuleVars& vars);
+
+/// Parses Snort flag letters ("S", "SA", "FPA"...) into a flag byte.
+[[nodiscard]] std::uint8_t parse_flag_letters(const std::string& letters);
+
+/// The built-in rule set covering the paper's five evaluation attacks plus
+/// the Mirai scan, written against a given victim/home network.
+[[nodiscard]] std::string default_ruleset_text();
+
+}  // namespace jaal::rules

@@ -1,0 +1,273 @@
+#include "summarize/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace jaal::summarize {
+namespace {
+
+[[nodiscard]] double sq_dist(std::span<const double> a,
+                             std::span<const double> b) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+/// k-means++ D^2 seeding: first centroid uniform, each next centroid chosen
+/// with probability proportional to squared distance from the closest
+/// already-chosen centroid.
+std::vector<std::size_t> seed_plus_plus(const linalg::Matrix& x, std::size_t k,
+                                        std::mt19937_64& rng) {
+  const std::size_t n = x.rows();
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  chosen.push_back(rng() % n);
+
+  std::vector<double> d2(n, std::numeric_limits<double>::max());
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  while (chosen.size() < k) {
+    const auto last = x.row(chosen.back());
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      d2[i] = std::min(d2[i], sq_dist(x.row(i), last));
+      total += d2[i];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a centroid; pick arbitrarily.
+      chosen.push_back(rng() % n);
+      continue;
+    }
+    double target = unit(rng) * total;
+    std::size_t pick = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= d2[i];
+      if (target <= 0.0) {
+        pick = i;
+        break;
+      }
+    }
+    chosen.push_back(pick);
+  }
+  return chosen;
+}
+
+std::vector<std::size_t> seed_random(const linalg::Matrix& x, std::size_t k,
+                                     std::mt19937_64& rng) {
+  std::vector<std::size_t> chosen;
+  chosen.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) chosen.push_back(rng() % x.rows());
+  return chosen;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
+                    std::mt19937_64& rng, const KMeansOptions& opts) {
+  if (k == 0) throw std::invalid_argument("kmeans: k must be positive");
+  if (x.empty()) throw std::invalid_argument("kmeans: empty input");
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+
+  KMeansResult res;
+  if (k >= n) {
+    // Degenerate case: every packet is its own representative.
+    res.centroids = x;
+    res.assignment.resize(n);
+    res.counts.assign(n, 1);
+    for (std::size_t i = 0; i < n; ++i) res.assignment[i] = i;
+    return res;
+  }
+
+  const auto seeds = opts.init == KMeansInit::kPlusPlus
+                         ? seed_plus_plus(x, k, rng)
+                         : seed_random(x, k, rng);
+  res.centroids = linalg::Matrix(k, d);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto src = x.row(seeds[c]);
+    std::copy(src.begin(), src.end(), res.centroids.row(c).begin());
+  }
+
+  res.assignment.assign(n, 0);
+  res.counts.assign(k, 0);
+  linalg::Matrix sums(k, d);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    // Assignment step.
+    res.inertia = 0.0;
+    std::fill(res.counts.begin(), res.counts.end(), 0);
+    std::fill(sums.data().begin(), sums.data().end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.row(i);
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist = sq_dist(row, res.centroids.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      res.assignment[i] = best_c;
+      res.inertia += best;
+      ++res.counts[best_c];
+      auto sum_row = sums.row(best_c);
+      for (std::size_t j = 0; j < d; ++j) sum_row[j] += row[j];
+    }
+    // Update step.
+    double moved = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      auto centroid = res.centroids.row(c);
+      if (res.counts[c] == 0) continue;  // empty cluster keeps its centroid
+      const auto sum_row = sums.row(c);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double updated =
+            sum_row[j] / static_cast<double>(res.counts[c]);
+        moved = std::max(moved, std::abs(updated - centroid[j]));
+        centroid[j] = updated;
+      }
+    }
+    if (moved < opts.tolerance) break;
+  }
+
+  // Final assignment consistent with the returned centroids.
+  res.inertia = 0.0;
+  std::fill(res.counts.begin(), res.counts.end(), 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = x.row(i);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dist = sq_dist(row, res.centroids.row(c));
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    res.assignment[i] = best_c;
+    res.inertia += best;
+    ++res.counts[best_c];
+  }
+  return res;
+}
+
+KMeansResult weighted_kmeans(const linalg::Matrix& x,
+                             std::span<const std::uint64_t> weights,
+                             std::size_t k, std::mt19937_64& rng,
+                             const KMeansOptions& opts) {
+  if (k == 0) throw std::invalid_argument("weighted_kmeans: k must be positive");
+  if (x.empty()) throw std::invalid_argument("weighted_kmeans: empty input");
+  if (weights.size() != x.rows()) {
+    throw std::invalid_argument("weighted_kmeans: weights/rows mismatch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  std::uint64_t total_weight = 0;
+  for (std::uint64_t w : weights) total_weight += w;
+  if (total_weight == 0) {
+    throw std::invalid_argument("weighted_kmeans: zero total weight");
+  }
+
+  KMeansResult res;
+  if (k >= n) {
+    res.centroids = x;
+    res.assignment.resize(n);
+    res.counts.assign(weights.begin(), weights.end());
+    for (std::size_t i = 0; i < n; ++i) res.assignment[i] = i;
+    return res;
+  }
+
+  // Weighted D^2 seeding: candidate probability proportional to
+  // weight x squared distance (the weighted k-means++ generalization).
+  std::vector<std::size_t> seeds;
+  {
+    std::uniform_real_distribution<double> unit(0.0, 1.0);
+    // First seed: weight-proportional.
+    double target = unit(rng) * static_cast<double>(total_weight);
+    std::size_t first = n - 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      target -= static_cast<double>(weights[i]);
+      if (target <= 0.0) {
+        first = i;
+        break;
+      }
+    }
+    seeds.push_back(first);
+    std::vector<double> d2(n, std::numeric_limits<double>::max());
+    while (seeds.size() < k) {
+      const auto last = x.row(seeds.back());
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        d2[i] = std::min(d2[i], sq_dist(x.row(i), last));
+        total += d2[i] * static_cast<double>(weights[i]);
+      }
+      if (total <= 0.0) {
+        seeds.push_back(rng() % n);
+        continue;
+      }
+      double pick_target = unit(rng) * total;
+      std::size_t pick = n - 1;
+      for (std::size_t i = 0; i < n; ++i) {
+        pick_target -= d2[i] * static_cast<double>(weights[i]);
+        if (pick_target <= 0.0) {
+          pick = i;
+          break;
+        }
+      }
+      seeds.push_back(pick);
+    }
+  }
+
+  res.centroids = linalg::Matrix(k, d);
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto src = x.row(seeds[c]);
+    std::copy(src.begin(), src.end(), res.centroids.row(c).begin());
+  }
+
+  res.assignment.assign(n, 0);
+  res.counts.assign(k, 0);
+  linalg::Matrix sums(k, d);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    res.iterations = iter + 1;
+    res.inertia = 0.0;
+    std::fill(res.counts.begin(), res.counts.end(), 0);
+    std::fill(sums.data().begin(), sums.data().end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.row(i);
+      double best = std::numeric_limits<double>::max();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist = sq_dist(row, res.centroids.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      const double w = static_cast<double>(weights[i]);
+      res.assignment[i] = best_c;
+      res.inertia += best * w;
+      res.counts[best_c] += weights[i];
+      auto sum_row = sums.row(best_c);
+      for (std::size_t j = 0; j < d; ++j) sum_row[j] += row[j] * w;
+    }
+    double moved = 0.0;
+    for (std::size_t c = 0; c < k; ++c) {
+      if (res.counts[c] == 0) continue;
+      auto centroid = res.centroids.row(c);
+      const auto sum_row = sums.row(c);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double updated =
+            sum_row[j] / static_cast<double>(res.counts[c]);
+        moved = std::max(moved, std::abs(updated - centroid[j]));
+        centroid[j] = updated;
+      }
+    }
+    if (moved < opts.tolerance) break;
+  }
+  return res;
+}
+
+}  // namespace jaal::summarize

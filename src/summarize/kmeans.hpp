@@ -1,0 +1,51 @@
+// Vector quantization of the packets mode (§4.3).
+//
+// The paper poses packet-mode reduction as k-means (NP-hard in general) and
+// uses k-means++ seeding with Lloyd iterations, for its O(log k)
+// competitiveness and fast convergence.  A plain random-seeded Lloyd is also
+// provided for the initialization ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace jaal::summarize {
+
+enum class KMeansInit : std::uint8_t {
+  kPlusPlus,  ///< k-means++ D^2 seeding (the paper's choice).
+  kRandom,    ///< Uniform random rows (naive Lloyd), for ablation.
+};
+
+struct KMeansOptions {
+  std::size_t max_iterations = 25;
+  double tolerance = 1e-7;  ///< Stop when centroids move less than this.
+  KMeansInit init = KMeansInit::kPlusPlus;
+};
+
+struct KMeansResult {
+  linalg::Matrix centroids;             ///< k x d.
+  std::vector<std::size_t> assignment;  ///< Row -> centroid index, size n.
+  std::vector<std::uint64_t> counts;    ///< Cluster membership counts, size k.
+  double inertia = 0.0;                 ///< Sum of squared distances.
+  std::size_t iterations = 0;
+};
+
+/// Clusters the rows of `x` into k groups.  If k >= n, each row becomes its
+/// own centroid.  Throws std::invalid_argument for k == 0 or empty x.
+[[nodiscard]] KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
+                                  std::mt19937_64& rng,
+                                  const KMeansOptions& opts = {});
+
+/// Weighted k-means: row i represents weights[i] identical points (e.g. a
+/// centroid from a lower summarization level with its membership count).
+/// Centroid updates and the inertia are weight-scaled; the returned counts
+/// are sums of member weights.  Throws std::invalid_argument on size
+/// mismatch, zero total weight, k == 0, or empty x.
+[[nodiscard]] KMeansResult weighted_kmeans(
+    const linalg::Matrix& x, std::span<const std::uint64_t> weights,
+    std::size_t k, std::mt19937_64& rng, const KMeansOptions& opts = {});
+
+}  // namespace jaal::summarize

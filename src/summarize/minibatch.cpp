@@ -1,0 +1,98 @@
+#include "summarize/minibatch.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace jaal::summarize {
+
+MiniBatchClusterer::MiniBatchClusterer(std::size_t k, std::size_t dims,
+                                       std::uint64_t seed)
+    : k_(k), dims_(dims), rng_(seed), centroids_(k, dims) {
+  if (k_ == 0 || dims_ == 0) {
+    throw std::invalid_argument("MiniBatchClusterer: zero k or dims");
+  }
+  counts_.assign(k_, 0);
+  epoch_counts_.assign(k_, 0);
+}
+
+std::size_t MiniBatchClusterer::nearest(std::span<const double> v) const {
+  std::size_t best = 0;
+  double best_d = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < seeded_; ++c) {
+    const auto row = centroids_.row(c);
+    double d = 0.0;
+    for (std::size_t j = 0; j < dims_; ++j) {
+      const double diff = v[j] - row[j];
+      d += diff * diff;
+    }
+    if (d < best_d) {
+      best_d = d;
+      best = c;
+    }
+  }
+  return best;
+}
+
+void MiniBatchClusterer::add(std::span<const double> v) {
+  if (v.size() != dims_) {
+    throw std::invalid_argument("MiniBatchClusterer::add: wrong dimension");
+  }
+  ++seen_;
+  if (seeded_ < k_) {
+    auto row = centroids_.row(seeded_);
+    std::copy(v.begin(), v.end(), row.begin());
+    counts_[seeded_] = 1;
+    epoch_counts_[seeded_] = 1;
+    ++seeded_;
+    return;
+  }
+  const std::size_t c = nearest(v);
+  auto row = centroids_.row(c);
+  double err = 0.0;
+  for (std::size_t j = 0; j < dims_; ++j) {
+    const double diff = v[j] - row[j];
+    err += diff * diff;
+  }
+  error_sum_ += err;
+  ++counts_[c];
+  ++epoch_counts_[c];
+  // Sculley's per-centroid learning rate: eta = 1 / lifetime count.
+  const double eta = 1.0 / static_cast<double>(counts_[c]);
+  for (std::size_t j = 0; j < dims_; ++j) {
+    row[j] += eta * (v[j] - row[j]);
+  }
+}
+
+void MiniBatchClusterer::add(const packet::PacketRecord& pkt) {
+  if (dims_ != packet::kFieldCount) {
+    throw std::invalid_argument(
+        "MiniBatchClusterer::add(packet): dims != field count");
+  }
+  const auto v = packet::to_normalized_vector(pkt);
+  add(std::span<const double>(v));
+}
+
+double MiniBatchClusterer::mean_quantization_error() const noexcept {
+  const std::uint64_t updates = seen_ > seeded_ ? seen_ - seeded_ : 0;
+  return updates == 0 ? 0.0 : error_sum_ / static_cast<double>(updates);
+}
+
+MiniBatchClusterer::Epoch MiniBatchClusterer::flush_epoch() {
+  std::size_t live = 0;
+  for (std::uint64_t c : epoch_counts_) live += c > 0 ? 1 : 0;
+  Epoch epoch;
+  epoch.centroids = linalg::Matrix(live, dims_);
+  epoch.counts.reserve(live);
+  std::size_t out = 0;
+  for (std::size_t c = 0; c < k_; ++c) {
+    if (epoch_counts_[c] == 0) continue;
+    const auto src = centroids_.row(c);
+    std::copy(src.begin(), src.end(), epoch.centroids.row(out).begin());
+    epoch.counts.push_back(epoch_counts_[c]);
+    ++out;
+  }
+  std::fill(epoch_counts_.begin(), epoch_counts_.end(), 0);
+  return epoch;
+}
+
+}  // namespace jaal::summarize

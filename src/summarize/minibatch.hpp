@@ -1,0 +1,73 @@
+// Streaming mini-batch k-means (Sculley 2010) for high-rate monitors.
+//
+// The batch pipeline (§4.3) reruns k-means++ from scratch every epoch.  A
+// monitor at hundreds of kpps can instead maintain centroids incrementally:
+// packets update their nearest centroid with a per-centroid learning rate
+// 1/n_c as they arrive, and the epoch flush just reads the current state.
+// Quality is slightly below full Lloyd (see bench_ablation_kmeans_init) but
+// per-packet cost is O(k d) with no end-of-epoch spike.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "packet/fields.hpp"
+
+namespace jaal::summarize {
+
+class MiniBatchClusterer {
+ public:
+  /// `dims` is the vector dimensionality (p = 18 for header vectors).
+  /// Throws std::invalid_argument on zero k or dims.
+  MiniBatchClusterer(std::size_t k, std::size_t dims, std::uint64_t seed);
+
+  /// Consumes one normalized vector (size dims).  The first k distinct
+  /// vectors seed the centroids; afterwards each update moves the nearest
+  /// centroid by 1/count toward the sample.
+  void add(std::span<const double> v);
+
+  /// Consumes a packet (normalized internally); dims must equal p.
+  void add(const packet::PacketRecord& pkt);
+
+  [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+
+  /// Current centroids (k x dims) — rows with zero count are unused seeds.
+  [[nodiscard]] const linalg::Matrix& centroids() const noexcept {
+    return centroids_;
+  }
+  [[nodiscard]] const std::vector<std::uint64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+  /// Mean squared distance of the samples to their assigned centroid over
+  /// everything added so far (an online inertia estimate).
+  [[nodiscard]] double mean_quantization_error() const noexcept;
+
+  /// Epoch flush: returns (centroids, counts) of clusters that received at
+  /// least one member, and resets the membership counters (centroid
+  /// positions persist across epochs — the warm start is the point).
+  struct Epoch {
+    linalg::Matrix centroids;
+    std::vector<std::uint64_t> counts;
+  };
+  [[nodiscard]] Epoch flush_epoch();
+
+ private:
+  [[nodiscard]] std::size_t nearest(std::span<const double> v) const;
+
+  std::size_t k_;
+  std::size_t dims_;
+  std::mt19937_64 rng_;
+  linalg::Matrix centroids_;
+  std::vector<std::uint64_t> counts_;        ///< Lifetime update counts.
+  std::vector<std::uint64_t> epoch_counts_;  ///< Members this epoch.
+  std::size_t seeded_ = 0;
+  std::uint64_t seen_ = 0;
+  double error_sum_ = 0.0;
+};
+
+}  // namespace jaal::summarize

@@ -1,0 +1,37 @@
+#include "summarize/normalize.hpp"
+
+#include <stdexcept>
+
+namespace jaal::summarize {
+
+using packet::kFieldCount;
+
+linalg::Matrix to_matrix(std::span<const packet::PacketRecord> packets) {
+  linalg::Matrix x(packets.size(), kFieldCount);
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    const auto v = packet::to_field_vector(packets[i]);
+    std::copy(v.begin(), v.end(), x.row(i).begin());
+  }
+  return x;
+}
+
+linalg::Matrix to_normalized_matrix(
+    std::span<const packet::PacketRecord> packets) {
+  linalg::Matrix x = to_matrix(packets);
+  normalize_in_place(x);
+  return x;
+}
+
+void normalize_in_place(linalg::Matrix& x) {
+  if (x.cols() != kFieldCount) {
+    throw std::invalid_argument("normalize_in_place: expected p = 18 columns");
+  }
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    auto row = x.row(r);
+    for (std::size_t c = 0; c < kFieldCount; ++c) {
+      row[c] /= packet::field_max(static_cast<packet::FieldIndex>(c));
+    }
+  }
+}
+
+}  // namespace jaal::summarize

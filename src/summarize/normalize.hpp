@@ -1,0 +1,27 @@
+// Batch assembly and normalization (§4.1).
+//
+// A batch of n packets becomes an n x p matrix X (p = 18 header fields);
+// each field is divided by its maximum possible value so distances are not
+// dominated by wide-range fields like IP addresses.
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+#include "packet/fields.hpp"
+
+namespace jaal::summarize {
+
+/// Raw header matrix X: row i = field vector of packets[i].
+[[nodiscard]] linalg::Matrix to_matrix(
+    std::span<const packet::PacketRecord> packets);
+
+/// Normalized matrix X_bar with every entry in [0, 1].
+[[nodiscard]] linalg::Matrix to_normalized_matrix(
+    std::span<const packet::PacketRecord> packets);
+
+/// Normalizes a raw header matrix in place (columns in FieldIndex order).
+/// Throws std::invalid_argument if x.cols() != kFieldCount.
+void normalize_in_place(linalg::Matrix& x);
+
+}  // namespace jaal::summarize

@@ -1,0 +1,78 @@
+#include "summarize/summarizer.hpp"
+
+#include <stdexcept>
+
+#include "linalg/svd.hpp"
+
+namespace jaal::summarize {
+
+Summarizer::Summarizer(const SummarizerConfig& cfg, MonitorId monitor)
+    : cfg_(cfg), monitor_(monitor), rng_(cfg.seed) {
+  if (cfg_.rank == 0 || cfg_.rank > packet::kFieldCount) {
+    throw std::invalid_argument("Summarizer: rank must be in [1, p]");
+  }
+  if (cfg_.centroids == 0) {
+    throw std::invalid_argument("Summarizer: k must be positive");
+  }
+  if (cfg_.batch_size == 0 || cfg_.min_batch > cfg_.batch_size) {
+    throw std::invalid_argument("Summarizer: bad batch sizing");
+  }
+}
+
+std::size_t Summarizer::combined_cost() const noexcept {
+  return cfg_.centroids * (packet::kFieldCount + 1);
+}
+
+std::size_t Summarizer::split_cost() const noexcept {
+  return cfg_.rank * (cfg_.centroids + packet::kFieldCount + 1) +
+         cfg_.centroids;
+}
+
+SummarizeOutput Summarizer::summarize(
+    std::span<const packet::PacketRecord> batch) {
+  if (batch.size() < cfg_.min_batch) {
+    throw std::invalid_argument(
+        "Summarizer: batch below n_min; SVD/k-means need more data");
+  }
+
+  // Step 0 (§4.1): normalize into [0,1]^p.
+  const linalg::Matrix x_bar = to_normalized_matrix(batch);
+
+  // Step 1 (§4.2): fields-mode reduction.  Rank is capped by the batch size
+  // for tiny batches.
+  const std::size_t r = std::min(cfg_.rank, batch.size());
+  const linalg::SvdResult svd =
+      cfg_.randomized_svd ? linalg::randomized_svd(x_bar, r, rng_)
+                          : linalg::truncated_svd(x_bar, r);
+
+  const bool use_split =
+      cfg_.format == SummaryFormat::kSplit ||
+      (cfg_.format == SummaryFormat::kAuto && split_cost() < combined_cost());
+
+  SummarizeOutput out;
+  if (use_split) {
+    // Step 2 (§4.3, split): cluster rows of U_r; ship factors separately.
+    const KMeansResult km = kmeans(svd.u, cfg_.centroids, rng_, cfg_.kmeans);
+    SplitSummary s;
+    s.monitor = monitor_;
+    s.u_centroids = km.centroids;
+    s.sigma = svd.sigma;
+    s.vt = svd.v.transposed();
+    s.counts = km.counts;
+    out.summary = std::move(s);
+    out.assignment = km.assignment;
+  } else {
+    // Step 2 (§4.3, combined): cluster rows of the rank-reduced X_p.
+    const linalg::Matrix x_p = svd.reconstruct();
+    const KMeansResult km = kmeans(x_p, cfg_.centroids, rng_, cfg_.kmeans);
+    CombinedSummary s;
+    s.monitor = monitor_;
+    s.centroids = km.centroids;
+    s.counts = km.counts;
+    out.summary = std::move(s);
+    out.assignment = km.assignment;
+  }
+  return out;
+}
+
+}  // namespace jaal::summarize

@@ -1,0 +1,70 @@
+// The two-step summarization pipeline run by every monitor (§4).
+//
+// batch -> normalize -> fields-mode SVD (rank r) -> packets-mode k-means++
+// (k centroids) -> S1 or S2, whichever is smaller for the configured
+// (r, k, p): the paper sends S2 iff r(k+p+1)+k < k(p+1).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "summarize/kmeans.hpp"
+#include "summarize/normalize.hpp"
+#include "summarize/summary.hpp"
+
+namespace jaal::summarize {
+
+enum class SummaryFormat : std::uint8_t {
+  kAuto,      ///< Pick the cheaper of S1/S2 (the paper's rule).
+  kCombined,  ///< Force S1.
+  kSplit,     ///< Force S2.
+};
+
+struct SummarizerConfig {
+  std::size_t batch_size = 1000;   ///< n: packets per batch.
+  std::size_t min_batch = 600;     ///< n_min: below this, skip summarizing.
+  std::size_t rank = 12;           ///< r: retained singular values.
+  std::size_t centroids = 200;     ///< k: representative packets.
+  SummaryFormat format = SummaryFormat::kAuto;
+  KMeansOptions kmeans;
+  /// Use the randomized range-finder SVD instead of exact Jacobi for the
+  /// fields-mode reduction — near-identical on decaying spectra (Fig. 10)
+  /// and cheaper for large batches.
+  bool randomized_svd = false;
+  std::uint64_t seed = 42;
+};
+
+/// Summarization output: the wire summary plus the packet->centroid map the
+/// monitor keeps locally for one epoch so it can answer feedback requests
+/// for the raw packets behind a centroid (§7).
+struct SummarizeOutput {
+  MonitorSummary summary;
+  std::vector<std::size_t> assignment;  ///< packets[i] -> centroid index.
+};
+
+class Summarizer {
+ public:
+  /// Throws std::invalid_argument on degenerate configs (zero rank/k,
+  /// rank > p, min_batch > batch_size).
+  explicit Summarizer(const SummarizerConfig& cfg, MonitorId monitor = 0);
+
+  /// Summarizes one batch.  Throws std::invalid_argument if fewer than
+  /// min_batch packets are supplied (callers gate on ready()).
+  [[nodiscard]] SummarizeOutput summarize(
+      std::span<const packet::PacketRecord> batch);
+
+  [[nodiscard]] const SummarizerConfig& config() const noexcept { return cfg_; }
+
+  /// Elements S1 would need for this config: k(p+1).
+  [[nodiscard]] std::size_t combined_cost() const noexcept;
+  /// Elements S2 would need for this config: r(k+p+1)+k.
+  [[nodiscard]] std::size_t split_cost() const noexcept;
+
+ private:
+  SummarizerConfig cfg_;
+  MonitorId monitor_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace jaal::summarize

@@ -1,0 +1,189 @@
+#include "summarize/summary.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace jaal::summarize {
+namespace {
+
+constexpr std::uint8_t kTagCombined = 1;
+constexpr std::uint8_t kTagSplit = 2;
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, double v) {
+  const float f = static_cast<float>(v);
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  put_u32(out, bits);
+}
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return bytes_[pos_++];
+  }
+  std::uint32_t u32() {
+    need(4);
+    const std::uint32_t v = std::uint32_t{bytes_[pos_]} |
+                            (std::uint32_t{bytes_[pos_ + 1]} << 8) |
+                            (std::uint32_t{bytes_[pos_ + 2]} << 16) |
+                            (std::uint32_t{bytes_[pos_ + 3]} << 24);
+    pos_ += 4;
+    return v;
+  }
+  double f32() {
+    const std::uint32_t bits = u32();
+    float f;
+    std::memcpy(&f, &bits, sizeof(f));
+    return static_cast<double>(f);
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == bytes_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > bytes_.size()) {
+      throw std::runtime_error("summary deserialize: truncated buffer");
+    }
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+void put_matrix(std::vector<std::uint8_t>& out, const linalg::Matrix& m) {
+  put_u32(out, static_cast<std::uint32_t>(m.rows()));
+  put_u32(out, static_cast<std::uint32_t>(m.cols()));
+  for (double v : m.data()) put_f32(out, v);
+}
+
+linalg::Matrix get_matrix(Reader& r) {
+  const std::uint32_t rows = r.u32();
+  const std::uint32_t cols = r.u32();
+  if (std::uint64_t{rows} * cols > (1u << 26)) {
+    throw std::runtime_error("summary deserialize: implausible matrix size");
+  }
+  linalg::Matrix m(rows, cols);
+  for (double& v : m.data()) v = r.f32();
+  return m;
+}
+
+}  // namespace
+
+std::size_t CombinedSummary::element_count() const noexcept {
+  return centroids.rows() * (centroids.cols() + 1);
+}
+
+void CombinedSummary::check_invariants() const {
+  if (counts.size() != centroids.rows()) {
+    throw std::logic_error("CombinedSummary: counts/centroid row mismatch");
+  }
+}
+
+std::size_t SplitSummary::element_count() const noexcept {
+  const std::size_t r = sigma.size();
+  const std::size_t k = u_centroids.rows();
+  const std::size_t p = vt.cols();
+  return r * (k + p + 1) + k;
+}
+
+void SplitSummary::check_invariants() const {
+  if (counts.size() != u_centroids.rows()) {
+    throw std::logic_error("SplitSummary: counts/centroid row mismatch");
+  }
+  if (u_centroids.cols() != sigma.size() || vt.rows() != sigma.size()) {
+    throw std::logic_error("SplitSummary: rank dimensions disagree");
+  }
+}
+
+CombinedSummary SplitSummary::reconstruct() const {
+  check_invariants();
+  // X~_p = U~_r * diag(sigma) * V_r^T; fold sigma into U~_r first.
+  linalg::Matrix scaled = u_centroids;
+  for (std::size_t row = 0; row < scaled.rows(); ++row) {
+    auto rview = scaled.row(row);
+    for (std::size_t c = 0; c < sigma.size(); ++c) rview[c] *= sigma[c];
+  }
+  CombinedSummary out;
+  out.monitor = monitor;
+  out.centroids = scaled * vt;
+  out.counts = counts;
+  return out;
+}
+
+std::size_t element_count(const MonitorSummary& s) noexcept {
+  return std::visit([](const auto& v) { return v.element_count(); }, s);
+}
+
+std::size_t wire_bytes(const MonitorSummary& s) noexcept {
+  // float32 scalars; counts ride as uint32 alongside (already included in
+  // the element count as the "+1" / "+k" terms).
+  return element_count(s) * 4;
+}
+
+std::vector<std::uint8_t> serialize(const MonitorSummary& s) {
+  std::vector<std::uint8_t> out;
+  if (const auto* c = std::get_if<CombinedSummary>(&s)) {
+    c->check_invariants();
+    out.push_back(kTagCombined);
+    put_u32(out, c->monitor);
+    put_matrix(out, c->centroids);
+    put_u32(out, static_cast<std::uint32_t>(c->counts.size()));
+    for (std::uint64_t n : c->counts) {
+      put_u32(out, static_cast<std::uint32_t>(n));
+    }
+  } else {
+    const auto& sp = std::get<SplitSummary>(s);
+    sp.check_invariants();
+    out.push_back(kTagSplit);
+    put_u32(out, sp.monitor);
+    put_matrix(out, sp.u_centroids);
+    put_u32(out, static_cast<std::uint32_t>(sp.sigma.size()));
+    for (double v : sp.sigma) put_f32(out, v);
+    put_matrix(out, sp.vt);
+    put_u32(out, static_cast<std::uint32_t>(sp.counts.size()));
+    for (std::uint64_t n : sp.counts) {
+      put_u32(out, static_cast<std::uint32_t>(n));
+    }
+  }
+  return out;
+}
+
+MonitorSummary deserialize(std::span<const std::uint8_t> bytes) {
+  Reader r(bytes);
+  const std::uint8_t tag = r.u8();
+  if (tag == kTagCombined) {
+    CombinedSummary c;
+    c.monitor = r.u32();
+    c.centroids = get_matrix(r);
+    const std::uint32_t n = r.u32();
+    c.counts.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) c.counts.push_back(r.u32());
+    c.check_invariants();
+    return c;
+  }
+  if (tag == kTagSplit) {
+    SplitSummary s;
+    s.monitor = r.u32();
+    s.u_centroids = get_matrix(r);
+    const std::uint32_t nr = r.u32();
+    s.sigma.reserve(nr);
+    for (std::uint32_t i = 0; i < nr; ++i) s.sigma.push_back(r.f32());
+    s.vt = get_matrix(r);
+    const std::uint32_t n = r.u32();
+    s.counts.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) s.counts.push_back(r.u32());
+    s.check_invariants();
+    return s;
+  }
+  throw std::runtime_error("summary deserialize: unknown tag");
+}
+
+}  // namespace jaal::summarize

@@ -1,0 +1,69 @@
+// In-network packet summaries (§4.3).
+//
+// Two wire formats carry the same information:
+//  * CombinedSummary S1 = [X~_p | c]: k centroids in full field space plus
+//    membership counts — k(p+1) elements.
+//  * SplitSummary S2 = {U~_r, Sigma_r V_r^T, c}: k centroids in the rank-r
+//    space plus the shared factor — r(k+p+1)+k elements.
+// Monitors pick whichever is smaller for the configured (r, k, p); the
+// inference module reconstructs S2 into S1 form before aggregation (§5.1).
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace jaal::summarize {
+
+/// Identifies which monitor produced a summary (for feedback requests).
+using MonitorId = std::uint32_t;
+
+struct CombinedSummary {
+  MonitorId monitor = 0;
+  linalg::Matrix centroids;            ///< k x p, normalized field space.
+  std::vector<std::uint64_t> counts;   ///< Cluster sizes, length k.
+
+  /// Number of scalar elements transmitted: k(p+1).
+  [[nodiscard]] std::size_t element_count() const noexcept;
+
+  /// Validates the k x (p, counts) invariant; throws std::logic_error.
+  void check_invariants() const;
+};
+
+struct SplitSummary {
+  MonitorId monitor = 0;
+  linalg::Matrix u_centroids;          ///< k x r, clustered rows of U_r.
+  std::vector<double> sigma;           ///< r singular values.
+  linalg::Matrix vt;                   ///< r x p, the V_r^T factor.
+  std::vector<std::uint64_t> counts;   ///< Cluster sizes, length k.
+
+  /// Number of scalar elements transmitted: r(k+p+1)+k.
+  [[nodiscard]] std::size_t element_count() const noexcept;
+
+  /// Reconstructs the combined form: centroids = U~_r * diag(sigma) * V^T.
+  [[nodiscard]] CombinedSummary reconstruct() const;
+
+  void check_invariants() const;
+};
+
+using MonitorSummary = std::variant<CombinedSummary, SplitSummary>;
+
+/// Elements of either variant.
+[[nodiscard]] std::size_t element_count(const MonitorSummary& s) noexcept;
+
+/// Transmitted size in bytes.  Scalars go as float32 and counts as uint32 —
+/// the precision a deployment would actually ship (float64 fidelity is not
+/// needed for threshold matching).
+[[nodiscard]] std::size_t wire_bytes(const MonitorSummary& s) noexcept;
+
+/// Serializes to a self-describing byte buffer (little-endian, tagged).
+[[nodiscard]] std::vector<std::uint8_t> serialize(const MonitorSummary& s);
+
+/// Parses a buffer produced by serialize().  Throws std::runtime_error on a
+/// malformed buffer.
+[[nodiscard]] MonitorSummary deserialize(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace jaal::summarize

@@ -1,0 +1,61 @@
+#include "trace/mix.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace jaal::trace {
+
+TrafficMix::TrafficMix(PacketSource& background,
+                       std::vector<PacketSource*> attacks,
+                       double max_attack_fraction)
+    : background_(&background),
+      attacks_(std::move(attacks)),
+      max_fraction_(max_attack_fraction) {
+  if (max_fraction_ < 0.0 || max_fraction_ > 1.0) {
+    throw std::invalid_argument("TrafficMix: fraction outside [0, 1]");
+  }
+  for (PacketSource* a : attacks_) {
+    if (a == nullptr) throw std::invalid_argument("TrafficMix: null attack");
+  }
+}
+
+bool TrafficMix::quota_allows_attack() const noexcept {
+  return static_cast<double>(attack_ + 1) <=
+         max_fraction_ * static_cast<double>(total_ + 1);
+}
+
+double TrafficMix::peek_time() const {
+  double t = background_->peek_time();
+  // Only count an attack source if its packet would actually be emitted.
+  if (quota_allows_attack()) {
+    for (const PacketSource* a : attacks_) t = std::min(t, a->peek_time());
+  }
+  return t;
+}
+
+packet::PacketRecord TrafficMix::next() {
+  for (;;) {
+    PacketSource* earliest = background_;
+    double t = background_->peek_time();
+    for (PacketSource* a : attacks_) {
+      if (a->peek_time() < t) {
+        t = a->peek_time();
+        earliest = a;
+      }
+    }
+    if (earliest == background_) {
+      ++total_;
+      return background_->next();
+    }
+    if (quota_allows_attack()) {
+      ++total_;
+      ++attack_;
+      return earliest->next();
+    }
+    // Over quota: the attack script suppresses this packet.
+    (void)earliest->next();
+    ++dropped_;
+  }
+}
+
+}  // namespace jaal::trace

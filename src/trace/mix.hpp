@@ -1,0 +1,45 @@
+// TrafficMix: time-ordered merge of background traffic and attack sources.
+//
+// Reproduces the paper's injection methodology (§8): attack traffic is
+// throttled to at most a configurable fraction (10% in the paper) of the
+// overall stream; attack packets beyond the quota are dropped, exactly like
+// the paper's attack scripts that "stop attack packets if the 10% quota has
+// already been met".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/background.hpp"
+
+namespace jaal::trace {
+
+class TrafficMix final : public PacketSource {
+ public:
+  /// `background` and every element of `attacks` must outlive the mix.
+  /// Throws std::invalid_argument if max_attack_fraction is outside [0, 1].
+  TrafficMix(PacketSource& background, std::vector<PacketSource*> attacks,
+             double max_attack_fraction = 0.1);
+
+  [[nodiscard]] double peek_time() const override;
+  [[nodiscard]] packet::PacketRecord next() override;
+
+  /// Packets emitted so far (attack + background).
+  [[nodiscard]] std::uint64_t total_emitted() const noexcept { return total_; }
+  /// Attack packets emitted so far (after throttling).
+  [[nodiscard]] std::uint64_t attack_emitted() const noexcept { return attack_; }
+  /// Attack packets suppressed by the quota.
+  [[nodiscard]] std::uint64_t attack_dropped() const noexcept { return dropped_; }
+
+ private:
+  [[nodiscard]] bool quota_allows_attack() const noexcept;
+
+  PacketSource* background_;
+  std::vector<PacketSource*> attacks_;
+  double max_fraction_;
+  std::uint64_t total_ = 0;
+  std::uint64_t attack_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace jaal::trace

@@ -1,0 +1,139 @@
+#include "trace/pcap.hpp"
+
+#include <bit>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "packet/wire.hpp"
+
+namespace jaal::trace {
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xA1B2C3D4;
+constexpr std::uint32_t kMagicNanos = 0xA1B23C4D;
+constexpr std::uint32_t kLinkTypeRaw = 101;
+
+struct GlobalHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t network;
+};
+static_assert(sizeof(GlobalHeader) == 24);
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_frac;  // micro- or nanoseconds depending on magic
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+static_assert(sizeof(RecordHeader) == 16);
+
+[[nodiscard]] std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return ((v & 0xFF) << 24) | ((v & 0xFF00) << 8) | ((v >> 8) & 0xFF00) |
+         (v >> 24);
+}
+
+[[nodiscard]] std::uint16_t bswap16(std::uint16_t v) noexcept {
+  return static_cast<std::uint16_t>((v << 8) | (v >> 8));
+}
+
+}  // namespace
+
+void write_pcap(std::ostream& os,
+                const std::vector<packet::PacketRecord>& packets) {
+  GlobalHeader gh{kMagicMicros, 2,      4, 0,
+                  0,            65535, kLinkTypeRaw};
+  os.write(reinterpret_cast<const char*>(&gh), sizeof(gh));
+  for (const auto& pkt : packets) {
+    const auto bytes = packet::serialize_headers(pkt.ip, pkt.tcp);
+    RecordHeader rh{};
+    rh.ts_sec = static_cast<std::uint32_t>(pkt.timestamp);
+    rh.ts_frac = static_cast<std::uint32_t>(
+        std::llround((pkt.timestamp - std::floor(pkt.timestamp)) * 1e6));
+    rh.incl_len = static_cast<std::uint32_t>(bytes.size());
+    // orig_len carries the real packet size even though we only store headers.
+    rh.orig_len = pkt.ip.total_length;
+    os.write(reinterpret_cast<const char*>(&rh), sizeof(rh));
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  }
+  if (!os) throw std::runtime_error("write_pcap: stream write failed");
+}
+
+void write_pcap_file(const std::string& path,
+                     const std::vector<packet::PacketRecord>& packets) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("write_pcap_file: cannot open " + path);
+  write_pcap(f, packets);
+}
+
+std::vector<packet::PacketRecord> read_pcap(std::istream& is) {
+  GlobalHeader gh{};
+  if (!is.read(reinterpret_cast<char*>(&gh), sizeof(gh))) {
+    throw std::runtime_error("read_pcap: truncated global header");
+  }
+
+  bool swapped = false;
+  double frac_scale = 1e-6;
+  if (gh.magic == kMagicMicros) {
+    frac_scale = 1e-6;
+  } else if (gh.magic == kMagicNanos) {
+    frac_scale = 1e-9;
+  } else if (bswap32(gh.magic) == kMagicMicros) {
+    swapped = true;
+    frac_scale = 1e-6;
+  } else if (bswap32(gh.magic) == kMagicNanos) {
+    swapped = true;
+    frac_scale = 1e-9;
+  } else {
+    throw std::runtime_error("read_pcap: bad magic");
+  }
+  const std::uint32_t network = swapped ? bswap32(gh.network) : gh.network;
+  if (network != kLinkTypeRaw) {
+    throw std::runtime_error("read_pcap: unsupported link type " +
+                             std::to_string(network));
+  }
+  (void)bswap16;  // kept for symmetry; record headers only hold 32-bit fields
+
+  std::vector<packet::PacketRecord> out;
+  for (;;) {
+    RecordHeader rh{};
+    if (!is.read(reinterpret_cast<char*>(&rh), sizeof(rh))) break;  // EOF
+    if (swapped) {
+      rh.ts_sec = bswap32(rh.ts_sec);
+      rh.ts_frac = bswap32(rh.ts_frac);
+      rh.incl_len = bswap32(rh.incl_len);
+      rh.orig_len = bswap32(rh.orig_len);
+    }
+    if (rh.incl_len > (1u << 20)) {
+      throw std::runtime_error("read_pcap: implausible record length");
+    }
+    std::vector<std::uint8_t> body(rh.incl_len);
+    if (!is.read(reinterpret_cast<char*>(body.data()), rh.incl_len)) {
+      throw std::runtime_error("read_pcap: truncated record body");
+    }
+    const auto parsed = packet::parse_headers(body);
+    if (!parsed) continue;  // non-TCP/IPv4 record: skip
+    packet::PacketRecord pkt;
+    pkt.ip = parsed->ip;
+    pkt.tcp = parsed->tcp;
+    pkt.timestamp = static_cast<double>(rh.ts_sec) +
+                    static_cast<double>(rh.ts_frac) * frac_scale;
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+std::vector<packet::PacketRecord> read_pcap_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) throw std::runtime_error("read_pcap_file: cannot open " + path);
+  return read_pcap(f);
+}
+
+}  // namespace jaal::trace

@@ -1,0 +1,37 @@
+// Minimal pcap (libpcap savefile) reader/writer for TCP/IPv4 header traces.
+//
+// Lets Jaal consume real captures (e.g. MAWI snapshots converted offline) and
+// dump generated traffic for inspection with standard tools.  We write
+// LINKTYPE_RAW (101): each record body starts directly at the IPv4 header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "packet/packet.hpp"
+
+namespace jaal::trace {
+
+/// Writes `packets` to a pcap stream (microsecond timestamps, LINKTYPE_RAW).
+/// Throws std::runtime_error on I/O failure.
+void write_pcap(std::ostream& os,
+                const std::vector<packet::PacketRecord>& packets);
+
+/// Convenience overload writing to a file path.
+void write_pcap_file(const std::string& path,
+                     const std::vector<packet::PacketRecord>& packets);
+
+/// Reads all TCP/IPv4 packets from a pcap stream.  Skips records that do not
+/// parse as TCP/IPv4 (e.g. UDP in a mixed capture).  Supports both byte
+/// orders and both microsecond and nanosecond magics.  Ground-truth labels
+/// are not stored in pcap, so every packet comes back labelled kNone.
+/// Throws std::runtime_error on a malformed file.
+[[nodiscard]] std::vector<packet::PacketRecord> read_pcap(std::istream& is);
+
+/// Convenience overload reading from a file path.
+[[nodiscard]] std::vector<packet::PacketRecord> read_pcap_file(
+    const std::string& path);
+
+}  // namespace jaal::trace

@@ -1,0 +1,130 @@
+#include "inference/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::inference {
+namespace {
+
+using summarize::CombinedSummary;
+using summarize::MonitorSummary;
+using summarize::SplitSummary;
+
+CombinedSummary combined(summarize::MonitorId id, std::size_t k,
+                         std::size_t p, double fill) {
+  CombinedSummary s;
+  s.monitor = id;
+  s.centroids = linalg::Matrix(k, p);
+  for (double& v : s.centroids.data()) v = fill;
+  s.counts.assign(k, 10 * (id + 1));
+  return s;
+}
+
+TEST(Aggregator, ConcatenatesInOrder) {
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 2, 4, 0.1)});
+  agg.add(MonitorSummary{combined(1, 3, 4, 0.2)});
+  EXPECT_EQ(agg.summaries_added(), 2u);
+  const AggregatedSummary a = agg.take();
+  EXPECT_EQ(a.rows(), 5u);
+  EXPECT_EQ(a.centroids.cols(), 4u);
+  EXPECT_EQ(a.origin[0], 0u);
+  EXPECT_EQ(a.origin[4], 1u);
+  EXPECT_EQ(a.local_index[0], 0u);
+  EXPECT_EQ(a.local_index[2], 0u);  // first row of monitor 1
+  EXPECT_EQ(a.local_index[4], 2u);
+  EXPECT_DOUBLE_EQ(a.centroids(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(a.centroids(3, 3), 0.2);
+  EXPECT_EQ(a.counts[0], 10u);
+  EXPECT_EQ(a.counts[2], 20u);
+}
+
+TEST(Aggregator, ReconstructsSplitSummaries) {
+  SplitSummary split;
+  split.monitor = 5;
+  split.u_centroids = linalg::Matrix{{1.0, 0.0}, {0.0, 1.0}};
+  split.sigma = {2.0, 3.0};
+  split.vt = linalg::Matrix{{1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}};
+  split.counts = {4, 6};
+
+  Aggregator agg;
+  agg.add(MonitorSummary{split});
+  const AggregatedSummary a = agg.take();
+  EXPECT_EQ(a.rows(), 2u);
+  EXPECT_EQ(a.centroids.cols(), 3u);
+  EXPECT_DOUBLE_EQ(a.centroids(0, 0), 2.0);  // u*sigma*vt row 0
+  EXPECT_DOUBLE_EQ(a.centroids(1, 1), 3.0);
+  EXPECT_EQ(a.origin[0], 5u);
+}
+
+TEST(Aggregator, TotalPacketsSumsCounts) {
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 2, 3, 0.0)});  // counts 10,10
+  agg.add(MonitorSummary{combined(2, 1, 3, 0.0)});  // count 30
+  EXPECT_EQ(agg.take().total_packets(), 50u);
+}
+
+TEST(Aggregator, TakeResetsState) {
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 2, 3, 0.0)});
+  (void)agg.take();
+  EXPECT_EQ(agg.summaries_added(), 0u);
+  const AggregatedSummary empty = agg.take();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.total_packets(), 0u);
+}
+
+TEST(Aggregator, RejectsMixedFieldWidths) {
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 2, 3, 0.0)});
+  EXPECT_THROW(agg.add(MonitorSummary{combined(1, 2, 5, 0.0)}),
+               std::invalid_argument);
+}
+
+TEST(ReduceAggregate, PreservesTotalPacketsAndShrinksRows) {
+  Aggregator agg;
+  for (summarize::MonitorId m = 0; m < 10; ++m) {
+    agg.add(MonitorSummary{combined(m, 20, 6, 0.05 * m)});
+  }
+  const AggregatedSummary full = agg.take();
+  const std::uint64_t total = full.total_packets();
+  ASSERT_EQ(full.rows(), 200u);
+
+  const AggregatedSummary reduced = reduce_aggregate(full, 30, 7);
+  EXPECT_LE(reduced.rows(), 30u);
+  EXPECT_GT(reduced.rows(), 0u);
+  EXPECT_EQ(reduced.total_packets(), total);
+  for (summarize::MonitorId origin : reduced.origin) {
+    EXPECT_EQ(origin, kNoOrigin);  // feedback mapping is gone by design
+  }
+}
+
+TEST(ReduceAggregate, CentroidsStayInsideDataRange) {
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 8, 4, 0.25)});
+  agg.add(MonitorSummary{combined(1, 8, 4, 0.75)});
+  const AggregatedSummary reduced = reduce_aggregate(agg.take(), 3, 1);
+  for (double v : reduced.centroids.data()) {
+    EXPECT_GE(v, 0.25 - 1e-9);
+    EXPECT_LE(v, 0.75 + 1e-9);
+  }
+}
+
+TEST(ReduceAggregate, ValidatesInput) {
+  EXPECT_THROW((void)reduce_aggregate(AggregatedSummary{}, 5),
+               std::invalid_argument);
+  Aggregator agg;
+  agg.add(MonitorSummary{combined(0, 2, 3, 0.0)});
+  EXPECT_THROW((void)reduce_aggregate(agg.take(), 0), std::invalid_argument);
+}
+
+TEST(Aggregator, RejectsBrokenInvariants) {
+  CombinedSummary bad = combined(0, 2, 3, 0.0);
+  bad.counts.pop_back();
+  Aggregator agg;
+  EXPECT_THROW(agg.add(MonitorSummary{bad}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace jaal::inference

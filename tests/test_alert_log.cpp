@@ -1,0 +1,66 @@
+#include "core/alert_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace jaal::core {
+namespace {
+
+inference::Alert sample_alert() {
+  inference::Alert alert;
+  alert.sid = 1000002;
+  alert.msg = "Distributed SYN flood";
+  alert.matched_packets = 431;
+  alert.distributed = true;
+  alert.via_feedback = false;
+  alert.variance = 0.0625;
+  return alert;
+}
+
+TEST(AlertLog, JsonContainsEveryField) {
+  const std::string json = alert_to_json(sample_alert(), 12.5);
+  EXPECT_NE(json.find("\"time\":12.500000"), std::string::npos);
+  EXPECT_NE(json.find("\"sid\":1000002"), std::string::npos);
+  EXPECT_NE(json.find("\"msg\":\"Distributed SYN flood\""), std::string::npos);
+  EXPECT_NE(json.find("\"matched_packets\":431"), std::string::npos);
+  EXPECT_NE(json.find("\"distributed\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"via_feedback\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"variance\":0.0625"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(json.find('\n'), std::string::npos);  // single line
+}
+
+TEST(AlertLog, EscapesSpecialCharacters) {
+  inference::Alert alert = sample_alert();
+  alert.msg = "quote:\" backslash:\\ newline:\n tab:\t ctrl:\x01";
+  const std::string json = alert_to_json(alert, 0.0);
+  EXPECT_NE(json.find("quote:\\\""), std::string::npos);
+  EXPECT_NE(json.find("backslash:\\\\"), std::string::npos);
+  EXPECT_NE(json.find("newline:\\n"), std::string::npos);
+  EXPECT_NE(json.find("tab:\\t"), std::string::npos);
+  EXPECT_NE(json.find("ctrl:\\u0001"), std::string::npos);
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+}
+
+TEST(AlertLog, LoggerWritesOneLinePerAlert) {
+  std::stringstream out;
+  AlertLogger logger(out);
+  EXPECT_EQ(logger.log_epoch(1.0, {sample_alert(), sample_alert()}), 2u);
+  EXPECT_EQ(logger.log_epoch(2.0, {}), 0u);
+  EXPECT_EQ(logger.log_epoch(3.0, {sample_alert()}), 1u);
+  EXPECT_EQ(logger.lines_written(), 3u);
+
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(out, line)) {
+    ++lines;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_EQ(lines, 3u);
+}
+
+}  // namespace
+}  // namespace jaal::core

@@ -1,0 +1,136 @@
+#include "assign/assigner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <stdexcept>
+
+namespace jaal::assign {
+namespace {
+
+TEST(GreedyAssigner, PicksLeastLoaded) {
+  GreedyAssigner greedy;
+  MonitorGroup group{{0, 2, 4}};
+  const std::vector<double> loads = {5.0, 0.0, 1.0, 0.0, 3.0};
+  EXPECT_EQ(greedy.choose(group, loads, 1.0), 2u);
+}
+
+TEST(RandomAssigner, StaysInsideGroup) {
+  RandomAssigner random(1);
+  MonitorGroup group{{1, 3}};
+  const std::vector<double> loads(5, 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const MonitorIndex m = random.choose(group, loads, 1.0);
+    EXPECT_TRUE(m == 1 || m == 3);
+  }
+}
+
+TEST(RobinHood, PrefersPoorMachines) {
+  RobinHoodAssigner rh(4);
+  MonitorGroup group{{0, 1}};
+  // Machine 0 heavily loaded, machine 1 idle.
+  const std::vector<double> loads = {100.0, 0.0, 0.0, 0.0};
+  EXPECT_EQ(rh.choose(group, loads, 1.0), 1u);
+}
+
+TEST(Workload, GeneratorRespectsConfig) {
+  WorkloadConfig cfg;
+  cfg.flow_count = 500;
+  cfg.group_count = 8;
+  cfg.monitor_count = 10;
+  const Workload w = make_workload(cfg);
+  EXPECT_EQ(w.flows.size(), 500u);
+  EXPECT_EQ(w.groups.size(), 8u);
+  for (const auto& g : w.groups) {
+    EXPECT_GE(g.monitors.size(), 2u);
+    EXPECT_LE(g.monitors.size(), 5u);
+    for (MonitorIndex m : g.monitors) EXPECT_LT(m, 10u);
+  }
+  for (const auto& f : w.flows) {
+    EXPECT_GT(f.weight, 0.0);
+    EXPECT_GT(f.duration, 0.0);
+    EXPECT_LT(f.group, 8u);
+  }
+}
+
+TEST(Simulation, GroupLoadIsMeanOfMemberMonitors) {
+  const Workload w = make_workload({});
+  GreedyAssigner greedy;
+  const AssignmentOutcome out =
+      simulate_assignment(greedy, w.flows, w.groups, 25, 2.0);
+  ASSERT_EQ(out.group_avg_load.size(), w.groups.size());
+  for (std::size_t g = 0; g < w.groups.size(); ++g) {
+    double sum = 0.0;
+    for (MonitorIndex m : w.groups[g].monitors) sum += out.time_avg_load[m];
+    EXPECT_NEAR(out.group_avg_load[g],
+                sum / static_cast<double>(w.groups[g].monitors.size()),
+                1e-9);
+  }
+  const double monitor_total = std::accumulate(out.time_avg_load.begin(),
+                                               out.time_avg_load.end(), 0.0);
+  EXPECT_GT(monitor_total, 0.0);
+}
+
+TEST(Simulation, GreedyBeatsRandomOnMaxLoad) {
+  const Workload w = make_workload({});
+  GreedyAssigner greedy;
+  RandomAssigner random(2);
+  const auto g = simulate_assignment(greedy, w.flows, w.groups, 25, 2.0);
+  const auto r = simulate_assignment(random, w.flows, w.groups, 25, 2.0);
+  EXPECT_LT(g.max_time_avg_load, r.max_time_avg_load * 1.05);
+}
+
+TEST(Simulation, GreedyCloseToRobinHood) {
+  // §8.2: greedy mirrors Robin Hood within ~10-15%.
+  const Workload w = make_workload({});
+  GreedyAssigner greedy;
+  RobinHoodAssigner rh(25);
+  const auto g = simulate_assignment(greedy, w.flows, w.groups, 25, 2.0);
+  const auto r = simulate_assignment(rh, w.flows, w.groups, 25, 0.0);
+  EXPECT_LT(g.max_time_avg_load, r.max_time_avg_load * 1.35);
+}
+
+TEST(Simulation, FreshLoadsBeatStaleLoads) {
+  const Workload w = make_workload({});
+  GreedyAssigner a, b;
+  const auto fresh = simulate_assignment(a, w.flows, w.groups, 25, 0.0);
+  const auto stale = simulate_assignment(b, w.flows, w.groups, 25, 30.0);
+  EXPECT_LE(fresh.max_time_avg_load, stale.max_time_avg_load * 1.02);
+}
+
+TEST(Simulation, PeakLoadAtLeastLargestFlow) {
+  const Workload w = make_workload({});
+  double max_weight = 0.0;
+  for (const auto& f : w.flows) max_weight = std::max(max_weight, f.weight);
+  GreedyAssigner greedy;
+  const auto out = simulate_assignment(greedy, w.flows, w.groups, 25, 2.0);
+  EXPECT_GE(out.peak_load, max_weight);
+}
+
+TEST(Simulation, ValidatesInput) {
+  GreedyAssigner greedy;
+  std::vector<FlowEvent> flows = {{0.0, 1.0, 1.0, 0}};
+  EXPECT_THROW(
+      (void)simulate_assignment(greedy, flows, {MonitorGroup{{}}}, 4, 2.0),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)simulate_assignment(greedy, flows, {MonitorGroup{{9}}}, 4, 2.0),
+      std::invalid_argument);
+  std::vector<FlowEvent> bad_group = {{0.0, 1.0, 1.0, 7}};
+  EXPECT_THROW((void)simulate_assignment(greedy, bad_group,
+                                         {MonitorGroup{{0}}}, 4, 2.0),
+               std::invalid_argument);
+}
+
+TEST(Simulation, SingleFlowAccounting) {
+  GreedyAssigner greedy;
+  std::vector<FlowEvent> flows = {{0.0, 10.0, 5.0, 0}};
+  const auto out = simulate_assignment(greedy, flows,
+                                       {MonitorGroup{{0, 1}}}, 2, 1.0);
+  // One flow of weight 5 active for the whole horizon.
+  EXPECT_NEAR(out.time_avg_load[0] + out.time_avg_load[1], 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(out.peak_load, 5.0);
+}
+
+}  // namespace
+}  // namespace jaal::assign

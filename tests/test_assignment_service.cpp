@@ -1,0 +1,82 @@
+#include "core/assignment_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::core {
+namespace {
+
+std::vector<assign::MonitorGroup> two_groups() {
+  return {assign::MonitorGroup{{0, 1}}, assign::MonitorGroup{{1, 2, 3}}};
+}
+
+TEST(AssignmentService, ValidatesConstruction) {
+  EXPECT_THROW(AssignmentService({}, 4), std::invalid_argument);
+  EXPECT_THROW(AssignmentService(two_groups(), 0), std::invalid_argument);
+  EXPECT_THROW(AssignmentService({assign::MonitorGroup{{}}}, 4),
+               std::invalid_argument);
+  EXPECT_THROW(AssignmentService({assign::MonitorGroup{{9}}}, 4),
+               std::invalid_argument);
+}
+
+TEST(AssignmentService, AssignsLeastLoadedInGroup) {
+  AssignmentService service(two_groups(), 4);
+  service.on_load_update({0, 500.0, 0});
+  service.on_load_update({1, 100.0, 0});
+  EXPECT_EQ(service.assign(0, 1.0), 1u);  // 100 < 500
+  service.on_load_update({1, 900.0, 0});
+  EXPECT_EQ(service.assign(0, 1.0), 0u);  // roles flipped
+}
+
+TEST(AssignmentService, OptimisticIncrementsPreventHerding) {
+  // All monitors report zero; assigning many flows before the next report
+  // must spread them, not pile everything on monitor 1.
+  AssignmentService service(two_groups(), 4);
+  std::vector<std::size_t> hits(4, 0);
+  for (int i = 0; i < 300; ++i) ++hits[service.assign(1, 10.0)];
+  EXPECT_EQ(hits[0], 0u);  // not in group 1
+  EXPECT_EQ(hits[1], 100u);
+  EXPECT_EQ(hits[2], 100u);
+  EXPECT_EQ(hits[3], 100u);
+}
+
+TEST(AssignmentService, LoadReportSupersedesOptimisticGuesses) {
+  AssignmentService service(two_groups(), 4);
+  (void)service.assign(0, 1000.0);  // optimistic bump on some monitor
+  const assign::MonitorIndex bumped =
+      service.visible_load(0) > 0.0 ? 0u : 1u;
+  EXPECT_GT(service.visible_load(bumped), 0.0);
+  service.on_load_update(
+      {static_cast<summarize::MonitorId>(bumped), 42.0, 0});
+  EXPECT_DOUBLE_EQ(service.visible_load(bumped), 42.0);
+}
+
+TEST(AssignmentService, TracksAssignments) {
+  AssignmentService service(two_groups(), 4);
+  for (int i = 0; i < 7; ++i) (void)service.assign(i % 2, 1.0);
+  EXPECT_EQ(service.assignments(), 7u);
+}
+
+TEST(AssignmentService, RejectsBadIndices) {
+  AssignmentService service(two_groups(), 4);
+  EXPECT_THROW((void)service.assign(5, 1.0), std::out_of_range);
+  EXPECT_THROW((void)service.visible_load(9), std::out_of_range);
+  EXPECT_THROW(service.on_load_update({9, 1.0, 0}), std::out_of_range);
+}
+
+TEST(AssignmentService, DrivenByDecodedProtoFrames) {
+  // The wire path: LoadUpdate frames steer assignment decisions.
+  AssignmentService service(two_groups(), 4);
+  proto::FrameReader rx;
+  rx.feed(proto::encode(proto::Message{proto::LoadUpdate{1, 800.0, 5}}));
+  rx.feed(proto::encode(proto::Message{proto::LoadUpdate{2, 50.0, 1}}));
+  rx.feed(proto::encode(proto::Message{proto::LoadUpdate{3, 400.0, 2}}));
+  while (auto msg = rx.next()) {
+    service.on_load_update(std::get<proto::LoadUpdate>(*msg));
+  }
+  EXPECT_EQ(service.assign(1, 1.0), 2u);  // lightest of {1, 2, 3}
+}
+
+}  // namespace
+}  // namespace jaal::core

@@ -1,0 +1,168 @@
+#include "attack/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace jaal::attack {
+namespace {
+
+using packet::AttackType;
+using packet::TcpFlag;
+
+AttackConfig config() {
+  AttackConfig cfg;
+  cfg.victim_ip = packet::make_ip(203, 0, 10, 5);
+  cfg.packets_per_second = 1000.0;
+  cfg.source_count = 200;
+  cfg.seed = 3;
+  return cfg;
+}
+
+template <typename Source>
+std::vector<packet::PacketRecord> draw(Source& src, std::size_t n) {
+  std::vector<packet::PacketRecord> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(src.next());
+  return out;
+}
+
+TEST(AttackSource, ValidatesConfig) {
+  AttackConfig bad_rate = config();
+  bad_rate.packets_per_second = 0.0;
+  EXPECT_THROW(SynFlood{bad_rate}, std::invalid_argument);
+  AttackConfig no_sources = config();
+  no_sources.source_count = 0;
+  EXPECT_THROW(SynFlood{no_sources}, std::invalid_argument);
+}
+
+TEST(AttackSource, StartTimeRespected) {
+  AttackConfig cfg = config();
+  cfg.start_time = 100.0;
+  SynFlood flood(cfg);
+  EXPECT_GE(flood.peek_time(), 100.0);
+  EXPECT_GE(flood.next().timestamp, 100.0);
+}
+
+TEST(SynFlood, SignatureShape) {
+  SynFlood flood(config(), 80);
+  std::set<std::uint32_t> sources;
+  for (const auto& pkt : draw(flood, 500)) {
+    EXPECT_EQ(pkt.label, AttackType::kSynFlood);
+    EXPECT_EQ(pkt.tcp.flags, packet::flag_bit(TcpFlag::kSyn));
+    EXPECT_EQ(pkt.tcp.dst_port, 80);
+    EXPECT_EQ(pkt.ip.dst_ip, config().victim_ip);
+    EXPECT_EQ(pkt.tcp.ack, 0u);
+    sources.insert(pkt.ip.src_ip);
+  }
+  EXPECT_EQ(sources.size(), 1u);  // single-source DoS
+}
+
+TEST(DistributedSynFlood, ManySourcesOneVictim) {
+  DistributedSynFlood flood(config(), 80);
+  std::set<std::uint32_t> sources;
+  std::set<std::uint16_t> subnets;
+  for (const auto& pkt : draw(flood, 2000)) {
+    EXPECT_EQ(pkt.label, AttackType::kDistributedSynFlood);
+    EXPECT_EQ(pkt.tcp.flags, packet::flag_bit(TcpFlag::kSyn));
+    EXPECT_EQ(pkt.ip.dst_ip, config().victim_ip);
+    sources.insert(pkt.ip.src_ip);
+    subnets.insert(static_cast<std::uint16_t>(pkt.ip.src_ip >> 16));
+  }
+  EXPECT_GT(sources.size(), 150u);  // ~200 attacking hosts (paper §8)
+  EXPECT_GT(subnets.size(), 100u);  // spread across subnets
+}
+
+TEST(PortScan, SweepsNmapDefaultPorts) {
+  PortScan scan(config());
+  const auto& defaults = PortScan::nmap_default_ports();
+  std::set<std::uint16_t> seen;
+  for (const auto& pkt : draw(scan, 2000)) {
+    EXPECT_EQ(pkt.label, AttackType::kPortScan);
+    EXPECT_EQ(pkt.tcp.flags, packet::flag_bit(TcpFlag::kSyn));
+    seen.insert(pkt.tcp.dst_port);
+    EXPECT_TRUE(std::find(defaults.begin(), defaults.end(),
+                          pkt.tcp.dst_port) != defaults.end());
+  }
+  EXPECT_EQ(seen.size(), defaults.size());  // full sweep after enough probes
+}
+
+TEST(PortScan, DefaultPortListSane) {
+  const auto& ports = PortScan::nmap_default_ports();
+  EXPECT_GT(ports.size(), 50u);
+  EXPECT_TRUE(std::find(ports.begin(), ports.end(), 22) != ports.end());
+  EXPECT_TRUE(std::find(ports.begin(), ports.end(), 80) != ports.end());
+  EXPECT_TRUE(std::find(ports.begin(), ports.end(), 443) != ports.end());
+}
+
+TEST(SshBruteForce, TargetsPort22WithHandshakeAndData) {
+  SshBruteForce brute(config());
+  int syn = 0, psh = 0;
+  for (const auto& pkt : draw(brute, 2000)) {
+    EXPECT_EQ(pkt.label, AttackType::kSshBruteForce);
+    EXPECT_EQ(pkt.tcp.dst_port, 22);
+    EXPECT_EQ(pkt.ip.dst_ip, config().victim_ip);
+    if (pkt.tcp.flags == packet::flag_bit(TcpFlag::kSyn)) ++syn;
+    if (pkt.tcp.has(TcpFlag::kPsh)) {
+      ++psh;
+      EXPECT_GT(pkt.ip.total_length, 40);  // carries an auth attempt
+    }
+  }
+  EXPECT_GT(syn, 0);
+  EXPECT_GT(psh, syn);  // multiple attempts per connection
+}
+
+TEST(Sockstress, ZeroWindowSignature) {
+  Sockstress stress(config(), 80);
+  int zero_window = 0, syn = 0;
+  for (const auto& pkt : draw(stress, 2000)) {
+    EXPECT_EQ(pkt.label, AttackType::kSockstress);
+    EXPECT_EQ(pkt.tcp.dst_port, 80);
+    if (pkt.tcp.has(TcpFlag::kSyn)) {
+      ++syn;
+    } else {
+      EXPECT_TRUE(pkt.tcp.has(TcpFlag::kAck));
+      EXPECT_EQ(pkt.tcp.window, 0);
+      ++zero_window;
+    }
+  }
+  EXPECT_GT(zero_window, syn);  // the stall phase dominates
+  EXPECT_GT(syn, 0);
+}
+
+TEST(MimicrySynFlood, DisguisesFreeFieldsOnly) {
+  MimicrySynFlood flood(config(), 80);
+  std::set<std::uint16_t> windows;
+  for (const auto& pkt : draw(flood, 500)) {
+    // Essential fields cannot be disguised.
+    EXPECT_EQ(pkt.label, AttackType::kDistributedSynFlood);
+    EXPECT_EQ(pkt.tcp.flags, packet::flag_bit(TcpFlag::kSyn));
+    EXPECT_EQ(pkt.ip.dst_ip, config().victim_ip);
+    EXPECT_EQ(pkt.tcp.dst_port, 80);
+    // Free fields mimic benign handshakes.
+    EXPECT_EQ(pkt.ip.total_length, 60);   // SYN with options
+    EXPECT_EQ(pkt.tcp.data_offset, 10);
+    EXPECT_NE(pkt.tcp.window, 512);       // not the hping3 fingerprint
+    windows.insert(pkt.tcp.window);
+  }
+  EXPECT_GT(windows.size(), 1u);  // OS-persona diversity
+}
+
+TEST(AttackSource, DeterministicGivenSeed) {
+  DistributedSynFlood a(config());
+  DistributedSynFlood b(config());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(AttackSource, TimestampsFollowConfiguredRate) {
+  AttackConfig cfg = config();
+  cfg.packets_per_second = 5000.0;
+  DistributedSynFlood flood(cfg);
+  const auto packets = draw(flood, 5000);
+  const double span = packets.back().timestamp - packets.front().timestamp;
+  EXPECT_NEAR(5000.0 / span, 5000.0, 300.0);
+}
+
+}  // namespace
+}  // namespace jaal::attack

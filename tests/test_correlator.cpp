@@ -1,0 +1,79 @@
+#include "inference/correlator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::inference {
+namespace {
+
+Alert alert(std::uint32_t sid) {
+  Alert a;
+  a.sid = sid;
+  a.msg = "test";
+  return a;
+}
+
+TEST(Correlator, ValidatesConfig) {
+  EXPECT_THROW(AlertCorrelator({4, 0}), std::invalid_argument);
+  EXPECT_THROW(AlertCorrelator({4, 5}), std::invalid_argument);
+  EXPECT_NO_THROW(AlertCorrelator({4, 4}));
+}
+
+TEST(Correlator, SingleFiringSuppressedUntilRepeat) {
+  AlertCorrelator corr({4, 2});
+  EXPECT_TRUE(corr.observe({alert(1)}).empty());     // 1 of 2
+  EXPECT_EQ(corr.observe({alert(1)}).size(), 1u);    // 2 of 2
+}
+
+TEST(Correlator, RequiredOneIsPassThrough) {
+  AlertCorrelator corr({4, 1});
+  EXPECT_EQ(corr.observe({alert(9)}).size(), 1u);
+}
+
+TEST(Correlator, SporadicFiringsOutsideWindowDoNotAccumulate) {
+  AlertCorrelator corr({2, 2});  // needs 2 consecutive-ish epochs
+  EXPECT_TRUE(corr.observe({alert(1)}).empty());
+  EXPECT_TRUE(corr.observe({}).empty());          // gap: history slides
+  EXPECT_TRUE(corr.observe({alert(1)}).empty());  // old firing expired
+  EXPECT_EQ(corr.observe({alert(1)}).size(), 1u);
+}
+
+TEST(Correlator, IndependentSids) {
+  AlertCorrelator corr({4, 2});
+  EXPECT_TRUE(corr.observe({alert(1), alert(2)}).empty());
+  const auto confirmed = corr.observe({alert(1)});
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].sid, 1u);  // sid 2 only fired once
+}
+
+TEST(Correlator, SustainedAttackStaysConfirmed) {
+  AlertCorrelator corr({4, 3});
+  int confirmed_epochs = 0;
+  for (int e = 0; e < 10; ++e) {
+    confirmed_epochs += corr.observe({alert(5)}).empty() ? 0 : 1;
+  }
+  EXPECT_EQ(confirmed_epochs, 8);  // from epoch 3 onward
+  EXPECT_EQ(corr.epochs(), 10u);
+}
+
+TEST(Correlator, ResetClearsHistory) {
+  AlertCorrelator corr({4, 2});
+  (void)corr.observe({alert(1)});
+  corr.reset();
+  EXPECT_EQ(corr.epochs(), 0u);
+  EXPECT_TRUE(corr.observe({alert(1)}).empty());
+}
+
+TEST(Correlator, LatestAlertInstanceReturned) {
+  AlertCorrelator corr({4, 2});
+  (void)corr.observe({alert(1)});
+  Alert second = alert(1);
+  second.matched_packets = 777;
+  const auto confirmed = corr.observe({second});
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].matched_packets, 777u);
+}
+
+}  // namespace
+}  // namespace jaal::inference

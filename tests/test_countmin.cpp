@@ -1,0 +1,106 @@
+#include "baseline/countmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace jaal::baseline {
+namespace {
+
+TEST(CountMin, ValidatesGeometry) {
+  EXPECT_THROW(CountMinSketch(0, 4), std::invalid_argument);
+  EXPECT_THROW(CountMinSketch(100, 0), std::invalid_argument);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch sketch(64, 4);
+  std::mt19937_64 rng(1);
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> truth;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t key = rng();
+    const std::uint64_t count = 1 + rng() % 10;
+    sketch.add(key, count);
+    truth.emplace_back(key, count);
+  }
+  for (const auto& [key, count] : truth) {
+    EXPECT_GE(sketch.estimate(key), count);
+  }
+}
+
+TEST(CountMin, ExactWhenSparse) {
+  CountMinSketch sketch(4096, 5);
+  for (std::uint64_t key = 0; key < 20; ++key) sketch.add(key, key + 1);
+  for (std::uint64_t key = 0; key < 20; ++key) {
+    EXPECT_EQ(sketch.estimate(key), key + 1);
+  }
+}
+
+TEST(CountMin, ErrorBounded) {
+  // Standard guarantee: estimate <= true + (e/width) * total with prob
+  // 1 - e^-depth; check a generous 4x relaxation deterministically.
+  const std::size_t width = 256;
+  CountMinSketch sketch(width, 5);
+  std::mt19937_64 rng(2);
+  const std::uint64_t total = 50000;
+  for (std::uint64_t i = 0; i < total; ++i) sketch.add(rng() % 5000);
+  const double bound = 4.0 * 2.718 / width * total;
+  std::mt19937_64 rng2(2);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t key = rng2() % 5000;
+    EXPECT_LT(sketch.estimate(key), total / 5000 * 3 + bound);
+  }
+  EXPECT_EQ(sketch.total(), total);
+}
+
+TEST(CountMin, UnseenKeysUsuallyZeroWhenSparse) {
+  CountMinSketch sketch(4096, 5);
+  for (std::uint64_t key = 0; key < 10; ++key) sketch.add(key);
+  std::size_t zero = 0;
+  for (std::uint64_t key = 1000; key < 1100; ++key) {
+    if (sketch.estimate(key) == 0) ++zero;
+  }
+  EXPECT_GT(zero, 95u);
+}
+
+TEST(CountMin, MergeAddsCounts) {
+  CountMinSketch a(128, 4), b(128, 4);
+  a.add(std::uint64_t{7}, 10);
+  b.add(std::uint64_t{7}, 5);
+  b.add(std::uint64_t{9}, 3);
+  a.merge(b);
+  EXPECT_GE(a.estimate(std::uint64_t{7}), 15u);
+  EXPECT_GE(a.estimate(std::uint64_t{9}), 3u);
+  EXPECT_EQ(a.total(), 18u);
+}
+
+TEST(CountMin, MergeRejectsMismatchedGeometry) {
+  CountMinSketch a(128, 4), b(64, 4), c(128, 5);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+  EXPECT_THROW(a.merge(c), std::invalid_argument);
+}
+
+TEST(CountMin, MemoryFootprint) {
+  CountMinSketch sketch(1024, 4);
+  EXPECT_EQ(sketch.memory_bytes(), 1024u * 4u * 8u);
+}
+
+TEST(CountMin, ByteKeyAndIntKeyConsistent) {
+  CountMinSketch sketch(256, 4);
+  sketch.add(std::uint64_t{0xDEADBEEF}, 7);
+  const std::array<std::uint8_t, 8> bytes = {0xEF, 0xBE, 0xAD, 0xDE,
+                                             0, 0, 0, 0};
+  EXPECT_GE(sketch.estimate(std::span<const std::uint8_t>(bytes)), 7u);
+}
+
+TEST(CountMin, CombinatorialCostIsProhibitive) {
+  // §2's argument: one sketch per header-field combination means 2^18
+  // sketches per monitor per epoch.  Even at a modest 500 KB each that is
+  // ~128 GB -- the motivating arithmetic for summaries.
+  const double sketch_bytes = 500.0 * 1024.0;
+  const double total = sketch_bytes * static_cast<double>(1 << 18);
+  EXPECT_GT(total, 100.0 * (1ULL << 30));  // > 100 GB
+}
+
+}  // namespace
+}  // namespace jaal::baseline

@@ -1,0 +1,266 @@
+#include "inference/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace jaal::inference {
+namespace {
+
+using packet::FieldIndex;
+using packet::PacketRecord;
+
+std::vector<rules::Rule> flood_ruleset() {
+  return rules::parse_rules(
+      "alert tcp any any -> 203.0.10.5 any (msg:\"flood\"; flags:S; "
+      "detection_filter: count 100, seconds 2; sid:1;)",
+      core::evaluation_rule_vars());
+}
+
+/// Aggregate with one centroid at distance `dist` (in normalized-L1 terms)
+/// from the flood question, carrying `count` packets.
+AggregatedSummary aggregate_at_distance(double dist, std::uint64_t count) {
+  AggregatedSummary agg;
+  agg.centroids = linalg::Matrix(1, packet::kFieldCount);
+  auto row = agg.centroids.row(0);
+  // Question pins dst addr, flags; leave dst_port wildcarded by the rule.
+  row[packet::index(FieldIndex::kIpDstAddr)] =
+      packet::normalize_field(FieldIndex::kIpDstAddr,
+                              packet::make_ip(203, 0, 10, 5));
+  row[packet::index(FieldIndex::kTcpFlags)] = 2.0 / 63.0 + 2.0 * dist;
+  agg.counts = {count};
+  agg.origin = {0};
+  agg.local_index = {0};
+  return agg;
+}
+
+RawPacketFetcher fetcher_returning(std::vector<PacketRecord> packets) {
+  return [packets](summarize::MonitorId,
+                   const std::vector<std::size_t>&) { return packets; };
+}
+
+std::vector<PacketRecord> matching_syns(std::size_t n) {
+  std::vector<PacketRecord> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    PacketRecord pkt;
+    pkt.ip.src_ip = 1234;
+    pkt.ip.dst_ip = packet::make_ip(203, 0, 10, 5);
+    pkt.tcp.set(packet::TcpFlag::kSyn);
+    out.push_back(pkt);
+  }
+  return out;
+}
+
+TEST(Engine, ValidatesConfig) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.5, 0.1};  // tau_d2 < tau_d1
+  EXPECT_THROW(InferenceEngine(flood_ruleset(), cfg), std::invalid_argument);
+  EXPECT_THROW(InferenceEngine({}, EngineConfig{}), std::invalid_argument);
+}
+
+TEST(Engine, Case1StrictMatchAlertsWithoutFeedback) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.15};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.0, 500);
+  bool fetch_called = false;
+  const auto alerts = engine.infer(
+      agg, [&](summarize::MonitorId, const std::vector<std::size_t>&) {
+        fetch_called = true;
+        return std::vector<PacketRecord>{};
+      });
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_FALSE(alerts[0].via_feedback);
+  EXPECT_FALSE(fetch_called);
+  EXPECT_EQ(engine.stats().feedback_requests, 0u);
+}
+
+TEST(Engine, Case2NoMatchNoAlert) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.02, 0.05};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.5, 500);  // far from question
+  EXPECT_TRUE(engine.infer(agg, nullptr).empty());
+}
+
+TEST(Engine, Case3FeedbackConfirmsRealAttack) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};  // strict misses, loose hits
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  const auto alerts =
+      engine.infer(agg, fetcher_returning(matching_syns(150)));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].via_feedback);
+  EXPECT_EQ(engine.stats().feedback_requests, 1u);
+  EXPECT_EQ(engine.stats().raw_packets_fetched, 150u);
+  EXPECT_EQ(engine.stats().raw_bytes_fetched, 150u * packet::kHeadersBytes);
+}
+
+TEST(Engine, Case3FeedbackRefutesFalsePositive) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  // Raw packets reveal only 5 exact SYNs: below the raw-evidence threshold
+  // (kRawEvidenceFactor x count = 35).
+  const auto alerts =
+      engine.infer(agg, fetcher_returning(matching_syns(5)));
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(engine.stats().feedback_requests, 1u);
+}
+
+TEST(Engine, FeedbackDisabledFallsBackToLooseDecision) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};
+  cfg.feedback_enabled = false;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  const auto alerts = engine.infer(agg, nullptr);
+  ASSERT_EQ(alerts.size(), 1u);  // loose threshold decision accepted
+  EXPECT_FALSE(alerts[0].via_feedback);
+}
+
+TEST(Engine, TauCScaleAdjustsCounts) {
+  // count 100 calibrated for the nominal window; a half-volume window
+  // (tau_c_scale 0.5) needs only 50 matched packets.
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.05};
+  cfg.tau_c_scale = 0.5;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  EXPECT_EQ(engine.infer(aggregate_at_distance(0.0, 60), nullptr).size(), 1u);
+  engine.set_tau_c_scale(1.0);
+  EXPECT_DOUBLE_EQ(engine.tau_c_scale(), 1.0);
+  EXPECT_TRUE(engine.infer(aggregate_at_distance(0.0, 60), nullptr).empty());
+}
+
+TEST(Engine, PerRuleThresholdOverrides) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.0, 0.0};
+  cfg.per_rule[1] = {0.1, 0.1};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  EXPECT_DOUBLE_EQ(engine.thresholds_for(1).tau_d1, 0.1);
+  EXPECT_DOUBLE_EQ(engine.thresholds_for(999).tau_d1, 0.0);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  EXPECT_EQ(engine.infer(agg, nullptr).size(), 1u);
+}
+
+TEST(Engine, DistributedClassificationViaPostprocessor) {
+  // Two matching centroids with widely different source addresses: the
+  // opportunistic postprocessor should tag the alert distributed.
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.05};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  AggregatedSummary agg = aggregate_at_distance(0.0, 300);
+  AggregatedSummary second = aggregate_at_distance(0.0, 300);
+  second.centroids(0, packet::index(FieldIndex::kIpSrcAddr)) = 0.9;
+  // Merge manually.
+  linalg::Matrix both(2, packet::kFieldCount);
+  for (std::size_t j = 0; j < packet::kFieldCount; ++j) {
+    both(0, j) = agg.centroids(0, j);
+    both(1, j) = second.centroids(0, j);
+  }
+  agg.centroids = both;
+  agg.counts = {300, 300};
+  agg.origin = {0, 0};
+  agg.local_index = {0, 1};
+  const auto alerts = engine.infer(agg, nullptr);
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].distributed);
+  EXPECT_GT(alerts[0].variance, 0.0);
+}
+
+TEST(Engine, VerifyAllAlertsSuppressesUnconfirmedCase1) {
+  // Strict match fires (case 1), but the raw packets behind the centroid
+  // contain almost no exact matches: §10 verification kills the alert.
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.15};
+  cfg.verify_all_alerts = true;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.0, 500);
+  const auto alerts = engine.infer(agg, fetcher_returning(matching_syns(5)));
+  EXPECT_TRUE(alerts.empty());
+  EXPECT_EQ(engine.stats().alerts_suppressed, 1u);
+}
+
+TEST(Engine, VerifyAllAlertsConfirmsRealCase1) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.15};
+  cfg.verify_all_alerts = true;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto agg = aggregate_at_distance(0.0, 500);
+  const auto alerts =
+      engine.infer(agg, fetcher_returning(matching_syns(200)));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(engine.stats().alerts_suppressed, 0u);
+}
+
+TEST(Engine, VerifyAllAlertsNoopWithoutFetcher) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.05, 0.15};
+  cfg.verify_all_alerts = true;
+  cfg.feedback_enabled = false;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  const auto alerts = engine.infer(aggregate_at_distance(0.0, 500), nullptr);
+  EXPECT_EQ(alerts.size(), 1u);  // nothing to verify against
+}
+
+TEST(Engine, RawCountOverridesVerificationThreshold) {
+  // Same scenario as Case3FeedbackRefutesFalsePositive, but the rule pins
+  // jaal_raw_count to 5, so 5 exact matches now confirm.
+  auto rules = rules::parse_rules(
+      "alert tcp any any -> 203.0.10.5 any (msg:\"flood\"; flags:S; "
+      "detection_filter: count 100, seconds 2; jaal_raw_count: 5; sid:1;)",
+      core::evaluation_rule_vars());
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};
+  InferenceEngine engine(std::move(rules), cfg);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  const auto alerts = engine.infer(agg, fetcher_returning(matching_syns(5)));
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_TRUE(alerts[0].via_feedback);
+}
+
+TEST(Engine, FetchCacheCountsBytesOnce) {
+  // Two rules matching the same centroid must not double-bill the fetch.
+  auto rules = rules::parse_rules(
+      "alert tcp any any -> 203.0.10.5 any (msg:\"a\"; flags:S; "
+      "detection_filter: count 100, seconds 2; sid:1;)\n"
+      "alert tcp any any -> 203.0.10.5 any (msg:\"b\"; flags:S; "
+      "detection_filter: count 100, seconds 2; sid:2;)",
+      core::evaluation_rule_vars());
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};  // both go through case 3
+  InferenceEngine engine(std::move(rules), cfg);
+  const auto agg = aggregate_at_distance(0.05, 500);
+  std::size_t fetch_calls = 0;
+  const auto alerts = engine.infer(
+      agg, [&](summarize::MonitorId, const std::vector<std::size_t>&) {
+        ++fetch_calls;
+        return matching_syns(150);
+      });
+  EXPECT_EQ(alerts.size(), 2u);
+  EXPECT_EQ(fetch_calls, 1u);  // second rule served from the cache
+  EXPECT_EQ(engine.stats().raw_packets_fetched, 150u);
+  EXPECT_EQ(engine.stats().feedback_requests, 2u);
+}
+
+TEST(Engine, StatsResettable) {
+  EngineConfig cfg;
+  cfg.default_thresholds = {0.001, 0.2};
+  InferenceEngine engine(flood_ruleset(), cfg);
+  (void)engine.infer(aggregate_at_distance(0.05, 500),
+                     fetcher_returning(matching_syns(150)));
+  EXPECT_GT(engine.stats().feedback_requests, 0u);
+  engine.reset_stats();
+  EXPECT_EQ(engine.stats().feedback_requests, 0u);
+}
+
+TEST(Engine, EmptyAggregateYieldsNothing) {
+  EngineConfig cfg;
+  InferenceEngine engine(flood_ruleset(), cfg);
+  EXPECT_TRUE(engine.infer(AggregatedSummary{}, nullptr).empty());
+}
+
+}  // namespace
+}  // namespace jaal::inference

@@ -1,0 +1,114 @@
+#include "assign/flow_groups.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::assign {
+namespace {
+
+using netsim::NodeId;
+
+class FlowGroupsFixture : public ::testing::Test {
+ protected:
+  FlowGroupsFixture()
+      : topo_(netsim::make_isp_topology(netsim::abovenet_profile(), 1)),
+        demands_(netsim::random_demands(topo_, 200, 5000.0, 3)) {}
+
+  netsim::Topology topo_;
+  std::vector<netsim::Demand> demands_;
+};
+
+TEST_F(FlowGroupsFixture, DerivedGroupsReferenceValidMonitors) {
+  const auto sites = topo_.default_monitor_sites(20);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& d : demands_) pairs.emplace_back(d.src, d.dst);
+  const RoutedGroups routed = derive_monitor_groups(topo_, sites, pairs);
+
+  EXPECT_EQ(routed.group_of_pair.size(), pairs.size());
+  for (const MonitorGroup& g : routed.groups) {
+    EXPECT_FALSE(g.monitors.empty());
+    for (MonitorIndex m : g.monitors) EXPECT_LT(m, sites.size());
+    // Monitors within a group are unique and sorted.
+    for (std::size_t i = 1; i < g.monitors.size(); ++i) {
+      EXPECT_LT(g.monitors[i - 1], g.monitors[i]);
+    }
+  }
+}
+
+TEST_F(FlowGroupsFixture, GroupsAreDeduplicated) {
+  const auto sites = topo_.default_monitor_sites(20);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& d : demands_) pairs.emplace_back(d.src, d.dst);
+  // Duplicate every pair: group count must not change.
+  const std::size_t original = pairs.size();
+  for (std::size_t i = 0; i < original; ++i) pairs.push_back(pairs[i]);
+  const RoutedGroups routed = derive_monitor_groups(topo_, sites, pairs);
+  for (std::size_t i = 0; i < original; ++i) {
+    EXPECT_EQ(routed.group_of_pair[i], routed.group_of_pair[original + i]);
+  }
+  // No two groups share the same monitor set.
+  for (std::size_t a = 0; a < routed.groups.size(); ++a) {
+    for (std::size_t b = a + 1; b < routed.groups.size(); ++b) {
+      EXPECT_NE(routed.groups[a].monitors, routed.groups[b].monitors);
+    }
+  }
+}
+
+TEST_F(FlowGroupsFixture, PairsOffMonitorPathsReportedUncovered) {
+  // With a single monitor site, many pairs won't cross it.
+  const auto one_site = topo_.default_monitor_sites(1);
+  std::vector<std::pair<NodeId, NodeId>> pairs;
+  for (const auto& d : demands_) pairs.emplace_back(d.src, d.dst);
+  const RoutedGroups routed = derive_monitor_groups(topo_, one_site, pairs);
+  EXPECT_GT(routed.uncovered_pairs(), 0u);
+  EXPECT_LT(routed.uncovered_pairs(), pairs.size());  // it covers something
+}
+
+TEST_F(FlowGroupsFixture, RejectsBadMonitorSite) {
+  const std::vector<NodeId> bad = {static_cast<NodeId>(topo_.node_count())};
+  EXPECT_THROW((void)derive_monitor_groups(topo_, bad, {}),
+               std::invalid_argument);
+}
+
+TEST_F(FlowGroupsFixture, CoveragePlacementBeatsDegreePlacement) {
+  // Greedy coverage placement should cover at least as much demand as the
+  // degree-based default for the same monitor budget.
+  const std::size_t budget = 10;
+  const auto coverage_sites =
+      place_monitors_coverage(topo_, demands_, budget);
+  const auto degree_sites = topo_.default_monitor_sites(budget);
+  EXPECT_EQ(coverage_sites.size(), budget);
+  EXPECT_GE(coverage_fraction(topo_, demands_, coverage_sites),
+            coverage_fraction(topo_, demands_, degree_sites) - 1e-9);
+}
+
+TEST_F(FlowGroupsFixture, CoverageIsMonotoneInBudget) {
+  double last = 0.0;
+  for (std::size_t budget : {2u, 5u, 10u, 20u}) {
+    const auto sites = place_monitors_coverage(topo_, demands_, budget);
+    const double cov = coverage_fraction(topo_, demands_, sites);
+    EXPECT_GE(cov, last - 1e-9);
+    last = cov;
+  }
+  EXPECT_GT(last, 0.9);  // 20 well-placed monitors see nearly everything
+}
+
+TEST_F(FlowGroupsFixture, PlacementValidatesInput) {
+  EXPECT_THROW((void)place_monitors_coverage(topo_, demands_, 0),
+               std::invalid_argument);
+  EXPECT_THROW((void)place_monitors_coverage(topo_, {}, 3),
+               std::invalid_argument);
+}
+
+TEST_F(FlowGroupsFixture, PlacementProducesDistinctSites) {
+  const auto sites = place_monitors_coverage(topo_, demands_, 15);
+  for (std::size_t a = 0; a < sites.size(); ++a) {
+    for (std::size_t b = a + 1; b < sites.size(); ++b) {
+      EXPECT_NE(sites[a], sites[b]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jaal::assign

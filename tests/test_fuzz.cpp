@@ -1,0 +1,187 @@
+// Robustness tests: every parser/decoder must reject arbitrary input with
+// an exception (or a clean nullopt/skip), never crash, hang, or read out of
+// bounds.  Deterministic pseudo-random fuzzing — cheap, repeatable, and run
+// on every ctest invocation.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <sstream>
+
+#include "packet/wire.hpp"
+#include "proto/messages.hpp"
+#include "rules/rule.hpp"
+#include "summarize/summary.hpp"
+#include "trace/background.hpp"
+#include "trace/pcap.hpp"
+
+namespace jaal {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::mt19937_64& rng, std::size_t n) {
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+TEST(Fuzz, WireParserNeverCrashes) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 80);
+    // parse_headers returns nullopt or a result; must never throw/crash.
+    (void)packet::parse_headers(bytes);
+  }
+}
+
+TEST(Fuzz, WireParserOnMutatedValidPacket) {
+  packet::PacketRecord pkt;
+  pkt.ip.src_ip = packet::make_ip(1, 2, 3, 4);
+  pkt.ip.dst_ip = packet::make_ip(5, 6, 7, 8);
+  pkt.tcp.set(packet::TcpFlag::kSyn);
+  const auto valid = packet::serialize_headers(pkt.ip, pkt.tcp);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = valid;
+    const std::size_t flips = 1 + rng() % 6;
+    for (std::size_t f = 0; f < flips; ++f) {
+      mutated[rng() % mutated.size()] ^=
+          static_cast<std::uint8_t>(1u << (rng() % 8));
+    }
+    (void)packet::parse_headers(mutated);
+  }
+}
+
+TEST(Fuzz, SummaryDeserializerThrowsCleanly) {
+  std::mt19937_64 rng(3);
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 200);
+    try {
+      (void)summarize::deserialize(bytes);
+    } catch (const std::runtime_error&) {
+      // expected for garbage
+    }
+  }
+}
+
+TEST(Fuzz, SummaryDeserializerOnMutatedValidBuffer) {
+  summarize::CombinedSummary s;
+  s.monitor = 1;
+  s.centroids = linalg::Matrix(4, 6);
+  s.counts = {1, 2, 3, 4};
+  const auto valid = summarize::serialize(summarize::MonitorSummary{s});
+  std::mt19937_64 rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    auto mutated = valid;
+    mutated[rng() % mutated.size()] ^= static_cast<std::uint8_t>(rng() | 1);
+    if (rng() % 4 == 0) mutated.resize(rng() % (mutated.size() + 1));
+    try {
+      (void)summarize::deserialize(mutated);
+    } catch (const std::exception&) {
+      // clean rejection is fine; crashing is not
+    }
+  }
+}
+
+TEST(Fuzz, ProtoDecoderThrowsCleanly) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 150);
+    try {
+      (void)proto::decode(bytes);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, FrameReaderSurvivesGarbageAfterValidFrames) {
+  std::mt19937_64 rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    proto::FrameReader reader;
+    reader.feed(proto::encode(proto::Message{proto::LoadUpdate{1, 1.0, 1}}));
+    EXPECT_TRUE(reader.next().has_value());
+    reader.feed(random_bytes(rng, 20));
+    try {
+      while (reader.next().has_value()) {
+      }
+    } catch (const std::runtime_error&) {
+      // a reset-worthy stream error is the correct outcome for garbage
+    }
+  }
+}
+
+TEST(Fuzz, RuleParserThrowsNotCrashes) {
+  std::mt19937_64 rng(7);
+  const std::string alphabet =
+      "abcdefghijklmnopqrstuvwxyz0123456789 ()[]:;!,.->\"$/";
+  rules::RuleVars vars;
+  vars.home_net = rules::AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  for (int i = 0; i < 2000; ++i) {
+    std::string line;
+    const std::size_t len = rng() % 120;
+    for (std::size_t c = 0; c < len; ++c) {
+      line.push_back(alphabet[rng() % alphabet.size()]);
+    }
+    try {
+      (void)rules::parse_rule(line, vars);
+    } catch (const std::exception&) {
+      // invalid_argument / out_of_range from stoul etc. — all acceptable
+    }
+  }
+}
+
+TEST(Fuzz, RuleParserOnMutatedValidRules) {
+  rules::RuleVars vars;
+  vars.home_net = rules::AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  const std::string valid =
+      "alert tcp $EXTERNAL_NET any -> $HOME_NET [22,80,8000:8080] "
+      "(msg:\"x\"; flags:S; detection_filter: track by_src, count 5, "
+      "seconds 60; jaal_variance: tcp.dst_port, 0.004; sid:19559; rev:5;)";
+  std::mt19937_64 rng(8);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = valid;
+    const std::size_t edits = 1 + rng() % 4;
+    for (std::size_t e = 0; e < edits; ++e) {
+      const std::size_t pos = rng() % mutated.size();
+      switch (rng() % 3) {
+        case 0: mutated[pos] = static_cast<char>(' ' + rng() % 94); break;
+        case 1: mutated.erase(pos, 1); break;
+        default: mutated.insert(pos, 1, static_cast<char>(' ' + rng() % 94));
+      }
+      if (mutated.empty()) mutated = "x";
+    }
+    try {
+      (void)rules::parse_rule(mutated, vars);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, PcapReaderThrowsCleanly) {
+  std::mt19937_64 rng(9);
+  for (int i = 0; i < 300; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 400);
+    std::stringstream stream(
+        std::string(reinterpret_cast<const char*>(bytes.data()), bytes.size()));
+    try {
+      (void)trace::read_pcap(stream);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+TEST(Fuzz, PcapReaderOnTruncatedValidFile) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 10);
+  const auto packets = trace::take(gen, 20);
+  std::stringstream buffer;
+  trace::write_pcap(buffer, packets);
+  const std::string full = buffer.str();
+  for (std::size_t cut = 0; cut < full.size(); cut += 7) {
+    std::stringstream truncated(full.substr(0, cut));
+    try {
+      (void)trace::read_pcap(truncated);
+    } catch (const std::exception&) {
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jaal

@@ -1,0 +1,164 @@
+// End-to-end detection tests: traffic generation -> flow distribution ->
+// summarization -> aggregation -> rule translation -> inference, exactly the
+// pipeline of Fig. 1, on small (fast) configurations.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace jaal::core {
+namespace {
+
+using packet::AttackType;
+
+TrialConfig fast_config(std::uint64_t seed = 1) {
+  TrialConfig cfg;
+  cfg.summarizer.batch_size = 1000;
+  cfg.summarizer.min_batch = 400;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 200;  // k/n = 0.2, the paper's sweet spot
+  cfg.monitor_count = 2;           // 2000-packet window: tau_c_scale = 1
+  cfg.profile = trace::trace1_profile();
+  // Full-intensity attacks: these tests assert detection of the pipeline,
+  // not the ROC behaviour under weak attacks.
+  cfg.attack_intensity_min = 1.0;
+  cfg.attack_intensity_max = 1.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+inference::EngineConfig plain_engine(double tau_d) {
+  inference::EngineConfig cfg;
+  cfg.default_thresholds = {tau_d, tau_d};
+  cfg.feedback_enabled = false;
+  return cfg;
+}
+
+const std::vector<rules::Rule>& ruleset() {
+  static const std::vector<rules::Rule> kRules = rules::parse_rules(
+      rules::default_ruleset_text(), evaluation_rule_vars());
+  return kRules;
+}
+
+TEST(Integration, TrialConstructionInvariants) {
+  const Trial trial = make_trial(AttackType::kDistributedSynFlood,
+                                 fast_config(), 42);
+  EXPECT_EQ(trial.injected, AttackType::kDistributedSynFlood);
+  EXPECT_FALSE(trial.aggregate.empty());
+  EXPECT_GT(trial.summary_bytes, 0u);
+  EXPECT_GT(trial.raw_header_bytes, trial.summary_bytes);
+  std::size_t total_packets = 0;
+  for (const auto& batch : trial.monitor_packets) total_packets += batch.size();
+  EXPECT_EQ(total_packets, 2u * 1000u);
+  // Aggregate represents every summarized packet.
+  EXPECT_LE(trial.aggregate.total_packets(), total_packets);
+}
+
+TEST(Integration, DetectsEachAttackType) {
+  // Every §8 attack must be detectable at a reasonable operating point
+  // while the same thresholds stay quiet on benign traffic.
+  for (AttackType attack : evaluation_attacks()) {
+    const Trial positive = make_trial(attack, fast_config(7), 100);
+    EXPECT_TRUE(detect(positive, attack, ruleset(), plain_engine(0.02)))
+        << "missed " << packet::attack_name(attack);
+  }
+}
+
+TEST(Integration, BenignTrialsStayQuiet) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    const Trial negative = make_trial(AttackType::kNone, fast_config(seed),
+                                      seed * 31);
+    for (AttackType attack : evaluation_attacks()) {
+      EXPECT_FALSE(detect(negative, attack, ruleset(), plain_engine(0.015)))
+          << "false " << packet::attack_name(attack) << " on seed " << seed;
+    }
+  }
+}
+
+TEST(Integration, MiraiScanDetected) {
+  const Trial trial = make_trial(AttackType::kMiraiScan, fast_config(9), 5);
+  EXPECT_TRUE(detect(trial, AttackType::kMiraiScan, ruleset(),
+                     plain_engine(0.02)));
+}
+
+TEST(Integration, SummariesCutCommunicationSubstantially) {
+  const Trial trial = make_trial(AttackType::kNone, fast_config(3), 17);
+  const double ratio = static_cast<double>(trial.summary_bytes) /
+                       static_cast<double>(trial.raw_header_bytes);
+  // k/n = 0.2 with the split format should land well under 0.5.
+  EXPECT_LT(ratio, 0.5);
+  EXPECT_GT(ratio, 0.01);
+}
+
+TEST(Integration, FeedbackImprovesOverStrictThresholdAlone) {
+  // With a strict tau_d1 and loose tau_d2 + feedback, uncertain batches are
+  // resolved with raw packets; TPR must be at least the strict-only TPR.
+  std::vector<Trial> trials;
+  for (std::uint64_t s = 1; s <= 4; ++s) {
+    trials.push_back(
+        make_trial(AttackType::kDistributedSynFlood, fast_config(s), s * 7));
+    trials.push_back(make_trial(AttackType::kNone, fast_config(s), s * 13));
+  }
+  const AttackType targets[] = {AttackType::kDistributedSynFlood};
+
+  inference::EngineConfig strict;
+  strict.default_thresholds = {0.004, 0.004};
+  strict.feedback_enabled = false;
+  const auto strict_only =
+      evaluate_with_feedback(trials, targets, ruleset(), strict);
+
+  inference::EngineConfig with_feedback;
+  with_feedback.default_thresholds = {0.004, 0.05};
+  with_feedback.feedback_enabled = true;
+  const auto fb =
+      evaluate_with_feedback(trials, targets, ruleset(), with_feedback);
+
+  EXPECT_GE(fb.confusion.tpr(), strict_only.confusion.tpr());
+  // Feedback costs bytes but must stay far below shipping everything.
+  EXPECT_LT(fb.comm_overhead_ratio, 1.0);
+  EXPECT_GE(fb.comm_overhead_ratio, strict_only.comm_overhead_ratio);
+}
+
+TEST(Integration, RocSweepMonotoneInThreshold) {
+  std::vector<Trial> trials;
+  for (std::uint64_t s = 1; s <= 3; ++s) {
+    trials.push_back(
+        make_trial(AttackType::kPortScan, fast_config(s), s * 101));
+    trials.push_back(make_trial(AttackType::kNone, fast_config(s), s * 103));
+  }
+  const double taus[] = {0.001, 0.005, 0.02, 0.08, 0.3};
+  const double cscales[] = {1.0};
+  const RocCurve curve =
+      roc_sweep(trials, AttackType::kPortScan, ruleset(), taus, cscales);
+  ASSERT_EQ(curve.points.size(), 5u);
+  // TPR and FPR are monotone non-decreasing in tau_d at fixed tau_c.
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].tpr, curve.points[i - 1].tpr - 1e-9);
+    EXPECT_GE(curve.points[i].fpr, curve.points[i - 1].fpr - 1e-9);
+  }
+  EXPECT_GT(curve.auc(), 0.5);
+}
+
+TEST(Integration, Trace2DetectionWorksToo) {
+  // The paper evaluates on two MAWI snapshots; the second profile (heavier
+  // elephant tail, shifted port mix) must also support detection.
+  TrialConfig cfg = fast_config(11);
+  cfg.profile = trace::trace2_profile();
+  const Trial positive =
+      make_trial(AttackType::kDistributedSynFlood, cfg, 200);
+  EXPECT_TRUE(detect(positive, AttackType::kDistributedSynFlood, ruleset(),
+                     plain_engine(0.02)));
+  const Trial negative = make_trial(AttackType::kNone, cfg, 201);
+  EXPECT_FALSE(detect(negative, AttackType::kDistributedSynFlood, ruleset(),
+                      plain_engine(0.015)));
+}
+
+TEST(Integration, SidMappingCoversEvaluationAttacks) {
+  for (AttackType attack : evaluation_attacks()) {
+    EXPECT_FALSE(sids_for(attack).empty())
+        << packet::attack_name(attack);
+  }
+  EXPECT_TRUE(sids_for(AttackType::kNone).empty());
+}
+
+}  // namespace
+}  // namespace jaal::core

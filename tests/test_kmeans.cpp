@@ -1,0 +1,212 @@
+#include "summarize/kmeans.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <stdexcept>
+
+namespace jaal::summarize {
+namespace {
+
+/// Three well-separated Gaussian blobs in 2D.
+linalg::Matrix blobs(std::size_t per_cluster, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {10.0, 0.0}};
+  linalg::Matrix x(3 * per_cluster, 2);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < per_cluster; ++i) {
+      x(c * per_cluster + i, 0) = centers[c][0] + noise(rng);
+      x(c * per_cluster + i, 1) = centers[c][1] + noise(rng);
+    }
+  }
+  return x;
+}
+
+TEST(KMeans, ValidatesArguments) {
+  std::mt19937_64 rng(1);
+  EXPECT_THROW((void)kmeans(linalg::Matrix{}, 2, rng), std::invalid_argument);
+  EXPECT_THROW((void)kmeans(blobs(5, 1), 0, rng), std::invalid_argument);
+}
+
+TEST(KMeans, RecoversWellSeparatedClusters) {
+  std::mt19937_64 rng(2);
+  const linalg::Matrix x = blobs(50, 2);
+  const KMeansResult res = kmeans(x, 3, rng);
+  ASSERT_EQ(res.centroids.rows(), 3u);
+  // Each true center has a centroid within 0.5.
+  const double centers[3][2] = {{0.0, 0.0}, {5.0, 5.0}, {10.0, 0.0}};
+  for (const auto& center : centers) {
+    double best = 1e300;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const double dx = res.centroids(c, 0) - center[0];
+      const double dy = res.centroids(c, 1) - center[1];
+      best = std::min(best, dx * dx + dy * dy);
+    }
+    EXPECT_LT(best, 0.25);
+  }
+  // Balanced counts.
+  for (std::uint64_t count : res.counts) EXPECT_EQ(count, 50u);
+}
+
+TEST(KMeans, CountsSumToN) {
+  std::mt19937_64 rng(3);
+  const KMeansResult res = kmeans(blobs(40, 3), 7, rng);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : res.counts) total += c;
+  EXPECT_EQ(total, 120u);
+  EXPECT_EQ(res.assignment.size(), 120u);
+}
+
+TEST(KMeans, AssignmentConsistentWithCounts) {
+  std::mt19937_64 rng(4);
+  const linalg::Matrix x = blobs(30, 4);
+  const KMeansResult res = kmeans(x, 5, rng);
+  std::vector<std::uint64_t> recount(5, 0);
+  for (std::size_t a : res.assignment) {
+    ASSERT_LT(a, 5u);
+    ++recount[a];
+  }
+  EXPECT_EQ(recount, res.counts);
+}
+
+TEST(KMeans, AssignmentIsNearest) {
+  std::mt19937_64 rng(5);
+  const linalg::Matrix x = blobs(20, 5);
+  const KMeansResult res = kmeans(x, 4, rng);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    double assigned = 0.0, best = 1e300;
+    for (std::size_t c = 0; c < res.centroids.rows(); ++c) {
+      double d = 0.0;
+      for (std::size_t j = 0; j < x.cols(); ++j) {
+        const double diff = x(i, j) - res.centroids(c, j);
+        d += diff * diff;
+      }
+      if (c == res.assignment[i]) assigned = d;
+      best = std::min(best, d);
+    }
+    EXPECT_NEAR(assigned, best, 1e-9);
+  }
+}
+
+TEST(KMeans, KGreaterOrEqualNDegeneratesToIdentity) {
+  std::mt19937_64 rng(6);
+  const linalg::Matrix x = blobs(2, 6);  // 6 rows
+  const KMeansResult res = kmeans(x, 10, rng);
+  EXPECT_EQ(res.centroids.rows(), 6u);
+  EXPECT_EQ(res.centroids, x);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreCentroids) {
+  const linalg::Matrix x = blobs(40, 7);
+  double last = 1e300;
+  for (std::size_t k : {1u, 2u, 3u, 6u, 12u}) {
+    std::mt19937_64 rng(7);
+    const KMeansResult res = kmeans(x, k, rng);
+    EXPECT_LE(res.inertia, last * 1.05) << "k=" << k;
+    last = res.inertia;
+  }
+}
+
+TEST(KMeans, PlusPlusBeatsRandomOnAverage) {
+  // With few iterations, D^2 seeding should find lower inertia than naive
+  // random seeding on clustered data (the reason the paper chose it).
+  const linalg::Matrix x = blobs(60, 8);
+  KMeansOptions fast;
+  fast.max_iterations = 2;
+  double pp_total = 0.0, rand_total = 0.0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    std::mt19937_64 rng1(seed), rng2(seed);
+    fast.init = KMeansInit::kPlusPlus;
+    pp_total += kmeans(x, 3, rng1, fast).inertia;
+    fast.init = KMeansInit::kRandom;
+    rand_total += kmeans(x, 3, rng2, fast).inertia;
+  }
+  EXPECT_LT(pp_total, rand_total);
+}
+
+TEST(KMeans, IdenticalPointsHandled) {
+  linalg::Matrix x(50, 3);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = 1.0;
+    x(i, 1) = 2.0;
+    x(i, 2) = 3.0;
+  }
+  std::mt19937_64 rng(9);
+  const KMeansResult res = kmeans(x, 4, rng);
+  EXPECT_DOUBLE_EQ(res.inertia, 0.0);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : res.counts) total += c;
+  EXPECT_EQ(total, 50u);
+}
+
+TEST(WeightedKMeans, ValidatesArguments) {
+  std::mt19937_64 rng(1);
+  const linalg::Matrix x = blobs(5, 1);
+  const std::vector<std::uint64_t> wrong_size(3, 1);
+  EXPECT_THROW((void)weighted_kmeans(x, wrong_size, 2, rng),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> zeros(x.rows(), 0);
+  EXPECT_THROW((void)weighted_kmeans(x, zeros, 2, rng),
+               std::invalid_argument);
+  const std::vector<std::uint64_t> ok(x.rows(), 1);
+  EXPECT_THROW((void)weighted_kmeans(x, ok, 0, rng), std::invalid_argument);
+}
+
+TEST(WeightedKMeans, UnitWeightsMatchPlainSemantics) {
+  const linalg::Matrix x = blobs(40, 12);
+  const std::vector<std::uint64_t> unit(x.rows(), 1);
+  std::mt19937_64 rng(12);
+  const auto res = weighted_kmeans(x, unit, 3, rng);
+  // Same well-separated blobs: recovered and balanced.
+  for (std::uint64_t count : res.counts) EXPECT_EQ(count, 40u);
+}
+
+TEST(WeightedKMeans, CountsSumToTotalWeight) {
+  const linalg::Matrix x = blobs(30, 13);
+  std::vector<std::uint64_t> weights(x.rows());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = 1 + i % 7;
+    total += weights[i];
+  }
+  std::mt19937_64 rng(13);
+  const auto res = weighted_kmeans(x, weights, 5, rng);
+  std::uint64_t sum = 0;
+  for (std::uint64_t c : res.counts) sum += c;
+  EXPECT_EQ(sum, total);
+}
+
+TEST(WeightedKMeans, HeavyPointPullsItsCentroid) {
+  // Two points; one carries 99x the weight: the 1-centroid solution must
+  // sit nearly on the heavy point.
+  linalg::Matrix x(2, 1);
+  x(0, 0) = 0.0;
+  x(1, 0) = 1.0;
+  const std::vector<std::uint64_t> weights = {99, 1};
+  std::mt19937_64 rng(14);
+  const auto res = weighted_kmeans(x, weights, 1, rng);
+  EXPECT_NEAR(res.centroids(0, 0), 0.01, 1e-9);
+}
+
+TEST(WeightedKMeans, KGreaterEqualNReturnsRowsWithWeights) {
+  const linalg::Matrix x = blobs(2, 15);  // 6 rows
+  const std::vector<std::uint64_t> weights = {1, 2, 3, 4, 5, 6};
+  std::mt19937_64 rng(15);
+  const auto res = weighted_kmeans(x, weights, 10, rng);
+  EXPECT_EQ(res.centroids.rows(), 6u);
+  EXPECT_EQ(res.counts, weights);
+}
+
+TEST(KMeans, DeterministicGivenRngState) {
+  const linalg::Matrix x = blobs(30, 10);
+  std::mt19937_64 rng1(11), rng2(11);
+  const KMeansResult a = kmeans(x, 4, rng1);
+  const KMeansResult b = kmeans(x, 4, rng2);
+  EXPECT_EQ(a.centroids, b.centroids);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+}  // namespace
+}  // namespace jaal::summarize

@@ -1,0 +1,86 @@
+#include "netsim/latency.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::netsim {
+namespace {
+
+class LatencyFixture : public ::testing::Test {
+ protected:
+  LatencyFixture() : topo_(make_isp_topology(abovenet_profile(), 1)) {}
+  Topology topo_;
+};
+
+TEST_F(LatencyFixture, SelfDeliveryIsSerializationOnly) {
+  const LatencyModel model;
+  EXPECT_DOUBLE_EQ(delivery_latency(topo_, 0, 0, 10000, model),
+                   model.serialization_overhead_s);
+}
+
+TEST_F(LatencyFixture, LatencyGrowsWithPayload) {
+  const auto monitors = topo_.default_monitor_sites(2);
+  const double small = delivery_latency(topo_, monitors[0], monitors[1], 1000);
+  const double large =
+      delivery_latency(topo_, monitors[0], monitors[1], 100000);
+  EXPECT_GT(large, small);
+}
+
+TEST_F(LatencyFixture, LatencyGrowsWithPathLength) {
+  // Pick the farthest edge pair reachable and compare against neighbors.
+  const auto edges = topo_.edge_nodes();
+  const auto neighbors = topo_.neighbors(edges[0]);
+  const double one_hop = delivery_latency(topo_, edges[0], neighbors[0], 5000);
+  // Any edge node in a different PoP is several hops away.
+  NodeId far = edges[0];
+  for (NodeId e : edges) {
+    if (topo_.routers()[e].pop != topo_.routers()[edges[0]].pop) {
+      far = e;
+      break;
+    }
+  }
+  ASSERT_NE(far, edges[0]);
+  EXPECT_GT(delivery_latency(topo_, edges[0], far, 5000), one_hop);
+}
+
+TEST_F(LatencyFixture, CollectionWaitsForWorstMonitor) {
+  const auto monitors = topo_.default_monitor_sites(25);
+  const auto collection =
+      collection_latency(topo_, monitors, monitors.front(), 11312);
+  EXPECT_EQ(collection.per_monitor.size(), 25u);
+  double max_seen = 0.0;
+  for (double l : collection.per_monitor) {
+    EXPECT_GT(l, 0.0);
+    max_seen = std::max(max_seen, l);
+  }
+  EXPECT_DOUBLE_EQ(collection.worst, max_seen);
+  EXPECT_LE(collection.mean, collection.worst);
+}
+
+TEST_F(LatencyFixture, PaperDetectionBudgetHolds) {
+  // The Mirai case study claims detection within 3 s: a 2 s epoch plus
+  // collection and inference.  With r=12/k=200 summaries (11 KB) over the
+  // Abovenet-like map, collection is tens of milliseconds — comfortably
+  // inside the budget.
+  const auto monitors = topo_.default_monitor_sites(25);
+  const auto collection =
+      collection_latency(topo_, monitors, monitors.front(), 11312);
+  const double total =
+      detection_latency_estimate(2.0, collection, /*inference=*/0.05);
+  EXPECT_LT(collection.worst, 0.5);
+  EXPECT_LT(total, 3.0);
+}
+
+TEST_F(LatencyFixture, ValidatesInput) {
+  EXPECT_THROW(
+      (void)collection_latency(topo_, {}, 0, 1000),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)delivery_latency(topo_, 0,
+                             static_cast<NodeId>(topo_.node_count()), 10),
+      std::out_of_range);
+}
+
+}  // namespace
+}  // namespace jaal::netsim

@@ -1,0 +1,113 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jaal::core {
+namespace {
+
+TEST(Confusion, CountsRoute) {
+  ConfusionCounts c;
+  c.add(true, true);    // tp
+  c.add(true, false);   // fp
+  c.add(false, true);   // fn
+  c.add(false, false);  // tn
+  EXPECT_EQ(c.tp, 1u);
+  EXPECT_EQ(c.fp, 1u);
+  EXPECT_EQ(c.fn, 1u);
+  EXPECT_EQ(c.tn, 1u);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.5);
+}
+
+TEST(Confusion, EmptyClassesAreZero) {
+  ConfusionCounts c;
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 0.0);
+}
+
+TEST(Confusion, Accumulation) {
+  ConfusionCounts a, b;
+  a.add(true, true);
+  b.add(false, false);
+  b.add(true, false);
+  a += b;
+  EXPECT_EQ(a.total(), 3u);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 1u);
+  EXPECT_EQ(a.tn, 1u);
+}
+
+TEST(Roc, PerfectClassifierAucIsOne) {
+  RocCurve curve;
+  curve.points = {{0.1, 1.0, 0.0, 1.0}};
+  EXPECT_NEAR(curve.auc(), 1.0, 1e-12);
+}
+
+TEST(Roc, DiagonalAucIsHalf) {
+  RocCurve curve;
+  curve.points = {{0.1, 1.0, 0.25, 0.25},
+                  {0.2, 1.0, 0.5, 0.5},
+                  {0.3, 1.0, 0.75, 0.75}};
+  EXPECT_NEAR(curve.auc(), 0.5, 1e-12);
+}
+
+TEST(Roc, AucHandlesUnsortedPoints) {
+  RocCurve curve;
+  curve.points = {{0.3, 1.0, 0.75, 0.9}, {0.1, 1.0, 0.25, 0.5}};
+  const double auc = curve.auc();
+  EXPECT_GT(auc, 0.5);
+  EXPECT_LE(auc, 1.0);
+}
+
+TEST(Roc, TprAtFprLimit) {
+  RocCurve curve;
+  curve.points = {{0.1, 1.0, 0.02, 0.6},
+                  {0.2, 1.0, 0.08, 0.85},
+                  {0.3, 1.0, 0.25, 0.97}};
+  EXPECT_DOUBLE_EQ(curve.tpr_at_fpr(0.10), 0.85);
+  EXPECT_DOUBLE_EQ(curve.tpr_at_fpr(0.01), 0.0);
+  EXPECT_DOUBLE_EQ(curve.tpr_at_fpr(1.0), 0.97);
+}
+
+TEST(Roc, EnvelopeKeepsBestTprPerFpr) {
+  RocCurve curve;
+  curve.points = {{0.1, 1.0, 0.05, 0.4},
+                  {0.1, 0.5, 0.05, 0.7},   // dominates previous
+                  {0.2, 1.0, 0.10, 0.6},   // dominated (lower tpr, higher fpr)
+                  {0.2, 0.5, 0.20, 0.9}};
+  const RocCurve env = curve.envelope();
+  ASSERT_EQ(env.points.size(), 2u);
+  EXPECT_DOUBLE_EQ(env.points[0].tpr, 0.7);
+  EXPECT_DOUBLE_EQ(env.points[1].tpr, 0.9);
+}
+
+TEST(Comm, OverheadRatio) {
+  CommStats s;
+  s.raw_header_bytes = 1000;
+  s.summary_bytes = 300;
+  s.feedback_bytes = 50;
+  EXPECT_DOUBLE_EQ(s.overhead_ratio(), 0.35);
+  EXPECT_DOUBLE_EQ(s.savings(), 0.65);
+}
+
+TEST(Comm, ZeroBaselineIsZeroRatio) {
+  CommStats s;
+  s.summary_bytes = 10;
+  EXPECT_DOUBLE_EQ(s.overhead_ratio(), 0.0);
+}
+
+TEST(Comm, Accumulation) {
+  CommStats a, b;
+  a.raw_header_bytes = 100;
+  a.summary_bytes = 30;
+  b.raw_header_bytes = 100;
+  b.feedback_bytes = 10;
+  a += b;
+  EXPECT_EQ(a.raw_header_bytes, 200u);
+  EXPECT_DOUBLE_EQ(a.overhead_ratio(), 0.2);
+}
+
+}  // namespace
+}  // namespace jaal::core

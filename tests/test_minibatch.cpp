@@ -1,0 +1,99 @@
+#include "summarize/minibatch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "summarize/kmeans.hpp"
+#include "summarize/normalize.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::summarize {
+namespace {
+
+TEST(MiniBatch, ValidatesConfig) {
+  EXPECT_THROW(MiniBatchClusterer(0, 4, 1), std::invalid_argument);
+  EXPECT_THROW(MiniBatchClusterer(4, 0, 1), std::invalid_argument);
+}
+
+TEST(MiniBatch, RejectsWrongDimension) {
+  MiniBatchClusterer mb(4, 3, 1);
+  const double v[] = {1.0, 2.0};
+  EXPECT_THROW(mb.add(std::span<const double>(v)), std::invalid_argument);
+}
+
+TEST(MiniBatch, FirstKSamplesSeedCentroids) {
+  MiniBatchClusterer mb(3, 2, 1);
+  const double a[] = {0.0, 0.0};
+  const double b[] = {1.0, 1.0};
+  const double c[] = {2.0, 2.0};
+  mb.add(std::span<const double>(a));
+  mb.add(std::span<const double>(b));
+  mb.add(std::span<const double>(c));
+  EXPECT_DOUBLE_EQ(mb.centroids()(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(mb.centroids()(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(mb.centroids()(2, 0), 2.0);
+}
+
+TEST(MiniBatch, CentroidsConvergeToClusterMeans) {
+  // Two tight blobs; after many updates the live centroids should sit on
+  // the blob means.
+  std::mt19937_64 rng(2);
+  std::normal_distribution<double> noise(0.0, 0.01);
+  MiniBatchClusterer mb(2, 2, 3);
+  for (int i = 0; i < 2000; ++i) {
+    const bool left = i % 2 == 0;
+    const double v[] = {(left ? 0.1 : 0.9) + noise(rng),
+                        (left ? 0.1 : 0.9) + noise(rng)};
+    mb.add(std::span<const double>(v));
+  }
+  // One centroid near (0.1, 0.1), the other near (0.9, 0.9).
+  const double c00 = mb.centroids()(0, 0);
+  const double c10 = mb.centroids()(1, 0);
+  EXPECT_NEAR(std::min(c00, c10), 0.1, 0.05);
+  EXPECT_NEAR(std::max(c00, c10), 0.9, 0.05);
+}
+
+TEST(MiniBatch, EpochFlushResetsCountsKeepsCentroids) {
+  MiniBatchClusterer mb(8, packet::kFieldCount, 4);
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 4);
+  for (const auto& pkt : trace::take(gen, 300)) mb.add(pkt);
+
+  const auto epoch1 = mb.flush_epoch();
+  std::uint64_t total = 0;
+  for (auto c : epoch1.counts) total += c;
+  EXPECT_EQ(total, 300u);
+
+  // Second epoch starts from zero membership but warm centroids.
+  for (const auto& pkt : trace::take(gen, 100)) mb.add(pkt);
+  const auto epoch2 = mb.flush_epoch();
+  total = 0;
+  for (auto c : epoch2.counts) total += c;
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(MiniBatch, QuantizationErrorWithinFactorOfBatchKMeans) {
+  // Streaming quality: mean quantization error should be within a modest
+  // factor of full batch k-means++ on the same data.
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 5);
+  const auto packets = trace::take(gen, 1000);
+  const linalg::Matrix x = to_normalized_matrix(packets);
+
+  MiniBatchClusterer mb(64, packet::kFieldCount, 6);
+  for (const auto& pkt : packets) mb.add(pkt);
+
+  std::mt19937_64 rng(6);
+  const auto batch = kmeans(x, 64, rng);
+  const double batch_mse = batch.inertia / static_cast<double>(x.rows());
+  EXPECT_LT(mb.mean_quantization_error(), batch_mse * 5.0 + 1e-6);
+}
+
+TEST(MiniBatch, SeenCountsEveryAdd) {
+  MiniBatchClusterer mb(4, 2, 7);
+  const double v[] = {0.5, 0.5};
+  for (int i = 0; i < 10; ++i) mb.add(std::span<const double>(v));
+  EXPECT_EQ(mb.seen(), 10u);
+}
+
+}  // namespace
+}  // namespace jaal::summarize

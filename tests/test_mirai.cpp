@@ -1,0 +1,121 @@
+#include "attack/mirai.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jaal::attack {
+namespace {
+
+using packet::AttackType;
+using packet::TcpFlag;
+
+AttackConfig scan_config() {
+  AttackConfig cfg;
+  cfg.packets_per_second = 2000.0;
+  cfg.source_count = 50;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(MiraiScan, TargetsTelnetPorts) {
+  MiraiScan scan(scan_config());
+  std::size_t p23 = 0, p2323 = 0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto pkt = scan.next();
+    EXPECT_EQ(pkt.label, AttackType::kMiraiScan);
+    EXPECT_EQ(pkt.tcp.flags, packet::flag_bit(TcpFlag::kSyn));
+    if (pkt.tcp.dst_port == 23) {
+      ++p23;
+    } else {
+      EXPECT_EQ(pkt.tcp.dst_port, 2323);
+      ++p2323;
+    }
+  }
+  // scanner.c ratio: roughly one in ten probes goes to 2323.
+  EXPECT_GT(p23, p2323 * 5);
+  EXPECT_GT(p2323, 0u);
+}
+
+TEST(MiraiScan, SequenceEqualsDestination) {
+  // The well-known Mirai fingerprint: TCP seq == dst IP.
+  MiraiScan scan(scan_config());
+  for (int i = 0; i < 200; ++i) {
+    const auto pkt = scan.next();
+    EXPECT_EQ(pkt.tcp.seq, pkt.ip.dst_ip);
+  }
+}
+
+TEST(MiraiScan, DestinationsSpreadWide) {
+  MiraiScan scan(scan_config());
+  std::set<std::uint8_t> first_octets;
+  for (int i = 0; i < 2000; ++i) {
+    first_octets.insert(static_cast<std::uint8_t>(scan.next().ip.dst_ip >> 24));
+  }
+  EXPECT_GT(first_octets.size(), 100u);  // near-whole-IPv4 scanning
+}
+
+TEST(MiraiScan, UsesProvidedBotList) {
+  const std::vector<std::uint32_t> bots = {packet::make_ip(1, 2, 3, 4),
+                                           packet::make_ip(5, 6, 7, 8)};
+  MiraiScan scan(scan_config(), bots);
+  for (int i = 0; i < 100; ++i) {
+    const auto pkt = scan.next();
+    EXPECT_TRUE(pkt.ip.src_ip == bots[0] || pkt.ip.src_ip == bots[1]);
+  }
+}
+
+TEST(MiraiOutbreak, UncheckedInfectionGrows) {
+  MiraiConfig cfg;
+  cfg.duration = 60.0;
+  const auto trajectory = simulate_outbreak(cfg, ResponsePolicy{});
+  ASSERT_FALSE(trajectory.empty());
+  EXPECT_EQ(trajectory.front().total_infected, 1u);
+  // Unchecked, the epidemic should compromise most vulnerable devices.
+  EXPECT_GT(trajectory.back().total_infected, cfg.vulnerable_count / 2);
+  // Monotone non-decreasing cumulative infections.
+  for (std::size_t i = 1; i < trajectory.size(); ++i) {
+    EXPECT_GE(trajectory[i].total_infected, trajectory[i - 1].total_infected);
+  }
+}
+
+TEST(MiraiOutbreak, ResponseCapsInfections) {
+  MiraiConfig cfg;
+  cfg.duration = 60.0;
+  ResponsePolicy response;
+  response.enabled = true;
+  response.detection_latency = 3.0;
+  response.detection_probability = 0.95;
+  const auto unchecked = simulate_outbreak(cfg, ResponsePolicy{});
+  const auto defended = simulate_outbreak(cfg, response);
+  // Fig. 8: with detection and shut-off the outbreak stays far below the
+  // unchecked trajectory (paper: never above 50 of 150).
+  EXPECT_LT(defended.back().total_infected,
+            unchecked.back().total_infected / 2);
+  EXPECT_LE(defended.back().total_infected, 60u);
+  EXPECT_GT(defended.back().shut_off, 0u);
+}
+
+TEST(MiraiOutbreak, InfectionsNeverExceedVulnerablePopulation) {
+  MiraiConfig cfg;
+  cfg.duration = 120.0;
+  const auto trajectory = simulate_outbreak(cfg, ResponsePolicy{});
+  for (const auto& point : trajectory) {
+    EXPECT_LE(point.total_infected, cfg.vulnerable_count);
+    EXPECT_LE(point.active_bots + point.shut_off, point.total_infected);
+  }
+}
+
+TEST(MiraiOutbreak, DeterministicForSeed) {
+  MiraiConfig cfg;
+  cfg.duration = 30.0;
+  const auto a = simulate_outbreak(cfg, ResponsePolicy{});
+  const auto b = simulate_outbreak(cfg, ResponsePolicy{});
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].total_infected, b[i].total_infected);
+  }
+}
+
+}  // namespace
+}  // namespace jaal::attack

@@ -1,0 +1,109 @@
+#include "trace/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/generators.hpp"
+
+namespace jaal::trace {
+namespace {
+
+using packet::AttackType;
+
+attack::AttackConfig attack_config(double rate = 50000.0) {
+  attack::AttackConfig cfg;
+  cfg.victim_ip = packet::make_ip(203, 0, 10, 5);
+  cfg.packets_per_second = rate;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(TrafficMix, QuotaCapsAttackFraction) {
+  BackgroundTraffic background(trace1_profile(), 1);
+  // Attack offered at the same rate as background: without the cap it would
+  // be ~50% of traffic.
+  attack::DistributedSynFlood flood(attack_config());
+  TrafficMix mix(background, {&flood}, 0.10);
+  std::size_t attack_count = 0;
+  const std::size_t total = 20000;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (mix.next().label != AttackType::kNone) ++attack_count;
+  }
+  const double fraction = static_cast<double>(attack_count) / total;
+  EXPECT_LE(fraction, 0.101);
+  EXPECT_GT(fraction, 0.08);  // quota should be nearly saturated
+  EXPECT_GT(mix.attack_dropped(), 0u);
+}
+
+TEST(TrafficMix, LowRateAttackNotThrottled) {
+  BackgroundTraffic background(trace1_profile(), 2);
+  attack::Sockstress slow(attack_config(100.0));  // 0.2% of background
+  TrafficMix mix(background, {&slow}, 0.10);
+  for (int i = 0; i < 10000; ++i) (void)mix.next();
+  EXPECT_EQ(mix.attack_dropped(), 0u);
+  EXPECT_GT(mix.attack_emitted(), 0u);
+}
+
+TEST(TrafficMix, TimestampsMonotone) {
+  BackgroundTraffic background(trace1_profile(), 3);
+  attack::SynFlood flood(attack_config(20000.0));
+  TrafficMix mix(background, {&flood}, 0.10);
+  double last = -1.0;
+  for (int i = 0; i < 5000; ++i) {
+    const auto pkt = mix.next();
+    EXPECT_GE(pkt.timestamp, last);
+    last = pkt.timestamp;
+  }
+}
+
+TEST(TrafficMix, ZeroFractionSuppressesAllAttacks) {
+  BackgroundTraffic background(trace1_profile(), 4);
+  attack::SynFlood flood(attack_config());
+  TrafficMix mix(background, {&flood}, 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(mix.next().label, AttackType::kNone);
+  }
+}
+
+TEST(TrafficMix, NoAttackSourcesPassesBackgroundThrough) {
+  BackgroundTraffic a(trace1_profile(), 5);
+  BackgroundTraffic b(trace1_profile(), 5);
+  TrafficMix mix(a, {}, 0.10);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(mix.next(), b.next());
+  }
+}
+
+TEST(TrafficMix, CountsAreConsistent) {
+  BackgroundTraffic background(trace1_profile(), 6);
+  attack::PortScan scan(attack_config(30000.0));
+  TrafficMix mix(background, {&scan}, 0.10);
+  std::uint64_t attack_seen = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (mix.next().label != AttackType::kNone) ++attack_seen;
+  }
+  EXPECT_EQ(mix.total_emitted(), 5000u);
+  EXPECT_EQ(mix.attack_emitted(), attack_seen);
+}
+
+TEST(TrafficMix, InvalidConfigRejected) {
+  BackgroundTraffic background(trace1_profile(), 7);
+  EXPECT_THROW(TrafficMix(background, {}, -0.1), std::invalid_argument);
+  EXPECT_THROW(TrafficMix(background, {}, 1.1), std::invalid_argument);
+  EXPECT_THROW(TrafficMix(background, {nullptr}, 0.1), std::invalid_argument);
+}
+
+TEST(TrafficMix, MultipleAttackSourcesShareQuota) {
+  BackgroundTraffic background(trace1_profile(), 8);
+  attack::SynFlood flood(attack_config(30000.0));
+  attack::PortScan scan(attack_config(30000.0));
+  TrafficMix mix(background, {&flood, &scan}, 0.10);
+  std::uint64_t attack_seen = 0;
+  const std::size_t total = 20000;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (mix.next().label != AttackType::kNone) ++attack_seen;
+  }
+  EXPECT_LE(static_cast<double>(attack_seen) / total, 0.101);
+}
+
+}  // namespace
+}  // namespace jaal::trace

@@ -1,0 +1,109 @@
+#include "core/monitor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/background.hpp"
+
+namespace jaal::core {
+namespace {
+
+summarize::SummarizerConfig config(std::size_t n = 600, std::size_t min = 300) {
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = n;
+  cfg.min_batch = min;
+  cfg.rank = 12;
+  cfg.centroids = 64;
+  return cfg;
+}
+
+std::vector<packet::PacketRecord> traffic(std::size_t n,
+                                          std::uint64_t seed = 1) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), seed);
+  return trace::take(gen, n);
+}
+
+TEST(Monitor, BuffersAndReportsReadiness) {
+  Monitor m(0, config(100, 50));
+  EXPECT_FALSE(m.batch_ready());
+  for (const auto& pkt : traffic(99)) m.observe(pkt);
+  EXPECT_FALSE(m.batch_ready());
+  m.observe(traffic(1, 2)[0]);
+  EXPECT_TRUE(m.batch_ready());
+  EXPECT_EQ(m.packets_observed(), 100u);
+}
+
+TEST(Monitor, FlushBelowMinimumReturnsNulloptAndKeepsBuffer) {
+  Monitor m(0, config(600, 300));
+  for (const auto& pkt : traffic(100)) m.observe(pkt);
+  EXPECT_FALSE(m.flush_epoch().has_value());
+  EXPECT_EQ(m.buffered(), 100u);  // packets roll into the next epoch
+}
+
+TEST(Monitor, FlushSummarizesAndClearsBuffer) {
+  Monitor m(3, config());
+  for (const auto& pkt : traffic(600)) m.observe(pkt);
+  const auto summary = m.flush_epoch();
+  ASSERT_TRUE(summary.has_value());
+  EXPECT_EQ(m.buffered(), 0u);
+  // Summary is attributed to the right monitor.
+  if (const auto* split = std::get_if<summarize::SplitSummary>(&*summary)) {
+    EXPECT_EQ(split->monitor, 3u);
+  } else {
+    EXPECT_EQ(std::get<summarize::CombinedSummary>(*summary).monitor, 3u);
+  }
+}
+
+TEST(Monitor, RawPacketRetrievalCoversWholeBatch) {
+  Monitor m(0, config());
+  const auto packets = traffic(600, 5);
+  for (const auto& pkt : packets) m.observe(pkt);
+  (void)m.flush_epoch();
+  // Requesting every centroid must return every packet exactly once.
+  std::vector<std::size_t> all_centroids;
+  for (std::size_t c = 0; c < 64; ++c) all_centroids.push_back(c);
+  const auto raw = m.raw_packets_for(all_centroids);
+  EXPECT_EQ(raw.size(), 600u);
+}
+
+TEST(Monitor, RawPacketsGroupedByCentroidAreDisjoint) {
+  Monitor m(0, config());
+  for (const auto& pkt : traffic(600, 6)) m.observe(pkt);
+  (void)m.flush_epoch();
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < 64; ++c) {
+    total += m.raw_packets_for({c}).size();
+  }
+  EXPECT_EQ(total, 600u);
+}
+
+TEST(Monitor, UnknownCentroidIgnored) {
+  Monitor m(0, config());
+  for (const auto& pkt : traffic(600, 7)) m.observe(pkt);
+  (void)m.flush_epoch();
+  EXPECT_TRUE(m.raw_packets_for({9999}).empty());
+}
+
+TEST(Monitor, EpochStoreReplacedOnNextFlush) {
+  Monitor m(0, config(300, 100));
+  for (const auto& pkt : traffic(300, 8)) m.observe(pkt);
+  (void)m.flush_epoch();
+  for (const auto& pkt : traffic(300, 9)) m.observe(pkt);
+  (void)m.flush_epoch();
+  std::vector<std::size_t> all_centroids;
+  for (std::size_t c = 0; c < 64; ++c) all_centroids.push_back(c);
+  EXPECT_EQ(m.raw_packets_for(all_centroids).size(), 300u);  // only last epoch
+}
+
+TEST(Monitor, CommAccounting) {
+  Monitor m(0, config());
+  for (const auto& pkt : traffic(600, 10)) m.observe(pkt);
+  EXPECT_EQ(m.comm().raw_header_bytes, 600u * packet::kHeadersBytes);
+  EXPECT_EQ(m.comm().summary_bytes, 0u);
+  (void)m.flush_epoch();
+  EXPECT_GT(m.comm().summary_bytes, 0u);
+  // The whole point: summaries are much smaller than raw headers.
+  EXPECT_LT(m.comm().summary_bytes, m.comm().raw_header_bytes / 2);
+}
+
+}  // namespace
+}  // namespace jaal::core

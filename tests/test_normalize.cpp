@@ -1,0 +1,59 @@
+#include "summarize/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/background.hpp"
+
+namespace jaal::summarize {
+namespace {
+
+TEST(Normalize, MatrixShapeMatchesBatch) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 1);
+  const auto batch = trace::take(gen, 64);
+  const linalg::Matrix x = to_matrix(batch);
+  EXPECT_EQ(x.rows(), 64u);
+  EXPECT_EQ(x.cols(), packet::kFieldCount);
+}
+
+TEST(Normalize, RowsMatchFieldVectors) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 2);
+  const auto batch = trace::take(gen, 16);
+  const linalg::Matrix x = to_matrix(batch);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const auto v = packet::to_field_vector(batch[i]);
+    for (std::size_t j = 0; j < packet::kFieldCount; ++j) {
+      EXPECT_EQ(x(i, j), v[j]);
+    }
+  }
+}
+
+TEST(Normalize, NormalizedEntriesInUnitInterval) {
+  trace::BackgroundTraffic gen(trace::trace2_profile(), 3);
+  const auto batch = trace::take(gen, 256);
+  const linalg::Matrix x = to_normalized_matrix(batch);
+  for (double v : x.data()) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(Normalize, InPlaceMatchesFreshConversion) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 4);
+  const auto batch = trace::take(gen, 32);
+  linalg::Matrix raw = to_matrix(batch);
+  normalize_in_place(raw);
+  EXPECT_EQ(raw, to_normalized_matrix(batch));
+}
+
+TEST(Normalize, InPlaceRejectsWrongWidth) {
+  linalg::Matrix wrong(4, 7);
+  EXPECT_THROW(normalize_in_place(wrong), std::invalid_argument);
+}
+
+TEST(Normalize, EmptyBatchYieldsEmptyMatrix) {
+  const linalg::Matrix x = to_matrix({});
+  EXPECT_EQ(x.rows(), 0u);
+}
+
+}  // namespace
+}  // namespace jaal::summarize

@@ -1,0 +1,206 @@
+#include "packet/fields.hpp"
+#include "packet/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::packet {
+namespace {
+
+PacketRecord sample_packet() {
+  PacketRecord pkt;
+  pkt.ip.tos = 0x10;
+  pkt.ip.total_length = 1500;
+  pkt.ip.identification = 0xBEEF;
+  pkt.ip.flags = 2;
+  pkt.ip.fragment_offset = 0;
+  pkt.ip.ttl = 57;
+  pkt.ip.src_ip = make_ip(192, 168, 1, 10);
+  pkt.ip.dst_ip = make_ip(203, 0, 10, 5);
+  pkt.tcp.src_port = 43210;
+  pkt.tcp.dst_port = 443;
+  pkt.tcp.seq = 0x12345678;
+  pkt.tcp.ack = 0x9ABCDEF0;
+  pkt.tcp.set(TcpFlag::kAck);
+  pkt.tcp.set(TcpFlag::kPsh);
+  pkt.tcp.window = 29200;
+  return pkt;
+}
+
+TEST(Headers, FlagHelpers) {
+  TcpHeader tcp;
+  EXPECT_FALSE(tcp.has(TcpFlag::kSyn));
+  tcp.set(TcpFlag::kSyn);
+  tcp.set(TcpFlag::kAck);
+  EXPECT_TRUE(tcp.has(TcpFlag::kSyn));
+  EXPECT_TRUE(tcp.has(TcpFlag::kAck));
+  EXPECT_EQ(tcp.flags, 0x12);
+  tcp.set(TcpFlag::kSyn, false);
+  EXPECT_FALSE(tcp.has(TcpFlag::kSyn));
+  EXPECT_EQ(tcp.flags, 0x10);
+}
+
+TEST(Headers, IpStringRoundTrip) {
+  EXPECT_EQ(ip_to_string(make_ip(10, 0, 0, 1)), "10.0.0.1");
+  EXPECT_EQ(ip_from_string("10.0.0.1"), make_ip(10, 0, 0, 1));
+  EXPECT_EQ(ip_from_string("255.255.255.255"), 0xFFFFFFFFu);
+  EXPECT_EQ(ip_from_string("0.0.0.0"), 0u);
+}
+
+TEST(Headers, IpFromStringRejectsGarbage) {
+  EXPECT_THROW((void)ip_from_string("256.0.0.1"), std::invalid_argument);
+  EXPECT_THROW((void)ip_from_string("1.2.3"), std::invalid_argument);
+  EXPECT_THROW((void)ip_from_string("1.2.3.4.5"), std::invalid_argument);
+  EXPECT_THROW((void)ip_from_string("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(Fields, CountIsEighteen) {
+  EXPECT_EQ(kFieldCount, 18u);
+  EXPECT_EQ(all_fields().size(), 18u);
+}
+
+TEST(Fields, NameRoundTrip) {
+  for (FieldIndex f : all_fields()) {
+    EXPECT_EQ(field_from_name(field_name(f)), f);
+  }
+  EXPECT_THROW((void)field_from_name("tcp.bogus"), std::invalid_argument);
+}
+
+TEST(Fields, VectorizationPlacesEveryField) {
+  const PacketRecord pkt = sample_packet();
+  const FieldVector v = to_field_vector(pkt);
+  EXPECT_EQ(v[index(FieldIndex::kIpVersion)], 4.0);
+  EXPECT_EQ(v[index(FieldIndex::kIpTotalLength)], 1500.0);
+  EXPECT_EQ(v[index(FieldIndex::kIpTtl)], 57.0);
+  EXPECT_EQ(v[index(FieldIndex::kIpSrcAddr)],
+            static_cast<double>(make_ip(192, 168, 1, 10)));
+  EXPECT_EQ(v[index(FieldIndex::kTcpDstPort)], 443.0);
+  EXPECT_EQ(v[index(FieldIndex::kTcpFlags)], 0x18);
+  EXPECT_EQ(v[index(FieldIndex::kTcpWindow)], 29200.0);
+}
+
+TEST(Fields, NormalizedVectorInUnitInterval) {
+  PacketRecord pkt = sample_packet();
+  pkt.tcp.seq = 0xFFFFFFFF;
+  pkt.ip.ttl = 255;
+  const FieldVector v = to_normalized_vector(pkt);
+  for (double x : v) {
+    EXPECT_GE(x, 0.0);
+    EXPECT_LE(x, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(v[index(FieldIndex::kIpTtl)], 1.0);
+  EXPECT_DOUBLE_EQ(v[index(FieldIndex::kTcpSeq)], 1.0);
+}
+
+TEST(Fields, NormalizeDenormalizeRoundTrip) {
+  for (FieldIndex f : all_fields()) {
+    const double raw = field_max(f) * 0.37;
+    EXPECT_NEAR(denormalize_field(f, normalize_field(f, raw)), raw, 1e-9);
+  }
+}
+
+TEST(FlowKey, ExtractedFromPacket) {
+  const PacketRecord pkt = sample_packet();
+  const FlowKey key = pkt.flow();
+  EXPECT_EQ(key.src_ip, pkt.ip.src_ip);
+  EXPECT_EQ(key.dst_port, 443);
+}
+
+TEST(FlowKey, HashDistinguishesDirections) {
+  FlowKey a{1, 2, 10, 20};
+  FlowKey b{2, 1, 20, 10};
+  EXPECT_NE(FlowKeyHash{}(a), FlowKeyHash{}(b));
+  EXPECT_EQ(FlowKeyHash{}(a), FlowKeyHash{}(a));
+}
+
+TEST(Wire, SerializeLength) {
+  const PacketRecord pkt = sample_packet();
+  const auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  EXPECT_EQ(bytes.size(), kHeadersBytes);
+}
+
+TEST(Wire, RoundTripPreservesEveryField) {
+  const PacketRecord pkt = sample_packet();
+  const auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  const auto parsed = parse_headers(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  // Checksums are computed by the serializer; zero them out to compare the
+  // semantic fields.
+  Ipv4Header ip = parsed->ip;
+  TcpHeader tcp = parsed->tcp;
+  ip.checksum = 0;
+  tcp.checksum = 0;
+  EXPECT_EQ(ip, pkt.ip);
+  EXPECT_EQ(tcp, pkt.tcp);
+}
+
+TEST(Wire, ChecksumsValidateOnRoundTrip) {
+  const PacketRecord pkt = sample_packet();
+  const auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  const auto parsed = parse_headers(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->ip_checksum_ok);
+  EXPECT_TRUE(parsed->tcp_checksum_ok);
+}
+
+TEST(Wire, CorruptionDetectedByChecksum) {
+  const PacketRecord pkt = sample_packet();
+  auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  bytes[8] ^= 0xFF;  // flip the TTL
+  const auto parsed = parse_headers(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->ip_checksum_ok);
+}
+
+TEST(Wire, RejectsShortBuffer) {
+  const std::vector<std::uint8_t> tiny(10, 0);
+  EXPECT_FALSE(parse_headers(tiny).has_value());
+}
+
+TEST(Wire, RejectsNonIpv4) {
+  const PacketRecord pkt = sample_packet();
+  auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  bytes[0] = 0x65;  // version 6
+  EXPECT_FALSE(parse_headers(bytes).has_value());
+}
+
+TEST(Wire, RejectsNonTcp) {
+  PacketRecord pkt = sample_packet();
+  pkt.ip.protocol = 17;  // UDP
+  const auto bytes = serialize_headers(pkt.ip, pkt.tcp);
+  EXPECT_FALSE(parse_headers(bytes).has_value());
+}
+
+TEST(Wire, InternetChecksumKnownVector) {
+  // RFC 1071 example-style check: checksum of a buffer plus its checksum
+  // folds to zero.
+  const std::vector<std::uint8_t> data = {0x45, 0x00, 0x00, 0x73, 0x00, 0x00,
+                                          0x40, 0x00, 0x40, 0x11, 0x00, 0x00,
+                                          0xC0, 0xA8, 0x00, 0x01, 0xC0, 0xA8,
+                                          0x00, 0xC7};
+  const std::uint16_t csum = internet_checksum(data);
+  std::vector<std::uint8_t> with = data;
+  with[10] = static_cast<std::uint8_t>(csum >> 8);
+  with[11] = static_cast<std::uint8_t>(csum & 0xFF);
+  EXPECT_EQ(internet_checksum(with), 0);
+}
+
+TEST(Wire, ChecksumOddLength) {
+  const std::vector<std::uint8_t> data = {0x01, 0x02, 0x03};
+  // Odd byte padded with zero: sum = 0x0102 + 0x0300.
+  EXPECT_EQ(internet_checksum(data),
+            static_cast<std::uint16_t>(~(0x0102 + 0x0300) & 0xFFFF));
+}
+
+TEST(AttackTypes, NamesAreUnique) {
+  for (std::size_t i = 0; i < kAttackTypeCount; ++i) {
+    for (std::size_t j = i + 1; j < kAttackTypeCount; ++j) {
+      EXPECT_STRNE(attack_name(static_cast<AttackType>(i)),
+                   attack_name(static_cast<AttackType>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jaal::packet

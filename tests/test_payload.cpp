@@ -1,0 +1,115 @@
+#include "payload/term_matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::payload {
+namespace {
+
+TEST(Vocabulary, ValidatesInput) {
+  EXPECT_THROW(Vocabulary({}), std::invalid_argument);
+  EXPECT_THROW(Vocabulary({"ok", ""}), std::invalid_argument);
+}
+
+TEST(Vocabulary, CaseInsensitiveCounting) {
+  const Vocabulary vocab({".exe", "wget "});
+  const auto counts = vocab.count("GET /Payload.EXE and then WGET more.exe");
+  EXPECT_EQ(counts[0], 2u);  // .EXE + .exe
+  EXPECT_EQ(counts[1], 1u);
+}
+
+TEST(Vocabulary, OverlappingMatchesCounted) {
+  const Vocabulary vocab({"aa"});
+  EXPECT_EQ(vocab.count("aaaa")[0], 3u);
+}
+
+TEST(Vocabulary, IndexOfRoundTrip) {
+  const Vocabulary vocab = default_vocabulary();
+  for (std::size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_EQ(vocab.index_of(vocab.terms()[i]), i);
+  }
+  EXPECT_THROW((void)vocab.index_of("not-a-term"), std::invalid_argument);
+}
+
+TEST(TermMatrix, ShapeAndContent) {
+  const Vocabulary vocab({".exe", "ssh-"});
+  const std::vector<std::string> payloads = {
+      "run me.exe now", "SSH-2.0-OpenSSH_8.9", "hello world"};
+  const linalg::Matrix x = term_frequency_matrix(vocab, payloads);
+  EXPECT_EQ(x.rows(), 3u);
+  EXPECT_EQ(x.cols(), 2u);
+  EXPECT_EQ(x(0, 0), 1.0);
+  EXPECT_EQ(x(1, 1), 1.0);
+  EXPECT_EQ(x(2, 0), 0.0);
+  EXPECT_EQ(x(2, 1), 0.0);
+}
+
+TEST(PayloadSummarizer, RejectsEmptyBatch) {
+  EXPECT_THROW(
+      (void)summarize_payloads(default_vocabulary(), {}, {}),
+      std::invalid_argument);
+}
+
+TEST(PayloadSummarizer, CountsSumToBatch) {
+  PayloadGenerator gen(1, 0.1);
+  const auto payloads = gen.batch(300);
+  const auto summary =
+      summarize_payloads(default_vocabulary(), payloads, {});
+  std::uint64_t total = 0;
+  for (auto c : summary.counts) total += c;
+  EXPECT_EQ(total, 300u);
+}
+
+TEST(PayloadSummarizer, DetectsInjectedKeyword) {
+  // 10% of payloads carry ".exe": the keyword rule must fire from the
+  // summary alone, and must stay silent on a clean batch.
+  const Vocabulary vocab = default_vocabulary();
+  const std::vector<KeywordRule> rules = {
+      {".exe", 10, "executable download burst"}};
+
+  PayloadGenerator dirty(2, 0.10);
+  const auto dirty_summary = summarize_payloads(vocab, dirty.batch(500), {});
+  const auto dirty_alerts = match_keywords(vocab, dirty_summary, rules);
+  ASSERT_EQ(dirty_alerts.size(), 1u);
+  EXPECT_EQ(dirty_alerts[0].term, ".exe");
+  // ~50 marked payloads; the estimate should be in that ballpark.
+  EXPECT_GT(dirty_alerts[0].estimated_packets, 20.0);
+  EXPECT_LT(dirty_alerts[0].estimated_packets, 120.0);
+
+  PayloadGenerator clean(3, 0.0);
+  const auto clean_summary = summarize_payloads(vocab, clean.batch(500), {});
+  EXPECT_TRUE(match_keywords(vocab, clean_summary, rules).empty());
+}
+
+TEST(PayloadSummarizer, EstimateTracksInjectionRate) {
+  const Vocabulary vocab = default_vocabulary();
+  const std::vector<KeywordRule> rules = {{".exe", 1, "exe"}};
+  double last = -1.0;
+  for (double rate : {0.05, 0.15, 0.30}) {
+    PayloadGenerator gen(4, rate);
+    const auto summary = summarize_payloads(vocab, gen.batch(600), {});
+    const auto alerts = match_keywords(vocab, summary, rules);
+    ASSERT_EQ(alerts.size(), 1u);
+    EXPECT_GT(alerts[0].estimated_packets, last);
+    last = alerts[0].estimated_packets;
+  }
+}
+
+TEST(PayloadGenerator, Deterministic) {
+  PayloadGenerator a(5, 0.2), b(5, 0.2);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(PayloadGenerator, MarkerFractionApproximate) {
+  PayloadGenerator gen(6, 0.25);
+  std::size_t marked = 0;
+  const auto payloads = gen.batch(2000);
+  for (const auto& p : payloads) {
+    if (p.find(".exe") != std::string::npos) ++marked;
+  }
+  EXPECT_NEAR(static_cast<double>(marked) / 2000.0, 0.25, 0.04);
+}
+
+}  // namespace
+}  // namespace jaal::payload

@@ -1,0 +1,90 @@
+#include "trace/pcap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/background.hpp"
+
+namespace jaal::trace {
+namespace {
+
+using packet::PacketRecord;
+
+std::vector<PacketRecord> sample_packets(std::size_t n) {
+  BackgroundTraffic gen(trace1_profile(), 99);
+  return take(gen, n);
+}
+
+TEST(Pcap, RoundTripPreservesHeaders) {
+  const auto packets = sample_packets(50);
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  const auto restored = read_pcap(buffer);
+  ASSERT_EQ(restored.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    PacketRecord expected = packets[i];
+    PacketRecord actual = restored[i];
+    // Checksums are filled in by the writer; labels don't survive pcap.
+    expected.ip.checksum = actual.ip.checksum;
+    expected.tcp.checksum = actual.tcp.checksum;
+    expected.label = packet::AttackType::kNone;
+    EXPECT_EQ(actual.ip, expected.ip) << "packet " << i;
+    EXPECT_EQ(actual.tcp, expected.tcp) << "packet " << i;
+  }
+}
+
+TEST(Pcap, TimestampsSurviveWithMicrosecondPrecision) {
+  const auto packets = sample_packets(20);
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  const auto restored = read_pcap(buffer);
+  ASSERT_EQ(restored.size(), packets.size());
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    EXPECT_NEAR(restored[i].timestamp, packets[i].timestamp, 1e-6);
+  }
+}
+
+TEST(Pcap, EmptyCapture) {
+  std::stringstream buffer;
+  write_pcap(buffer, {});
+  EXPECT_TRUE(read_pcap(buffer).empty());
+}
+
+TEST(Pcap, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer.write("XXXXXXXXXXXXXXXXXXXXXXXX", 24);
+  EXPECT_THROW((void)read_pcap(buffer), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedGlobalHeader) {
+  std::stringstream buffer;
+  buffer.write("\xd4\xc3\xb2\xa1", 4);
+  EXPECT_THROW((void)read_pcap(buffer), std::runtime_error);
+}
+
+TEST(Pcap, RejectsTruncatedRecordBody) {
+  const auto packets = sample_packets(2);
+  std::stringstream buffer;
+  write_pcap(buffer, packets);
+  std::string data = buffer.str();
+  data.resize(data.size() - 10);  // cut into the final record
+  std::stringstream cut(data);
+  EXPECT_THROW((void)read_pcap(cut), std::runtime_error);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const auto packets = sample_packets(10);
+  const std::string path = testing::TempDir() + "/jaal_test.pcap";
+  write_pcap_file(path, packets);
+  const auto restored = read_pcap_file(path);
+  EXPECT_EQ(restored.size(), packets.size());
+}
+
+TEST(Pcap, MissingFileThrows) {
+  EXPECT_THROW((void)read_pcap_file("/nonexistent/nope.pcap"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jaal::trace

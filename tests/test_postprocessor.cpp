@@ -1,0 +1,79 @@
+#include "inference/postprocessor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/stats.hpp"
+
+namespace jaal::inference {
+namespace {
+
+using packet::FieldIndex;
+
+AggregatedSummary aggregate_with_field(std::vector<double> values,
+                                       std::vector<std::uint64_t> counts,
+                                       FieldIndex field) {
+  AggregatedSummary agg;
+  agg.centroids = linalg::Matrix(values.size(), packet::kFieldCount);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    agg.centroids(i, packet::index(field)) = values[i];
+    agg.origin.push_back(0);
+    agg.local_index.push_back(i);
+  }
+  agg.counts = std::move(counts);
+  return agg;
+}
+
+TEST(Postprocessor, MatchesWeightedVarianceFormula) {
+  const std::vector<double> values = {0.1, 0.5, 0.9};
+  const std::vector<std::uint64_t> counts = {2, 3, 1};
+  const auto agg =
+      aggregate_with_field(values, counts, FieldIndex::kTcpDstPort);
+  const std::vector<std::size_t> rows = {0, 1, 2};
+  EXPECT_NEAR(matched_variance(agg, rows, FieldIndex::kTcpDstPort),
+              linalg::weighted_variance(values, counts), 1e-12);
+}
+
+TEST(Postprocessor, SubsetOfRowsOnly) {
+  const auto agg = aggregate_with_field({0.0, 1.0, 0.5}, {1, 1, 1},
+                                        FieldIndex::kIpSrcAddr);
+  const std::vector<std::size_t> rows = {0, 1};  // exclude the middle value
+  // Variance of {0, 1} = 0.25.
+  EXPECT_NEAR(matched_variance(agg, rows, FieldIndex::kIpSrcAddr), 0.25,
+              1e-12);
+}
+
+TEST(Postprocessor, ConcentratedFieldHasZeroVariance) {
+  const auto agg = aggregate_with_field({0.3, 0.3, 0.3}, {100, 50, 25},
+                                        FieldIndex::kTcpDstPort);
+  const std::vector<std::size_t> rows = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(matched_variance(agg, rows, FieldIndex::kTcpDstPort), 0.0);
+  EXPECT_FALSE(postprocess(agg, rows, FieldIndex::kTcpDstPort, 1e-9));
+}
+
+TEST(Postprocessor, ThresholdSemantics) {
+  const auto agg = aggregate_with_field({0.0, 1.0}, {1, 1},
+                                        FieldIndex::kIpSrcAddr);
+  const std::vector<std::size_t> rows = {0, 1};
+  EXPECT_TRUE(postprocess(agg, rows, FieldIndex::kIpSrcAddr, 0.25));
+  EXPECT_TRUE(postprocess(agg, rows, FieldIndex::kIpSrcAddr, 0.2499));
+  EXPECT_FALSE(postprocess(agg, rows, FieldIndex::kIpSrcAddr, 0.2501));
+}
+
+TEST(Postprocessor, EmptyMatchSetIsZeroVariance) {
+  const auto agg = aggregate_with_field({0.1}, {1}, FieldIndex::kTcpDstPort);
+  EXPECT_DOUBLE_EQ(matched_variance(agg, {}, FieldIndex::kTcpDstPort), 0.0);
+}
+
+TEST(Postprocessor, CountsWeightTheSpread) {
+  // Two centroids far apart, but one dominates by count: the variance is
+  // smaller than the unweighted value (0.25).
+  const auto agg = aggregate_with_field({0.0, 1.0}, {99, 1},
+                                        FieldIndex::kIpDstAddr);
+  const std::vector<std::size_t> rows = {0, 1};
+  const double v = matched_variance(agg, rows, FieldIndex::kIpDstAddr);
+  EXPECT_LT(v, 0.05);
+  EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace jaal::inference

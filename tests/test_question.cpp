@@ -1,0 +1,136 @@
+#include "rules/question.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace jaal::rules {
+namespace {
+
+using packet::FieldIndex;
+
+RuleVars vars() {
+  RuleVars v;
+  v.home_net = AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  return v;
+}
+
+TEST(Question, TranslationPinsOnlyConstrainedFields) {
+  // The paper's example: translating the SSH rule pins the home-net address
+  // and port 22, leaving every other entry at -1 (§5.2).
+  const Rule rule = parse_rule(
+      "alert tcp $EXTERNAL_NET any -> $HOME_NET 22 (msg:\"ssh\"; "
+      "detection_filter: track by_src, count 5, seconds 60; sid:19559;)",
+      vars());
+  const Question q = translate(rule);
+  EXPECT_EQ(q.constrained_fields(), 2u);
+  EXPECT_NE(q.q[packet::index(FieldIndex::kIpDstAddr)], kWildcard);
+  EXPECT_DOUBLE_EQ(q.q[packet::index(FieldIndex::kTcpDstPort)],
+                   22.0 / 65535.0);
+  // $EXTERNAL_NET is a negation: unconstrainable as a point value.
+  EXPECT_EQ(q.q[packet::index(FieldIndex::kIpSrcAddr)], kWildcard);
+  EXPECT_EQ(q.tau_c, 5u);
+  EXPECT_DOUBLE_EQ(q.window_seconds, 60.0);
+}
+
+TEST(Question, FlagsAndWindowNormalized) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any any (msg:\"x\"; flags:S; window:0; sid:1;)",
+      vars());
+  const Question q = translate(rule);
+  EXPECT_DOUBLE_EQ(q.q[packet::index(FieldIndex::kTcpFlags)], 2.0 / 63.0);
+  EXPECT_DOUBLE_EQ(q.q[packet::index(FieldIndex::kTcpWindow)], 0.0);
+}
+
+TEST(Question, CidrPinsToRangeMidpoint) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> 10.0.0.0/8 any (msg:\"x\"; sid:2;)", vars());
+  const Question q = translate(rule);
+  const double lo = static_cast<double>(packet::make_ip(10, 0, 0, 0));
+  const double hi = static_cast<double>(packet::make_ip(10, 255, 255, 255));
+  EXPECT_NEAR(q.q[packet::index(FieldIndex::kIpDstAddr)],
+              (lo + hi) / 2.0 / 4294967295.0, 1e-12);
+}
+
+TEST(Question, DistanceIsNormalizedL1OverConstrainedFields) {
+  Question q;
+  q.q.fill(kWildcard);
+  q.q[0] = 0.5;
+  q.q[5] = 1.0;
+  std::array<double, packet::kFieldCount> x{};
+  x[0] = 0.25;  // |0.5 - 0.25| = 0.25
+  x[5] = 0.5;   // |1.0 - 0.5| = 0.5
+  x[7] = 99.0;  // irrelevant: wildcard
+  EXPECT_DOUBLE_EQ(q.distance(x), (0.25 + 0.5) / 2.0);
+}
+
+TEST(Question, FullyWildcardDistanceIsInfinite) {
+  Question q;
+  q.q.fill(kWildcard);
+  std::array<double, packet::kFieldCount> x{};
+  EXPECT_TRUE(std::isinf(q.distance(x)));
+}
+
+TEST(Question, ExactMatchHasZeroDistance) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any 80 (msg:\"x\"; flags:S; sid:3;)", vars());
+  const Question q = translate(rule);
+  packet::PacketRecord pkt;
+  pkt.tcp.dst_port = 80;
+  pkt.tcp.set(packet::TcpFlag::kSyn);
+  const auto v = packet::to_normalized_vector(pkt);
+  EXPECT_NEAR(q.distance(v), 0.0, 1e-12);
+}
+
+TEST(Question, MismatchedPacketHasLargeDistance) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any 80 (msg:\"x\"; flags:S; sid:3;)", vars());
+  const Question q = translate(rule);
+  packet::PacketRecord pkt;
+  pkt.tcp.dst_port = 60000;
+  pkt.tcp.set(packet::TcpFlag::kAck);
+  const auto v = packet::to_normalized_vector(pkt);
+  EXPECT_GT(q.distance(v), 0.1);
+}
+
+TEST(Question, PortRangesStayWildcard) {
+  // A range or list cannot be pinned to a single point value; the question
+  // leaves the port wildcarded and the count/variance machinery carries
+  // the rule (raw matching still enforces the range exactly).
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any [8000:8080,22] (msg:\"x\"; flags:S; sid:6;)",
+      vars());
+  const Question q = translate(rule);
+  EXPECT_EQ(q.q[packet::index(FieldIndex::kTcpDstPort)], kWildcard);
+  EXPECT_NE(q.q[packet::index(FieldIndex::kTcpFlags)], kWildcard);
+}
+
+TEST(Question, DefaultTauCIsOne) {
+  const Rule rule =
+      parse_rule("alert tcp any any -> any 80 (msg:\"x\"; sid:4;)", vars());
+  EXPECT_EQ(translate(rule).tau_c, 1u);
+}
+
+TEST(Question, VarianceCheckCarriedOver) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any any (msg:\"scan\"; flags:S; "
+      "jaal_variance: tcp.dst_port, 0.01; sid:5;)",
+      vars());
+  const Question q = translate(rule);
+  ASSERT_TRUE(q.variance.has_value());
+  EXPECT_EQ(q.variance->field, FieldIndex::kTcpDstPort);
+  EXPECT_DOUBLE_EQ(q.variance->threshold, 0.01);
+}
+
+TEST(Question, BatchTranslation) {
+  const auto rules = parse_rules(default_ruleset_text(), vars());
+  const auto questions = translate(rules);
+  ASSERT_EQ(questions.size(), rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    EXPECT_EQ(questions[i].sid, rules[i].sid);
+    EXPECT_GT(questions[i].constrained_fields(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace jaal::rules

@@ -1,0 +1,138 @@
+#include "netsim/replication.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace jaal::netsim {
+namespace {
+
+class ReplicationFixture : public ::testing::Test {
+ protected:
+  ReplicationFixture() : topo_(make_isp_topology(abovenet_profile(), 1)) {}
+
+  ReplicationExperiment make_experiment(double demand_scale = 1.0,
+                                        double engine_capacity = 2.0e6) {
+    const auto monitors = topo_.default_monitor_sites(25);
+    const auto demands =
+        random_demands(topo_, 400, 8000.0 * demand_scale, 7);
+    return ReplicationExperiment(topo_, monitors, monitors.front(), demands,
+                                 engine_capacity);
+  }
+
+  Topology topo_;
+};
+
+TEST_F(ReplicationFixture, NoReplicationNoLossOnUncongestedNetwork) {
+  const auto exp = make_experiment(0.2);
+  const ReplicationResult r = exp.evaluate(0.0);
+  EXPECT_DOUBLE_EQ(r.throughput_loss, 0.0);
+  EXPECT_DOUBLE_EQ(r.detection_accuracy, 0.0);  // nothing was replicated
+}
+
+TEST_F(ReplicationFixture, ThroughputLossMonotoneInReplication) {
+  const auto exp = make_experiment(2.0);
+  double last = -1.0;
+  for (double f : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const ReplicationResult r = exp.evaluate(f);
+    EXPECT_GE(r.throughput_loss, last - 1e-9) << "fraction " << f;
+    last = r.throughput_loss;
+  }
+}
+
+TEST_F(ReplicationFixture, FullReplicationCausesSevereDegradation) {
+  // Fig. 7's headline: copying everything collapses both throughput and
+  // accuracy.  ISP-scale aggregate demand (base links at ~50% utilization)
+  // plus full replication toward one engine congests the network.
+  const auto exp = make_experiment(10.0, 2.0e7);
+  const ReplicationResult baseline = exp.evaluate(0.0);
+  const ReplicationResult r = exp.evaluate(1.0);
+  EXPECT_GT(r.throughput_loss, baseline.throughput_loss + 0.1);
+  EXPECT_LT(r.detection_accuracy, 0.6);
+}
+
+TEST_F(ReplicationFixture, AccuracyBoundedByReplicationFraction) {
+  const auto exp = make_experiment(0.1, 1.0e9);
+  // On an idle network with an infinite engine, accuracy == fraction.
+  const ReplicationResult r = exp.evaluate(0.35);
+  EXPECT_NEAR(r.detection_accuracy, 0.35, 1e-6);
+  EXPECT_NEAR(r.copy_delivery_fraction, 1.0, 1e-9);
+}
+
+TEST_F(ReplicationFixture, EngineOverloadReducesProcessing) {
+  const auto exp = make_experiment(1.0, 1.0);  // 1 pps engine: hopeless
+  const ReplicationResult r = exp.evaluate(1.0);
+  EXPECT_LT(r.engine_processing_fraction, 0.01);
+}
+
+TEST_F(ReplicationFixture, InvalidArgumentsRejected) {
+  const auto exp = make_experiment();
+  EXPECT_THROW((void)exp.evaluate(-0.1), std::invalid_argument);
+  EXPECT_THROW((void)exp.evaluate(1.5), std::invalid_argument);
+}
+
+TEST_F(ReplicationFixture, RouterProcessingLossGrowsWithReplication) {
+  const auto exp = make_experiment(1.0);
+  double last = -1.0;
+  for (double f : {0.0, 0.35, 0.7, 1.0}) {
+    const ReplicationResult r = exp.evaluate(f);
+    EXPECT_GE(r.router_throughput_loss, last - 1e-9) << "fraction " << f;
+    EXPECT_GE(r.worst_router_demand_loss, r.router_throughput_loss - 1e-9);
+    last = r.router_throughput_loss;
+  }
+  // No replication, no router overload.
+  EXPECT_DOUBLE_EQ(exp.evaluate(0.0).router_throughput_loss, 0.0);
+  // Routers are provisioned for kProvisionedReplication: at that level the
+  // router channel stays lossless by construction.
+  EXPECT_NEAR(exp.evaluate(ReplicationExperiment::kProvisionedReplication)
+                  .router_throughput_loss,
+              0.0, 1e-9);
+}
+
+TEST_F(ReplicationFixture, RejectsBadHeadroom) {
+  const auto monitors = topo_.default_monitor_sites(5);
+  const auto demands = random_demands(topo_, 20, 1000.0, 3);
+  EXPECT_THROW(ReplicationExperiment(topo_, monitors, monitors.front(),
+                                     demands, 1e6, 0.9),
+               std::invalid_argument);
+}
+
+TEST_F(ReplicationFixture, MonitoredTrafficCoversDemandsOnMonitorPaths) {
+  const auto exp = make_experiment();
+  double total = 0.0;
+  for (double pps : exp.monitored_pps()) {
+    EXPECT_GE(pps, 0.0);
+    total += pps;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Replication, RandomDemandsRespectsParameters) {
+  const Topology topo = make_isp_topology(exodus_profile(), 2);
+  const auto demands = random_demands(topo, 100, 500.0, 3);
+  EXPECT_EQ(demands.size(), 100u);
+  double mean = 0.0;
+  for (const Demand& d : demands) {
+    EXPECT_NE(d.src, d.dst);
+    mean += d.pps;
+  }
+  mean /= 100.0;
+  EXPECT_NEAR(mean, 500.0, 200.0);  // exponential around the mean
+}
+
+TEST(Replication, ConstructorValidation) {
+  const Topology topo = make_isp_topology(exodus_profile(), 2);
+  const auto demands = random_demands(topo, 10, 100.0, 1);
+  EXPECT_THROW(ReplicationExperiment(topo, {}, 0, demands, 1e6),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ReplicationExperiment(topo, {0}, 0, demands, 0.0),
+      std::invalid_argument);
+  EXPECT_THROW(ReplicationExperiment(topo, {0},
+                                     static_cast<NodeId>(topo.node_count()),
+                                     demands, 1e6),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jaal::netsim

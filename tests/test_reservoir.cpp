@@ -1,0 +1,123 @@
+#include "baseline/reservoir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/experiment.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::baseline {
+namespace {
+
+using packet::PacketRecord;
+
+PacketRecord numbered_packet(std::uint32_t i) {
+  PacketRecord pkt;
+  pkt.ip.identification = static_cast<std::uint16_t>(i);
+  pkt.tcp.seq = i;
+  return pkt;
+}
+
+TEST(Reservoir, ValidatesCapacity) {
+  EXPECT_THROW(ReservoirSampler(0, 1), std::invalid_argument);
+}
+
+TEST(Reservoir, FillsToCapacityThenStays) {
+  ReservoirSampler sampler(10, 1);
+  for (std::uint32_t i = 0; i < 5; ++i) sampler.add(numbered_packet(i));
+  EXPECT_EQ(sampler.sample().size(), 5u);
+  for (std::uint32_t i = 5; i < 100; ++i) sampler.add(numbered_packet(i));
+  EXPECT_EQ(sampler.sample().size(), 10u);
+  EXPECT_EQ(sampler.seen(), 100u);
+}
+
+TEST(Reservoir, ScaleFactor) {
+  ReservoirSampler sampler(25, 2);
+  for (std::uint32_t i = 0; i < 1000; ++i) sampler.add(numbered_packet(i));
+  EXPECT_DOUBLE_EQ(sampler.scale_factor(), 40.0);
+  ReservoirSampler empty(5, 3);
+  EXPECT_DOUBLE_EQ(empty.scale_factor(), 1.0);
+}
+
+TEST(Reservoir, ResetClearsState) {
+  ReservoirSampler sampler(5, 4);
+  for (std::uint32_t i = 0; i < 50; ++i) sampler.add(numbered_packet(i));
+  sampler.reset();
+  EXPECT_EQ(sampler.seen(), 0u);
+  EXPECT_TRUE(sampler.sample().empty());
+}
+
+TEST(Reservoir, SampleIsApproximatelyUniform) {
+  // Each stream position should land in the reservoir with probability
+  // capacity/N.  Chi-square-ish sanity check on quartile occupancy.
+  std::map<int, int> quartile_hits;
+  const std::uint32_t n = 2000;
+  for (std::uint64_t seed = 0; seed < 50; ++seed) {
+    ReservoirSampler sampler(100, seed);
+    for (std::uint32_t i = 0; i < n; ++i) sampler.add(numbered_packet(i));
+    for (const auto& pkt : sampler.sample()) {
+      quartile_hits[static_cast<int>(pkt.tcp.seq / (n / 4))]++;
+    }
+  }
+  const double expected = 50.0 * 100.0 / 4.0;  // per quartile
+  for (int qt = 0; qt < 4; ++qt) {
+    EXPECT_NEAR(quartile_hits[qt], expected, expected * 0.15) << "quartile " << qt;
+  }
+}
+
+TEST(Reservoir, ShortBurstGetsDiluted) {
+  // The Table 1 mechanism: 100 attack packets inside 10000 background
+  // packets leave only ~1% of a 250-slot reservoir.
+  ReservoirSampler sampler(250, 7);
+  trace::BackgroundTraffic background(trace::trace1_profile(), 7);
+  for (int i = 0; i < 5000; ++i) sampler.add(background.next());
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    PacketRecord pkt = numbered_packet(i);
+    pkt.label = packet::AttackType::kSynFlood;
+    sampler.add(pkt);
+  }
+  for (int i = 0; i < 5000; ++i) sampler.add(background.next());
+  std::size_t attack_in_sample = 0;
+  for (const auto& pkt : sampler.sample()) {
+    if (pkt.label != packet::AttackType::kNone) ++attack_in_sample;
+  }
+  EXPECT_LT(attack_in_sample, 15u);  // ~2.5 expected
+}
+
+TEST(DetectOnSample, ScalingRecoversDenseAttack) {
+  // A sustained attack (50% of stream) survives sampling: detection over
+  // the sample with scaled thresholds should fire.
+  const auto rule_vars = core::evaluation_rule_vars();
+  const auto ruleset = rules::parse_rules(
+      "alert tcp any any -> $HOME_NET any (msg:\"flood\"; flags:S; "
+      "detection_filter: count 400, seconds 2; sid:1;)",
+      rule_vars);
+  const rules::RawMatcher matcher(ruleset);
+
+  ReservoirSampler sampler(250, 9);
+  trace::BackgroundTraffic background(trace::trace1_profile(), 9);
+  for (int i = 0; i < 1000; ++i) {
+    sampler.add(background.next());
+    PacketRecord syn;
+    syn.ip.src_ip = 42;
+    syn.ip.dst_ip = packet::make_ip(203, 0, 10, 5);
+    syn.tcp.set(packet::TcpFlag::kSyn);
+    syn.label = packet::AttackType::kSynFlood;
+    sampler.add(syn);
+  }
+  const auto alerts = detect_on_sample(matcher, sampler, 2.0);
+  EXPECT_FALSE(alerts.empty());
+}
+
+TEST(Reservoir, DeterministicForSeed) {
+  ReservoirSampler a(50, 5), b(50, 5);
+  for (std::uint32_t i = 0; i < 500; ++i) {
+    a.add(numbered_packet(i));
+    b.add(numbered_packet(i));
+  }
+  EXPECT_EQ(a.sample(), b.sample());
+}
+
+}  // namespace
+}  // namespace jaal::baseline

@@ -1,0 +1,266 @@
+#include "rules/rule.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <stdexcept>
+
+namespace jaal::rules {
+namespace {
+
+RuleVars vars() {
+  RuleVars v;
+  v.home_net = AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  return v;
+}
+
+TEST(RuleParser, ParsesPaperSshRule) {
+  // The SSH brute-force rule quoted in §5.2 (sid 19559).
+  const std::string line =
+      R"(alert tcp $EXTERNAL_NET any -> $HOME_NET 22 (msg:"INDICATOR-SCAN SSH brute force login attempt"; flow:to_server,established; content:"SSH-"; depth:4; detection_filter: track by_src, count 5, seconds 60; metadata:service ssh; classtype:misc-activity; sid:19559; rev:5;))";
+  const Rule rule = parse_rule(line, vars());
+  EXPECT_EQ(rule.action, "alert");
+  EXPECT_EQ(rule.proto, "tcp");
+  EXPECT_TRUE(rule.src_addr.negated);  // $EXTERNAL_NET = !$HOME_NET
+  EXPECT_TRUE(rule.src_port.any);
+  EXPECT_FALSE(rule.dst_addr.any);
+  EXPECT_EQ(rule.dst_port.value(), 22);
+  EXPECT_EQ(rule.msg, "INDICATOR-SCAN SSH brute force login attempt");
+  ASSERT_TRUE(rule.content.has_value());
+  EXPECT_EQ(*rule.content, "SSH-");
+  ASSERT_TRUE(rule.detection_filter.has_value());
+  EXPECT_EQ(rule.detection_filter->count, 5u);
+  EXPECT_DOUBLE_EQ(rule.detection_filter->seconds, 60.0);
+  EXPECT_EQ(rule.sid, 19559u);
+  EXPECT_EQ(rule.rev, 5u);
+}
+
+TEST(RuleParser, ParsesFlagsAndWindow) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any 80 (msg:\"x\"; flags:SA; window:0; sid:1;)",
+      vars());
+  ASSERT_TRUE(rule.flags.has_value());
+  EXPECT_EQ(*rule.flags, 0x12);  // SYN|ACK
+  ASSERT_TRUE(rule.window.has_value());
+  EXPECT_EQ(*rule.window, 0);
+}
+
+TEST(RuleParser, ParsesCidrAddresses) {
+  const Rule rule = parse_rule(
+      "alert tcp 10.1.0.0/16 any -> 192.168.1.5 443 (msg:\"x\"; sid:2;)",
+      vars());
+  EXPECT_FALSE(rule.src_addr.any);
+  EXPECT_EQ(rule.src_addr.prefix(), 16u);
+  EXPECT_TRUE(rule.src_addr.matches(packet::make_ip(10, 1, 200, 3)));
+  EXPECT_FALSE(rule.src_addr.matches(packet::make_ip(10, 2, 0, 1)));
+  EXPECT_TRUE(rule.dst_addr.is_exact_host());
+  EXPECT_TRUE(rule.dst_addr.matches(packet::make_ip(192, 168, 1, 5)));
+}
+
+TEST(RuleParser, ParsesJaalVarianceExtension) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> $HOME_NET any (msg:\"scan\"; flags:S; "
+      "jaal_variance: tcp.dst_port, 0.003; sid:3;)",
+      vars());
+  ASSERT_TRUE(rule.variance.has_value());
+  EXPECT_EQ(rule.variance->field, packet::FieldIndex::kTcpDstPort);
+  EXPECT_DOUBLE_EQ(rule.variance->threshold, 0.003);
+}
+
+TEST(RuleParser, ParsesJaalRawCountExtension) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> $HOME_NET 80 (msg:\"flood\"; flags:S; "
+      "detection_filter: count 190, seconds 2; jaal_raw_count: 80; sid:7;)",
+      vars());
+  ASSERT_TRUE(rule.raw_count.has_value());
+  EXPECT_EQ(*rule.raw_count, 80u);
+}
+
+TEST(RuleParser, DefaultRulesetCarriesRawCounts) {
+  for (const Rule& rule : parse_rules(default_ruleset_text(), vars())) {
+    ASSERT_TRUE(rule.raw_count.has_value()) << "sid " << rule.sid;
+    // Raw exact-match confirmation is always cheaper than the
+    // summary-domain count (which absorbs near-miss benign centroids).
+    ASSERT_TRUE(rule.detection_filter.has_value());
+    EXPECT_LT(*rule.raw_count, rule.detection_filter->count)
+        << "sid " << rule.sid;
+  }
+}
+
+TEST(RuleParser, RejectsMalformedInput) {
+  EXPECT_THROW((void)parse_rule("alert tcp any any -> any 80", vars()),
+               std::invalid_argument);  // no options
+  EXPECT_THROW((void)parse_rule("alert tcp any any any 80 (sid:1;)", vars()),
+               std::invalid_argument);  // no arrow
+  EXPECT_THROW(
+      (void)parse_rule("alert udp any any -> any 53 (sid:1;)", vars()),
+      std::invalid_argument);  // only tcp supported
+  EXPECT_THROW(
+      (void)parse_rule("alert tcp any any -> any 80 (bogus_opt:1;)", vars()),
+      std::invalid_argument);
+  EXPECT_THROW((void)parse_rule(
+                   "alert tcp any any -> any 80 (flags:Z; sid:1;)", vars()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_rule(
+          "alert tcp any any -> any 80 (jaal_variance: tcp.dst_port; sid:1;)",
+          vars()),
+      std::invalid_argument);
+}
+
+TEST(RuleParser, SemicolonInsideQuotedMsgSurvives) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any 80 (msg:\"a;b\"; sid:9;)", vars());
+  EXPECT_EQ(rule.msg, "a;b");
+}
+
+TEST(RuleParser, ParsesMultiRuleText) {
+  const std::string text =
+      "# comment\n"
+      "\n"
+      "alert tcp any any -> any 80 (msg:\"one\"; sid:1;)\n"
+      "alert tcp any any -> any 443 (msg:\"two\"; sid:2;)\n";
+  const auto rules = parse_rules(text, vars());
+  ASSERT_EQ(rules.size(), 2u);
+  EXPECT_EQ(rules[0].sid, 1u);
+  EXPECT_EQ(rules[1].sid, 2u);
+}
+
+TEST(RuleParser, DefaultRulesetParses) {
+  const auto rules = parse_rules(default_ruleset_text(), vars());
+  EXPECT_EQ(rules.size(), 7u);  // 5 attacks + 2 Mirai ports
+  bool saw_ssh = false;
+  for (const Rule& r : rules) {
+    if (r.sid == 19559) {
+      saw_ssh = true;
+      EXPECT_EQ(r.dst_port.value(), 22);
+    }
+  }
+  EXPECT_TRUE(saw_ssh);
+}
+
+TEST(RuleParser, LoadsRulesFromDisk) {
+  const std::string path = testing::TempDir() + "/jaal_rules_test.rules";
+  {
+    std::ofstream file(path);
+    file << "# test rules\n";
+    file << "alert tcp any any -> $HOME_NET 80 (msg:\"one\"; sid:1;)\n";
+    file << "alert tcp any any -> $HOME_NET 443 (msg:\"two\"; sid:2;)\n";
+  }
+  const auto loaded = load_rules_file(path, vars());
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded[0].sid, 1u);
+  EXPECT_EQ(loaded[1].sid, 2u);
+  EXPECT_THROW((void)load_rules_file("/nonexistent/x.rules", vars()),
+               std::runtime_error);
+}
+
+TEST(AddrSpec, NegationSemantics) {
+  const AddrSpec home = AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16);
+  const AddrSpec external =
+      AddrSpec::cidr(packet::make_ip(203, 0, 0, 0), 16, /*negated=*/true);
+  EXPECT_TRUE(home.matches(packet::make_ip(203, 0, 5, 5)));
+  EXPECT_FALSE(external.matches(packet::make_ip(203, 0, 5, 5)));
+  EXPECT_TRUE(external.matches(packet::make_ip(8, 8, 8, 8)));
+}
+
+TEST(AddrSpec, PrefixZeroMatchesAll) {
+  const AddrSpec spec = AddrSpec::cidr(0, 0);
+  EXPECT_TRUE(spec.matches(0));
+  EXPECT_TRUE(spec.matches(0xFFFFFFFF));
+}
+
+TEST(AddrSpec, BracketedListIsUnion) {
+  const Rule rule = parse_rule(
+      "alert tcp [10.0.0.0/8,192.168.1.0/24] any -> any 80 (msg:\"x\"; "
+      "sid:11;)",
+      vars());
+  EXPECT_TRUE(rule.src_addr.matches(packet::make_ip(10, 9, 8, 7)));
+  EXPECT_TRUE(rule.src_addr.matches(packet::make_ip(192, 168, 1, 200)));
+  EXPECT_FALSE(rule.src_addr.matches(packet::make_ip(192, 168, 2, 1)));
+  EXPECT_FALSE(rule.src_addr.matches(packet::make_ip(11, 0, 0, 1)));
+}
+
+TEST(AddrSpec, NegatedListMatchesComplement) {
+  const Rule rule = parse_rule(
+      "alert tcp ![10.0.0.0/8,172.16.0.0/12] any -> any 80 (msg:\"x\"; "
+      "sid:12;)",
+      vars());
+  EXPECT_FALSE(rule.src_addr.matches(packet::make_ip(10, 1, 1, 1)));
+  EXPECT_FALSE(rule.src_addr.matches(packet::make_ip(172, 20, 0, 1)));
+  EXPECT_TRUE(rule.src_addr.matches(packet::make_ip(8, 8, 8, 8)));
+}
+
+TEST(PortSpec, RangesAndLists) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any [22,80,8000:8080] (msg:\"x\"; sid:13;)",
+      vars());
+  EXPECT_TRUE(rule.dst_port.matches(22));
+  EXPECT_TRUE(rule.dst_port.matches(80));
+  EXPECT_TRUE(rule.dst_port.matches(8040));
+  EXPECT_TRUE(rule.dst_port.matches(8080));
+  EXPECT_FALSE(rule.dst_port.matches(8081));
+  EXPECT_FALSE(rule.dst_port.matches(443));
+}
+
+TEST(PortSpec, OpenEndedRanges) {
+  const Rule low = parse_rule(
+      "alert tcp any any -> any :1023 (msg:\"x\"; sid:14;)", vars());
+  EXPECT_TRUE(low.dst_port.matches(0));
+  EXPECT_TRUE(low.dst_port.matches(1023));
+  EXPECT_FALSE(low.dst_port.matches(1024));
+  const Rule high = parse_rule(
+      "alert tcp any 32768: -> any any (msg:\"x\"; sid:15;)", vars());
+  EXPECT_TRUE(high.src_port.matches(65535));
+  EXPECT_FALSE(high.src_port.matches(32767));
+}
+
+TEST(PortSpec, NegatedPort) {
+  const Rule rule = parse_rule(
+      "alert tcp any any -> any !80 (msg:\"x\"; sid:16;)", vars());
+  EXPECT_FALSE(rule.dst_port.matches(80));
+  EXPECT_TRUE(rule.dst_port.matches(81));
+  EXPECT_FALSE(rule.dst_port.is_exact_port());  // negation is not exact
+}
+
+TEST(PortSpec, RejectsMalformedRanges) {
+  EXPECT_THROW((void)parse_rule(
+                   "alert tcp any any -> any 1024:80 (msg:\"x\"; sid:17;)",
+                   vars()),
+               std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_rule("alert tcp any any -> any 70000 (msg:\"x\"; sid:18;)",
+                       vars()),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)parse_rule("alert tcp [] any -> any 80 (msg:\"x\"; sid:19;)",
+                       vars()),
+      std::invalid_argument);
+}
+
+TEST(RuleMatch, FiveTupleAndFlags) {
+  Rule rule = parse_rule(
+      "alert tcp any any -> 203.0.10.5 80 (msg:\"x\"; flags:S; sid:4;)",
+      vars());
+  packet::PacketRecord pkt;
+  pkt.ip.src_ip = packet::make_ip(1, 2, 3, 4);
+  pkt.ip.dst_ip = packet::make_ip(203, 0, 10, 5);
+  pkt.tcp.dst_port = 80;
+  pkt.tcp.set(packet::TcpFlag::kSyn);
+  EXPECT_TRUE(rule.matches_packet(pkt));
+  pkt.tcp.set(packet::TcpFlag::kAck);  // SYN|ACK is not flags:S exactly
+  EXPECT_FALSE(rule.matches_packet(pkt));
+  pkt.tcp.set(packet::TcpFlag::kAck, false);
+  pkt.tcp.dst_port = 81;
+  EXPECT_FALSE(rule.matches_packet(pkt));
+}
+
+TEST(ParseFlagLetters, AllLetters) {
+  EXPECT_EQ(parse_flag_letters("FSRPAU"), 0x3F);
+  EXPECT_EQ(parse_flag_letters("S"), 0x02);
+  EXPECT_EQ(parse_flag_letters(""), 0x00);
+  EXPECT_THROW((void)parse_flag_letters("X"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jaal::rules

@@ -1,0 +1,94 @@
+#include "inference/similarity.hpp"
+
+#include <gtest/gtest.h>
+
+namespace jaal::inference {
+namespace {
+
+using packet::FieldIndex;
+
+/// Aggregate with two centroid populations: `near` rows exactly matching a
+/// SYN-to-port-80 question and `far` rows matching nothing.
+AggregatedSummary two_population_aggregate(std::size_t near, std::size_t far,
+                                           std::uint64_t count_per_row) {
+  AggregatedSummary agg;
+  agg.centroids = linalg::Matrix(near + far, packet::kFieldCount);
+  for (std::size_t i = 0; i < near + far; ++i) {
+    auto row = agg.centroids.row(i);
+    if (i < near) {
+      row[packet::index(FieldIndex::kTcpDstPort)] = 80.0 / 65535.0;
+      row[packet::index(FieldIndex::kTcpFlags)] = 2.0 / 63.0;
+    } else {
+      row[packet::index(FieldIndex::kTcpDstPort)] = 0.9;
+      row[packet::index(FieldIndex::kTcpFlags)] = 16.0 / 63.0;
+    }
+    agg.counts.push_back(count_per_row);
+    agg.origin.push_back(0);
+    agg.local_index.push_back(i);
+  }
+  return agg;
+}
+
+rules::Question syn80_question(std::uint64_t tau_c) {
+  rules::Question q;
+  q.q.fill(rules::kWildcard);
+  q.q[packet::index(FieldIndex::kTcpDstPort)] = 80.0 / 65535.0;
+  q.q[packet::index(FieldIndex::kTcpFlags)] = 2.0 / 63.0;
+  q.tau_c = tau_c;
+  q.sid = 1;
+  return q;
+}
+
+TEST(Similarity, MatchesOnlyNearCentroids) {
+  const auto agg = two_population_aggregate(3, 5, 10);
+  const auto res = estimate_similarity(syn80_question(1), agg, 0.01);
+  EXPECT_TRUE(res.alert);
+  EXPECT_EQ(res.matched_rows, (std::vector<std::size_t>{0, 1, 2}));
+  EXPECT_EQ(res.matched_count, 30u);
+}
+
+TEST(Similarity, TauCGatesAlert) {
+  const auto agg = two_population_aggregate(2, 2, 10);
+  EXPECT_TRUE(estimate_similarity(syn80_question(20), agg, 0.01).alert);
+  EXPECT_FALSE(estimate_similarity(syn80_question(21), agg, 0.01).alert);
+}
+
+TEST(Similarity, TauCOverride) {
+  const auto agg = two_population_aggregate(1, 1, 10);
+  const auto q = syn80_question(100);  // question says 100...
+  EXPECT_TRUE(estimate_similarity(q, agg, 0.01, 5).alert);  // ...override 5
+}
+
+TEST(Similarity, LargeTauDMatchesEverything) {
+  const auto agg = two_population_aggregate(2, 6, 1);
+  const auto res = estimate_similarity(syn80_question(1), agg, 1.0);
+  EXPECT_EQ(res.matched_rows.size(), 8u);
+}
+
+TEST(Similarity, ZeroTauDRequiresExactMatch) {
+  const auto agg = two_population_aggregate(2, 6, 1);
+  const auto res = estimate_similarity(syn80_question(1), agg, 0.0);
+  EXPECT_EQ(res.matched_rows.size(), 2u);
+}
+
+TEST(Similarity, MatchedSetsNestAcrossThresholds) {
+  // The feedback loop's case-4 impossibility rests on this property.
+  const auto agg = two_population_aggregate(4, 4, 2);
+  const auto strict = estimate_similarity(syn80_question(1), agg, 0.05);
+  const auto loose = estimate_similarity(syn80_question(1), agg, 0.30);
+  for (std::size_t row : strict.matched_rows) {
+    EXPECT_TRUE(std::find(loose.matched_rows.begin(), loose.matched_rows.end(),
+                          row) != loose.matched_rows.end());
+  }
+  EXPECT_GE(loose.matched_count, strict.matched_count);
+}
+
+TEST(Similarity, EmptyAggregateNeverAlerts) {
+  AggregatedSummary agg;
+  const auto res = estimate_similarity(syn80_question(1), agg, 1.0);
+  EXPECT_FALSE(res.alert);
+  EXPECT_TRUE(res.matched_rows.empty());
+}
+
+}  // namespace
+}  // namespace jaal::inference

@@ -1,0 +1,145 @@
+#include "netsim/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace jaal::netsim {
+namespace {
+
+Topology triangle() {
+  std::vector<Router> routers = {{0, RouterRole::kBackbone, 0},
+                                 {1, RouterRole::kAggregation, 0},
+                                 {2, RouterRole::kEdge, 0}};
+  std::vector<LinkSpec> links = {{0, 1, 1e6}, {1, 2, 1e6}, {0, 2, 1e6}};
+  return Topology("triangle", std::move(routers), std::move(links));
+}
+
+TEST(Topology, BasicAccessors) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.node_count(), 3u);
+  EXPECT_EQ(t.link_count(), 3u);
+  EXPECT_EQ(t.neighbors(0).size(), 2u);
+}
+
+TEST(Topology, RejectsSelfLoop) {
+  std::vector<Router> routers = {{0, RouterRole::kEdge, 0},
+                                 {1, RouterRole::kEdge, 0}};
+  EXPECT_THROW(Topology("bad", routers, {{0, 0, 1e6}, {0, 1, 1e6}}),
+               std::invalid_argument);
+}
+
+TEST(Topology, RejectsOutOfRangeEndpoint) {
+  std::vector<Router> routers = {{0, RouterRole::kEdge, 0}};
+  EXPECT_THROW(Topology("bad", routers, {{0, 5, 1e6}}), std::invalid_argument);
+}
+
+TEST(Topology, RejectsDisconnected) {
+  std::vector<Router> routers = {{0, RouterRole::kEdge, 0},
+                                 {1, RouterRole::kEdge, 0},
+                                 {2, RouterRole::kEdge, 0},
+                                 {3, RouterRole::kEdge, 0}};
+  EXPECT_THROW(Topology("bad", routers, {{0, 1, 1e6}, {2, 3, 1e6}}),
+               std::invalid_argument);
+}
+
+TEST(Topology, ShortestPathTrivial) {
+  const Topology t = triangle();
+  EXPECT_EQ(t.shortest_path(1, 1), std::vector<NodeId>{1});
+  EXPECT_EQ(t.shortest_path(0, 2), (std::vector<NodeId>{0, 2}));
+}
+
+TEST(Topology, ShortestPathOnChain) {
+  std::vector<Router> routers;
+  std::vector<LinkSpec> links;
+  for (NodeId i = 0; i < 5; ++i) routers.push_back({i, RouterRole::kEdge, 0});
+  for (NodeId i = 0; i + 1 < 5; ++i) links.push_back({i, i + 1, 1e6});
+  const Topology chain("chain", routers, links);
+  EXPECT_EQ(chain.shortest_path(0, 4), (std::vector<NodeId>{0, 1, 2, 3, 4}));
+}
+
+TEST(Topology, LinkBetween) {
+  const Topology t = triangle();
+  EXPECT_TRUE(t.link_between(0, 1).has_value());
+  EXPECT_TRUE(t.link_between(1, 0).has_value());
+  std::vector<Router> routers = {{0, RouterRole::kEdge, 0},
+                                 {1, RouterRole::kEdge, 0},
+                                 {2, RouterRole::kEdge, 0}};
+  const Topology path("path", routers, {{0, 1, 1e6}, {1, 2, 1e6}});
+  EXPECT_FALSE(path.link_between(0, 2).has_value());
+}
+
+TEST(IspGenerator, AbovenetMatchesPaperScale) {
+  const Topology topo = make_isp_topology(abovenet_profile(), 1);
+  EXPECT_EQ(topo.node_count(), 367u);  // "topology 1 has 367 routers"
+  EXPECT_EQ(topo.name(), "abovenet");
+}
+
+TEST(IspGenerator, ExodusMatchesPaperScale) {
+  const Topology topo = make_isp_topology(exodus_profile(), 1);
+  EXPECT_EQ(topo.node_count(), 338u);  // "topology 2 has 338 routers"
+}
+
+TEST(IspGenerator, GeneratedGraphIsConnected) {
+  // The Topology constructor throws on disconnection, so construction
+  // succeeding is the check; try several seeds.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    EXPECT_NO_THROW((void)make_isp_topology(abovenet_profile(), seed));
+  }
+}
+
+TEST(IspGenerator, AllRolesPresent) {
+  const Topology topo = make_isp_topology(abovenet_profile(), 2);
+  std::set<RouterRole> roles;
+  for (const Router& r : topo.routers()) roles.insert(r.role);
+  EXPECT_EQ(roles.size(), 3u);
+  EXPECT_FALSE(topo.edge_nodes().empty());
+}
+
+TEST(IspGenerator, DeterministicForSeed) {
+  const Topology a = make_isp_topology(exodus_profile(), 3);
+  const Topology b = make_isp_topology(exodus_profile(), 3);
+  EXPECT_EQ(a.link_count(), b.link_count());
+  for (std::size_t i = 0; i < a.links().size(); ++i) {
+    EXPECT_EQ(a.links()[i].a, b.links()[i].a);
+    EXPECT_EQ(a.links()[i].b, b.links()[i].b);
+  }
+}
+
+TEST(IspGenerator, PathsExistBetweenRandomEdgePairs) {
+  const Topology topo = make_isp_topology(abovenet_profile(), 4);
+  const auto edges = topo.edge_nodes();
+  ASSERT_GE(edges.size(), 2u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto path =
+        topo.shortest_path(edges[i % edges.size()],
+                           edges[(i * 7 + 3) % edges.size()]);
+    EXPECT_FALSE(path.empty());
+    // Consecutive path nodes must be adjacent.
+    for (std::size_t j = 1; j < path.size(); ++j) {
+      EXPECT_TRUE(topo.link_between(path[j - 1], path[j]).has_value());
+    }
+  }
+}
+
+TEST(IspGenerator, MonitorSitesAreHighDegreeNonEdge) {
+  const Topology topo = make_isp_topology(abovenet_profile(), 5);
+  const auto sites = topo.default_monitor_sites(25);
+  EXPECT_EQ(sites.size(), 25u);
+  for (NodeId site : sites) {
+    EXPECT_NE(topo.routers()[site].role, RouterRole::kEdge);
+  }
+}
+
+TEST(IspGenerator, RejectsDegenerateProfiles) {
+  IspProfile p = abovenet_profile();
+  p.pop_count = 2;
+  EXPECT_THROW((void)make_isp_topology(p, 1), std::invalid_argument);
+  IspProfile q = abovenet_profile();
+  q.target_router_count = 10;
+  EXPECT_THROW((void)make_isp_topology(q, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jaal::netsim
