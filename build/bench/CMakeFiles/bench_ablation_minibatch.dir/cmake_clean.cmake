@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_minibatch.dir/bench_ablation_minibatch.cpp.o"
+  "CMakeFiles/bench_ablation_minibatch.dir/bench_ablation_minibatch.cpp.o.d"
+  "bench_ablation_minibatch"
+  "bench_ablation_minibatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_minibatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_netflow.dir/bench_ablation_netflow.cpp.o"
+  "CMakeFiles/bench_ablation_netflow.dir/bench_ablation_netflow.cpp.o.d"
+  "bench_ablation_netflow"
+  "bench_ablation_netflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_netflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

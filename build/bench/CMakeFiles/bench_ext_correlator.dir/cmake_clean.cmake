@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_correlator.dir/bench_ext_correlator.cpp.o"
+  "CMakeFiles/bench_ext_correlator.dir/bench_ext_correlator.cpp.o.d"
+  "bench_ext_correlator"
+  "bench_ext_correlator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_correlator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_payload.dir/bench_ext_payload.cpp.o"
+  "CMakeFiles/bench_ext_payload.dir/bench_ext_payload.cpp.o.d"
+  "bench_ext_payload"
+  "bench_ext_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig10_singular_values.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mirai.dir/bench_fig8_mirai.cpp.o"
+  "CMakeFiles/bench_fig8_mirai.dir/bench_fig8_mirai.cpp.o.d"
+  "bench_fig8_mirai"
+  "bench_fig8_mirai.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mirai.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

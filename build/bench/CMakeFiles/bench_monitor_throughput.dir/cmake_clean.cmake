@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_monitor_throughput.dir/bench_monitor_throughput.cpp.o"
+  "CMakeFiles/bench_monitor_throughput.dir/bench_monitor_throughput.cpp.o.d"
+  "bench_monitor_throughput"
+  "bench_monitor_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_monitor_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_reservoir.dir/bench_table1_reservoir.cpp.o"
+  "CMakeFiles/bench_table1_reservoir.dir/bench_table1_reservoir.cpp.o.d"
+  "bench_table1_reservoir"
+  "bench_table1_reservoir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_reservoir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirai_case_study.dir/mirai_case_study.cpp.o"
+  "CMakeFiles/mirai_case_study.dir/mirai_case_study.cpp.o.d"
+  "mirai_case_study"
+  "mirai_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirai_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/payload_detect.cpp" "examples/CMakeFiles/payload_detect.dir/payload_detect.cpp.o" "gcc" "examples/CMakeFiles/payload_detect.dir/payload_detect.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_payload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_summarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

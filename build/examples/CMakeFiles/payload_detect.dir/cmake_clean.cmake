@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payload_detect.dir/payload_detect.cpp.o"
+  "CMakeFiles/payload_detect.dir/payload_detect.cpp.o.d"
+  "payload_detect"
+  "payload_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payload_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_workbench.dir/rule_workbench.cpp.o"
+  "CMakeFiles/rule_workbench.dir/rule_workbench.cpp.o.d"
+  "rule_workbench"
+  "rule_workbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_workbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/assigner.cpp" "src/CMakeFiles/jaal_assign.dir/assign/assigner.cpp.o" "gcc" "src/CMakeFiles/jaal_assign.dir/assign/assigner.cpp.o.d"
+  "/root/repo/src/assign/flow_groups.cpp" "src/CMakeFiles/jaal_assign.dir/assign/flow_groups.cpp.o" "gcc" "src/CMakeFiles/jaal_assign.dir/assign/flow_groups.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

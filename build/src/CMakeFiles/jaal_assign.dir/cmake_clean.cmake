@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_assign.dir/assign/assigner.cpp.o"
+  "CMakeFiles/jaal_assign.dir/assign/assigner.cpp.o.d"
+  "CMakeFiles/jaal_assign.dir/assign/flow_groups.cpp.o"
+  "CMakeFiles/jaal_assign.dir/assign/flow_groups.cpp.o.d"
+  "libjaal_assign.a"
+  "libjaal_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/generators.cpp" "src/CMakeFiles/jaal_attack.dir/attack/generators.cpp.o" "gcc" "src/CMakeFiles/jaal_attack.dir/attack/generators.cpp.o.d"
+  "/root/repo/src/attack/mirai.cpp" "src/CMakeFiles/jaal_attack.dir/attack/mirai.cpp.o" "gcc" "src/CMakeFiles/jaal_attack.dir/attack/mirai.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

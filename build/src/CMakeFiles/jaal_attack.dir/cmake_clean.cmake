@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_attack.dir/attack/generators.cpp.o"
+  "CMakeFiles/jaal_attack.dir/attack/generators.cpp.o.d"
+  "CMakeFiles/jaal_attack.dir/attack/mirai.cpp.o"
+  "CMakeFiles/jaal_attack.dir/attack/mirai.cpp.o.d"
+  "libjaal_attack.a"
+  "libjaal_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/countmin.cpp" "src/CMakeFiles/jaal_baseline.dir/baseline/countmin.cpp.o" "gcc" "src/CMakeFiles/jaal_baseline.dir/baseline/countmin.cpp.o.d"
+  "/root/repo/src/baseline/netflow.cpp" "src/CMakeFiles/jaal_baseline.dir/baseline/netflow.cpp.o" "gcc" "src/CMakeFiles/jaal_baseline.dir/baseline/netflow.cpp.o.d"
+  "/root/repo/src/baseline/reservoir.cpp" "src/CMakeFiles/jaal_baseline.dir/baseline/reservoir.cpp.o" "gcc" "src/CMakeFiles/jaal_baseline.dir/baseline/reservoir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_baseline.dir/baseline/countmin.cpp.o"
+  "CMakeFiles/jaal_baseline.dir/baseline/countmin.cpp.o.d"
+  "CMakeFiles/jaal_baseline.dir/baseline/netflow.cpp.o"
+  "CMakeFiles/jaal_baseline.dir/baseline/netflow.cpp.o.d"
+  "CMakeFiles/jaal_baseline.dir/baseline/reservoir.cpp.o"
+  "CMakeFiles/jaal_baseline.dir/baseline/reservoir.cpp.o.d"
+  "libjaal_baseline.a"
+  "libjaal_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

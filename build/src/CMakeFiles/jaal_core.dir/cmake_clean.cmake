@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_core.dir/core/alert_log.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/alert_log.cpp.o.d"
+  "CMakeFiles/jaal_core.dir/core/assignment_service.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/assignment_service.cpp.o.d"
+  "CMakeFiles/jaal_core.dir/core/controller.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/controller.cpp.o.d"
+  "CMakeFiles/jaal_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/jaal_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/jaal_core.dir/core/monitor.cpp.o"
+  "CMakeFiles/jaal_core.dir/core/monitor.cpp.o.d"
+  "libjaal_core.a"
+  "libjaal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/inference/aggregate.cpp" "src/CMakeFiles/jaal_inference.dir/inference/aggregate.cpp.o" "gcc" "src/CMakeFiles/jaal_inference.dir/inference/aggregate.cpp.o.d"
+  "/root/repo/src/inference/correlator.cpp" "src/CMakeFiles/jaal_inference.dir/inference/correlator.cpp.o" "gcc" "src/CMakeFiles/jaal_inference.dir/inference/correlator.cpp.o.d"
+  "/root/repo/src/inference/engine.cpp" "src/CMakeFiles/jaal_inference.dir/inference/engine.cpp.o" "gcc" "src/CMakeFiles/jaal_inference.dir/inference/engine.cpp.o.d"
+  "/root/repo/src/inference/postprocessor.cpp" "src/CMakeFiles/jaal_inference.dir/inference/postprocessor.cpp.o" "gcc" "src/CMakeFiles/jaal_inference.dir/inference/postprocessor.cpp.o.d"
+  "/root/repo/src/inference/similarity.cpp" "src/CMakeFiles/jaal_inference.dir/inference/similarity.cpp.o" "gcc" "src/CMakeFiles/jaal_inference.dir/inference/similarity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_summarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

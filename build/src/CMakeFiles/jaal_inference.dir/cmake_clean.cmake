@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_inference.dir/inference/aggregate.cpp.o"
+  "CMakeFiles/jaal_inference.dir/inference/aggregate.cpp.o.d"
+  "CMakeFiles/jaal_inference.dir/inference/correlator.cpp.o"
+  "CMakeFiles/jaal_inference.dir/inference/correlator.cpp.o.d"
+  "CMakeFiles/jaal_inference.dir/inference/engine.cpp.o"
+  "CMakeFiles/jaal_inference.dir/inference/engine.cpp.o.d"
+  "CMakeFiles/jaal_inference.dir/inference/postprocessor.cpp.o"
+  "CMakeFiles/jaal_inference.dir/inference/postprocessor.cpp.o.d"
+  "CMakeFiles/jaal_inference.dir/inference/similarity.cpp.o"
+  "CMakeFiles/jaal_inference.dir/inference/similarity.cpp.o.d"
+  "libjaal_inference.a"
+  "libjaal_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/matrix.cpp" "src/CMakeFiles/jaal_linalg.dir/linalg/matrix.cpp.o" "gcc" "src/CMakeFiles/jaal_linalg.dir/linalg/matrix.cpp.o.d"
+  "/root/repo/src/linalg/stats.cpp" "src/CMakeFiles/jaal_linalg.dir/linalg/stats.cpp.o" "gcc" "src/CMakeFiles/jaal_linalg.dir/linalg/stats.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/CMakeFiles/jaal_linalg.dir/linalg/svd.cpp.o" "gcc" "src/CMakeFiles/jaal_linalg.dir/linalg/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_linalg.dir/linalg/matrix.cpp.o"
+  "CMakeFiles/jaal_linalg.dir/linalg/matrix.cpp.o.d"
+  "CMakeFiles/jaal_linalg.dir/linalg/stats.cpp.o"
+  "CMakeFiles/jaal_linalg.dir/linalg/stats.cpp.o.d"
+  "CMakeFiles/jaal_linalg.dir/linalg/svd.cpp.o"
+  "CMakeFiles/jaal_linalg.dir/linalg/svd.cpp.o.d"
+  "libjaal_linalg.a"
+  "libjaal_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

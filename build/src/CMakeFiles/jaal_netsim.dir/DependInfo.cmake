@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netsim/event.cpp" "src/CMakeFiles/jaal_netsim.dir/netsim/event.cpp.o" "gcc" "src/CMakeFiles/jaal_netsim.dir/netsim/event.cpp.o.d"
+  "/root/repo/src/netsim/latency.cpp" "src/CMakeFiles/jaal_netsim.dir/netsim/latency.cpp.o" "gcc" "src/CMakeFiles/jaal_netsim.dir/netsim/latency.cpp.o.d"
+  "/root/repo/src/netsim/replication.cpp" "src/CMakeFiles/jaal_netsim.dir/netsim/replication.cpp.o" "gcc" "src/CMakeFiles/jaal_netsim.dir/netsim/replication.cpp.o.d"
+  "/root/repo/src/netsim/topology.cpp" "src/CMakeFiles/jaal_netsim.dir/netsim/topology.cpp.o" "gcc" "src/CMakeFiles/jaal_netsim.dir/netsim/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

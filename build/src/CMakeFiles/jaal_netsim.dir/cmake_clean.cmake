@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_netsim.dir/netsim/event.cpp.o"
+  "CMakeFiles/jaal_netsim.dir/netsim/event.cpp.o.d"
+  "CMakeFiles/jaal_netsim.dir/netsim/latency.cpp.o"
+  "CMakeFiles/jaal_netsim.dir/netsim/latency.cpp.o.d"
+  "CMakeFiles/jaal_netsim.dir/netsim/replication.cpp.o"
+  "CMakeFiles/jaal_netsim.dir/netsim/replication.cpp.o.d"
+  "CMakeFiles/jaal_netsim.dir/netsim/topology.cpp.o"
+  "CMakeFiles/jaal_netsim.dir/netsim/topology.cpp.o.d"
+  "libjaal_netsim.a"
+  "libjaal_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

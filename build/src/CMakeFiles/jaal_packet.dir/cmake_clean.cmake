@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_packet.dir/packet/fields.cpp.o"
+  "CMakeFiles/jaal_packet.dir/packet/fields.cpp.o.d"
+  "CMakeFiles/jaal_packet.dir/packet/wire.cpp.o"
+  "CMakeFiles/jaal_packet.dir/packet/wire.cpp.o.d"
+  "libjaal_packet.a"
+  "libjaal_packet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_packet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_payload.dir/payload/term_matrix.cpp.o"
+  "CMakeFiles/jaal_payload.dir/payload/term_matrix.cpp.o.d"
+  "libjaal_payload.a"
+  "libjaal_payload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_payload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_proto.dir/proto/messages.cpp.o"
+  "CMakeFiles/jaal_proto.dir/proto/messages.cpp.o.d"
+  "libjaal_proto.a"
+  "libjaal_proto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_proto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

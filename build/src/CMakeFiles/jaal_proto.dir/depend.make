@@ -1,0 +1,2 @@
+# Empty dependencies file for jaal_proto.
+# This may be replaced when dependencies are built.

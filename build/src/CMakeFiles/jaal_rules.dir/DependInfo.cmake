@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rules/question.cpp" "src/CMakeFiles/jaal_rules.dir/rules/question.cpp.o" "gcc" "src/CMakeFiles/jaal_rules.dir/rules/question.cpp.o.d"
+  "/root/repo/src/rules/raw_matcher.cpp" "src/CMakeFiles/jaal_rules.dir/rules/raw_matcher.cpp.o" "gcc" "src/CMakeFiles/jaal_rules.dir/rules/raw_matcher.cpp.o.d"
+  "/root/repo/src/rules/rule.cpp" "src/CMakeFiles/jaal_rules.dir/rules/rule.cpp.o" "gcc" "src/CMakeFiles/jaal_rules.dir/rules/rule.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

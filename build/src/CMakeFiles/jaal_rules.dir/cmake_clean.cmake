@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_rules.dir/rules/question.cpp.o"
+  "CMakeFiles/jaal_rules.dir/rules/question.cpp.o.d"
+  "CMakeFiles/jaal_rules.dir/rules/raw_matcher.cpp.o"
+  "CMakeFiles/jaal_rules.dir/rules/raw_matcher.cpp.o.d"
+  "CMakeFiles/jaal_rules.dir/rules/rule.cpp.o"
+  "CMakeFiles/jaal_rules.dir/rules/rule.cpp.o.d"
+  "libjaal_rules.a"
+  "libjaal_rules.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_rules.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/summarize/kmeans.cpp" "src/CMakeFiles/jaal_summarize.dir/summarize/kmeans.cpp.o" "gcc" "src/CMakeFiles/jaal_summarize.dir/summarize/kmeans.cpp.o.d"
+  "/root/repo/src/summarize/minibatch.cpp" "src/CMakeFiles/jaal_summarize.dir/summarize/minibatch.cpp.o" "gcc" "src/CMakeFiles/jaal_summarize.dir/summarize/minibatch.cpp.o.d"
+  "/root/repo/src/summarize/normalize.cpp" "src/CMakeFiles/jaal_summarize.dir/summarize/normalize.cpp.o" "gcc" "src/CMakeFiles/jaal_summarize.dir/summarize/normalize.cpp.o.d"
+  "/root/repo/src/summarize/summarizer.cpp" "src/CMakeFiles/jaal_summarize.dir/summarize/summarizer.cpp.o" "gcc" "src/CMakeFiles/jaal_summarize.dir/summarize/summarizer.cpp.o.d"
+  "/root/repo/src/summarize/summary.cpp" "src/CMakeFiles/jaal_summarize.dir/summarize/summary.cpp.o" "gcc" "src/CMakeFiles/jaal_summarize.dir/summarize/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_summarize.dir/summarize/kmeans.cpp.o"
+  "CMakeFiles/jaal_summarize.dir/summarize/kmeans.cpp.o.d"
+  "CMakeFiles/jaal_summarize.dir/summarize/minibatch.cpp.o"
+  "CMakeFiles/jaal_summarize.dir/summarize/minibatch.cpp.o.d"
+  "CMakeFiles/jaal_summarize.dir/summarize/normalize.cpp.o"
+  "CMakeFiles/jaal_summarize.dir/summarize/normalize.cpp.o.d"
+  "CMakeFiles/jaal_summarize.dir/summarize/summarizer.cpp.o"
+  "CMakeFiles/jaal_summarize.dir/summarize/summarizer.cpp.o.d"
+  "CMakeFiles/jaal_summarize.dir/summarize/summary.cpp.o"
+  "CMakeFiles/jaal_summarize.dir/summarize/summary.cpp.o.d"
+  "libjaal_summarize.a"
+  "libjaal_summarize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_summarize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

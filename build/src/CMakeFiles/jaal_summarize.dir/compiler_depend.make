@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for jaal_summarize.
+# This may be replaced when dependencies are built.

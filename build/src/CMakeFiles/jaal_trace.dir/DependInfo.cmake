@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/background.cpp" "src/CMakeFiles/jaal_trace.dir/trace/background.cpp.o" "gcc" "src/CMakeFiles/jaal_trace.dir/trace/background.cpp.o.d"
+  "/root/repo/src/trace/mix.cpp" "src/CMakeFiles/jaal_trace.dir/trace/mix.cpp.o" "gcc" "src/CMakeFiles/jaal_trace.dir/trace/mix.cpp.o.d"
+  "/root/repo/src/trace/pcap.cpp" "src/CMakeFiles/jaal_trace.dir/trace/pcap.cpp.o" "gcc" "src/CMakeFiles/jaal_trace.dir/trace/pcap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

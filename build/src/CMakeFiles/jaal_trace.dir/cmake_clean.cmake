@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaal_trace.dir/trace/background.cpp.o"
+  "CMakeFiles/jaal_trace.dir/trace/background.cpp.o.d"
+  "CMakeFiles/jaal_trace.dir/trace/mix.cpp.o"
+  "CMakeFiles/jaal_trace.dir/trace/mix.cpp.o.d"
+  "CMakeFiles/jaal_trace.dir/trace/pcap.cpp.o"
+  "CMakeFiles/jaal_trace.dir/trace/pcap.cpp.o.d"
+  "libjaal_trace.a"
+  "libjaal_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaal_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

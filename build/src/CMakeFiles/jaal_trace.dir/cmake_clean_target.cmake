@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjaal_trace.a"
+)

@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_aggregate.cpp" "tests/CMakeFiles/jaal_tests.dir/test_aggregate.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_aggregate.cpp.o.d"
+  "/root/repo/tests/test_alert_log.cpp" "tests/CMakeFiles/jaal_tests.dir/test_alert_log.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_alert_log.cpp.o.d"
+  "/root/repo/tests/test_assign.cpp" "tests/CMakeFiles/jaal_tests.dir/test_assign.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_assign.cpp.o.d"
+  "/root/repo/tests/test_assignment_service.cpp" "tests/CMakeFiles/jaal_tests.dir/test_assignment_service.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_assignment_service.cpp.o.d"
+  "/root/repo/tests/test_attack.cpp" "tests/CMakeFiles/jaal_tests.dir/test_attack.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_attack.cpp.o.d"
+  "/root/repo/tests/test_background.cpp" "tests/CMakeFiles/jaal_tests.dir/test_background.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_background.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/jaal_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_correlator.cpp" "tests/CMakeFiles/jaal_tests.dir/test_correlator.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_correlator.cpp.o.d"
+  "/root/repo/tests/test_countmin.cpp" "tests/CMakeFiles/jaal_tests.dir/test_countmin.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_countmin.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/jaal_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/jaal_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_event.cpp" "tests/CMakeFiles/jaal_tests.dir/test_event.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_event.cpp.o.d"
+  "/root/repo/tests/test_flow_groups.cpp" "tests/CMakeFiles/jaal_tests.dir/test_flow_groups.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_flow_groups.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/jaal_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/jaal_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kmeans.cpp" "tests/CMakeFiles/jaal_tests.dir/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_kmeans.cpp.o.d"
+  "/root/repo/tests/test_latency.cpp" "tests/CMakeFiles/jaal_tests.dir/test_latency.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_latency.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/jaal_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/jaal_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_minibatch.cpp" "tests/CMakeFiles/jaal_tests.dir/test_minibatch.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_minibatch.cpp.o.d"
+  "/root/repo/tests/test_mirai.cpp" "tests/CMakeFiles/jaal_tests.dir/test_mirai.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_mirai.cpp.o.d"
+  "/root/repo/tests/test_mix.cpp" "tests/CMakeFiles/jaal_tests.dir/test_mix.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_mix.cpp.o.d"
+  "/root/repo/tests/test_monitor.cpp" "tests/CMakeFiles/jaal_tests.dir/test_monitor.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_monitor.cpp.o.d"
+  "/root/repo/tests/test_netflow.cpp" "tests/CMakeFiles/jaal_tests.dir/test_netflow.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_netflow.cpp.o.d"
+  "/root/repo/tests/test_normalize.cpp" "tests/CMakeFiles/jaal_tests.dir/test_normalize.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_normalize.cpp.o.d"
+  "/root/repo/tests/test_packet.cpp" "tests/CMakeFiles/jaal_tests.dir/test_packet.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_packet.cpp.o.d"
+  "/root/repo/tests/test_payload.cpp" "tests/CMakeFiles/jaal_tests.dir/test_payload.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_payload.cpp.o.d"
+  "/root/repo/tests/test_pcap.cpp" "tests/CMakeFiles/jaal_tests.dir/test_pcap.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_pcap.cpp.o.d"
+  "/root/repo/tests/test_postprocessor.cpp" "tests/CMakeFiles/jaal_tests.dir/test_postprocessor.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_postprocessor.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/jaal_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_proto.cpp" "tests/CMakeFiles/jaal_tests.dir/test_proto.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_proto.cpp.o.d"
+  "/root/repo/tests/test_question.cpp" "tests/CMakeFiles/jaal_tests.dir/test_question.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_question.cpp.o.d"
+  "/root/repo/tests/test_raw_matcher.cpp" "tests/CMakeFiles/jaal_tests.dir/test_raw_matcher.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_raw_matcher.cpp.o.d"
+  "/root/repo/tests/test_replication.cpp" "tests/CMakeFiles/jaal_tests.dir/test_replication.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_replication.cpp.o.d"
+  "/root/repo/tests/test_reservoir.cpp" "tests/CMakeFiles/jaal_tests.dir/test_reservoir.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_reservoir.cpp.o.d"
+  "/root/repo/tests/test_rule_parser.cpp" "tests/CMakeFiles/jaal_tests.dir/test_rule_parser.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_rule_parser.cpp.o.d"
+  "/root/repo/tests/test_similarity.cpp" "tests/CMakeFiles/jaal_tests.dir/test_similarity.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_similarity.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/jaal_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_summarizer.cpp" "tests/CMakeFiles/jaal_tests.dir/test_summarizer.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_summarizer.cpp.o.d"
+  "/root/repo/tests/test_summary.cpp" "tests/CMakeFiles/jaal_tests.dir/test_summary.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_summary.cpp.o.d"
+  "/root/repo/tests/test_svd.cpp" "tests/CMakeFiles/jaal_tests.dir/test_svd.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_svd.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/jaal_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/jaal_tests.dir/test_topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/jaal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_inference.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_netsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_rules.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_proto.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_payload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_summarize.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/jaal_packet.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
