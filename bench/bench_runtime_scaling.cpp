@@ -1,0 +1,95 @@
+// Execution-runtime scaling on the multi-monitor epoch-flush workload.
+//
+// The serial reproduction flushes every monitor's epoch (SVD + k-means over
+// its batch) on one thread, so wall clock grows linearly with monitor
+// count — the opposite of the paper's premise that monitors summarize
+// independently at ISP scale.  This bench drives the same deployment
+// (8 monitors, paper-standard n/r/k) through JaalController::close_epoch at
+// 1/2/4/8 runtime threads over identical traffic and reports wall-ms and
+// speedup per setting.  Results are bit-identical across thread counts
+// (asserted here on the alert/reporting counts; tests/
+// test_parallel_equivalence.cpp asserts it on the full output), so any
+// speedup is free.  Emits BENCH_runtime_scaling.json alongside the table.
+#include <chrono>
+#include <thread>
+
+#include "common.hpp"
+#include "trace/background.hpp"
+
+namespace {
+
+using namespace jaal;
+
+constexpr std::size_t kMonitors = 8;
+constexpr std::size_t kPacketsPerEpoch = 12'000;  // ~1.5k per monitor
+constexpr int kReps = 3;
+
+core::JaalConfig deployment(std::size_t threads) {
+  core::JaalConfig cfg;
+  cfg.summarizer.batch_size = 1500;
+  cfg.summarizer.min_batch = 200;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 150;
+  cfg.monitor_count = kMonitors;
+  cfg.threads = threads;
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Runtime scaling: 8-monitor epoch flush, 1/2/4/8 threads");
+  std::printf("  hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  // One fixed traffic window, ingested identically for every setting.
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 17);
+  const std::vector<packet::PacketRecord> window =
+      trace::take(gen, kPacketsPerEpoch);
+
+  const std::size_t thread_settings[] = {1, 2, 4, 8};
+  std::vector<std::vector<std::pair<std::string, double>>> rows;
+  double base_ms = 0.0;
+  std::size_t base_reporting = 0;
+  std::size_t base_alerts = 0;
+
+  std::printf("  threads   wall-ms   speedup   monitors-reporting\n");
+  for (const std::size_t threads : thread_settings) {
+    core::JaalController controller(deployment(threads),
+                                    bench::evaluation_ruleset());
+    double best_ms = 0.0;
+    core::EpochResult epoch;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const auto& pkt : window) controller.ingest(pkt);
+      const auto start = std::chrono::steady_clock::now();
+      epoch = controller.close_epoch(static_cast<double>(rep));
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    if (threads == 1) {
+      base_ms = best_ms;
+      base_reporting = epoch.monitors_reporting;
+      base_alerts = epoch.alerts.size();
+    } else if (epoch.monitors_reporting != base_reporting ||
+               epoch.alerts.size() != base_alerts) {
+      std::printf("  DETERMINISM VIOLATION at threads=%zu\n", threads);
+      return 1;
+    }
+    const double speedup = best_ms > 0.0 ? base_ms / best_ms : 0.0;
+    std::printf("  %7zu  %8.1f  %8.2fx  %9zu\n", threads, best_ms, speedup,
+                epoch.monitors_reporting);
+    rows.push_back({{"threads", static_cast<double>(threads)},
+                    {"wall_ms", best_ms},
+                    {"speedup", speedup}});
+
+    if (const auto stats = controller.runtime_stats()) {
+      std::printf("%s", core::describe(*stats).c_str());
+    }
+  }
+
+  bench::write_bench_json("runtime_scaling", rows);
+  return 0;
+}

@@ -52,6 +52,35 @@ inline inference::EngineConfig operating_point(double tau_c_scale,
   return cfg;
 }
 
+/// Machine-readable companion to a bench's human-readable table: writes
+/// BENCH_<name>.json in the working directory (or `path` when given) with
+/// one object per row, so the perf trajectory is trackable across PRs by
+/// diffing/plotting the JSON instead of scraping stdout.  Row order and key
+/// order are preserved.
+inline void write_bench_json(
+    const std::string& bench,
+    const std::vector<std::vector<std::pair<std::string, double>>>& rows,
+    const std::string& path = "") {
+  const std::string file = path.empty() ? "BENCH_" + bench + ".json" : path;
+  std::FILE* f = std::fopen(file.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench.c_str());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::fprintf(f, "    {");
+    for (std::size_t c = 0; c < rows[r].size(); ++c) {
+      std::fprintf(f, "%s\"%s\": %.6g", c == 0 ? "" : ", ",
+                   rows[r][c].first.c_str(), rows[r][c].second);
+    }
+    std::fprintf(f, "}%s\n", r + 1 == rows.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("  wrote %s\n", file.c_str());
+}
+
 inline void print_header(const std::string& title) {
   std::printf("\n==================================================================\n");
   std::printf("%s\n", title.c_str());

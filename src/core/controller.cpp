@@ -1,6 +1,12 @@
 #include "core/controller.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <mutex>
 #include <stdexcept>
+#include <utility>
+
+#include "runtime/channel.hpp"
 
 namespace jaal::core {
 
@@ -10,12 +16,25 @@ JaalController::JaalController(const JaalConfig& cfg,
   if (cfg_.monitor_count == 0) {
     throw std::invalid_argument("JaalController: need at least one monitor");
   }
+  const std::size_t threads =
+      cfg_.threads == 0 ? runtime::threads_from_env(1) : cfg_.threads;
+  if (threads > 1) {
+    pool_ = std::make_shared<runtime::ThreadPool>(threads);
+    engine_.set_pool(pool_);
+  }
   monitors_.reserve(cfg_.monitor_count);
   for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
     summarize::SummarizerConfig scfg = cfg_.summarizer;
     scfg.seed = cfg_.summarizer.seed + i;  // decorrelate k-means seeding
     monitors_.emplace_back(static_cast<summarize::MonitorId>(i), scfg);
+    if (pool_) monitors_.back().set_pool(pool_);
   }
+}
+
+std::optional<runtime::RuntimeStatsSnapshot> JaalController::runtime_stats()
+    const {
+  if (!pool_) return std::nullopt;
+  return pool_->stats().snapshot(pool_->threads());
 }
 
 void JaalController::ingest(const packet::PacketRecord& pkt) {
@@ -32,10 +51,53 @@ EpochResult JaalController::close_epoch(double now) {
   result.packets = epoch_packets_;
   epoch_packets_ = 0;
 
-  for (Monitor& m : monitors_) {
-    if (auto summary = m.flush_epoch()) {
-      aggregator.add(*summary);
-      ++result.monitors_reporting;
+  if (pool_) {
+    // Concurrent monitor→engine pipeline: one flush task per monitor
+    // (summarization of N monitors is embarrassingly parallel — each
+    // Monitor owns its buffer and its seeded RNG), results streaming
+    // through a bounded channel whose capacity throttles producers to what
+    // the aggregation side is consuming.  Summaries land in a slot table
+    // and are reduced in monitor order, so the aggregate — and everything
+    // downstream — is bit-identical to the serial loop.
+    runtime::StageTimer timer(&pool_->stats(), "flush_epoch");
+    using Flushed =
+        std::pair<std::size_t, std::optional<summarize::MonitorSummary>>;
+    runtime::Channel<Flushed> channel(
+        std::max<std::size_t>(std::size_t{2}, pool_->threads()));
+    std::mutex error_mu;
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < monitors_.size(); ++i) {
+      (void)pool_->submit([this, i, &channel, &error_mu, &error] {
+        std::optional<summarize::MonitorSummary> summary;
+        try {
+          summary = monitors_[i].flush_epoch();
+        } catch (...) {
+          std::lock_guard lock(error_mu);
+          if (!error) error = std::current_exception();
+        }
+        channel.push({i, std::move(summary)});
+      });
+    }
+    std::vector<std::optional<summarize::MonitorSummary>> slots(
+        monitors_.size());
+    for (std::size_t received = 0; received < monitors_.size(); ++received) {
+      auto item = channel.pop();
+      slots[item->first] = std::move(item->second);
+    }
+    channel.close();
+    if (error) std::rethrow_exception(error);
+    for (auto& summary : slots) {
+      if (summary) {
+        aggregator.add(*summary);
+        ++result.monitors_reporting;
+      }
+    }
+  } else {
+    for (Monitor& m : monitors_) {
+      if (auto summary = m.flush_epoch()) {
+        aggregator.add(*summary);
+        ++result.monitors_reporting;
+      }
     }
   }
   if (result.monitors_reporting == 0) return result;
@@ -51,7 +113,10 @@ EpochResult JaalController::close_epoch(double now) {
   // configured headroom factor.
   engine_.set_tau_c_scale(cfg_.engine.tau_c_scale *
                           static_cast<double>(result.packets) / 2000.0);
-  result.alerts = engine_.infer(aggregate, fetch);
+  {
+    runtime::StageTimer timer(pool_ ? &pool_->stats() : nullptr, "infer");
+    result.alerts = engine_.infer(aggregate, fetch);
+  }
   return result;
 }
 

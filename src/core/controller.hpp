@@ -8,10 +8,13 @@
 // accounts every byte moved.
 #pragma once
 
+#include <memory>
+#include <optional>
 #include <vector>
 
 #include "core/monitor.hpp"
 #include "inference/engine.hpp"
+#include "runtime/thread_pool.hpp"
 #include "trace/background.hpp"
 
 namespace jaal::core {
@@ -27,6 +30,12 @@ struct JaalConfig {
   std::size_t monitor_count = 4;
   EpochTrigger trigger = EpochTrigger::kPeriodic;
   double epoch_seconds = 2.0;  ///< The §7 epoch (periodic trigger).
+  /// Execution-runtime width.  0 resolves from the JAAL_THREADS environment
+  /// variable (default 1); 1 is the serial path (no pool, no extra
+  /// threads); >1 creates a shared ThreadPool and runs epoch flushes,
+  /// k-means assignment, and question matching on it.  Results are
+  /// bit-identical across all settings — threads only change wall clock.
+  std::size_t threads = 0;
 };
 
 /// Everything observed during one epoch.
@@ -64,8 +73,19 @@ class JaalController {
     return monitors_;
   }
 
+  /// Resolved execution-runtime width (1 when running serial).
+  [[nodiscard]] std::size_t threads() const noexcept {
+    return pool_ ? pool_->threads() : 1;
+  }
+
+  /// Runtime counters (tasks, queue high-water, per-stage latency); nullopt
+  /// when running serial.
+  [[nodiscard]] std::optional<runtime::RuntimeStatsSnapshot> runtime_stats()
+      const;
+
  private:
   JaalConfig cfg_;
+  std::shared_ptr<runtime::ThreadPool> pool_;  ///< Null when threads == 1.
   std::vector<Monitor> monitors_;
   inference::InferenceEngine engine_;
   std::uint64_t epoch_packets_ = 0;

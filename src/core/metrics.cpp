@@ -1,6 +1,7 @@
 #include "core/metrics.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace jaal::core {
 
@@ -87,6 +88,29 @@ CommStats& CommStats::operator+=(const CommStats& rhs) noexcept {
   summary_bytes += rhs.summary_bytes;
   feedback_bytes += rhs.feedback_bytes;
   return *this;
+}
+
+std::string describe(const runtime::RuntimeStatsSnapshot& snap) {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "runtime: threads=%zu tasks=%llu/%llu parallel_for=%llu "
+                "queue_high_water=%zu\n",
+                snap.threads,
+                static_cast<unsigned long long>(snap.tasks_completed),
+                static_cast<unsigned long long>(snap.tasks_submitted),
+                static_cast<unsigned long long>(snap.parallel_for_calls),
+                snap.queue_depth_high_water);
+  out += line;
+  for (const runtime::StageSnapshot& s : snap.stages) {
+    std::snprintf(line, sizeof(line),
+                  "  stage %-14s calls=%-6llu total=%9.2fms mean=%8.3fms "
+                  "max=%8.3fms\n",
+                  s.name.c_str(), static_cast<unsigned long long>(s.calls),
+                  s.total_ms, s.mean_ms(), s.max_ms);
+    out += line;
+  }
+  return out;
 }
 
 }  // namespace jaal::core

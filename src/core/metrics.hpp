@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/runtime_stats.hpp"
+
 namespace jaal::core {
 
 struct ConfusionCounts {
@@ -69,5 +71,10 @@ struct CommStats {
 
   CommStats& operator+=(const CommStats& rhs) noexcept;
 };
+
+/// Renders an execution-runtime snapshot as the multi-line block the
+/// benches print next to detection quality and communication cost:
+/// task/queue counters plus one line per timed pipeline stage.
+[[nodiscard]] std::string describe(const runtime::RuntimeStatsSnapshot& snap);
 
 }  // namespace jaal::core

@@ -6,11 +6,15 @@ namespace jaal::core {
 
 Monitor::Monitor(summarize::MonitorId id,
                  const summarize::SummarizerConfig& cfg)
-    : id_(id), summarizer_(cfg, id) {
-  buffer_.reserve(cfg.batch_size);
-}
+    : id_(id), summarizer_(cfg, id) {}
 
 void Monitor::observe(const packet::PacketRecord& pkt) {
+  // Reserve the full batch up front on the first packet of an epoch, so the
+  // per-packet hot path never reallocates mid-batch (clear() after a flush
+  // keeps the capacity, so this branch is effectively free afterwards).
+  if (buffer_.capacity() < summarizer_.config().batch_size) {
+    buffer_.reserve(summarizer_.config().batch_size);
+  }
   buffer_.push_back(pkt);
   ++observed_;
   comm_.raw_header_bytes += packet::kHeadersBytes;

@@ -7,6 +7,7 @@
 // next epoch begins.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -21,6 +22,12 @@ class Monitor {
   Monitor(summarize::MonitorId id, const summarize::SummarizerConfig& cfg);
 
   [[nodiscard]] summarize::MonitorId id() const noexcept { return id_; }
+
+  /// Attaches the shared execution runtime (forwarded to the summarizer's
+  /// k-means step); null detaches.  Summaries are bit-identical either way.
+  void set_pool(std::shared_ptr<runtime::ThreadPool> pool) noexcept {
+    summarizer_.set_pool(std::move(pool));
+  }
 
   /// Buffers one observed packet.
   void observe(const packet::PacketRecord& pkt);

@@ -79,17 +79,36 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
     return it->second;
   };
 
+  // Matching phase: Algorithm 1 per question (strict + loose thresholds) is
+  // read-only on the aggregate and independent across questions, so it fans
+  // out over the pool.  The decision/feedback phase below mutates stats_
+  // and the fetch cache and therefore stays serial, in question order —
+  // making the alert stream bit-identical to the poolless path.
+  struct QuestionMatch {
+    SimilarityResult strict;
+    SimilarityResult loose;
+  };
+  std::vector<QuestionMatch> matches(questions_.size());
+  const auto match_one = [&](std::size_t qi) {
+    const rules::Question& q = questions_[qi];
+    const ThresholdPair th = thresholds_for(q.sid);
+    const std::uint64_t tau_c = scaled_tau_c(q);
+    matches[qi] = {estimate_similarity(q, aggregate, th.tau_d1, tau_c),
+                   estimate_similarity(q, aggregate, th.tau_d2, tau_c)};
+  };
+  if (pool_ && questions_.size() > 1) {
+    pool_->parallel_for(0, questions_.size(), match_one, 1);
+  } else {
+    for (std::size_t qi = 0; qi < questions_.size(); ++qi) match_one(qi);
+  }
+
   const auto& rule_list = matcher_.rules();
   for (std::size_t qi = 0; qi < questions_.size(); ++qi) {
     const rules::Question& q = questions_[qi];
     const rules::Rule& rule = rule_list[qi];
-    const ThresholdPair th = thresholds_for(q.sid);
-    const std::uint64_t tau_c = scaled_tau_c(q);
 
-    const SimilarityResult strict =
-        estimate_similarity(q, aggregate, th.tau_d1, tau_c);
-    const SimilarityResult loose =
-        estimate_similarity(q, aggregate, th.tau_d2, tau_c);
+    const SimilarityResult& strict = matches[qi].strict;
+    const SimilarityResult& loose = matches[qi].loose;
 
     // Matched sets are nested (tau_d2 >= tau_d1), so t1+ implies t2+.
     if (strict.alert && !loose.alert) ++stats_.case4_anomalies;

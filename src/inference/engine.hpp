@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -24,6 +25,7 @@
 #include "inference/postprocessor.hpp"
 #include "inference/similarity.hpp"
 #include "rules/raw_matcher.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace jaal::inference {
 
@@ -116,6 +118,14 @@ class InferenceEngine {
     return config_.tau_c_scale;
   }
 
+  /// Attaches the shared execution runtime: question-vector matching
+  /// (Algorithm 1 per rule, strict + loose) fans out over the pool; the
+  /// decision/feedback pass stays serial in rule order, so alerts are
+  /// bit-identical with or without a pool.  Null detaches.
+  void set_pool(std::shared_ptr<runtime::ThreadPool> pool) noexcept {
+    pool_ = std::move(pool);
+  }
+
  private:
   [[nodiscard]] std::uint64_t scaled_tau_c(const rules::Question& q) const;
 
@@ -123,6 +133,7 @@ class InferenceEngine {
   std::vector<rules::Question> questions_;
   EngineConfig config_;
   InferenceStats stats_;
+  std::shared_ptr<runtime::ThreadPool> pool_;
 };
 
 }  // namespace jaal::inference

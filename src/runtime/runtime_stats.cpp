@@ -1,0 +1,39 @@
+#include "runtime/runtime_stats.hpp"
+
+#include <algorithm>
+
+namespace jaal::runtime {
+
+void RuntimeStats::record_stage(const std::string& name, double elapsed_ms) {
+  std::lock_guard lock(stage_mu_);
+  auto it = std::find_if(stages_.begin(), stages_.end(),
+                         [&](const StageAccumulator& s) {
+                           return s.name == name;
+                         });
+  if (it == stages_.end()) {
+    stages_.push_back({name, 0, 0.0, 0.0});
+    it = std::prev(stages_.end());
+  }
+  ++it->calls;
+  it->total_ms += elapsed_ms;
+  it->max_ms = std::max(it->max_ms, elapsed_ms);
+}
+
+RuntimeStatsSnapshot RuntimeStats::snapshot(std::size_t threads) const {
+  RuntimeStatsSnapshot snap;
+  snap.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
+  snap.tasks_completed = tasks_completed_.load(std::memory_order_relaxed);
+  snap.parallel_for_calls =
+      parallel_for_calls_.load(std::memory_order_relaxed);
+  snap.queue_depth_high_water =
+      queue_high_water_.load(std::memory_order_relaxed);
+  snap.threads = threads;
+  std::lock_guard lock(stage_mu_);
+  snap.stages.reserve(stages_.size());
+  for (const StageAccumulator& s : stages_) {
+    snap.stages.push_back({s.name, s.calls, s.total_ms, s.max_ms});
+  }
+  return snap;
+}
+
+}  // namespace jaal::runtime

@@ -1,0 +1,110 @@
+// Observability for the execution runtime.
+//
+// RuntimeStats counts work (tasks submitted/completed, parallel_for calls),
+// tracks the queue-depth high-water mark (how far producers ran ahead of
+// the workers — the signal that a deployment should add threads), and
+// accumulates per-stage wall-clock latency via the RAII StageTimer.  All
+// counters are atomics so workers update them without a lock; snapshot()
+// produces the plain struct that core/metrics renders next to the
+// detection-quality and communication numbers.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace jaal::runtime {
+
+/// One named pipeline stage ("flush", "aggregate", "infer", ...).
+struct StageSnapshot {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_ms = 0.0;
+  double max_ms = 0.0;
+
+  [[nodiscard]] double mean_ms() const noexcept {
+    return calls == 0 ? 0.0 : total_ms / static_cast<double>(calls);
+  }
+};
+
+/// Point-in-time copy of every counter; safe to read at leisure.
+struct RuntimeStatsSnapshot {
+  std::uint64_t tasks_submitted = 0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t parallel_for_calls = 0;
+  std::size_t queue_depth_high_water = 0;
+  std::size_t threads = 0;
+  std::vector<StageSnapshot> stages;
+};
+
+class RuntimeStats {
+ public:
+  void on_submit(std::size_t queue_depth_after) noexcept {
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
+    std::size_t seen = queue_high_water_.load(std::memory_order_relaxed);
+    while (queue_depth_after > seen &&
+           !queue_high_water_.compare_exchange_weak(
+               seen, queue_depth_after, std::memory_order_relaxed)) {
+    }
+  }
+
+  void on_complete() noexcept {
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void on_parallel_for() noexcept {
+    parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Folds one stage timing in; creates the stage on first use.
+  void record_stage(const std::string& name, double elapsed_ms);
+
+  [[nodiscard]] RuntimeStatsSnapshot snapshot(std::size_t threads = 0) const;
+
+ private:
+  struct StageAccumulator {
+    std::string name;
+    std::uint64_t calls = 0;
+    double total_ms = 0.0;
+    double max_ms = 0.0;
+  };
+
+  std::atomic<std::uint64_t> tasks_submitted_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::size_t> queue_high_water_{0};
+  mutable std::mutex stage_mu_;
+  std::vector<StageAccumulator> stages_;
+};
+
+/// RAII wall-clock timer: records into `stats` under `name` on destruction.
+/// A null stats pointer makes it a no-op, so callers time unconditionally
+/// and only pay when a runtime is attached.
+class StageTimer {
+ public:
+  StageTimer(RuntimeStats* stats, std::string name)
+      : stats_(stats),
+        name_(std::move(name)),
+        start_(std::chrono::steady_clock::now()) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() {
+    if (stats_ == nullptr) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    stats_->record_stage(
+        name_,
+        std::chrono::duration<double, std::milli>(elapsed).count());
+  }
+
+ private:
+  RuntimeStats* stats_;
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace jaal::runtime

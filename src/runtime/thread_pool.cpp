@@ -1,0 +1,129 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace jaal::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    throw std::invalid_argument("ThreadPool: need at least one thread");
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  std::size_t depth;
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) {
+      throw std::runtime_error("ThreadPool: submit after shutdown");
+    }
+    queue_.push_back(std::move(task));
+    depth = queue_.size();
+  }
+  stats_.on_submit(depth);
+  ready_.notify_one();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      ready_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+    stats_.on_complete();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  if (grain == 0) {
+    grain = std::max<std::size_t>(1, n / (threads() * 4));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
+  stats_.on_parallel_for();
+
+  if (chunks == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+
+  // Shared loop state.  Helpers and the caller claim chunk indices from
+  // `next`; whoever claims a chunk completes it, so `done == chunks` is the
+  // loop's completion condition regardless of how many helpers ever ran.
+  struct LoopState {
+    std::atomic<std::size_t> next{0};
+    std::size_t done = 0;  // guarded by mu
+    std::mutex mu;
+    std::condition_variable all_done;
+    std::exception_ptr error;  // first exception, guarded by mu
+  };
+  auto state = std::make_shared<LoopState>();
+
+  auto run_chunks = [state, begin, end, grain, chunks, &body] {
+    for (;;) {
+      const std::size_t c =
+          state->next.fetch_add(1, std::memory_order_relaxed);
+      if (c >= chunks) return;
+      const std::size_t lo = begin + c * grain;
+      const std::size_t hi = std::min(end, lo + grain);
+      std::exception_ptr err;
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard lock(state->mu);
+      if (err && !state->error) state->error = err;
+      if (++state->done == chunks) state->all_done.notify_all();
+    }
+  };
+
+  // One helper per worker at most; the caller covers the rest (and all of
+  // them, when every worker is busy with other tasks).
+  const std::size_t helpers = std::min(chunks - 1, threads());
+  for (std::size_t h = 0; h < helpers; ++h) enqueue(run_chunks);
+  run_chunks();
+
+  std::unique_lock lock(state->mu);
+  state->all_done.wait(lock, [&] { return state->done == chunks; });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::size_t threads_from_env(std::size_t fallback) {
+  const char* raw = std::getenv("JAAL_THREADS");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(raw, &end, 10);
+  if (end == raw || (end != nullptr && *end != '\0')) return fallback;
+  if (parsed == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? fallback : hw;
+  }
+  return static_cast<std::size_t>(parsed);
+}
+
+}  // namespace jaal::runtime

@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "runtime/thread_pool.hpp"
+
 namespace jaal::summarize {
 namespace {
 
@@ -15,6 +17,40 @@ namespace {
     sum += d * d;
   }
   return sum;
+}
+
+/// Below this many points the fan-out overhead exceeds the win; the output
+/// is identical either way, so the cutoff only affects speed.
+constexpr std::size_t kParallelAssignMin = 128;
+
+/// Nearest-centroid search for every row of x: fills assignment[i] and
+/// best_dist[i].  Each index is independent and its arithmetic does not
+/// depend on scheduling, so pooled and serial runs produce identical bits.
+void assign_nearest(const linalg::Matrix& x, const linalg::Matrix& centroids,
+                    std::vector<std::size_t>& assignment,
+                    std::vector<double>& best_dist,
+                    runtime::ThreadPool* pool) {
+  const std::size_t n = x.rows();
+  const std::size_t k = centroids.rows();
+  const auto body = [&](std::size_t i) {
+    const auto row = x.row(i);
+    double best = std::numeric_limits<double>::max();
+    std::size_t best_c = 0;
+    for (std::size_t c = 0; c < k; ++c) {
+      const double dist = sq_dist(row, centroids.row(c));
+      if (dist < best) {
+        best = dist;
+        best_c = c;
+      }
+    }
+    assignment[i] = best_c;
+    best_dist[i] = best;
+  };
+  if (pool != nullptr && n >= kParallelAssignMin) {
+    pool->parallel_for(0, n, body);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+  }
 }
 
 /// k-means++ D^2 seeding: first centroid uniform, each next centroid chosen
@@ -93,26 +129,21 @@ KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
 
   res.assignment.assign(n, 0);
   res.counts.assign(k, 0);
+  std::vector<double> best_dist(n, 0.0);
   linalg::Matrix sums(k, d);
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
     res.iterations = iter + 1;
-    // Assignment step.
+    // Assignment step: the nearest-centroid search fans out over the pool;
+    // the floating-point reductions below stay serial in point order so the
+    // result is bit-identical to a threads=1 run.
+    assign_nearest(x, res.centroids, res.assignment, best_dist, opts.pool);
     res.inertia = 0.0;
     std::fill(res.counts.begin(), res.counts.end(), 0);
     std::fill(sums.data().begin(), sums.data().end(), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const auto row = x.row(i);
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double dist = sq_dist(row, res.centroids.row(c));
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
-      res.assignment[i] = best_c;
-      res.inertia += best;
+      const std::size_t best_c = res.assignment[i];
+      res.inertia += best_dist[i];
       ++res.counts[best_c];
       auto sum_row = sums.row(best_c);
       for (std::size_t j = 0; j < d; ++j) sum_row[j] += row[j];
@@ -134,22 +165,12 @@ KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
   }
 
   // Final assignment consistent with the returned centroids.
+  assign_nearest(x, res.centroids, res.assignment, best_dist, opts.pool);
   res.inertia = 0.0;
   std::fill(res.counts.begin(), res.counts.end(), 0);
   for (std::size_t i = 0; i < n; ++i) {
-    const auto row = x.row(i);
-    double best = std::numeric_limits<double>::max();
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double dist = sq_dist(row, res.centroids.row(c));
-      if (dist < best) {
-        best = dist;
-        best_c = c;
-      }
-    }
-    res.assignment[i] = best_c;
-    res.inertia += best;
-    ++res.counts[best_c];
+    res.inertia += best_dist[i];
+    ++res.counts[res.assignment[i]];
   }
   return res;
 }

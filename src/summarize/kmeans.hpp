@@ -12,6 +12,10 @@
 
 #include "linalg/matrix.hpp"
 
+namespace jaal::runtime {
+class ThreadPool;
+}
+
 namespace jaal::summarize {
 
 enum class KMeansInit : std::uint8_t {
@@ -23,6 +27,13 @@ struct KMeansOptions {
   std::size_t max_iterations = 25;
   double tolerance = 1e-7;  ///< Stop when centroids move less than this.
   KMeansInit init = KMeansInit::kPlusPlus;
+  /// Optional execution runtime: the assignment step (nearest-centroid
+  /// search per point — the O(nk) bulk of each Lloyd iteration) fans out
+  /// over the pool.  Results are bit-identical to the serial path: each
+  /// point's nearest centroid is computed independently, and all
+  /// floating-point reductions (inertia, centroid sums) stay serial in
+  /// point order.  Null runs everything on the calling thread.
+  runtime::ThreadPool* pool = nullptr;
 };
 
 struct KMeansResult {

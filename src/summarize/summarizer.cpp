@@ -49,10 +49,13 @@ SummarizeOutput Summarizer::summarize(
       cfg_.format == SummaryFormat::kSplit ||
       (cfg_.format == SummaryFormat::kAuto && split_cost() < combined_cost());
 
+  KMeansOptions km_opts = cfg_.kmeans;
+  km_opts.pool = pool_.get();
+
   SummarizeOutput out;
   if (use_split) {
     // Step 2 (§4.3, split): cluster rows of U_r; ship factors separately.
-    const KMeansResult km = kmeans(svd.u, cfg_.centroids, rng_, cfg_.kmeans);
+    const KMeansResult km = kmeans(svd.u, cfg_.centroids, rng_, km_opts);
     SplitSummary s;
     s.monitor = monitor_;
     s.u_centroids = km.centroids;
@@ -64,7 +67,7 @@ SummarizeOutput Summarizer::summarize(
   } else {
     // Step 2 (§4.3, combined): cluster rows of the rank-reduced X_p.
     const linalg::Matrix x_p = svd.reconstruct();
-    const KMeansResult km = kmeans(x_p, cfg_.centroids, rng_, cfg_.kmeans);
+    const KMeansResult km = kmeans(x_p, cfg_.centroids, rng_, km_opts);
     CombinedSummary s;
     s.monitor = monitor_;
     s.centroids = km.centroids;

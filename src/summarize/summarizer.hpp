@@ -6,9 +6,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <random>
 #include <span>
 
+#include "runtime/thread_pool.hpp"
 #include "summarize/kmeans.hpp"
 #include "summarize/normalize.hpp"
 #include "summarize/summary.hpp"
@@ -56,6 +58,14 @@ class Summarizer {
 
   [[nodiscard]] const SummarizerConfig& config() const noexcept { return cfg_; }
 
+  /// Attaches the shared execution runtime: the k-means assignment step of
+  /// every subsequent summarize() fans out over the pool.  Output is
+  /// bit-identical with or without a pool (see KMeansOptions::pool); null
+  /// detaches.
+  void set_pool(std::shared_ptr<runtime::ThreadPool> pool) noexcept {
+    pool_ = std::move(pool);
+  }
+
   /// Elements S1 would need for this config: k(p+1).
   [[nodiscard]] std::size_t combined_cost() const noexcept;
   /// Elements S2 would need for this config: r(k+p+1)+k.
@@ -65,6 +75,7 @@ class Summarizer {
   SummarizerConfig cfg_;
   MonitorId monitor_;
   std::mt19937_64 rng_;
+  std::shared_ptr<runtime::ThreadPool> pool_;
 };
 
 }  // namespace jaal::summarize

@@ -1,0 +1,125 @@
+#include "runtime/channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jaal::runtime {
+namespace {
+
+TEST(Channel, RejectsZeroCapacity) {
+  EXPECT_THROW(Channel<int>(0), std::invalid_argument);
+}
+
+TEST(Channel, FifoWithinCapacity) {
+  Channel<int> ch(4);
+  EXPECT_TRUE(ch.push(1));
+  EXPECT_TRUE(ch.push(2));
+  EXPECT_TRUE(ch.push(3));
+  EXPECT_EQ(ch.size(), 3u);
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), 2);
+  EXPECT_EQ(ch.pop(), 3);
+  EXPECT_EQ(ch.try_pop(), std::nullopt);
+}
+
+TEST(Channel, TryPushRespectsCapacity) {
+  Channel<int> ch(2);
+  EXPECT_TRUE(ch.try_push(1));
+  EXPECT_TRUE(ch.try_push(2));
+  EXPECT_FALSE(ch.try_push(3));  // full: backpressure
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_TRUE(ch.try_push(3));
+}
+
+TEST(Channel, CloseDrainsBufferedItemsThenSignalsEndOfStream) {
+  Channel<int> ch(4);
+  ch.push(7);
+  ch.push(8);
+  ch.close();
+  EXPECT_FALSE(ch.push(9));  // push after close fails
+  EXPECT_EQ(ch.pop(), 7);
+  EXPECT_EQ(ch.pop(), 8);
+  EXPECT_EQ(ch.pop(), std::nullopt);
+  EXPECT_EQ(ch.pop(), std::nullopt);  // stays closed
+}
+
+TEST(Channel, CloseWakesBlockedProducer) {
+  Channel<int> ch(1);
+  ch.push(1);  // fill it
+  std::thread producer([&] {
+    // Blocks on the full channel until close(), then fails.
+    EXPECT_FALSE(ch.push(2));
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  producer.join();
+  EXPECT_EQ(ch.pop(), 1);
+  EXPECT_EQ(ch.pop(), std::nullopt);
+}
+
+TEST(Channel, CloseWakesBlockedConsumer) {
+  Channel<int> ch(1);
+  std::thread consumer([&] {
+    // Blocks on the empty channel until close(), then sees end-of-stream.
+    EXPECT_EQ(ch.pop(), std::nullopt);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  ch.close();
+  consumer.join();
+}
+
+TEST(Channel, StressManyProducersManyConsumersNoLossNoDuplication) {
+  // 4 producers x 2000 items through a 8-slot channel into 4 consumers:
+  // every pushed value must come out exactly once, with per-producer FIFO
+  // order preserved.
+  constexpr std::uint32_t kProducers = 4;
+  constexpr std::uint32_t kConsumers = 4;
+  constexpr std::uint32_t kPerProducer = 2000;
+  Channel<std::uint32_t> ch(8);
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.push((p << 16) | i));
+      }
+    });
+  }
+
+  std::mutex mu;
+  std::vector<std::uint32_t> received;
+  std::vector<std::thread> consumers;
+  for (std::uint32_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      std::vector<std::uint32_t> local;
+      while (auto item = ch.pop()) local.push_back(*item);
+      std::lock_guard lock(mu);
+      received.insert(received.end(), local.begin(), local.end());
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  ch.close();
+  for (auto& t : consumers) t.join();
+
+  ASSERT_EQ(received.size(), kProducers * kPerProducer);
+  std::sort(received.begin(), received.end());
+  EXPECT_EQ(std::adjacent_find(received.begin(), received.end()),
+            received.end())
+      << "duplicated item";
+  for (std::uint32_t p = 0; p < kProducers; ++p) {
+    for (std::uint32_t i = 0; i < kPerProducer; ++i) {
+      ASSERT_TRUE(std::binary_search(received.begin(), received.end(),
+                                     (p << 16) | i))
+          << "lost item " << p << "/" << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace jaal::runtime
