@@ -6,9 +6,16 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/experiment.hpp"
+
+// Commit the bench binary was built from; injected by bench/CMakeLists.txt
+// at configure time so every BENCH_*.json records its provenance.
+#ifndef JAAL_GIT_SHA
+#define JAAL_GIT_SHA "unknown"
+#endif
 
 namespace jaal::bench {
 
@@ -56,7 +63,9 @@ inline inference::EngineConfig operating_point(double tau_c_scale,
 /// BENCH_<name>.json in the working directory (or `path` when given) with
 /// one object per row, so the perf trajectory is trackable across PRs by
 /// diffing/plotting the JSON instead of scraping stdout.  Row order and key
-/// order are preserved.
+/// order are preserved.  A "meta" object records the build commit and the
+/// machine's hardware concurrency, so a perf delta in the trajectory can be
+/// attributed to code vs. host.
 inline void write_bench_json(
     const std::string& bench,
     const std::vector<std::vector<std::pair<std::string, double>>>& rows,
@@ -67,7 +76,12 @@ inline void write_bench_json(
     std::fprintf(stderr, "warning: cannot write %s\n", file.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"results\": [\n", bench.c_str());
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
+  std::fprintf(f,
+               "  \"meta\": {\"git_sha\": \"%s\", "
+               "\"hardware_concurrency\": %u},\n",
+               JAAL_GIT_SHA, std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"results\": [\n");
   for (std::size_t r = 0; r < rows.size(); ++r) {
     std::fprintf(f, "    {");
     for (std::size_t c = 0; c < rows[r].size(); ++c) {

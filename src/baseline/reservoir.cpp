@@ -21,7 +21,18 @@ void ReservoirSampler::add(const packet::PacketRecord& pkt) {
   }
   // Algorithm R: keep the new item with probability capacity/seen.
   const std::uint64_t j = rng_() % seen_;
-  if (j < capacity_) sample_[j] = pkt;
+  if (j < capacity_) {
+    sample_[j] = pkt;
+    ++evictions_;
+    if (tel_evictions_ != nullptr) tel_evictions_->add(1);
+  }
+}
+
+void ReservoirSampler::set_telemetry(telemetry::Telemetry* tel) {
+  tel_evictions_ =
+      tel == nullptr
+          ? nullptr
+          : &tel->metrics.counter("jaal_baseline_reservoir_evictions_total");
 }
 
 double ReservoirSampler::scale_factor() const noexcept {

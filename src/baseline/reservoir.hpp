@@ -13,6 +13,7 @@
 
 #include "packet/packet.hpp"
 #include "rules/raw_matcher.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace jaal::baseline {
 
@@ -23,11 +24,19 @@ class ReservoirSampler {
 
   void add(const packet::PacketRecord& pkt);
 
+  /// Attaches telemetry: evictions feed jaal_baseline_reservoir_evictions_total.
+  /// Null detaches (the default).
+  void set_telemetry(telemetry::Telemetry* tel);
+
   [[nodiscard]] const std::vector<packet::PacketRecord>& sample() const noexcept {
     return sample_;
   }
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Resident samples displaced by later arrivals (Algorithm R
+  /// replacements); not reset by reset().
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
 
   /// Inverse sampling ratio seen/|sample| (1 while the reservoir fills).
   [[nodiscard]] double scale_factor() const noexcept;
@@ -40,6 +49,8 @@ class ReservoirSampler {
   std::mt19937_64 rng_;
   std::vector<packet::PacketRecord> sample_;
   std::uint64_t seen_ = 0;
+  std::uint64_t evictions_ = 0;
+  telemetry::Counter* tel_evictions_ = nullptr;
 };
 
 /// Detection over a shipped sample: runs the Snort-style matcher on the

@@ -22,12 +22,21 @@ JaalController::JaalController(const JaalConfig& cfg,
     pool_ = std::make_shared<runtime::ThreadPool>(threads);
     engine_.set_pool(pool_);
   }
+  if (cfg_.telemetry != nullptr) {
+    engine_.set_telemetry(cfg_.telemetry);
+    // One stats system: the pool's runtime counters land in the same
+    // registry (and the same exports) as every other jaal metric.
+    if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
+  }
   monitors_.reserve(cfg_.monitor_count);
   for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
     summarize::SummarizerConfig scfg = cfg_.summarizer;
     scfg.seed = cfg_.summarizer.seed + i;  // decorrelate k-means seeding
     monitors_.emplace_back(static_cast<summarize::MonitorId>(i), scfg);
     if (pool_) monitors_.back().set_pool(pool_);
+    if (cfg_.telemetry != nullptr) {
+      monitors_.back().set_telemetry(cfg_.telemetry);
+    }
   }
 }
 
@@ -51,6 +60,30 @@ EpochResult JaalController::close_epoch(double now) {
   result.packets = epoch_packets_;
   epoch_packets_ = 0;
 
+  // One trace per epoch: the root span's trace id is the epoch index, and
+  // the simulated end time rides along so traces line up across runs even
+  // though wall-clock durations differ.
+  telemetry::Telemetry* tel = cfg_.telemetry;
+  telemetry::Span epoch_span =
+      tel != nullptr ? tel->tracer.span("epoch", {}, epoch_index_)
+                     : telemetry::Span{};
+  ++epoch_index_;
+  epoch_span.set_sim_time(now);
+  epoch_span.attr("packets", static_cast<double>(result.packets));
+  const telemetry::SpanContext epoch_ctx = epoch_span.context();
+  if (tel != nullptr) {
+    // The observe phase happened during ingest(); record it as a
+    // zero-duration span carrying the epoch's packet count.
+    telemetry::Span observe = tel->tracer.span("observe", epoch_ctx);
+    observe.attr("packets", static_cast<double>(result.packets));
+  }
+
+  telemetry::Span summarize_span =
+      tel != nullptr ? tel->tracer.span("summarize", epoch_ctx)
+                     : telemetry::Span{};
+  const telemetry::SpanContext summarize_ctx = summarize_span.context();
+  std::uint64_t ship_bytes = 0;
+
   if (pool_) {
     // Concurrent monitor→engine pipeline: one flush task per monitor
     // (summarization of N monitors is embarrassingly parallel — each
@@ -67,10 +100,11 @@ EpochResult JaalController::close_epoch(double now) {
     std::mutex error_mu;
     std::exception_ptr error;
     for (std::size_t i = 0; i < monitors_.size(); ++i) {
-      (void)pool_->submit([this, i, &channel, &error_mu, &error] {
+      (void)pool_->submit([this, i, summarize_ctx, &channel, &error_mu,
+                           &error] {
         std::optional<summarize::MonitorSummary> summary;
         try {
-          summary = monitors_[i].flush_epoch();
+          summary = monitors_[i].flush_epoch(summarize_ctx);
         } catch (...) {
           std::lock_guard lock(error_mu);
           if (!error) error = std::current_exception();
@@ -88,21 +122,39 @@ EpochResult JaalController::close_epoch(double now) {
     if (error) std::rethrow_exception(error);
     for (auto& summary : slots) {
       if (summary) {
+        ship_bytes += summarize::wire_bytes(*summary);
         aggregator.add(*summary);
         ++result.monitors_reporting;
       }
     }
   } else {
     for (Monitor& m : monitors_) {
-      if (auto summary = m.flush_epoch()) {
+      if (auto summary = m.flush_epoch(summarize_ctx)) {
+        ship_bytes += summarize::wire_bytes(*summary);
         aggregator.add(*summary);
         ++result.monitors_reporting;
       }
     }
   }
+  summarize_span.attr("monitors_reporting",
+                      static_cast<double>(result.monitors_reporting));
+  summarize_span.finish();
+  if (tel != nullptr) {
+    // The ship leg: summary bytes crossing the monitor->controller links.
+    telemetry::Span ship = tel->tracer.span("ship", epoch_ctx);
+    ship.attr("summary_bytes", static_cast<double>(ship_bytes));
+    ship.attr("monitors_reporting",
+              static_cast<double>(result.monitors_reporting));
+  }
   if (result.monitors_reporting == 0) return result;
 
+  telemetry::Span aggregate_span =
+      tel != nullptr ? tel->tracer.span("aggregate", epoch_ctx)
+                     : telemetry::Span{};
   const inference::AggregatedSummary aggregate = aggregator.take();
+  aggregate_span.attr("rows", static_cast<double>(aggregate.origin.size()));
+  aggregate_span.finish();
+
   const inference::RawPacketFetcher fetch =
       [this](summarize::MonitorId id,
              const std::vector<std::size_t>& centroids) {
@@ -114,8 +166,24 @@ EpochResult JaalController::close_epoch(double now) {
   engine_.set_tau_c_scale(cfg_.engine.tau_c_scale *
                           static_cast<double>(result.packets) / 2000.0);
   {
+    telemetry::Span infer_span =
+        tel != nullptr ? tel->tracer.span("infer", epoch_ctx)
+                       : telemetry::Span{};
     runtime::StageTimer timer(pool_ ? &pool_->stats() : nullptr, "infer");
-    result.alerts = engine_.infer(aggregate, fetch);
+    result.alerts = engine_.infer(aggregate, fetch, infer_span.context());
+    infer_span.attr("alerts", static_cast<double>(result.alerts.size()));
+  }
+  if (tel != nullptr) {
+    // The postprocess leg: distributed/feedback classification tallies.
+    std::size_t distributed = 0, via_feedback = 0;
+    for (const inference::Alert& a : result.alerts) {
+      distributed += a.distributed ? 1 : 0;
+      via_feedback += a.via_feedback ? 1 : 0;
+    }
+    telemetry::Span post = tel->tracer.span("postprocess", epoch_ctx);
+    post.attr("alerts", static_cast<double>(result.alerts.size()));
+    post.attr("distributed", static_cast<double>(distributed));
+    post.attr("via_feedback", static_cast<double>(via_feedback));
   }
   return result;
 }

@@ -36,6 +36,16 @@ struct JaalConfig {
   /// k-means assignment, and question matching on it.  Results are
   /// bit-identical across all settings — threads only change wall clock.
   std::size_t threads = 0;
+  /// Deployment-wide telemetry sink.  When set, every layer is wired in at
+  /// construction: monitors (packet/batch counters, SVD/k-means
+  /// instrumentation), the inference engine (question/alert/feedback
+  /// counters and spans), the thread pool's RuntimeStats (rebound into this
+  /// registry), and close_epoch() emits one trace per epoch
+  /// (observe -> summarize -> ship -> aggregate -> infer -> postprocess).
+  /// Null (the default) keeps the pipeline telemetry-free: the overhead is
+  /// one pointer check at the instrumented sites.  Must outlive the
+  /// controller.
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 /// Everything observed during one epoch.
@@ -89,6 +99,7 @@ class JaalController {
   std::vector<Monitor> monitors_;
   inference::InferenceEngine engine_;
   std::uint64_t epoch_packets_ = 0;
+  std::uint64_t epoch_index_ = 0;  ///< Trace id of the next epoch's trace.
 };
 
 }  // namespace jaal::core

@@ -3,12 +3,58 @@
 #include <algorithm>
 
 namespace jaal::core {
+namespace {
+
+/// Largest frame a monitor will buffer: jumbo-frame MTU.  Legitimate traffic
+/// in the experiments tops out at standard Ethernet sizes (~1500 bytes).
+constexpr std::uint16_t kMaxFrameBytes = 9000;
+
+/// Header consistency: IPv4 + TCP with lengths that can actually hold the
+/// headers they declare.
+bool is_malformed(const packet::PacketRecord& pkt) noexcept {
+  if (pkt.ip.version != 4 || pkt.ip.protocol != 6) return true;
+  if (pkt.ip.ihl < 5 || pkt.tcp.data_offset < 5) return true;
+  const std::uint32_t min_len =
+      4u * (std::uint32_t{pkt.ip.ihl} + std::uint32_t{pkt.tcp.data_offset});
+  return pkt.ip.total_length < min_len;
+}
+
+}  // namespace
 
 Monitor::Monitor(summarize::MonitorId id,
                  const summarize::SummarizerConfig& cfg)
     : id_(id), summarizer_(cfg, id) {}
 
+void Monitor::set_telemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
+  summarizer_.set_telemetry(tel);
+  if (tel_ == nullptr) {
+    tel_observed_ = tel_malformed_ = tel_oversized_ = nullptr;
+    tel_batches_ = tel_silent_epochs_ = tel_summary_bytes_ = nullptr;
+    return;
+  }
+  tel_observed_ = &tel_->metrics.counter("jaal_monitor_packets_observed_total");
+  tel_malformed_ =
+      &tel_->metrics.counter("jaal_monitor_packets_malformed_total");
+  tel_oversized_ =
+      &tel_->metrics.counter("jaal_monitor_packets_oversized_total");
+  tel_batches_ = &tel_->metrics.counter("jaal_monitor_batches_flushed_total");
+  tel_silent_epochs_ =
+      &tel_->metrics.counter("jaal_monitor_silent_epochs_total");
+  tel_summary_bytes_ = &tel_->metrics.counter("jaal_monitor_summary_bytes_total");
+}
+
 void Monitor::observe(const packet::PacketRecord& pkt) {
+  if (is_malformed(pkt)) {
+    ++malformed_;
+    if (tel_malformed_ != nullptr) tel_malformed_->add(1);
+    return;
+  }
+  if (pkt.ip.total_length > kMaxFrameBytes) {
+    ++oversized_;
+    if (tel_oversized_ != nullptr) tel_oversized_->add(1);
+    return;
+  }
   // Reserve the full batch up front on the first packet of an epoch, so the
   // per-packet hot path never reallocates mid-batch (clear() after a flush
   // keeps the capacity, so this branch is effectively free afterwards).
@@ -17,6 +63,7 @@ void Monitor::observe(const packet::PacketRecord& pkt) {
   }
   buffer_.push_back(pkt);
   ++observed_;
+  if (tel_observed_ != nullptr) tel_observed_->add(1);
   comm_.raw_header_bytes += packet::kHeadersBytes;
 }
 
@@ -24,14 +71,16 @@ bool Monitor::batch_ready() const noexcept {
   return buffer_.size() >= summarizer_.config().batch_size;
 }
 
-std::optional<summarize::MonitorSummary> Monitor::flush_epoch() {
+std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
+    const telemetry::SpanContext& parent) {
   epoch_store_.clear();
   if (buffer_.size() < summarizer_.config().min_batch) {
     // Below n_min the SVD/clustering quality collapses (§5.1): keep
     // buffering; the packets roll into the next epoch.
+    if (tel_silent_epochs_ != nullptr) tel_silent_epochs_->add(1);
     return std::nullopt;
   }
-  summarize::SummarizeOutput out = summarizer_.summarize(buffer_);
+  summarize::SummarizeOutput out = summarizer_.summarize(buffer_, parent);
 
   // Build the per-epoch centroid -> raw packet map (§7's hash table).
   std::size_t k = 0;
@@ -42,7 +91,12 @@ std::optional<summarize::MonitorSummary> Monitor::flush_epoch() {
   }
   buffer_.clear();
 
-  comm_.summary_bytes += summarize::wire_bytes(out.summary);
+  const std::size_t bytes = summarize::wire_bytes(out.summary);
+  comm_.summary_bytes += bytes;
+  if (tel_batches_ != nullptr) {
+    tel_batches_->add(1);
+    tel_summary_bytes_->add(bytes);
+  }
   return std::move(out.summary);
 }
 

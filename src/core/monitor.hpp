@@ -29,7 +29,14 @@ class Monitor {
     summarizer_.set_pool(std::move(pool));
   }
 
-  /// Buffers one observed packet.
+  /// Attaches telemetry: packet/batch counters here plus the summarizer's
+  /// SVD/k-means instrumentation.  Null detaches (the default).
+  void set_telemetry(telemetry::Telemetry* tel);
+
+  /// Buffers one observed packet.  Malformed headers (non-IPv4, non-TCP,
+  /// truncated lengths) and oversized frames (> 9000-byte jumbo bound) are
+  /// dropped and counted instead of buffered — garbage rows would poison
+  /// the batch normalization.
   void observe(const packet::PacketRecord& pkt);
 
   [[nodiscard]] std::size_t buffered() const noexcept {
@@ -42,8 +49,10 @@ class Monitor {
   /// Ends the epoch: summarizes the buffered batch (nullopt when fewer than
   /// n_min packets accumulated — such monitors stay silent, §5.1), retains
   /// the centroid -> packets map for feedback, clears the buffer, and
-  /// updates communication accounting.
-  [[nodiscard]] std::optional<summarize::MonitorSummary> flush_epoch();
+  /// updates communication accounting.  `parent` is the enclosing trace
+  /// span (the controller's per-epoch summarize span).
+  [[nodiscard]] std::optional<summarize::MonitorSummary> flush_epoch(
+      const telemetry::SpanContext& parent = {});
 
   /// Raw packets behind the given centroids of the *last flushed* epoch
   /// (the feedback path).  Unknown indices are ignored.
@@ -59,6 +68,16 @@ class Monitor {
     return observed_;
   }
 
+  /// Packets rejected by observe() for inconsistent headers.
+  [[nodiscard]] std::uint64_t packets_malformed() const noexcept {
+    return malformed_;
+  }
+
+  /// Packets rejected by observe() for exceeding the jumbo-frame bound.
+  [[nodiscard]] std::uint64_t packets_oversized() const noexcept {
+    return oversized_;
+  }
+
  private:
   summarize::MonitorId id_;
   summarize::Summarizer summarizer_;
@@ -67,6 +86,15 @@ class Monitor {
   std::vector<std::vector<packet::PacketRecord>> epoch_store_;
   CommStats comm_;
   std::uint64_t observed_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t oversized_ = 0;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Counter* tel_observed_ = nullptr;
+  telemetry::Counter* tel_malformed_ = nullptr;
+  telemetry::Counter* tel_oversized_ = nullptr;
+  telemetry::Counter* tel_batches_ = nullptr;
+  telemetry::Counter* tel_silent_epochs_ = nullptr;
+  telemetry::Counter* tel_summary_bytes_ = nullptr;
 };
 
 }  // namespace jaal::core

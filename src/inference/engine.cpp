@@ -45,6 +45,27 @@ InferenceEngine::InferenceEngine(std::vector<rules::Rule> rules,
   for (const auto& [sid, pair] : config_.per_rule) check(pair);
 }
 
+void InferenceEngine::set_telemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
+  if (tel_ == nullptr) {
+    tel_questions_ = tel_questions_matched_ = nullptr;
+    tel_alerts_ = tel_alerts_feedback_ = tel_alerts_suppressed_ = nullptr;
+    tel_feedback_requests_ = nullptr;
+    tel_raw_packets_fetched_ = tel_raw_bytes_fetched_ = nullptr;
+    return;
+  }
+  auto& m = tel_->metrics;
+  tel_questions_ = &m.counter("jaal_inference_questions_evaluated_total");
+  tel_questions_matched_ = &m.counter("jaal_inference_questions_matched_total");
+  tel_alerts_ = &m.counter("jaal_inference_alerts_total");
+  tel_alerts_feedback_ = &m.counter("jaal_inference_alerts_via_feedback_total");
+  tel_alerts_suppressed_ = &m.counter("jaal_inference_alerts_suppressed_total");
+  tel_feedback_requests_ = &m.counter("jaal_inference_feedback_requests_total");
+  tel_raw_packets_fetched_ =
+      &m.counter("jaal_inference_raw_packets_fetched_total");
+  tel_raw_bytes_fetched_ = &m.counter("jaal_inference_raw_bytes_fetched_total");
+}
+
 ThresholdPair InferenceEngine::thresholds_for(std::uint32_t sid) const {
   const auto it = config_.per_rule.find(sid);
   return it == config_.per_rule.end() ? config_.default_thresholds : it->second;
@@ -55,10 +76,12 @@ std::uint64_t InferenceEngine::scaled_tau_c(const rules::Question& q) const {
   return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(t)));
 }
 
-std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
-                                          const RawPacketFetcher& fetch) {
+std::vector<Alert> InferenceEngine::infer(
+    const AggregatedSummary& aggregate, const RawPacketFetcher& fetch,
+    const telemetry::SpanContext& parent) {
   std::vector<Alert> alerts;
   if (aggregate.empty()) return alerts;
+  if (tel_questions_ != nullptr) tel_questions_->add(questions_.size());
 
   // Per-pass cache of raw packets fetched by the feedback loop: different
   // questions often flag overlapping centroid sets (e.g. the SYN-family
@@ -74,6 +97,10 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
       auto packets = fetch(monitor, {centroid});
       stats_.raw_packets_fetched += packets.size();
       stats_.raw_bytes_fetched += packets.size() * packet::kHeadersBytes;
+      if (tel_raw_packets_fetched_ != nullptr) {
+        tel_raw_packets_fetched_->add(packets.size());
+        tel_raw_bytes_fetched_->add(packets.size() * packet::kHeadersBytes);
+      }
       it = fetch_cache.emplace(key, std::move(packets)).first;
     }
     return it->second;
@@ -112,6 +139,9 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
 
     // Matched sets are nested (tau_d2 >= tau_d1), so t1+ implies t2+.
     if (strict.alert && !loose.alert) ++stats_.case4_anomalies;
+    if ((strict.alert || loose.alert) && tel_questions_matched_ != nullptr) {
+      tel_questions_matched_->add(1);
+    }
 
     bool fire = false;
     bool via_feedback = false;
@@ -128,6 +158,11 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
       evidence = &loose;
       if (config_.feedback_enabled && fetch) {
         ++stats_.feedback_requests;
+        if (tel_feedback_requests_ != nullptr) tel_feedback_requests_->add(1);
+        telemetry::Span span =
+            tel_ != nullptr
+                ? tel_->tracer.span("feedback", parent, q.sid)
+                : telemetry::Span{};
         std::vector<packet::PacketRecord> raw;
         for (std::size_t row : loose.matched_rows) {
           const auto& packets =
@@ -141,6 +176,11 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
                                     .analyze(raw, 0.0, config_.tau_c_scale);
         fire = !raw_alerts.empty();
         via_feedback = true;
+        if (tel_ != nullptr) {
+          span.attr("sid", static_cast<double>(q.sid));
+          span.attr("raw_packets", static_cast<double>(raw.size()));
+          span.attr("fired", fire ? 1.0 : 0.0);
+        }
       } else {
         // No feedback available: accept the loose decision (higher TPR at
         // the cost of FPR), which is the tau_d1 == tau_d2 operating mode.
@@ -162,6 +202,7 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
                                   .analyze(raw, 0.0, config_.tau_c_scale);
       if (raw_alerts.empty()) {
         ++stats_.alerts_suppressed;
+        if (tel_alerts_suppressed_ != nullptr) tel_alerts_suppressed_->add(1);
         continue;
       }
     }
@@ -182,6 +223,10 @@ std::vector<Alert> InferenceEngine::infer(const AggregatedSummary& aggregate,
       alert.variance = matched_variance(aggregate, evidence->matched_rows,
                                         packet::FieldIndex::kIpSrcAddr);
       alert.distributed = alert.variance >= 0.005;
+    }
+    if (tel_alerts_ != nullptr) {
+      tel_alerts_->add(1);
+      if (alert.via_feedback) tel_alerts_feedback_->add(1);
     }
     alerts.push_back(std::move(alert));
   }

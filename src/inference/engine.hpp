@@ -26,6 +26,7 @@
 #include "inference/similarity.hpp"
 #include "rules/raw_matcher.hpp"
 #include "runtime/thread_pool.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace jaal::inference {
 
@@ -94,9 +95,12 @@ class InferenceEngine {
 
   /// Runs the full inference pass over one aggregated summary.  `fetch` may
   /// be null when feedback is disabled; case-3 outcomes then fall back to
-  /// the loose-threshold decision (alert, trading FPR for TPR).
-  [[nodiscard]] std::vector<Alert> infer(const AggregatedSummary& aggregate,
-                                         const RawPacketFetcher& fetch);
+  /// the loose-threshold decision (alert, trading FPR for TPR).  `parent`
+  /// is the enclosing trace span (the controller's per-epoch infer span);
+  /// feedback retrievals become child spans keyed by rule sid.
+  [[nodiscard]] std::vector<Alert> infer(
+      const AggregatedSummary& aggregate, const RawPacketFetcher& fetch,
+      const telemetry::SpanContext& parent = {});
 
   [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
@@ -126,6 +130,10 @@ class InferenceEngine {
     pool_ = std::move(pool);
   }
 
+  /// Attaches telemetry: question/alert/feedback counters and per-sid
+  /// feedback retrieval spans.  Null detaches (the default).
+  void set_telemetry(telemetry::Telemetry* tel);
+
  private:
   [[nodiscard]] std::uint64_t scaled_tau_c(const rules::Question& q) const;
 
@@ -134,6 +142,15 @@ class InferenceEngine {
   EngineConfig config_;
   InferenceStats stats_;
   std::shared_ptr<runtime::ThreadPool> pool_;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Counter* tel_questions_ = nullptr;
+  telemetry::Counter* tel_questions_matched_ = nullptr;
+  telemetry::Counter* tel_alerts_ = nullptr;
+  telemetry::Counter* tel_alerts_feedback_ = nullptr;
+  telemetry::Counter* tel_alerts_suppressed_ = nullptr;
+  telemetry::Counter* tel_feedback_requests_ = nullptr;
+  telemetry::Counter* tel_raw_packets_fetched_ = nullptr;
+  telemetry::Counter* tel_raw_bytes_fetched_ = nullptr;
 };
 
 }  // namespace jaal::inference

@@ -23,7 +23,9 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
   }
   Matrix v = Matrix::identity(p);
 
+  int sweeps_used = 0;
   for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    ++sweeps_used;
     bool rotated = false;
     for (std::size_t i = 0; i + 1 < p; ++i) {
       for (std::size_t j = i + 1; j < p; ++j) {
@@ -77,6 +79,7 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
                    [&](std::size_t x, std::size_t y) { return sigma[x] > sigma[y]; });
 
   SvdResult out;
+  out.sweeps = sweeps_used;
   out.sigma.resize(p);
   out.u = Matrix(n, p);
   out.v = Matrix(p, p);
@@ -134,6 +137,7 @@ SvdResult svd(const Matrix& a, const SvdOptions& opts) {
   out.u = std::move(t.v);
   out.v = std::move(t.u);
   out.sigma = std::move(t.sigma);
+  out.sweeps = t.sweeps;
   return out;
 }
 
@@ -148,6 +152,7 @@ SvdResult truncated_svd(const Matrix& a, std::size_t r, const SvdOptions& opts) 
   out.v = full.v.left_cols(r);
   out.sigma.assign(full.sigma.begin(),
                    full.sigma.begin() + static_cast<std::ptrdiff_t>(r));
+  out.sweeps = full.sweeps;
   return out;
 }
 
@@ -212,6 +217,7 @@ SvdResult randomized_svd(const Matrix& a, std::size_t r, std::mt19937_64& rng,
                    small.sigma.begin() + static_cast<std::ptrdiff_t>(r));
   out.v = small.v.left_cols(r);
   out.u = y * small.u.left_cols(r);
+  out.sweeps = small.sweeps;
   return out;
 }
 

@@ -20,6 +20,7 @@ struct SvdResult {
   Matrix u;                    ///< Left singular vectors, n x m.
   std::vector<double> sigma;   ///< Singular values, descending, size m.
   Matrix v;                    ///< Right singular vectors, p x m.
+  int sweeps = 0;              ///< Jacobi sweeps spent (telemetry).
 
   /// Reconstruct U * diag(sigma) * V^T.
   [[nodiscard]] Matrix reconstruct() const;

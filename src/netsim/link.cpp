@@ -1,0 +1,84 @@
+#include "netsim/link.hpp"
+
+#include <stdexcept>
+
+namespace jaal::netsim {
+
+LinkQueue::LinkQueue(EventQueue& events, LinkConfig cfg)
+    : events_(&events), cfg_(std::move(cfg)) {
+  if (cfg_.rate_bytes_per_s <= 0.0) {
+    throw std::invalid_argument("LinkQueue: rate must be positive");
+  }
+  if (cfg_.queue_limit_bytes == 0) {
+    throw std::invalid_argument("LinkQueue: queue limit must be positive");
+  }
+}
+
+void LinkQueue::set_telemetry(telemetry::Telemetry* tel) {
+  if (tel == nullptr) {
+    tel_messages_ = tel_bytes_ = tel_drops_ = tel_dropped_bytes_ = nullptr;
+    tel_high_water_ = nullptr;
+    return;
+  }
+  const std::string label = "{link=\"" + cfg_.name + "\"}";
+  tel_messages_ = &tel->metrics.counter(
+      "jaal_netsim_link_messages_forwarded_total" + label);
+  tel_bytes_ =
+      &tel->metrics.counter("jaal_netsim_link_bytes_forwarded_total" + label);
+  tel_drops_ = &tel->metrics.counter("jaal_netsim_link_drops_total" + label);
+  tel_dropped_bytes_ =
+      &tel->metrics.counter("jaal_netsim_link_dropped_bytes_total" + label);
+  tel_high_water_ = &tel->metrics.gauge(
+      "jaal_netsim_link_queue_depth_high_water_bytes" + label);
+}
+
+bool LinkQueue::offer(std::size_t bytes) {
+  if (queued_bytes_ + bytes > cfg_.queue_limit_bytes) {
+    dropped_bytes_ += bytes;
+    drops_.push_back({events_->now(), bytes});
+    if (tel_drops_ != nullptr) {
+      tel_drops_->add(1);
+      tel_dropped_bytes_->add(bytes);
+    }
+    return false;
+  }
+  queue_.push_back(bytes);
+  queued_bytes_ += bytes;
+  if (queued_bytes_ > queue_high_water_) {
+    queue_high_water_ = queued_bytes_;
+    if (tel_high_water_ != nullptr) {
+      tel_high_water_->update_max(static_cast<std::int64_t>(queue_high_water_));
+    }
+  }
+  if (!busy_) start_service();
+  return true;
+}
+
+void LinkQueue::start_service() {
+  busy_ = true;
+  const std::size_t bytes = queue_.front();
+  const double transmit_s =
+      static_cast<double>(bytes) / cfg_.rate_bytes_per_s;
+  events_->schedule_in(transmit_s, [this, bytes] {
+    queue_.pop_front();
+    queued_bytes_ -= bytes;
+    ++messages_forwarded_;
+    bytes_forwarded_ += bytes;
+    if (tel_messages_ != nullptr) {
+      tel_messages_->add(1);
+      tel_bytes_->add(bytes);
+    }
+    if (deliver_) {
+      events_->schedule_in(cfg_.propagation_s, [this, bytes] {
+        deliver_(bytes, events_->now());
+      });
+    }
+    if (!queue_.empty()) {
+      start_service();
+    } else {
+      busy_ = false;
+    }
+  });
+}
+
+}  // namespace jaal::netsim

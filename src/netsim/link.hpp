@@ -1,0 +1,105 @@
+// Instrumented point-to-point link with a finite FIFO queue.
+//
+// The latency/replication models in this directory are analytic (steady
+// state); LinkQueue is the packet-level counterpart for studying *transient*
+// congestion on the monitor->engine control path: messages (summaries, raw
+// feedback responses) are serialized at the link rate, queue behind each
+// other in a bounded byte buffer, and are dropped — visibly, counted — when
+// the buffer is full.  Driven by the discrete-event EventQueue, so every
+// statistic is keyed by simulated time and is deterministic across runs and
+// platforms (the determinism rule all telemetry in this repo follows: only
+// wall-clock durations may vary).
+//
+// Telemetry: per-link counters/gauges are published under labeled names
+// (jaal_netsim_link_*_total{link="<name>"}) when a Telemetry bundle is
+// attached; local accessors work either way.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "netsim/event.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace jaal::netsim {
+
+struct LinkConfig {
+  std::string name = "link";       ///< Label for telemetry ("src-dst").
+  double rate_bytes_per_s = 1e6;   ///< Serialization rate.
+  std::size_t queue_limit_bytes = 64 * 1024;  ///< Tail-drop beyond this.
+  double propagation_s = 0.002;    ///< Added after serialization completes.
+};
+
+/// One dropped message: when (simulated seconds) and how big.
+struct LinkDrop {
+  double sim_time = 0.0;
+  std::size_t bytes = 0;
+};
+
+class LinkQueue {
+ public:
+  /// Called when a message finishes crossing the link (at simulated time
+  /// `now`, which includes propagation).
+  using DeliverFn = std::function<void(std::size_t bytes, double now)>;
+
+  /// Throws std::invalid_argument on a non-positive rate or zero queue.
+  LinkQueue(EventQueue& events, LinkConfig cfg);
+
+  /// Publishes this link's counters into `tel` (null detaches).
+  void set_telemetry(telemetry::Telemetry* tel);
+
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Offers one message at the current simulated time.  Returns false (and
+  /// counts a drop) when the message does not fit in the queue.
+  bool offer(std::size_t bytes);
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::uint64_t messages_forwarded() const noexcept {
+    return messages_forwarded_;
+  }
+  [[nodiscard]] std::uint64_t bytes_forwarded() const noexcept {
+    return bytes_forwarded_;
+  }
+  [[nodiscard]] std::uint64_t drops() const noexcept { return drops_.size(); }
+  [[nodiscard]] std::uint64_t dropped_bytes() const noexcept {
+    return dropped_bytes_;
+  }
+  /// Every drop, keyed by simulated time (deterministic).
+  [[nodiscard]] const std::vector<LinkDrop>& drop_log() const noexcept {
+    return drops_;
+  }
+  [[nodiscard]] std::size_t queue_depth_bytes() const noexcept {
+    return queued_bytes_;
+  }
+  [[nodiscard]] std::size_t queue_high_water_bytes() const noexcept {
+    return queue_high_water_;
+  }
+
+ private:
+  void start_service();
+
+  EventQueue* events_;
+  LinkConfig cfg_;
+  DeliverFn deliver_;
+  std::deque<std::size_t> queue_;  ///< Message sizes awaiting service.
+  std::size_t queued_bytes_ = 0;
+  std::size_t queue_high_water_ = 0;
+  bool busy_ = false;
+
+  std::uint64_t messages_forwarded_ = 0;
+  std::uint64_t bytes_forwarded_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::vector<LinkDrop> drops_;
+
+  telemetry::Counter* tel_messages_ = nullptr;
+  telemetry::Counter* tel_bytes_ = nullptr;
+  telemetry::Counter* tel_drops_ = nullptr;
+  telemetry::Counter* tel_dropped_bytes_ = nullptr;
+  telemetry::Gauge* tel_high_water_ = nullptr;
+};
+
+}  // namespace jaal::netsim

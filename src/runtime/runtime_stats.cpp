@@ -1,37 +1,64 @@
 #include "runtime/runtime_stats.hpp"
 
-#include <algorithm>
-
 namespace jaal::runtime {
+namespace {
+
+constexpr const char* kTasksSubmitted = "jaal_runtime_tasks_submitted_total";
+constexpr const char* kTasksCompleted = "jaal_runtime_tasks_completed_total";
+constexpr const char* kParallelFor = "jaal_runtime_parallel_for_calls_total";
+constexpr const char* kQueueHighWater = "jaal_runtime_queue_depth_high_water";
+
+std::string stage_metric_name(const std::string& stage) {
+  return "jaal_runtime_stage_ms{stage=\"" + stage + "\"}";
+}
+
+}  // namespace
+
+RuntimeStats::RuntimeStats() : registry_(&own_) {
+  bind(&own_);
+}
+
+void RuntimeStats::bind(telemetry::MetricsRegistry* registry) {
+  std::lock_guard lock(stage_mu_);
+  registry_ = registry;
+  tasks_submitted_ = &registry_->counter(kTasksSubmitted);
+  tasks_completed_ = &registry_->counter(kTasksCompleted);
+  parallel_for_calls_ = &registry_->counter(kParallelFor);
+  queue_high_water_ = &registry_->gauge(kQueueHighWater);
+  stages_.clear();
+}
 
 void RuntimeStats::record_stage(const std::string& name, double elapsed_ms) {
-  std::lock_guard lock(stage_mu_);
-  auto it = std::find_if(stages_.begin(), stages_.end(),
-                         [&](const StageAccumulator& s) {
-                           return s.name == name;
-                         });
-  if (it == stages_.end()) {
-    stages_.push_back({name, 0, 0.0, 0.0});
-    it = std::prev(stages_.end());
+  telemetry::Histogram* hist = nullptr;
+  {
+    std::lock_guard lock(stage_mu_);
+    for (const auto& [stage, h] : stages_) {
+      if (stage == name) {
+        hist = h;
+        break;
+      }
+    }
+    if (hist == nullptr) {
+      hist = &registry_->histogram(stage_metric_name(name));
+      stages_.emplace_back(name, hist);
+    }
   }
-  ++it->calls;
-  it->total_ms += elapsed_ms;
-  it->max_ms = std::max(it->max_ms, elapsed_ms);
+  hist->observe(elapsed_ms);
 }
 
 RuntimeStatsSnapshot RuntimeStats::snapshot(std::size_t threads) const {
   RuntimeStatsSnapshot snap;
-  snap.tasks_submitted = tasks_submitted_.load(std::memory_order_relaxed);
-  snap.tasks_completed = tasks_completed_.load(std::memory_order_relaxed);
-  snap.parallel_for_calls =
-      parallel_for_calls_.load(std::memory_order_relaxed);
+  snap.tasks_submitted = tasks_submitted_->value();
+  snap.tasks_completed = tasks_completed_->value();
+  snap.parallel_for_calls = parallel_for_calls_->value();
   snap.queue_depth_high_water =
-      queue_high_water_.load(std::memory_order_relaxed);
+      static_cast<std::size_t>(queue_high_water_->value());
   snap.threads = threads;
   std::lock_guard lock(stage_mu_);
   snap.stages.reserve(stages_.size());
-  for (const StageAccumulator& s : stages_) {
-    snap.stages.push_back({s.name, s.calls, s.total_ms, s.max_ms});
+  for (const auto& [name, hist] : stages_) {
+    const telemetry::HistogramSnapshot h = hist->snapshot();
+    snap.stages.push_back({name, h.count, h.sum, h.max});
   }
   return snap;
 }

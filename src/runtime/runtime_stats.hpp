@@ -1,20 +1,28 @@
-// Observability for the execution runtime.
+// Observability for the execution runtime — a thin view over the telemetry
+// registry, so runtime counters and pipeline stage timers live in the SAME
+// stats system as every other jaal metric (one registry, one exporter).
 //
 // RuntimeStats counts work (tasks submitted/completed, parallel_for calls),
 // tracks the queue-depth high-water mark (how far producers ran ahead of
 // the workers — the signal that a deployment should add threads), and
-// accumulates per-stage wall-clock latency via the RAII StageTimer.  All
-// counters are atomics so workers update them without a lock; snapshot()
-// produces the plain struct that core/metrics renders next to the
-// detection-quality and communication numbers.
+// accumulates per-stage wall-clock latency via the RAII StageTimer.  All of
+// it is backed by telemetry metrics (striped lock-free counters, log-bucket
+// histograms): by default each RuntimeStats embeds a private registry, and
+// bind() redirects it into a shared deployment-wide registry so pool
+// metrics appear in the same Prometheus/JSONL export as monitor/engine
+// metrics, under the jaal_runtime_* names.
+//
+// snapshot() still produces the plain struct that core/metrics renders next
+// to the detection-quality and communication numbers.
 #pragma once
 
-#include <atomic>
-#include <chrono>
 #include <cstdint>
+#include <chrono>
 #include <mutex>
 #include <string>
 #include <vector>
+
+#include "telemetry/metrics.hpp"
 
 namespace jaal::runtime {
 
@@ -42,42 +50,39 @@ struct RuntimeStatsSnapshot {
 
 class RuntimeStats {
  public:
+  RuntimeStats();
+
+  /// Rebinds onto a shared registry (the deployment's Telemetry).  Call at
+  /// wiring time, before work runs: counts already accumulated stay behind
+  /// in the previously bound registry.
+  void bind(telemetry::MetricsRegistry* registry);
+
   void on_submit(std::size_t queue_depth_after) noexcept {
-    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
-    std::size_t seen = queue_high_water_.load(std::memory_order_relaxed);
-    while (queue_depth_after > seen &&
-           !queue_high_water_.compare_exchange_weak(
-               seen, queue_depth_after, std::memory_order_relaxed)) {
-    }
+    tasks_submitted_->add(1);
+    queue_high_water_->update_max(
+        static_cast<std::int64_t>(queue_depth_after));
   }
 
-  void on_complete() noexcept {
-    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void on_complete() noexcept { tasks_completed_->add(1); }
 
-  void on_parallel_for() noexcept {
-    parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void on_parallel_for() noexcept { parallel_for_calls_->add(1); }
 
-  /// Folds one stage timing in; creates the stage on first use.
+  /// Folds one stage timing into the registry histogram
+  /// jaal_runtime_stage_ms{stage="<name>"}; creates it on first use.
   void record_stage(const std::string& name, double elapsed_ms);
 
   [[nodiscard]] RuntimeStatsSnapshot snapshot(std::size_t threads = 0) const;
 
  private:
-  struct StageAccumulator {
-    std::string name;
-    std::uint64_t calls = 0;
-    double total_ms = 0.0;
-    double max_ms = 0.0;
-  };
-
-  std::atomic<std::uint64_t> tasks_submitted_{0};
-  std::atomic<std::uint64_t> tasks_completed_{0};
-  std::atomic<std::uint64_t> parallel_for_calls_{0};
-  std::atomic<std::size_t> queue_high_water_{0};
+  telemetry::MetricsRegistry own_;  ///< Default backing store.
+  telemetry::MetricsRegistry* registry_;
+  telemetry::Counter* tasks_submitted_;
+  telemetry::Counter* tasks_completed_;
+  telemetry::Counter* parallel_for_calls_;
+  telemetry::Gauge* queue_high_water_;
   mutable std::mutex stage_mu_;
-  std::vector<StageAccumulator> stages_;
+  /// Stage handles in first-use order (the order snapshot() reports).
+  std::vector<std::pair<std::string, telemetry::Histogram*>> stages_;
 };
 
 /// RAII wall-clock timer: records into `stats` under `name` on destruction.

@@ -1,10 +1,20 @@
 #include "summarize/summarizer.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "linalg/svd.hpp"
 
 namespace jaal::summarize {
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
 
 Summarizer::Summarizer(const SummarizerConfig& cfg, MonitorId monitor)
     : cfg_(cfg), monitor_(monitor), rng_(cfg.seed) {
@@ -19,6 +29,25 @@ Summarizer::Summarizer(const SummarizerConfig& cfg, MonitorId monitor)
   }
 }
 
+void Summarizer::set_telemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
+  if (tel_ == nullptr) {
+    svd_ms_ = svd_sweeps_ = kmeans_ms_ = kmeans_iterations_ = nullptr;
+    batches_ = split_format_ = combined_format_ = nullptr;
+    return;
+  }
+  svd_ms_ = &tel_->metrics.histogram("jaal_summarize_svd_ms");
+  svd_sweeps_ = &tel_->metrics.histogram("jaal_summarize_svd_sweeps");
+  kmeans_ms_ = &tel_->metrics.histogram("jaal_summarize_kmeans_ms");
+  kmeans_iterations_ =
+      &tel_->metrics.histogram("jaal_summarize_kmeans_iterations");
+  batches_ = &tel_->metrics.counter("jaal_summarize_batches_total");
+  split_format_ =
+      &tel_->metrics.counter("jaal_summarize_split_format_total");
+  combined_format_ =
+      &tel_->metrics.counter("jaal_summarize_combined_format_total");
+}
+
 std::size_t Summarizer::combined_cost() const noexcept {
   return cfg_.centroids * (packet::kFieldCount + 1);
 }
@@ -29,11 +58,13 @@ std::size_t Summarizer::split_cost() const noexcept {
 }
 
 SummarizeOutput Summarizer::summarize(
-    std::span<const packet::PacketRecord> batch) {
+    std::span<const packet::PacketRecord> batch,
+    const telemetry::SpanContext& parent) {
   if (batch.size() < cfg_.min_batch) {
     throw std::invalid_argument(
         "Summarizer: batch below n_min; SVD/k-means need more data");
   }
+  if (tel_ != nullptr) batches_->add(1);
 
   // Step 0 (§4.1): normalize into [0,1]^p.
   const linalg::Matrix x_bar = to_normalized_matrix(batch);
@@ -41,9 +72,21 @@ SummarizeOutput Summarizer::summarize(
   // Step 1 (§4.2): fields-mode reduction.  Rank is capped by the batch size
   // for tiny batches.
   const std::size_t r = std::min(cfg_.rank, batch.size());
-  const linalg::SvdResult svd =
-      cfg_.randomized_svd ? linalg::randomized_svd(x_bar, r, rng_)
-                          : linalg::truncated_svd(x_bar, r);
+  linalg::SvdResult svd;
+  {
+    telemetry::Span span = tel_ != nullptr
+                               ? tel_->tracer.span("svd", parent, monitor_)
+                               : telemetry::Span{};
+    const auto start = std::chrono::steady_clock::now();
+    svd = cfg_.randomized_svd ? linalg::randomized_svd(x_bar, r, rng_)
+                              : linalg::truncated_svd(x_bar, r);
+    if (tel_ != nullptr) {
+      svd_ms_->observe(ms_since(start));
+      svd_sweeps_->observe(svd.sweeps);
+      span.attr("rank", static_cast<double>(r));
+      span.attr("sweeps", svd.sweeps);
+    }
+  }
 
   const bool use_split =
       cfg_.format == SummaryFormat::kSplit ||
@@ -52,10 +95,28 @@ SummarizeOutput Summarizer::summarize(
   KMeansOptions km_opts = cfg_.kmeans;
   km_opts.pool = pool_.get();
 
+  // Step 2 (§4.3): packets-mode vector quantization, instrumented the same
+  // way for both summary formats.
+  const auto run_kmeans = [&](const linalg::Matrix& points) {
+    telemetry::Span span = tel_ != nullptr
+                               ? tel_->tracer.span("kmeans", parent, monitor_)
+                               : telemetry::Span{};
+    const auto start = std::chrono::steady_clock::now();
+    KMeansResult km = kmeans(points, cfg_.centroids, rng_, km_opts);
+    if (tel_ != nullptr) {
+      kmeans_ms_->observe(ms_since(start));
+      kmeans_iterations_->observe(static_cast<double>(km.iterations));
+      span.attr("k", static_cast<double>(cfg_.centroids));
+      span.attr("iterations", static_cast<double>(km.iterations));
+    }
+    return km;
+  };
+
   SummarizeOutput out;
   if (use_split) {
-    // Step 2 (§4.3, split): cluster rows of U_r; ship factors separately.
-    const KMeansResult km = kmeans(svd.u, cfg_.centroids, rng_, km_opts);
+    // Split: cluster rows of U_r; ship factors separately.
+    const KMeansResult km = run_kmeans(svd.u);
+    if (tel_ != nullptr) split_format_->add(1);
     SplitSummary s;
     s.monitor = monitor_;
     s.u_centroids = km.centroids;
@@ -65,9 +126,10 @@ SummarizeOutput Summarizer::summarize(
     out.summary = std::move(s);
     out.assignment = km.assignment;
   } else {
-    // Step 2 (§4.3, combined): cluster rows of the rank-reduced X_p.
+    // Combined: cluster rows of the rank-reduced X_p.
     const linalg::Matrix x_p = svd.reconstruct();
-    const KMeansResult km = kmeans(x_p, cfg_.centroids, rng_, km_opts);
+    const KMeansResult km = run_kmeans(x_p);
+    if (tel_ != nullptr) combined_format_->add(1);
     CombinedSummary s;
     s.monitor = monitor_;
     s.centroids = km.centroids;

@@ -14,6 +14,7 @@
 #include "summarize/kmeans.hpp"
 #include "summarize/normalize.hpp"
 #include "summarize/summary.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace jaal::summarize {
 
@@ -52,9 +53,13 @@ class Summarizer {
   explicit Summarizer(const SummarizerConfig& cfg, MonitorId monitor = 0);
 
   /// Summarizes one batch.  Throws std::invalid_argument if fewer than
-  /// min_batch packets are supplied (callers gate on ready()).
+  /// min_batch packets are supplied (callers gate on ready()).  `parent` is
+  /// the enclosing trace span (the monitor's per-epoch summarize span);
+  /// svd/kmeans child spans and stage histograms are recorded when
+  /// telemetry is attached.
   [[nodiscard]] SummarizeOutput summarize(
-      std::span<const packet::PacketRecord> batch);
+      std::span<const packet::PacketRecord> batch,
+      const telemetry::SpanContext& parent = {});
 
   [[nodiscard]] const SummarizerConfig& config() const noexcept { return cfg_; }
 
@@ -66,6 +71,11 @@ class Summarizer {
     pool_ = std::move(pool);
   }
 
+  /// Attaches telemetry: SVD/k-means wall-clock histograms, iteration and
+  /// sweep counts, and per-stage trace spans.  Null detaches (the default;
+  /// costs one pointer check per batch).
+  void set_telemetry(telemetry::Telemetry* tel);
+
   /// Elements S1 would need for this config: k(p+1).
   [[nodiscard]] std::size_t combined_cost() const noexcept;
   /// Elements S2 would need for this config: r(k+p+1)+k.
@@ -76,6 +86,14 @@ class Summarizer {
   MonitorId monitor_;
   std::mt19937_64 rng_;
   std::shared_ptr<runtime::ThreadPool> pool_;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Histogram* svd_ms_ = nullptr;
+  telemetry::Histogram* svd_sweeps_ = nullptr;
+  telemetry::Histogram* kmeans_ms_ = nullptr;
+  telemetry::Histogram* kmeans_iterations_ = nullptr;
+  telemetry::Counter* batches_ = nullptr;
+  telemetry::Counter* split_format_ = nullptr;
+  telemetry::Counter* combined_format_ = nullptr;
 };
 
 }  // namespace jaal::summarize

@@ -1,0 +1,210 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace jaal::telemetry {
+namespace {
+
+/// Splits 'base{k="v"}' into base and inner label text ('k="v"', possibly
+/// empty).
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  std::string labels = name.substr(brace + 1);
+  if (!labels.empty() && labels.back() == '}') labels.pop_back();
+  return {name.substr(0, brace), std::move(labels)};
+}
+
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Bucket bound label: exact decimal of the power-of-two bound, "+Inf" last.
+std::string le_label(double ub) {
+  if (std::isinf(ub)) return "+Inf";
+  return fmt_double(ub);
+}
+
+void append_labels(std::string& out, const std::string& labels,
+                   const std::string& extra) {
+  if (labels.empty() && extra.empty()) return;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::vector<MetricsSnapshot::Entry> sorted_entries(
+    const MetricsSnapshot& snapshot) {
+  std::vector<MetricsSnapshot::Entry> entries = snapshot.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) { return a.name < b.name; });
+  return entries;
+}
+
+}  // namespace
+
+bool is_wall_clock_metric(const std::string& name) noexcept {
+  return name.find("_ms") != std::string::npos ||
+         name.rfind("jaal_runtime_", 0) == 0;
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  const auto entries = sorted_entries(snapshot);
+  std::string out;
+  std::string last_base;
+  char buf[64];
+  for (const auto& e : entries) {
+    auto [base, labels] = split_labels(e.name);
+    const char* type = e.kind == MetricKind::kCounter    ? "counter"
+                       : e.kind == MetricKind::kGauge    ? "gauge"
+                                                         : "histogram";
+    if (base != last_base) {
+      out += "# TYPE " + base + " " + type + "\n";
+      last_base = base;
+    }
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        out += base;
+        append_labels(out, labels, "");
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", e.counter);
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        out += base;
+        append_labels(out, labels, "");
+        std::snprintf(buf, sizeof(buf), " %" PRId64 "\n", e.gauge);
+        out += buf;
+        break;
+      case MetricKind::kHistogram: {
+        std::uint64_t cumulative = 0;
+        for (std::size_t b = 0; b < e.histogram.buckets.size(); ++b) {
+          cumulative += e.histogram.buckets[b];
+          out += base + "_bucket";
+          append_labels(out, labels,
+                        "le=\"" + le_label(Histogram::upper_bound(b)) + "\"");
+          std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", cumulative);
+          out += buf;
+        }
+        out += base + "_sum";
+        append_labels(out, labels, "");
+        out += " " + fmt_double(e.histogram.sum) + "\n";
+        out += base + "_count";
+        append_labels(out, labels, "");
+        std::snprintf(buf, sizeof(buf), " %" PRIu64 "\n", e.histogram.count);
+        out += buf;
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string to_jsonl(const MetricsSnapshot& metrics,
+                     const std::vector<SpanRecord>& spans,
+                     const JsonlOptions& options) {
+  std::string out;
+  char buf[96];
+  for (const auto& e : sorted_entries(metrics)) {
+    if (!options.include_timings && is_wall_clock_metric(e.name)) continue;
+    switch (e.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof(buf), "\",\"value\":%" PRIu64 "}\n",
+                      e.counter);
+        out += "{\"kind\":\"counter\",\"name\":\"" + json_escape(e.name) + buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof(buf), "\",\"value\":%" PRId64 "}\n",
+                      e.gauge);
+        out += "{\"kind\":\"gauge\",\"name\":\"" + json_escape(e.name) + buf;
+        break;
+      case MetricKind::kHistogram: {
+        out += "{\"kind\":\"histogram\",\"name\":\"" + json_escape(e.name) +
+               "\",";
+        std::snprintf(buf, sizeof(buf), "\"count\":%" PRIu64 ",",
+                      e.histogram.count);
+        out += buf;
+        out += "\"sum\":" + fmt_double(e.histogram.sum) +
+               ",\"max\":" + fmt_double(e.histogram.max) + ",\"buckets\":[";
+        bool first = true;
+        for (std::size_t b = 0; b < e.histogram.buckets.size(); ++b) {
+          if (e.histogram.buckets[b] == 0) continue;
+          if (!first) out += ',';
+          first = false;
+          out += "{\"le\":\"" + le_label(Histogram::upper_bound(b)) + "\",";
+          std::snprintf(buf, sizeof(buf), "\"count\":%" PRIu64 "}",
+                        e.histogram.buckets[b]);
+          out += buf;
+        }
+        out += "]}\n";
+        break;
+      }
+    }
+  }
+
+  std::vector<SpanRecord> ordered = spans;
+  std::sort(ordered.begin(), ordered.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              if (a.trace_id != b.trace_id) return a.trace_id < b.trace_id;
+              if (a.name != b.name) return a.name < b.name;
+              if (a.key != b.key) return a.key < b.key;
+              return a.span_id < b.span_id;
+            });
+  for (const SpanRecord& s : ordered) {
+    std::snprintf(buf, sizeof(buf),
+                  "{\"kind\":\"span\",\"trace\":%" PRIu64
+                  ",\"span\":\"%016" PRIx64 "\",\"parent\":\"%016" PRIx64
+                  "\",",
+                  s.trace_id, s.span_id, s.parent_id);
+    out += buf;
+    out += "\"name\":\"" + json_escape(s.name) + "\",";
+    std::snprintf(buf, sizeof(buf), "\"key\":%" PRIu64 ",", s.key);
+    out += buf;
+    out += "\"sim_time\":" + fmt_double(s.sim_time);
+    if (options.include_timings) {
+      out += ",\"duration_ms\":" + fmt_double(s.duration_ms);
+    }
+    if (!s.attrs.empty()) {
+      out += ",\"attrs\":{";
+      for (std::size_t i = 0; i < s.attrs.size(); ++i) {
+        if (i != 0) out += ',';
+        out += "\"" + json_escape(s.attrs[i].first) +
+               "\":" + fmt_double(s.attrs[i].second);
+      }
+      out += '}';
+    }
+    out += "}\n";
+  }
+  return out;
+}
+
+}  // namespace jaal::telemetry

@@ -1,0 +1,150 @@
+#include "telemetry/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace jaal::telemetry {
+
+std::size_t stripe_index() noexcept {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t mine =
+      next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+  return mine;
+}
+
+std::uint64_t Counter::value() const noexcept {
+  std::uint64_t total = 0;
+  for (const Cell& c : cells_) total += c.v.load(std::memory_order_relaxed);
+  return total;
+}
+
+double Histogram::upper_bound(std::size_t i) noexcept {
+  if (i + 1 >= kBucketCount) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) + kMinExponent);
+}
+
+std::size_t Histogram::bucket_index(double v) noexcept {
+  if (!(v > 0.0)) return 0;  // non-positive and NaN land in the first bucket
+  // Smallest i with 2^(i + kMinExponent) >= v.  frexp gives v = m * 2^e with
+  // m in [0.5, 1): the bound 2^(e-1) equals v exactly when m == 0.5, so the
+  // value belongs in that bucket (upper bounds are inclusive).
+  int e = 0;
+  const double m = std::frexp(v, &e);
+  int i = (m == 0.5 ? e - 1 : e) - kMinExponent;
+  if (i < 0) i = 0;
+  if (i >= static_cast<int>(kBucketCount)) i = kBucketCount - 1;
+  return static_cast<std::size_t>(i);
+}
+
+void Histogram::observe(double v) noexcept {
+#ifndef JAAL_TELEMETRY_DISABLED
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  Shard& s = shards_[stripe_index()];
+  s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  s.count.fetch_add(1, std::memory_order_relaxed);
+  double sum = s.sum.load(std::memory_order_relaxed);
+  while (!s.sum.compare_exchange_weak(sum, sum + v,
+                                      std::memory_order_relaxed)) {
+  }
+  double seen = s.max.load(std::memory_order_relaxed);
+  while (v > seen &&
+         !s.max.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+  }
+#else
+  (void)v;
+#endif
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  HistogramSnapshot snap;
+  snap.buckets.assign(kBucketCount, 0);
+  for (const Shard& s : shards_) {
+    snap.count += s.count.load(std::memory_order_relaxed);
+    snap.sum += s.sum.load(std::memory_order_relaxed);
+    snap.max = std::max(snap.max, s.max.load(std::memory_order_relaxed));
+    for (std::size_t b = 0; b < kBucketCount; ++b) {
+      snap.buckets[b] += s.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return snap;
+}
+
+MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,
+                                                        MetricKind kind) {
+  std::lock_guard lock(mu_);
+  for (const auto& e : entries_) {
+    if (e->name == name) {
+      if (e->kind != kind) {
+        throw std::invalid_argument(
+            "MetricsRegistry: metric '" + std::string(name) +
+            "' already registered with a different kind");
+      }
+      return *e;
+    }
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = std::string(name);
+  entry->kind = kind;
+  switch (kind) {
+    case MetricKind::kCounter:
+      entry->counter.reset(new Counter(&enabled_));
+      break;
+    case MetricKind::kGauge:
+      entry->gauge.reset(new Gauge(&enabled_));
+      break;
+    case MetricKind::kHistogram:
+      entry->histogram.reset(new Histogram(&enabled_));
+      break;
+  }
+  entries_.push_back(std::move(entry));
+  return *entries_.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  return *find_or_create(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  return *find_or_create(name, MetricKind::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  return *find_or_create(name, MetricKind::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard lock(mu_);
+  snap.entries.reserve(entries_.size());
+  for (const auto& e : entries_) {
+    MetricsSnapshot::Entry out;
+    out.name = e->name;
+    out.kind = e->kind;
+    switch (e->kind) {
+      case MetricKind::kCounter:
+        out.counter = e->counter->value();
+        break;
+      case MetricKind::kGauge:
+        out.gauge = e->gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        out.histogram = e->histogram->snapshot();
+        break;
+    }
+    snap.entries.push_back(std::move(out));
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return entries_.size();
+}
+
+MetricsRegistry& global_registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+}  // namespace jaal::telemetry

@@ -1,0 +1,218 @@
+// Process-wide metrics registry (counters, gauges, histograms).
+//
+// Hot-path writes are lock-free: every metric is striped into kStripes
+// cache-line-padded shards, each thread hashes to one shard (thread-local
+// stripe index assigned round-robin), and snapshot() merges the shards.
+// Registration (name -> metric) takes a mutex but happens once per metric at
+// wiring time; instrumented components cache the returned handle and never
+// touch the map again.
+//
+// Naming scheme (see DESIGN.md "Telemetry"): jaal_<subsystem>_<what>[_total
+// for counters | _ms for wall-clock histograms].  Prometheus-style labels
+// may be embedded literally in the name ('jaal_netsim_link_drops_total
+// {link="3-7"}'); the exporters split them back out.
+//
+// Disabled modes: compiling with -DJAAL_TELEMETRY_DISABLED turns every
+// write into a no-op; at runtime, MetricsRegistry::set_enabled(false) does
+// the same via one relaxed atomic load per write.  Components additionally
+// treat a null Telemetry pointer as "not attached" and skip instrumentation
+// entirely, which is the default (and cheapest) state.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jaal::telemetry {
+
+/// Shard count; a power of two so the stripe index is a cheap mask.
+inline constexpr std::size_t kStripes = 16;
+
+/// This thread's shard index in [0, kStripes) — assigned round-robin on
+/// first use so concurrent writers spread over different cache lines.
+[[nodiscard]] std::size_t stripe_index() noexcept;
+
+class MetricsRegistry;
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+#ifndef JAAL_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    cells_[stripe_index()].v.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  /// Sum over all shards.
+  [[nodiscard]] std::uint64_t value() const noexcept;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::array<Cell, kStripes> cells_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Point-in-time value; set() is last-writer-wins, update_max() keeps the
+/// high-water mark.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+#ifndef JAAL_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(v, std::memory_order_relaxed);
+#else
+    (void)v;
+#endif
+  }
+
+  void add(std::int64_t n) noexcept {
+#ifndef JAAL_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(n, std::memory_order_relaxed);
+#else
+    (void)n;
+#endif
+  }
+
+  void update_max(std::int64_t v) noexcept {
+#ifndef JAAL_TELEMETRY_DISABLED
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    std::int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+#else
+    (void)v;
+#endif
+  }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  std::atomic<std::int64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double max = 0.0;  ///< 0 when count == 0.
+  /// Cumulative-free per-bucket counts; bucket i covers
+  /// (upper_bound(i-1), upper_bound(i)], bucket kBucketCount-1 is +Inf.
+  std::vector<std::uint64_t> buckets;
+};
+
+/// Fixed log-scale (base-2) bucket histogram.  Bucket upper bounds are
+/// 2^(i + kMinExponent) for i in [0, kBucketCount - 1); the last bucket is
+/// +Inf.  With kMinExponent = -10 the finite bounds span ~0.001 .. ~1.7e7,
+/// which covers microsecond-to-minute latencies in ms as well as iteration
+/// and byte-per-batch counts.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 36;
+  static constexpr int kMinExponent = -10;
+
+  /// Upper bound of bucket i (+Inf for the last bucket).
+  [[nodiscard]] static double upper_bound(std::size_t i) noexcept;
+
+  /// Index of the bucket a value lands in: the first bucket whose upper
+  /// bound is >= v (values <= the smallest bound land in bucket 0).
+  [[nodiscard]] static std::size_t bucket_index(double v) noexcept;
+
+  void observe(double v) noexcept;
+
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBucketCount> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+    std::atomic<double> max{0.0};
+  };
+  std::array<Shard, kStripes> shards_;
+  const std::atomic<bool>* enabled_;
+};
+
+enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram };
+
+/// Point-in-time copy of every registered metric, in registration order.
+struct MetricsSnapshot {
+  struct Entry {
+    std::string name;
+    MetricKind kind = MetricKind::kCounter;
+    std::uint64_t counter = 0;
+    std::int64_t gauge = 0;
+    HistogramSnapshot histogram;
+  };
+  std::vector<Entry> entries;
+};
+
+/// Named metric registry.  Handles returned by counter()/gauge()/histogram()
+/// are stable for the registry's lifetime; re-requesting a name returns the
+/// same handle, requesting it as a different kind throws.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Runtime kill switch: while disabled, every write on every handle is a
+  /// no-op (one relaxed load).  Reads still work.
+  void set_enabled(bool on) noexcept {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  struct Entry {
+    std::string name;
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find_or_create(std::string_view name, MetricKind kind);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  ///< Registration order.
+  std::atomic<bool> enabled_{true};
+};
+
+/// The process-wide registry (for code without an explicit Telemetry
+/// wiring).  Created on first use; enabled like any other registry.
+[[nodiscard]] MetricsRegistry& global_registry();
+
+}  // namespace jaal::telemetry

@@ -1,0 +1,81 @@
+#include "telemetry/span.hpp"
+
+namespace jaal::telemetry {
+
+std::uint64_t derive_span_id(std::uint64_t parent_span_id,
+                             std::string_view name,
+                             std::uint64_t key) noexcept {
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(parent_span_id);
+  for (char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  mix(key);
+  // Reserve 0 for "no parent".
+  return h == 0 ? 1 : h;
+}
+
+Span::Span(Tracer* tracer, std::string name, const SpanContext& parent,
+           std::uint64_t key)
+    : tracer_(tracer), start_(std::chrono::steady_clock::now()) {
+  rec_.trace_id = parent.span_id == 0 ? key : parent.trace_id;
+  rec_.parent_id = parent.span_id;
+  rec_.span_id = derive_span_id(parent.span_id, name, key);
+  rec_.name = std::move(name);
+  rec_.key = key;
+  rec_.sim_time = parent.sim_time;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    finish();
+    tracer_ = other.tracer_;
+    rec_ = std::move(other.rec_);
+    start_ = other.start_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+void Span::attr(std::string name, double value) {
+  if (tracer_ == nullptr) return;
+  rec_.attrs.emplace_back(std::move(name), value);
+}
+
+void Span::finish() {
+  if (tracer_ == nullptr) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  rec_.duration_ms =
+      std::chrono::duration<double, std::milli>(elapsed).count();
+  tracer_->record(std::move(rec_));
+  tracer_ = nullptr;
+}
+
+void Tracer::record(SpanRecord&& rec) {
+  std::lock_guard lock(mu_);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::records() const {
+  std::lock_guard lock(mu_);
+  return records_;
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard lock(mu_);
+  return records_.size();
+}
+
+void Tracer::clear() {
+  std::lock_guard lock(mu_);
+  records_.clear();
+}
+
+}  // namespace jaal::telemetry

@@ -1,0 +1,10 @@
+#include "telemetry/telemetry.hpp"
+
+namespace jaal::telemetry {
+
+Telemetry& global() {
+  static Telemetry instance;
+  return instance;
+}
+
+}  // namespace jaal::telemetry

@@ -1,0 +1,29 @@
+// The telemetry bundle a deployment threads through its components.
+//
+// One Telemetry instance per deployment (or the process-wide global()):
+// components receive a `Telemetry*` via set_telemetry()/config and treat
+// null as "telemetry off" — the default, whose only cost is a pointer
+// check at wiring points (never per packet: hot-path counters are cached
+// Counter handles, incremented per batch/epoch or guarded by the same null
+// check).
+#pragma once
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/span.hpp"
+
+namespace jaal::telemetry {
+
+struct Telemetry {
+  MetricsRegistry metrics;
+  Tracer tracer;
+
+  /// Runtime kill switch for metric writes (spans are skipped by callers
+  /// when telemetry is detached; metric handles honor this flag).
+  void set_enabled(bool on) noexcept { metrics.set_enabled(on); }
+};
+
+/// Process-wide instance for callers without explicit wiring.
+[[nodiscard]] Telemetry& global();
+
+}  // namespace jaal::telemetry

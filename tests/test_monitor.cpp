@@ -105,5 +105,45 @@ TEST(Monitor, CommAccounting) {
   EXPECT_LT(m.comm().summary_bytes, m.comm().raw_header_bytes / 2);
 }
 
+TEST(Monitor, MalformedPacketsAreDroppedAndCounted) {
+  Monitor m(0, config(100, 50));
+  const auto good = traffic(4, 3);
+
+  packet::PacketRecord bad_version = good[0];
+  bad_version.ip.version = 6;
+  packet::PacketRecord bad_ihl = good[1];
+  bad_ihl.ip.ihl = 4;
+  packet::PacketRecord bad_offset = good[2];
+  bad_offset.tcp.data_offset = 3;
+  packet::PacketRecord short_total = good[3];
+  short_total.ip.total_length = 10;  // < the headers it claims to carry
+
+  for (const auto& pkt : good) m.observe(pkt);
+  m.observe(bad_version);
+  m.observe(bad_ihl);
+  m.observe(bad_offset);
+  m.observe(short_total);
+
+  EXPECT_EQ(m.buffered(), 4u);  // only the well-formed packets
+  EXPECT_EQ(m.packets_observed(), 4u);
+  EXPECT_EQ(m.packets_malformed(), 4u);
+  EXPECT_EQ(m.packets_oversized(), 0u);
+}
+
+TEST(Monitor, OversizedPacketsAreDroppedAndCounted) {
+  Monitor m(0, config(100, 50));
+  const auto good = traffic(2, 4);
+  packet::PacketRecord jumbo = good[0];
+  jumbo.ip.total_length = 9001;  // beyond any jumbo frame we forward
+
+  m.observe(good[0]);
+  m.observe(jumbo);
+  m.observe(good[1]);
+
+  EXPECT_EQ(m.buffered(), 2u);
+  EXPECT_EQ(m.packets_oversized(), 1u);
+  EXPECT_EQ(m.packets_malformed(), 0u);
+}
+
 }  // namespace
 }  // namespace jaal::core

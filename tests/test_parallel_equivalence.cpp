@@ -148,10 +148,13 @@ TEST(ParallelEquivalence, ControllerReportsRuntimeStatsOnlyWhenPooled) {
   const auto stats = pooled.runtime_stats();
   ASSERT_TRUE(stats.has_value());
   EXPECT_EQ(stats->threads, 3u);
+#ifndef JAAL_TELEMETRY_DISABLED
+  // Counts only accumulate when the telemetry backing store is compiled in.
   EXPECT_GE(stats->tasks_submitted, cfg.monitor_count);
   // The flush stage was timed and renders through core/metrics.
   ASSERT_FALSE(stats->stages.empty());
   EXPECT_FALSE(describe(*stats).empty());
+#endif
 }
 
 }  // namespace
