@@ -17,16 +17,7 @@
 #include <fstream>
 #include <unordered_map>
 
-#include "assign/flow_groups.hpp"
-#include "attack/mirai.hpp"
-#include "core/alert_log.hpp"
-#include "core/assignment_service.hpp"
-#include "core/experiment.hpp"
-#include "core/monitor.hpp"
-#include "inference/correlator.hpp"
-#include "netsim/event.hpp"
-#include "netsim/latency.hpp"
-#include "trace/mix.hpp"
+#include "jaal.hpp"
 
 int main() {
   using namespace jaal;

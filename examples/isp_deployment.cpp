@@ -5,9 +5,7 @@
 //   $ ./isp_deployment
 #include <cstdio>
 
-#include "assign/assigner.hpp"
-#include "netsim/replication.hpp"
-#include "netsim/topology.hpp"
+#include "jaal.hpp"
 
 int main() {
   using namespace jaal;

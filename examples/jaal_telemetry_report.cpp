@@ -19,13 +19,7 @@
 #include <string>
 #include <vector>
 
-#include "attack/generators.hpp"
-#include "core/controller.hpp"
-#include "core/experiment.hpp"
-#include "netsim/link.hpp"
-#include "telemetry/export.hpp"
-#include "telemetry/telemetry.hpp"
-#include "trace/mix.hpp"
+#include "jaal.hpp"
 
 namespace {
 

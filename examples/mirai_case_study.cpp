@@ -5,10 +5,7 @@
 //   $ ./mirai_case_study
 #include <cstdio>
 
-#include "attack/mirai.hpp"
-#include "core/controller.hpp"
-#include "core/experiment.hpp"
-#include "trace/mix.hpp"
+#include "jaal.hpp"
 
 int main() {
   using namespace jaal;

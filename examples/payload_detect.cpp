@@ -6,7 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "payload/term_matrix.hpp"
+#include "jaal.hpp"
 
 int main(int argc, char** argv) {
   using namespace jaal::payload;

@@ -9,11 +9,7 @@
 #include <cstdio>
 #include <fstream>
 
-#include "attack/generators.hpp"
-#include "core/alert_log.hpp"
-#include "core/controller.hpp"
-#include "core/experiment.hpp"
-#include "trace/mix.hpp"
+#include "jaal.hpp"
 
 int main() {
   using namespace jaal;

@@ -7,11 +7,7 @@
 #include <cstdio>
 #include <string>
 
-#include "attack/generators.hpp"
-#include "core/experiment.hpp"
-#include "inference/engine.hpp"
-#include "trace/mix.hpp"
-#include "trace/pcap.hpp"
+#include "jaal.hpp"
 
 namespace {
 

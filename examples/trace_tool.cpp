@@ -11,10 +11,7 @@
 #include <memory>
 #include <string>
 
-#include "attack/mirai.hpp"
-#include "core/experiment.hpp"
-#include "trace/mix.hpp"
-#include "trace/pcap.hpp"
+#include "jaal.hpp"
 
 namespace {
 

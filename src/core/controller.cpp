@@ -12,9 +12,15 @@ namespace jaal::core {
 
 JaalController::JaalController(const JaalConfig& cfg,
                                std::vector<rules::Rule> rules)
-    : cfg_(cfg), engine_(std::move(rules), cfg.engine) {
+    : cfg_(cfg),
+      transport_(cfg.faults, cfg.monitor_count),
+      engine_(std::move(rules), cfg.engine) {
   if (cfg_.monitor_count == 0) {
     throw std::invalid_argument("JaalController: need at least one monitor");
+  }
+  if (cfg_.summary_deadline_s < 0.0) {
+    throw std::invalid_argument(
+        "JaalController: summary_deadline_s must be >= 0");
   }
   const std::size_t threads =
       cfg_.threads == 0 ? runtime::threads_from_env(1) : cfg_.threads;
@@ -24,6 +30,12 @@ JaalController::JaalController(const JaalConfig& cfg,
   }
   if (cfg_.telemetry != nullptr) {
     engine_.set_telemetry(cfg_.telemetry);
+    transport_.set_telemetry(cfg_.telemetry);
+    auto& m = cfg_.telemetry->metrics;
+    tel_degraded_epochs_ = &m.counter("jaal_faults_degraded_epochs_total");
+    tel_rolled_forward_ =
+        &m.counter("jaal_faults_summaries_rolled_forward_total");
+    tel_packets_lost_ = &m.counter("jaal_faults_packets_lost_total");
     // One stats system: the pool's runtime counters land in the same
     // registry (and the same exports) as every other jaal metric.
     if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
@@ -49,25 +61,34 @@ std::optional<runtime::RuntimeStatsSnapshot> JaalController::runtime_stats()
 void JaalController::ingest(const packet::PacketRecord& pkt) {
   const std::size_t m =
       packet::FlowKeyHash{}(pkt.flow()) % monitors_.size();
+  if (!transport_.monitor_up(m, epoch_index_)) {
+    // The vantage point is dark: packets routed to a crashed monitor are
+    // lost, not rerouted (a second monitor never sees these flows, §6).
+    ++epoch_lost_packets_;
+    if (tel_packets_lost_ != nullptr) tel_packets_lost_->add(1);
+    return;
+  }
   monitors_[m].observe(pkt);
   ++epoch_packets_;
 }
 
 EpochResult JaalController::close_epoch(double now) {
-  inference::Aggregator aggregator;
   EpochResult result;
   result.end_time = now;
   result.packets = epoch_packets_;
+  result.packets_lost = epoch_lost_packets_;
   epoch_packets_ = 0;
+  epoch_lost_packets_ = 0;
+  const std::uint64_t epoch = epoch_index_;
+  ++epoch_index_;
 
   // One trace per epoch: the root span's trace id is the epoch index, and
   // the simulated end time rides along so traces line up across runs even
   // though wall-clock durations differ.
   telemetry::Telemetry* tel = cfg_.telemetry;
   telemetry::Span epoch_span =
-      tel != nullptr ? tel->tracer.span("epoch", {}, epoch_index_)
+      tel != nullptr ? tel->tracer.span("epoch", {}, epoch)
                      : telemetry::Span{};
-  ++epoch_index_;
   epoch_span.set_sim_time(now);
   epoch_span.attr("packets", static_cast<double>(result.packets));
   const telemetry::SpanContext epoch_ctx = epoch_span.context();
@@ -78,20 +99,36 @@ EpochResult JaalController::close_epoch(double now) {
     observe.attr("packets", static_cast<double>(result.packets));
   }
 
+  // Crash windows: a monitor that is down this epoch loses its buffered
+  // packets (a process restart) and ships nothing.
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    if (!transport_.monitor_up(i, epoch)) {
+      monitors_[i].discard_epoch();
+      ++result.monitors_crashed;
+    }
+  }
+  transport_.note_crashed(result.monitors_crashed);
+
+  const double deadline =
+      now + (cfg_.summary_deadline_s > 0.0 ? cfg_.summary_deadline_s
+                                           : cfg_.epoch_seconds);
+  transport_.begin_epoch(epoch, now, deadline);
+
   telemetry::Span summarize_span =
       tel != nullptr ? tel->tracer.span("summarize", epoch_ctx)
                      : telemetry::Span{};
   const telemetry::SpanContext summarize_ctx = summarize_span.context();
-  std::uint64_t ship_bytes = 0;
 
+  // Summarize phase: flush every live monitor into a slot table, in
+  // parallel when a pool is attached (summarization of N monitors is
+  // embarrassingly parallel — each Monitor owns its buffer and its seeded
+  // RNG), results streaming through a bounded channel whose capacity
+  // throttles producers to what the reduction side consumes.  The slot
+  // table is reduced in monitor order below, so everything downstream is
+  // bit-identical to the serial loop.
+  std::vector<std::optional<summarize::MonitorSummary>> slots(
+      monitors_.size());
   if (pool_) {
-    // Concurrent monitor→engine pipeline: one flush task per monitor
-    // (summarization of N monitors is embarrassingly parallel — each
-    // Monitor owns its buffer and its seeded RNG), results streaming
-    // through a bounded channel whose capacity throttles producers to what
-    // the aggregation side is consuming.  Summaries land in a slot table
-    // and are reduced in monitor order, so the aggregate — and everything
-    // downstream — is bit-identical to the serial loop.
     runtime::StageTimer timer(&pool_->stats(), "flush_epoch");
     using Flushed =
         std::pair<std::size_t, std::optional<summarize::MonitorSummary>>;
@@ -99,7 +136,10 @@ EpochResult JaalController::close_epoch(double now) {
         std::max<std::size_t>(std::size_t{2}, pool_->threads()));
     std::mutex error_mu;
     std::exception_ptr error;
+    std::size_t submitted = 0;
     for (std::size_t i = 0; i < monitors_.size(); ++i) {
+      if (!transport_.monitor_up(i, epoch)) continue;
+      ++submitted;
       (void)pool_->submit([this, i, summarize_ctx, &channel, &error_mu,
                            &error] {
         std::optional<summarize::MonitorSummary> summary;
@@ -112,41 +152,92 @@ EpochResult JaalController::close_epoch(double now) {
         channel.push({i, std::move(summary)});
       });
     }
-    std::vector<std::optional<summarize::MonitorSummary>> slots(
-        monitors_.size());
-    for (std::size_t received = 0; received < monitors_.size(); ++received) {
+    for (std::size_t received = 0; received < submitted; ++received) {
       auto item = channel.pop();
       slots[item->first] = std::move(item->second);
     }
     channel.close();
     if (error) std::rethrow_exception(error);
-    for (auto& summary : slots) {
-      if (summary) {
-        ship_bytes += summarize::wire_bytes(*summary);
-        aggregator.add(*summary);
-        ++result.monitors_reporting;
-      }
-    }
   } else {
-    for (Monitor& m : monitors_) {
-      if (auto summary = m.flush_epoch(summarize_ctx)) {
-        ship_bytes += summarize::wire_bytes(*summary);
-        aggregator.add(*summary);
-        ++result.monitors_reporting;
-      }
+    for (std::size_t i = 0; i < monitors_.size(); ++i) {
+      if (!transport_.monitor_up(i, epoch)) continue;
+      slots[i] = monitors_[i].flush_epoch(summarize_ctx);
     }
   }
+
+  // Ship + aggregate phase, serial in monitor order: the transport decides
+  // each summary's fate (its draws depend only on seed/epoch/monitor, so
+  // the outcome is identical across runs and thread counts).  Late
+  // summaries rolled forward from earlier epochs aggregate first.
+  inference::Aggregator aggregator;
+  for (summarize::MonitorSummary& s : carry_) {
+    aggregator.add(s);
+    ++result.summaries_rolled_in;
+  }
+  carry_.clear();
+  if (result.summaries_rolled_in > 0 && tel_rolled_forward_ != nullptr) {
+    tel_rolled_forward_->add(result.summaries_rolled_in);
+  }
+
+  std::uint64_t ship_bytes = 0;
+  std::size_t produced = 0;
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i]) continue;
+    ++produced;
+    const std::size_t bytes = summarize::wire_bytes(*slots[i]);
+    const faults::ShipOutcome outcome = transport_.ship(i, bytes);
+    switch (outcome.status) {
+      case faults::ShipStatus::kDelivered:
+        ship_bytes += bytes;
+        aggregator.add(*slots[i]);
+        ++result.monitors_reporting;
+        break;
+      case faults::ShipStatus::kDropped:
+        ++result.summaries_dropped;
+        break;
+      case faults::ShipStatus::kLate:
+        ++result.summaries_late;
+        if (cfg_.late_policy == faults::LatePolicy::kRollForward) {
+          ship_bytes += bytes;  // it did cross the link, just slowly
+          carry_.push_back(std::move(*slots[i]));
+        }
+        break;
+    }
+  }
+
+  // Degraded-mode accounting: what fraction of the summaries this epoch
+  // *should* have aggregated actually made it in time.  Crashed monitors
+  // count against the epoch (they would plausibly have reported).
+  const std::size_t expected = produced + result.monitors_crashed;
+  result.report_fraction =
+      expected == 0
+          ? 1.0
+          : static_cast<double>(result.monitors_reporting) /
+                static_cast<double>(expected);
+  if (result.degraded() && tel_degraded_epochs_ != nullptr) {
+    tel_degraded_epochs_->add(1);
+  }
+
   summarize_span.attr("monitors_reporting",
                       static_cast<double>(result.monitors_reporting));
   summarize_span.finish();
   if (tel != nullptr) {
     // The ship leg: summary bytes crossing the monitor->controller links.
+    // Since the fault transport it can fail — dropped/late arrivals are
+    // recorded on the span next to what got through.
     telemetry::Span ship = tel->tracer.span("ship", epoch_ctx);
     ship.attr("summary_bytes", static_cast<double>(ship_bytes));
     ship.attr("monitors_reporting",
               static_cast<double>(result.monitors_reporting));
+    if (result.summaries_dropped > 0 || result.summaries_late > 0 ||
+        result.monitors_crashed > 0) {
+      ship.attr("dropped", static_cast<double>(result.summaries_dropped));
+      ship.attr("late", static_cast<double>(result.summaries_late));
+      ship.attr("crashed", static_cast<double>(result.monitors_crashed));
+      ship.attr("report_fraction", result.report_fraction);
+    }
   }
-  if (result.monitors_reporting == 0) return result;
+  if (aggregator.summaries_added() == 0) return result;
 
   telemetry::Span aggregate_span =
       tel != nullptr ? tel->tracer.span("aggregate", epoch_ctx)
@@ -157,14 +248,20 @@ EpochResult JaalController::close_epoch(double now) {
 
   const inference::RawPacketFetcher fetch =
       [this](summarize::MonitorId id,
-             const std::vector<std::size_t>& centroids) {
-        return monitors_.at(id).raw_packets_for(centroids);
-      };
+             const std::vector<std::size_t>& centroids)
+      -> std::optional<std::vector<packet::PacketRecord>> {
+    faults::FetchResult fetched = transport_.fetch(
+        id, [&](std::size_t) { return monitors_.at(id).raw_packets_for(centroids); });
+    return std::move(fetched.packets);
+  };
   // Scale rule counts to this epoch's actual packet volume (counts are
   // calibrated for a nominal 2000-packet window), on top of the deployment's
-  // configured headroom factor.
+  // configured headroom factor; partial epochs additionally scale by the
+  // report fraction so a missing monitor raises sensitivity instead of
+  // silently missing.
   engine_.set_tau_c_scale(cfg_.engine.tau_c_scale *
                           static_cast<double>(result.packets) / 2000.0);
+  engine_.set_report_fraction(result.report_fraction);
   {
     telemetry::Span infer_span =
         tel != nullptr ? tel->tracer.span("infer", epoch_ctx)

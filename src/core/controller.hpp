@@ -6,6 +6,14 @@
 // separately in jaal_assign), drives epochs, aggregates summaries, runs the
 // inference engine with the feedback loop wired to the monitors, and
 // accounts every byte moved.
+//
+// Fault tolerance: every monitor->engine summary and every feedback
+// retrieval crosses a faults::SummaryTransport.  close_epoch() aggregates
+// whatever arrived by the epoch deadline into a (possibly partial)
+// AggregatedSummary, scales the engine's match thresholds by the fraction of
+// monitors reporting, and counts everything that went missing.  With the
+// default fault-free scenario the pipeline is bit-identical to a perfect
+// in-process hand-off.
 #pragma once
 
 #include <memory>
@@ -13,6 +21,7 @@
 #include <vector>
 
 #include "core/monitor.hpp"
+#include "faults/transport.hpp"
 #include "inference/engine.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/background.hpp"
@@ -24,12 +33,19 @@ namespace jaal::core {
 /// every other monitor with at least n_min packets reports too).
 enum class EpochTrigger : std::uint8_t { kPeriodic, kBatchTriggered };
 
-struct JaalConfig {
+/// Knobs shared by every way of standing up a deployment.  Both the live
+/// controller (JaalConfig) and the evaluation harness (core::TrialConfig)
+/// extend this one struct, so a deployment knob cannot drift between the
+/// harness and the controller.
+struct DeploymentConfig {
   summarize::SummarizerConfig summarizer;
-  inference::EngineConfig engine;
   std::size_t monitor_count = 4;
-  EpochTrigger trigger = EpochTrigger::kPeriodic;
   double epoch_seconds = 2.0;  ///< The §7 epoch (periodic trigger).
+};
+
+struct JaalConfig : DeploymentConfig {
+  inference::EngineConfig engine;
+  EpochTrigger trigger = EpochTrigger::kPeriodic;
   /// Execution-runtime width.  0 resolves from the JAAL_THREADS environment
   /// variable (default 1); 1 is the serial path (no pool, no extra
   /// threads); >1 creates a shared ThreadPool and runs epoch flushes,
@@ -39,26 +55,56 @@ struct JaalConfig {
   /// Deployment-wide telemetry sink.  When set, every layer is wired in at
   /// construction: monitors (packet/batch counters, SVD/k-means
   /// instrumentation), the inference engine (question/alert/feedback
-  /// counters and spans), the thread pool's RuntimeStats (rebound into this
-  /// registry), and close_epoch() emits one trace per epoch
+  /// counters and spans), the summary transport (jaal_faults_* counters),
+  /// the thread pool's RuntimeStats (rebound into this registry), and
+  /// close_epoch() emits one trace per epoch
   /// (observe -> summarize -> ship -> aggregate -> infer -> postprocess).
   /// Null (the default) keeps the pipeline telemetry-free: the overhead is
   /// one pointer check at the instrumented sites.  Must outlive the
   /// controller.
   telemetry::Telemetry* telemetry = nullptr;
+  /// Seeded failure scenario on the monitor->engine control plane.  The
+  /// default is fault-free: perfect delivery, no retries, the historical
+  /// behavior bit-for-bit.
+  faults::FaultScenario faults;
+  /// Aggregation deadline, in simulated seconds after the epoch close: a
+  /// summary arriving later is *late* (counted; late_policy decides its
+  /// fate).  0 (default) means one full epoch_seconds.
+  double summary_deadline_s = 0.0;
+  /// What happens to a late summary: discarded, or rolled forward into the
+  /// next epoch's aggregate (stale but not lost).
+  faults::LatePolicy late_policy = faults::LatePolicy::kDiscard;
 };
 
-/// Everything observed during one epoch.
+/// Everything observed during one epoch.  The degraded-mode fields are all
+/// zero / 1.0 on a fault-free epoch.
 struct EpochResult {
   double end_time = 0.0;
   std::vector<inference::Alert> alerts;
+  /// Summaries aggregated on time this epoch.
   std::size_t monitors_reporting = 0;
   std::uint64_t packets = 0;
+  std::size_t monitors_crashed = 0;   ///< In a crash window this epoch.
+  std::size_t summaries_dropped = 0;  ///< Lost on the transport.
+  std::size_t summaries_late = 0;     ///< Arrived past the deadline.
+  std::size_t summaries_rolled_in = 0;  ///< Late arrivals carried in from
+                                        ///< earlier epochs (kRollForward).
+  std::uint64_t packets_lost = 0;     ///< Ingress lost to crashed monitors.
+  /// Summaries delivered in time over summaries expected (produced plus
+  /// crashed); the engine scales its count thresholds by it and stamps it
+  /// on every alert as Alert::confidence.
+  double report_fraction = 1.0;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return report_fraction < 1.0;
+  }
 };
 
 class JaalController {
  public:
-  /// Throws std::invalid_argument for zero monitors.
+  /// Throws std::invalid_argument for zero monitors or an invalid fault
+  /// scenario (construction-time misconfiguration only; the per-epoch path
+  /// never throws — see the error policy in jaal.hpp).
   JaalController(const JaalConfig& cfg, std::vector<rules::Rule> rules);
 
   /// Feeds packets from `source` until `duration` simulated seconds elapse,
@@ -67,10 +113,12 @@ class JaalController {
                                              double duration);
 
   /// Routes one packet to its monitor (flow-hash); exposed for tests and
-  /// for callers that drive epochs manually.
+  /// for callers that drive epochs manually.  Packets bound for a monitor
+  /// inside a crash window are lost (counted, never observed).
   void ingest(const packet::PacketRecord& pkt);
 
-  /// Closes the current epoch: flush monitors, aggregate, infer.
+  /// Closes the current epoch: flush monitors, ship summaries through the
+  /// fault transport, aggregate what arrived in time, infer.
   [[nodiscard]] EpochResult close_epoch(double now);
 
   /// Aggregate communication statistics over all monitors plus feedback.
@@ -81,6 +129,10 @@ class JaalController {
   }
   [[nodiscard]] const std::vector<Monitor>& monitors() const noexcept {
     return monitors_;
+  }
+  /// Transport-level fault accounting (drops, lateness, retry totals).
+  [[nodiscard]] const faults::TransportStats& fault_stats() const noexcept {
+    return transport_.stats();
   }
 
   /// Resolved execution-runtime width (1 when running serial).
@@ -97,9 +149,16 @@ class JaalController {
   JaalConfig cfg_;
   std::shared_ptr<runtime::ThreadPool> pool_;  ///< Null when threads == 1.
   std::vector<Monitor> monitors_;
+  faults::SummaryTransport transport_;
   inference::InferenceEngine engine_;
+  /// Late summaries awaiting the next epoch (LatePolicy::kRollForward).
+  std::vector<summarize::MonitorSummary> carry_;
   std::uint64_t epoch_packets_ = 0;
+  std::uint64_t epoch_lost_packets_ = 0;
   std::uint64_t epoch_index_ = 0;  ///< Trace id of the next epoch's trace.
+  telemetry::Counter* tel_degraded_epochs_ = nullptr;
+  telemetry::Counter* tel_rolled_forward_ = nullptr;
+  telemetry::Counter* tel_packets_lost_ = nullptr;
 };
 
 }  // namespace jaal::core

@@ -26,10 +26,13 @@ namespace jaal::core {
 [[nodiscard]] const std::vector<std::uint32_t>& sids_for(
     packet::AttackType type);
 
-struct TrialConfig {
-  summarize::SummarizerConfig summarizer;
-  std::size_t monitor_count = 3;
-  double epoch_seconds = 2.0;
+/// Trial-building knobs.  The deployment-shape knobs (summarizer,
+/// monitor_count, epoch_seconds) live in the shared DeploymentConfig base —
+/// the same struct JaalConfig extends — so the harness and the live
+/// controller can no longer drift apart on them.
+struct TrialConfig : DeploymentConfig {
+  TrialConfig() { monitor_count = 3; }  ///< §8 evaluates 3-monitor trials.
+
   trace::TraceProfile profile;          ///< Background traffic preset.
   double attack_fraction = 0.10;        ///< The paper's 10% injection cap.
   double attack_rate_pps = 5000.0;

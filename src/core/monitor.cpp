@@ -100,6 +100,12 @@ std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
   return std::move(out.summary);
 }
 
+void Monitor::discard_epoch() {
+  lost_to_crash_ += buffer_.size();
+  buffer_.clear();
+  epoch_store_.clear();
+}
+
 std::vector<packet::PacketRecord> Monitor::raw_packets_for(
     const std::vector<std::size_t>& centroid_indices) const {
   std::vector<packet::PacketRecord> out;

@@ -54,6 +54,11 @@ class Monitor {
   [[nodiscard]] std::optional<summarize::MonitorSummary> flush_epoch(
       const telemetry::SpanContext& parent = {});
 
+  /// Crash simulation (fault scenarios): throws away the buffered epoch and
+  /// the previous epoch's feedback store, as a monitor process restart
+  /// would.  The discarded packets are counted in packets_lost_to_crash().
+  void discard_epoch();
+
   /// Raw packets behind the given centroids of the *last flushed* epoch
   /// (the feedback path).  Unknown indices are ignored.
   [[nodiscard]] std::vector<packet::PacketRecord> raw_packets_for(
@@ -78,6 +83,11 @@ class Monitor {
     return oversized_;
   }
 
+  /// Buffered packets thrown away by discard_epoch() (crash scenarios).
+  [[nodiscard]] std::uint64_t packets_lost_to_crash() const noexcept {
+    return lost_to_crash_;
+  }
+
  private:
   summarize::MonitorId id_;
   summarize::Summarizer summarizer_;
@@ -88,6 +98,7 @@ class Monitor {
   std::uint64_t observed_ = 0;
   std::uint64_t malformed_ = 0;
   std::uint64_t oversized_ = 0;
+  std::uint64_t lost_to_crash_ = 0;
   telemetry::Telemetry* tel_ = nullptr;
   telemetry::Counter* tel_observed_ = nullptr;
   telemetry::Counter* tel_malformed_ = nullptr;

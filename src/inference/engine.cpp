@@ -50,7 +50,7 @@ void InferenceEngine::set_telemetry(telemetry::Telemetry* tel) {
   if (tel_ == nullptr) {
     tel_questions_ = tel_questions_matched_ = nullptr;
     tel_alerts_ = tel_alerts_feedback_ = tel_alerts_suppressed_ = nullptr;
-    tel_feedback_requests_ = nullptr;
+    tel_feedback_requests_ = tel_feedback_fallbacks_ = nullptr;
     tel_raw_packets_fetched_ = tel_raw_bytes_fetched_ = nullptr;
     return;
   }
@@ -61,6 +61,8 @@ void InferenceEngine::set_telemetry(telemetry::Telemetry* tel) {
   tel_alerts_feedback_ = &m.counter("jaal_inference_alerts_via_feedback_total");
   tel_alerts_suppressed_ = &m.counter("jaal_inference_alerts_suppressed_total");
   tel_feedback_requests_ = &m.counter("jaal_inference_feedback_requests_total");
+  tel_feedback_fallbacks_ =
+      &m.counter("jaal_inference_feedback_fallbacks_total");
   tel_raw_packets_fetched_ =
       &m.counter("jaal_inference_raw_packets_fetched_total");
   tel_raw_bytes_fetched_ = &m.counter("jaal_inference_raw_bytes_fetched_total");
@@ -71,8 +73,16 @@ ThresholdPair InferenceEngine::thresholds_for(std::uint32_t sid) const {
   return it == config_.per_rule.end() ? config_.default_thresholds : it->second;
 }
 
+void InferenceEngine::set_report_fraction(double fraction) noexcept {
+  report_fraction_ = std::clamp(fraction, 1e-9, 1.0);
+}
+
 std::uint64_t InferenceEngine::scaled_tau_c(const rules::Question& q) const {
-  const double t = static_cast<double>(q.tau_c) * config_.tau_c_scale;
+  // A partial aggregate (report_fraction < 1) carries proportionally less
+  // attack mass; scale the count threshold with it.  At 1.0 this is the
+  // exact full-epoch threshold (multiplying by 1.0 is bit-exact).
+  const double t =
+      static_cast<double>(q.tau_c) * config_.tau_c_scale * report_fraction_;
   return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(t)));
 }
 
@@ -86,24 +96,42 @@ std::vector<Alert> InferenceEngine::infer(
   // Per-pass cache of raw packets fetched by the feedback loop: different
   // questions often flag overlapping centroid sets (e.g. the SYN-family
   // rules), and the monitor only has to ship each centroid's packets once
-  // per epoch.  Bytes are accounted on first fetch only.
-  std::unordered_map<std::uint64_t, std::vector<packet::PacketRecord>>
+  // per epoch.  Bytes are accounted on first fetch only.  Failed retrievals
+  // (nullopt — transport fault, retries exhausted) are cached too, so one
+  // dead monitor costs one retry cycle per centroid, not one per question.
+  std::unordered_map<std::uint64_t,
+                     std::optional<std::vector<packet::PacketRecord>>>
       fetch_cache;
   auto fetch_cached = [&](summarize::MonitorId monitor, std::size_t centroid)
-      -> const std::vector<packet::PacketRecord>& {
+      -> const std::optional<std::vector<packet::PacketRecord>>& {
     const std::uint64_t key = (std::uint64_t{monitor} << 32) | centroid;
     auto it = fetch_cache.find(key);
     if (it == fetch_cache.end()) {
       auto packets = fetch(monitor, {centroid});
-      stats_.raw_packets_fetched += packets.size();
-      stats_.raw_bytes_fetched += packets.size() * packet::kHeadersBytes;
-      if (tel_raw_packets_fetched_ != nullptr) {
-        tel_raw_packets_fetched_->add(packets.size());
-        tel_raw_bytes_fetched_->add(packets.size() * packet::kHeadersBytes);
+      if (packets) {
+        stats_.raw_packets_fetched += packets->size();
+        stats_.raw_bytes_fetched += packets->size() * packet::kHeadersBytes;
+        if (tel_raw_packets_fetched_ != nullptr) {
+          tel_raw_packets_fetched_->add(packets->size());
+          tel_raw_bytes_fetched_->add(packets->size() * packet::kHeadersBytes);
+        }
       }
       it = fetch_cache.emplace(key, std::move(packets)).first;
     }
     return it->second;
+  };
+
+  // Gathers the raw packets behind `rows`; false when any retrieval failed
+  // (the caller then degrades to the summary-only decision).
+  auto gather_raw = [&](const std::vector<std::size_t>& rows,
+                        std::vector<packet::PacketRecord>& raw) {
+    for (std::size_t row : rows) {
+      const auto& packets =
+          fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
+      if (!packets) return false;
+      raw.insert(raw.end(), packets->begin(), packets->end());
+    }
+    return true;
   };
 
   // Matching phase: Algorithm 1 per question (strict + loose thresholds) is
@@ -164,21 +192,27 @@ std::vector<Alert> InferenceEngine::infer(
                 ? tel_->tracer.span("feedback", parent, q.sid)
                 : telemetry::Span{};
         std::vector<packet::PacketRecord> raw;
-        for (std::size_t row : loose.matched_rows) {
-          const auto& packets =
-              fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
-          raw.insert(raw.end(), packets.begin(), packets.end());
+        if (gather_raw(loose.matched_rows, raw)) {
+          // Raw verification: exact signature matches over the retrieved
+          // packets, against the rule's raw-evidence threshold.
+          const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
+                                      .analyze(raw, 0.0, config_.tau_c_scale);
+          fire = !raw_alerts.empty();
+          via_feedback = true;
+        } else {
+          // Retrieval failed (transport fault, retries exhausted): degrade
+          // to summary-only inference — the loose decision stands, exactly
+          // as if no fetcher were wired.
+          ++stats_.feedback_fallbacks;
+          if (tel_feedback_fallbacks_ != nullptr) {
+            tel_feedback_fallbacks_->add(1);
+          }
+          fire = true;
         }
-
-        // Raw verification: exact signature matches over the retrieved
-        // packets, against the rule's raw-evidence threshold.
-        const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
-                                    .analyze(raw, 0.0, config_.tau_c_scale);
-        fire = !raw_alerts.empty();
-        via_feedback = true;
         if (tel_ != nullptr) {
           span.attr("sid", static_cast<double>(q.sid));
           span.attr("raw_packets", static_cast<double>(raw.size()));
+          span.attr("failed", via_feedback ? 0.0 : 1.0);
           span.attr("fired", fire ? 1.0 : 0.0);
         }
       } else {
@@ -190,20 +224,22 @@ std::vector<Alert> InferenceEngine::infer(
 
     if (!fire) continue;
 
-    // §10 extension: confirm any remaining alert against raw evidence.
+    // §10 extension: confirm any remaining alert against raw evidence.  A
+    // failed retrieval cannot *suppress* an alert — verification degrades
+    // to trusting the summary decision instead of silently dropping it.
     if (config_.verify_all_alerts && fetch && !via_feedback) {
       std::vector<packet::PacketRecord> raw;
-      for (std::size_t row : evidence->matched_rows) {
-        const auto& packets =
-            fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
-        raw.insert(raw.end(), packets.begin(), packets.end());
-      }
-      const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
-                                  .analyze(raw, 0.0, config_.tau_c_scale);
-      if (raw_alerts.empty()) {
-        ++stats_.alerts_suppressed;
-        if (tel_alerts_suppressed_ != nullptr) tel_alerts_suppressed_->add(1);
-        continue;
+      if (gather_raw(evidence->matched_rows, raw)) {
+        const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
+                                    .analyze(raw, 0.0, config_.tau_c_scale);
+        if (raw_alerts.empty()) {
+          ++stats_.alerts_suppressed;
+          if (tel_alerts_suppressed_ != nullptr) tel_alerts_suppressed_->add(1);
+          continue;
+        }
+      } else {
+        ++stats_.feedback_fallbacks;
+        if (tel_feedback_fallbacks_ != nullptr) tel_feedback_fallbacks_->add(1);
       }
     }
 
@@ -212,6 +248,7 @@ std::vector<Alert> InferenceEngine::infer(
     alert.msg = q.msg;
     alert.matched_packets = evidence->matched_count;
     alert.via_feedback = via_feedback;
+    alert.confidence = report_fraction_;
     if (q.variance) {
       alert.variance =
           matched_variance(aggregate, evidence->matched_rows, q.variance->field);

@@ -71,15 +71,27 @@ struct Alert {
   bool distributed = false;      ///< Postprocessor classification.
   bool via_feedback = false;     ///< Decided by case-3 raw analysis.
   double variance = 0.0;         ///< Measured field variance (if checked).
+  /// Fraction of expected monitors whose summaries backed this epoch's
+  /// aggregate (1.0 on a full epoch).  Partial epochs — summaries dropped,
+  /// late, or monitors crashed — scale it down so consumers can weigh
+  /// degraded-mode alerts.
+  double confidence = 1.0;
 };
 
 /// Callback the controller wires to monitors: fetch raw packets behind the
 /// given centroid indices at one monitor (§7's per-epoch hash table).
-using RawPacketFetcher = std::function<std::vector<packet::PacketRecord>(
-    summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
+/// Returns nullopt when retrieval *failed* (transport fault, retries
+/// exhausted) — distinct from an empty vector (retrieval worked, nothing
+/// behind the centroid).  On failure the engine falls back to summary-only
+/// inference: the loose-threshold decision stands, exactly as if no fetcher
+/// were wired.
+using RawPacketFetcher =
+    std::function<std::optional<std::vector<packet::PacketRecord>>(
+        summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
 
 struct InferenceStats {
   std::uint64_t feedback_requests = 0;   ///< Case-3 occurrences.
+  std::uint64_t feedback_fallbacks = 0;  ///< Retrieval failed; summary-only.
   std::uint64_t raw_packets_fetched = 0;
   std::uint64_t raw_bytes_fetched = 0;   ///< Header bytes pulled by feedback.
   std::uint64_t case4_anomalies = 0;     ///< t1+ t2- (expected 0).
@@ -122,6 +134,19 @@ class InferenceEngine {
     return config_.tau_c_scale;
   }
 
+  /// Degraded-mode hook: the fraction of expected monitor summaries that
+  /// actually backed the aggregate (1.0 = full epoch, the default).  Count
+  /// thresholds (tau_c) scale by the fraction — a partial aggregate carries
+  /// proportionally less of an attack's mass, so an unscaled threshold
+  /// would silently miss — and every alert raised carries it as
+  /// Alert::confidence so downstream consumers can re-raise their own bar.
+  /// Values are clamped to (0, 1]; 1.0 restores the exact full-epoch
+  /// behavior.  Never throws (per-epoch hot path).
+  void set_report_fraction(double fraction) noexcept;
+  [[nodiscard]] double report_fraction() const noexcept {
+    return report_fraction_;
+  }
+
   /// Attaches the shared execution runtime: question-vector matching
   /// (Algorithm 1 per rule, strict + loose) fans out over the pool; the
   /// decision/feedback pass stays serial in rule order, so alerts are
@@ -140,6 +165,7 @@ class InferenceEngine {
   rules::RawMatcher matcher_;
   std::vector<rules::Question> questions_;
   EngineConfig config_;
+  double report_fraction_ = 1.0;
   InferenceStats stats_;
   std::shared_ptr<runtime::ThreadPool> pool_;
   telemetry::Telemetry* tel_ = nullptr;
@@ -149,6 +175,7 @@ class InferenceEngine {
   telemetry::Counter* tel_alerts_feedback_ = nullptr;
   telemetry::Counter* tel_alerts_suppressed_ = nullptr;
   telemetry::Counter* tel_feedback_requests_ = nullptr;
+  telemetry::Counter* tel_feedback_fallbacks_ = nullptr;
   telemetry::Counter* tel_raw_packets_fetched_ = nullptr;
   telemetry::Counter* tel_raw_bytes_fetched_ = nullptr;
 };
