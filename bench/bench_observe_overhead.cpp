@@ -1,0 +1,122 @@
+// Observability overhead on the per-epoch hot path.
+//
+// The ISSUE-5 acceptance bar is that detection observability is close to
+// free: provenance capture happens in the engine's serial decision phase
+// from distances Algorithm 1 computes anyway, and the drift monitors are
+// three EWMA updates per monitor per epoch.  This bench drives the same
+// seeded 4-monitor deployment through JaalController::close_epoch under
+// three ObserveConfig settings — everything on (the default), drift-only
+// (provenance off), and everything off — and reports best-of-N epoch wall
+// time per mode plus the relative overhead against observability-off.
+// Emits BENCH_observe_overhead.json alongside the table.
+#include <chrono>
+
+#include "attack/generators.hpp"
+#include "common.hpp"
+#include "trace/background.hpp"
+#include "trace/mix.hpp"
+
+namespace {
+
+using namespace jaal;
+
+constexpr std::size_t kMonitors = 4;
+constexpr std::size_t kPacketsPerEpoch = 6'000;  // ~1.5k per monitor
+constexpr int kReps = 5;
+
+core::JaalConfig deployment(bool provenance, bool drift) {
+  core::JaalConfig cfg;
+  cfg.summarizer.batch_size = 1500;
+  cfg.summarizer.min_batch = 200;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 150;
+  cfg.monitor_count = kMonitors;
+  cfg.engine.default_thresholds = {0.008, 0.03};
+  cfg.engine.feedback_enabled = true;
+  cfg.observe.provenance = provenance;
+  cfg.observe.drift = drift;
+  return cfg;
+}
+
+struct Mode {
+  const char* name;
+  bool provenance;
+  bool drift;
+};
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Observability overhead: provenance + drift vs off, 4-monitor epochs");
+
+  // One fixed traffic window (background plus a SYN flood so alerts — and
+  // thus provenance records — are actually raised), ingested identically
+  // for every mode.
+  trace::TraceProfile profile = trace::trace1_profile();
+  trace::BackgroundTraffic background(profile, 17);
+  attack::AttackConfig atk;
+  atk.victim_ip = core::evaluation_victim_ip();
+  atk.packets_per_second = 5000.0;
+  atk.seed = 11;
+  attack::DistributedSynFlood flood(atk);
+  trace::TrafficMix mix(background, {&flood}, 0.10);
+  const std::vector<packet::PacketRecord> window =
+      trace::take(mix, kPacketsPerEpoch);
+
+  const Mode modes[] = {
+      {"off", false, false},
+      {"drift_only", false, true},
+      {"full", true, true},
+  };
+  std::vector<std::vector<std::pair<std::string, double>>> rows;
+  double off_ms = 0.0;
+  std::size_t base_alerts = 0;
+
+  std::printf("  mode        wall-ms   vs-off   alerts  provenance\n");
+  for (const Mode& mode : modes) {
+    core::JaalController controller(deployment(mode.provenance, mode.drift),
+                                    bench::evaluation_ruleset());
+    double best_ms = 0.0;
+    core::EpochResult epoch;
+    for (int rep = 0; rep < kReps; ++rep) {
+      for (const auto& pkt : window) controller.ingest(pkt);
+      const auto start = std::chrono::steady_clock::now();
+      epoch = controller.close_epoch(static_cast<double>(rep));
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+    }
+    std::size_t with_provenance = 0;
+    for (const auto& alert : epoch.alerts) {
+      with_provenance += alert.provenance ? 1 : 0;
+    }
+    // Observability must never change the detection outcome.
+    if (mode.provenance == false && mode.drift == false) {
+      off_ms = best_ms;
+      base_alerts = epoch.alerts.size();
+    } else if (epoch.alerts.size() != base_alerts) {
+      std::printf("  FAIL: mode %s changed the alert count (%zu vs %zu)\n",
+                  mode.name, epoch.alerts.size(), base_alerts);
+      return 1;
+    }
+    // Provenance records must track the toggle exactly.
+    if (with_provenance != (mode.provenance ? epoch.alerts.size() : 0)) {
+      std::printf("  FAIL: mode %s attached provenance to %zu of %zu alerts\n",
+                  mode.name, with_provenance, epoch.alerts.size());
+      return 1;
+    }
+    const double ratio = off_ms > 0.0 ? best_ms / off_ms : 0.0;
+    std::printf("  %-10s %8.1f  %6.3fx  %6zu  %10zu\n", mode.name, best_ms,
+                ratio, epoch.alerts.size(), with_provenance);
+    rows.push_back({{"provenance", mode.provenance ? 1.0 : 0.0},
+                    {"drift", mode.drift ? 1.0 : 0.0},
+                    {"wall_ms", best_ms},
+                    {"vs_off", ratio},
+                    {"alerts", static_cast<double>(epoch.alerts.size())}});
+  }
+
+  bench::write_bench_json("observe_overhead", rows);
+  return 0;
+}

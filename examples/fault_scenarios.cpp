@@ -29,6 +29,11 @@ struct RunOutcome {
   double tpr = 0.0;            ///< Attack epochs that raised the flood sid.
   double fpr = 0.0;            ///< Benign epochs that raised it anyway.
   double mean_confidence = 1.0;  ///< Mean report fraction, attack epochs.
+  /// Provenance columns: mean evidence margin over all raised alerts (how
+  /// far inside its admitting threshold the average matched centroid sat)
+  /// and how many feedback retrievals fell back to summary-only decisions.
+  double mean_margin = 0.0;
+  std::uint64_t feedback_fallbacks = 0;
   faults::TransportStats transport;
   std::string fingerprint;     ///< Serialized alerts (determinism check).
 };
@@ -69,12 +74,20 @@ RunOutcome run_once(const faults::FaultScenario& scenario, bool attack) {
   fp.precision(17);
   std::size_t attack_epochs = 0, benign_epochs = 0, tp = 0, fp_count = 0;
   double confidence_sum = 0.0;
+  double margin_sum = 0.0;
+  std::size_t margin_count = 0;
   for (const core::EpochResult& epoch : jaal.run(mix, kDuration)) {
     bool hit = false;
     for (const auto& alert : epoch.alerts) {
       for (std::uint32_t sid : sids) hit |= alert.sid == sid;
       fp << epoch.end_time << ' ' << alert.sid << ' '
          << alert.matched_packets << ' ' << alert.confidence << '\n';
+      if (alert.provenance) {
+        margin_sum += alert.provenance->mean_margin();
+        ++margin_count;
+        out.feedback_fallbacks +=
+            alert.provenance->feedback.fallback ? 1 : 0;
+      }
     }
     // An epoch is an attack window once the flood has been active for its
     // whole span (it starts mid-epoch at kAttackStart).
@@ -95,6 +108,9 @@ RunOutcome run_once(const faults::FaultScenario& scenario, bool attack) {
   if (benign_epochs > 0) {
     out.fpr =
         static_cast<double>(fp_count) / static_cast<double>(benign_epochs);
+  }
+  if (margin_count > 0) {
+    out.mean_margin = margin_sum / static_cast<double>(margin_count);
   }
   out.transport = jaal.fault_stats();
   out.fingerprint = fp.str();
@@ -138,23 +154,28 @@ int main() {
   std::printf("detection quality vs control-plane loss (4 monitors, "
               "6 x 1 s epochs, distributed SYN flood from t=%.0f s)\n\n",
               kAttackStart);
-  std::printf("%-14s %9s %9s %9s %11s %9s %6s %6s\n", "scenario",
+  std::printf("%-14s %9s %9s %9s %11s %9s %6s %12s %10s\n", "scenario",
               "delivered", "dropped", "crashed", "confidence", "TPR", "FPR",
-              "");
+              "mean_margin", "fallbacks");
   std::ofstream csv("fault_scenarios_table.csv");
-  csv << "scenario,delivered,dropped,crashed_epochs,mean_confidence,tpr,fpr\n";
+  csv << "scenario,delivered,dropped,crashed_epochs,mean_confidence,tpr,fpr,"
+         "mean_margin,feedback_fallbacks\n";
   for (const Row& row : rows) {
     const faults::TransportStats& t = row.attack.transport;
-    std::printf("%-14s %9llu %9llu %9llu %11.2f %9.2f %6.2f\n",
+    std::printf("%-14s %9llu %9llu %9llu %11.2f %9.2f %6.2f %12.4f %10llu\n",
                 row.label.c_str(),
                 static_cast<unsigned long long>(t.summaries_delivered),
                 static_cast<unsigned long long>(t.summaries_dropped),
                 static_cast<unsigned long long>(t.crashed_monitor_epochs),
-                row.attack.mean_confidence, row.attack.tpr, row.benign.fpr);
+                row.attack.mean_confidence, row.attack.tpr, row.benign.fpr,
+                row.attack.mean_margin,
+                static_cast<unsigned long long>(
+                    row.attack.feedback_fallbacks));
     csv << row.label << ',' << t.summaries_delivered << ','
         << t.summaries_dropped << ',' << t.crashed_monitor_epochs << ','
         << row.attack.mean_confidence << ',' << row.attack.tpr << ','
-        << row.benign.fpr << '\n';
+        << row.benign.fpr << ',' << row.attack.mean_margin << ','
+        << row.attack.feedback_fallbacks << '\n';
   }
   std::printf("\ntable written to fault_scenarios_table.csv\n");
 

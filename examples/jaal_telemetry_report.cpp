@@ -38,6 +38,20 @@ double counter_of(const MetricsSnapshot& snap, const std::string& name) {
   return e == nullptr ? 0.0 : static_cast<double>(e->counter);
 }
 
+// Sums a labeled counter family, e.g. jaal_inference_alerts_total{sid="..."}
+// across all sids (the flat total Prometheus would compute with sum by()).
+double counter_family_sum(const MetricsSnapshot& snap,
+                          const std::string& base) {
+  double sum = 0.0;
+  const std::string prefix = base + "{";
+  for (const auto& e : snap.entries) {
+    if (e.name == base || e.name.rfind(prefix, 0) == 0) {
+      sum += static_cast<double>(e.counter);
+    }
+  }
+  return sum;
+}
+
 void print_histogram_row(const MetricsSnapshot& snap, const std::string& name,
                          const char* label) {
   const auto* e = find_metric(snap, name);
@@ -193,7 +207,7 @@ int main() {
               "%.0f feedback requests, %.0f raw packets pulled\n",
               counter_of(snap, "jaal_inference_questions_evaluated_total"),
               counter_of(snap, "jaal_inference_questions_matched_total"),
-              counter_of(snap, "jaal_inference_alerts_total"),
+              counter_family_sum(snap, "jaal_inference_alerts_total"),
               counter_of(snap, "jaal_inference_feedback_requests_total"),
               counter_of(snap, "jaal_inference_raw_packets_fetched_total"));
 

@@ -9,12 +9,24 @@
 #include "runtime/channel.hpp"
 
 namespace jaal::core {
+namespace {
+
+/// The deployment-level ObserveConfig::provenance toggle gates the engine's
+/// own record_provenance knob (both default on; either turns capture off).
+inference::EngineConfig merged_engine_config(const JaalConfig& cfg) {
+  inference::EngineConfig e = cfg.engine;
+  e.record_provenance = e.record_provenance && cfg.observe.provenance;
+  return e;
+}
+
+}  // namespace
 
 JaalController::JaalController(const JaalConfig& cfg,
                                std::vector<rules::Rule> rules)
     : cfg_(cfg),
       transport_(cfg.faults, cfg.monitor_count),
-      engine_(std::move(rules), cfg.engine) {
+      engine_(std::move(rules), merged_engine_config(cfg)),
+      health_(cfg.observe, std::max<std::size_t>(cfg.monitor_count, 1)) {
   if (cfg_.monitor_count == 0) {
     throw std::invalid_argument("JaalController: need at least one monitor");
   }
@@ -36,6 +48,9 @@ JaalController::JaalController(const JaalConfig& cfg,
     tel_rolled_forward_ =
         &m.counter("jaal_faults_summaries_rolled_forward_total");
     tel_packets_lost_ = &m.counter("jaal_faults_packets_lost_total");
+    tel_drift_events_ = &m.counter("jaal_observe_drift_events_total");
+    tel_monitors_drifting_ = &m.gauge("jaal_observe_monitors_drifting");
+    tel_caution_permille_ = &m.gauge("jaal_observe_caution_permille");
     // One stats system: the pool's runtime counters land in the same
     // registry (and the same exports) as every other jaal metric.
     if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
@@ -44,6 +59,9 @@ JaalController::JaalController(const JaalConfig& cfg,
   for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
     summarize::SummarizerConfig scfg = cfg_.summarizer;
     scfg.seed = cfg_.summarizer.seed + i;  // decorrelate k-means seeding
+    // Fidelity stats only matter to the drift monitors; skip the extra
+    // energy pass when drift monitoring is off.
+    scfg.record_fidelity = scfg.record_fidelity && cfg_.observe.drift;
     monitors_.emplace_back(static_cast<summarize::MonitorId>(i), scfg);
     if (pool_) monitors_.back().set_pool(pool_);
     if (cfg_.telemetry != nullptr) {
@@ -73,6 +91,9 @@ void JaalController::ingest(const packet::PacketRecord& pkt) {
 }
 
 EpochResult JaalController::close_epoch(double now) {
+  // Per-epoch feedback-fallback delta for the health ledger (engine stats
+  // are monotonic across epochs).
+  const std::uint64_t fallbacks_before = engine_.stats().feedback_fallbacks;
   EpochResult result;
   result.end_time = now;
   result.packets = epoch_packets_;
@@ -165,6 +186,20 @@ EpochResult JaalController::close_epoch(double now) {
     }
   }
 
+  // Drift monitoring: feed each flushed monitor's summary fidelity to the
+  // health ledger, serially in monitor order (determinism), *before*
+  // inference so this epoch's caution signal reflects this epoch's
+  // summaries.
+  for (std::size_t i = 0; i < monitors_.size(); ++i) {
+    if (!slots[i]) continue;
+    if (const auto& f = monitors_[i].last_fidelity()) {
+      observe::FidelityStats fs = *f;
+      fs.epoch = epoch;
+      health_.observe_fidelity(fs);
+      result.fidelity.push_back(fs);
+    }
+  }
+
   // Ship + aggregate phase, serial in monitor order: the transport decides
   // each summary's fate (its draws depend only on seed/epoch/monitor, so
   // the outcome is identical across runs and thread counts).  Late
@@ -237,7 +272,38 @@ EpochResult JaalController::close_epoch(double now) {
       ship.attr("report_fraction", result.report_fraction);
     }
   }
-  if (aggregator.summaries_added() == 0) return result;
+  // The caution signal the engine surfaces on this epoch's alerts, and the
+  // close-out that folds the epoch into the health ledger on every exit
+  // path (the drift events it returns belong to this epoch).
+  result.caution = health_.caution();
+  engine_.set_caution(result.caution);
+  const auto close_health = [&] {
+    observe::HealthTracker::EpochDegradation deg;
+    deg.report_fraction = result.report_fraction;
+    deg.monitors_crashed = result.monitors_crashed;
+    deg.summaries_dropped = result.summaries_dropped;
+    deg.summaries_late = result.summaries_late;
+    deg.summaries_rolled_in = result.summaries_rolled_in;
+    deg.packets_lost = result.packets_lost;
+    deg.feedback_fallbacks =
+        engine_.stats().feedback_fallbacks - fallbacks_before;
+    deg.alerts = result.alerts.size();
+    result.drift_events = health_.end_epoch(epoch, deg);
+    if (tel_drift_events_ != nullptr) {
+      if (!result.drift_events.empty()) {
+        tel_drift_events_->add(result.drift_events.size());
+      }
+      tel_monitors_drifting_->set(
+          static_cast<std::int64_t>(health_.monitors_drifting()));
+      tel_caution_permille_->set(
+          static_cast<std::int64_t>(result.caution * 1000.0 + 0.5));
+    }
+  };
+
+  if (aggregator.summaries_added() == 0) {
+    close_health();
+    return result;
+  }
 
   telemetry::Span aggregate_span =
       tel != nullptr ? tel->tracer.span("aggregate", epoch_ctx)
@@ -248,11 +314,12 @@ EpochResult JaalController::close_epoch(double now) {
 
   const inference::RawPacketFetcher fetch =
       [this](summarize::MonitorId id,
-             const std::vector<std::size_t>& centroids)
-      -> std::optional<std::vector<packet::PacketRecord>> {
+             const std::vector<std::size_t>& centroids) -> inference::RawFetch {
     faults::FetchResult fetched = transport_.fetch(
         id, [&](std::size_t) { return monitors_.at(id).raw_packets_for(centroids); });
-    return std::move(fetched.packets);
+    // Carry the retry accounting along so alert provenance can show what
+    // the feedback round-trip actually cost.
+    return {std::move(fetched.packets), fetched.attempts, fetched.backoff_s};
   };
   // Scale rule counts to this epoch's actual packet volume (counts are
   // calibrated for a nominal 2000-packet window), on top of the deployment's
@@ -282,6 +349,7 @@ EpochResult JaalController::close_epoch(double now) {
     post.attr("distributed", static_cast<double>(distributed));
     post.attr("via_feedback", static_cast<double>(via_feedback));
   }
+  close_health();
   return result;
 }
 

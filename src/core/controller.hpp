@@ -23,6 +23,7 @@
 #include "core/monitor.hpp"
 #include "faults/transport.hpp"
 #include "inference/engine.hpp"
+#include "observe/observe.hpp"
 #include "runtime/thread_pool.hpp"
 #include "trace/background.hpp"
 
@@ -74,6 +75,11 @@ struct JaalConfig : DeploymentConfig {
   /// What happens to a late summary: discarded, or rolled forward into the
   /// next epoch's aggregate (stale but not lost).
   faults::LatePolicy late_policy = faults::LatePolicy::kDiscard;
+  /// Detection observability: alert provenance capture and summary-quality
+  /// drift monitoring (both default on; provenance additionally requires
+  /// engine.record_provenance, fidelity recording summarizer.record_fidelity
+  /// — all default on).
+  observe::ObserveConfig observe;
 };
 
 /// Everything observed during one epoch.  The degraded-mode fields are all
@@ -94,6 +100,14 @@ struct EpochResult {
   /// crashed); the engine scales its count thresholds by it and stamps it
   /// on every alert as Alert::confidence.
   double report_fraction = 1.0;
+  /// Per-monitor summary fidelity this epoch (monitor order; silent and
+  /// crashed monitors absent).  Empty when fidelity recording is off.
+  std::vector<observe::FidelityStats> fidelity;
+  /// Drift transitions raised while closing this epoch.
+  std::vector<observe::HealthEvent> drift_events;
+  /// The caution signal in effect for this epoch's inference (fraction of
+  /// monitors whose summary fidelity is drifting).
+  double caution = 0.0;
 
   [[nodiscard]] bool degraded() const noexcept {
     return report_fraction < 1.0;
@@ -135,6 +149,18 @@ class JaalController {
     return transport_.stats();
   }
 
+  /// The deployment's health ledger (fidelity baselines, drift state,
+  /// degradation accounting) — close_epoch feeds it every epoch.
+  [[nodiscard]] const observe::HealthTracker& health() const noexcept {
+    return health_;
+  }
+  /// Assembles the epoch health report from everything seen so far.  The
+  /// scoreboard is left empty (a live deployment has no labels); harnesses
+  /// with labeled trials fill it in (see examples/jaal_doctor).
+  [[nodiscard]] observe::HealthReport health_report() const {
+    return health_.report();
+  }
+
   /// Resolved execution-runtime width (1 when running serial).
   [[nodiscard]] std::size_t threads() const noexcept {
     return pool_ ? pool_->threads() : 1;
@@ -151,6 +177,7 @@ class JaalController {
   std::vector<Monitor> monitors_;
   faults::SummaryTransport transport_;
   inference::InferenceEngine engine_;
+  observe::HealthTracker health_;
   /// Late summaries awaiting the next epoch (LatePolicy::kRollForward).
   std::vector<summarize::MonitorSummary> carry_;
   std::uint64_t epoch_packets_ = 0;
@@ -159,6 +186,9 @@ class JaalController {
   telemetry::Counter* tel_degraded_epochs_ = nullptr;
   telemetry::Counter* tel_rolled_forward_ = nullptr;
   telemetry::Counter* tel_packets_lost_ = nullptr;
+  telemetry::Counter* tel_drift_events_ = nullptr;
+  telemetry::Gauge* tel_monitors_drifting_ = nullptr;
+  telemetry::Gauge* tel_caution_permille_ = nullptr;
 };
 
 }  // namespace jaal::core

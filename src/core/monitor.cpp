@@ -74,6 +74,7 @@ bool Monitor::batch_ready() const noexcept {
 std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
     const telemetry::SpanContext& parent) {
   epoch_store_.clear();
+  last_fidelity_.reset();
   if (buffer_.size() < summarizer_.config().min_batch) {
     // Below n_min the SVD/clustering quality collapses (§5.1): keep
     // buffering; the packets roll into the next epoch.
@@ -81,6 +82,7 @@ std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
     return std::nullopt;
   }
   summarize::SummarizeOutput out = summarizer_.summarize(buffer_, parent);
+  last_fidelity_ = out.fidelity;
 
   // Build the per-epoch centroid -> raw packet map (§7's hash table).
   std::size_t k = 0;
@@ -104,6 +106,7 @@ void Monitor::discard_epoch() {
   lost_to_crash_ += buffer_.size();
   buffer_.clear();
   epoch_store_.clear();
+  last_fidelity_.reset();
 }
 
 std::vector<packet::PacketRecord> Monitor::raw_packets_for(

@@ -88,12 +88,21 @@ class Monitor {
     return lost_to_crash_;
   }
 
+  /// Summary fidelity of the last flushed epoch (drift monitoring input).
+  /// nullopt when the monitor stayed silent, crashed, or fidelity recording
+  /// is off; the epoch field is left 0 for the controller to stamp.
+  [[nodiscard]] const std::optional<observe::FidelityStats>& last_fidelity()
+      const noexcept {
+    return last_fidelity_;
+  }
+
  private:
   summarize::MonitorId id_;
   summarize::Summarizer summarizer_;
   std::vector<packet::PacketRecord> buffer_;
   /// Last epoch's packets grouped by centroid index.
   std::vector<std::vector<packet::PacketRecord>> epoch_store_;
+  std::optional<observe::FidelityStats> last_fidelity_;
   CommStats comm_;
   std::uint64_t observed_ = 0;
   std::uint64_t malformed_ = 0;

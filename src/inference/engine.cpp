@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "packet/wire.hpp"
+#include "telemetry/export.hpp"
 
 namespace jaal::inference {
 namespace {
@@ -47,18 +48,29 @@ InferenceEngine::InferenceEngine(std::vector<rules::Rule> rules,
 
 void InferenceEngine::set_telemetry(telemetry::Telemetry* tel) {
   tel_ = tel;
+  tel_alerts_by_sid_.clear();
   if (tel_ == nullptr) {
     tel_questions_ = tel_questions_matched_ = nullptr;
-    tel_alerts_ = tel_alerts_feedback_ = tel_alerts_suppressed_ = nullptr;
+    tel_alerts_feedback_ = tel_alerts_suppressed_ = nullptr;
     tel_feedback_requests_ = tel_feedback_fallbacks_ = nullptr;
     tel_raw_packets_fetched_ = tel_raw_bytes_fetched_ = nullptr;
+    tel_provenance_records_ = nullptr;
     return;
   }
   auto& m = tel_->metrics;
   tel_questions_ = &m.counter("jaal_inference_questions_evaluated_total");
   tel_questions_matched_ = &m.counter("jaal_inference_questions_matched_total");
-  tel_alerts_ = &m.counter("jaal_inference_alerts_total");
+  // One alert counter per rule, labeled by sid, registered up front so the
+  // decision loop only bumps a cached pointer.
+  for (const rules::Question& q : questions_) {
+    tel_alerts_by_sid_.emplace(
+        q.sid, &m.counter(telemetry::with_label("jaal_inference_alerts_total",
+                                                "sid",
+                                                std::to_string(q.sid))));
+  }
   tel_alerts_feedback_ = &m.counter("jaal_inference_alerts_via_feedback_total");
+  tel_provenance_records_ =
+      &m.counter("jaal_observe_provenance_records_total");
   tel_alerts_suppressed_ = &m.counter("jaal_inference_alerts_suppressed_total");
   tel_feedback_requests_ = &m.counter("jaal_inference_feedback_requests_total");
   tel_feedback_fallbacks_ =
@@ -75,6 +87,10 @@ ThresholdPair InferenceEngine::thresholds_for(std::uint32_t sid) const {
 
 void InferenceEngine::set_report_fraction(double fraction) noexcept {
   report_fraction_ = std::clamp(fraction, 1e-9, 1.0);
+}
+
+void InferenceEngine::set_caution(double caution) noexcept {
+  caution_ = std::clamp(caution, 0.0, 1.0);
 }
 
 std::uint64_t InferenceEngine::scaled_tau_c(const rules::Question& q) const {
@@ -99,24 +115,31 @@ std::vector<Alert> InferenceEngine::infer(
   // per epoch.  Bytes are accounted on first fetch only.  Failed retrievals
   // (nullopt — transport fault, retries exhausted) are cached too, so one
   // dead monitor costs one retry cycle per centroid, not one per question.
-  std::unordered_map<std::uint64_t,
-                     std::optional<std::vector<packet::PacketRecord>>>
-      fetch_cache;
-  auto fetch_cached = [&](summarize::MonitorId monitor, std::size_t centroid)
-      -> const std::optional<std::vector<packet::PacketRecord>>& {
+  std::unordered_map<std::uint64_t, RawFetch> fetch_cache;
+  // Transport cost of the retrievals made *fresh* since the last reset —
+  // the per-alert attempt/backoff accounting provenance records (cache hits
+  // were paid for by an earlier alert and contribute 0).
+  std::size_t fresh_attempts = 0;
+  double fresh_backoff = 0.0;
+  auto fetch_cached = [&](summarize::MonitorId monitor,
+                          std::size_t centroid) -> const RawFetch& {
     const std::uint64_t key = (std::uint64_t{monitor} << 32) | centroid;
     auto it = fetch_cache.find(key);
     if (it == fetch_cache.end()) {
-      auto packets = fetch(monitor, {centroid});
-      if (packets) {
-        stats_.raw_packets_fetched += packets->size();
-        stats_.raw_bytes_fetched += packets->size() * packet::kHeadersBytes;
+      RawFetch result = fetch(monitor, {centroid});
+      fresh_attempts += result.attempts;
+      fresh_backoff += result.backoff_s;
+      if (result.packets) {
+        stats_.raw_packets_fetched += result.packets->size();
+        stats_.raw_bytes_fetched +=
+            result.packets->size() * packet::kHeadersBytes;
         if (tel_raw_packets_fetched_ != nullptr) {
-          tel_raw_packets_fetched_->add(packets->size());
-          tel_raw_bytes_fetched_->add(packets->size() * packet::kHeadersBytes);
+          tel_raw_packets_fetched_->add(result.packets->size());
+          tel_raw_bytes_fetched_->add(result.packets->size() *
+                                      packet::kHeadersBytes);
         }
       }
-      it = fetch_cache.emplace(key, std::move(packets)).first;
+      it = fetch_cache.emplace(key, std::move(result)).first;
     }
     return it->second;
   };
@@ -126,10 +149,10 @@ std::vector<Alert> InferenceEngine::infer(
   auto gather_raw = [&](const std::vector<std::size_t>& rows,
                         std::vector<packet::PacketRecord>& raw) {
     for (std::size_t row : rows) {
-      const auto& packets =
+      const RawFetch& result =
           fetch_cached(aggregate.origin[row], aggregate.local_index[row]);
-      if (!packets) return false;
-      raw.insert(raw.end(), packets->begin(), packets->end());
+      if (!result.packets) return false;
+      raw.insert(raw.end(), result.packets->begin(), result.packets->end());
     }
     return true;
   };
@@ -161,6 +184,7 @@ std::vector<Alert> InferenceEngine::infer(
   for (std::size_t qi = 0; qi < questions_.size(); ++qi) {
     const rules::Question& q = questions_[qi];
     const rules::Rule& rule = rule_list[qi];
+    const ThresholdPair th = thresholds_for(q.sid);
 
     const SimilarityResult& strict = matches[qi].strict;
     const SimilarityResult& loose = matches[qi].loose;
@@ -173,7 +197,10 @@ std::vector<Alert> InferenceEngine::infer(
 
     bool fire = false;
     bool via_feedback = false;
+    bool verified = false;
     const SimilarityResult* evidence = &strict;
+    observe::ThresholdCase threshold_case = observe::ThresholdCase::kStrictMatch;
+    observe::FeedbackProvenance fb;
 
     if (strict.alert) {
       fire = true;  // case 1
@@ -184,6 +211,7 @@ std::vector<Alert> InferenceEngine::infer(
       // Case 3: uncertain.  Pull raw packets behind the loose-match
       // centroids and let traditional Snort matching decide.
       evidence = &loose;
+      threshold_case = observe::ThresholdCase::kUncertainAssumed;
       if (config_.feedback_enabled && fetch) {
         ++stats_.feedback_requests;
         if (tel_feedback_requests_ != nullptr) tel_feedback_requests_->add(1);
@@ -191,6 +219,9 @@ std::vector<Alert> InferenceEngine::infer(
             tel_ != nullptr
                 ? tel_->tracer.span("feedback", parent, q.sid)
                 : telemetry::Span{};
+        fb.requested = true;
+        fresh_attempts = 0;
+        fresh_backoff = 0.0;
         std::vector<packet::PacketRecord> raw;
         if (gather_raw(loose.matched_rows, raw)) {
           // Raw verification: exact signature matches over the retrieved
@@ -199,6 +230,8 @@ std::vector<Alert> InferenceEngine::infer(
                                       .analyze(raw, 0.0, config_.tau_c_scale);
           fire = !raw_alerts.empty();
           via_feedback = true;
+          threshold_case = observe::ThresholdCase::kUncertainVerified;
+          fb.raw_confirmed = fire;
         } else {
           // Retrieval failed (transport fault, retries exhausted): degrade
           // to summary-only inference — the loose decision stands, exactly
@@ -207,8 +240,12 @@ std::vector<Alert> InferenceEngine::infer(
           if (tel_feedback_fallbacks_ != nullptr) {
             tel_feedback_fallbacks_->add(1);
           }
+          fb.fallback = true;
           fire = true;
         }
+        fb.attempts += fresh_attempts;
+        fb.backoff_s += fresh_backoff;
+        fb.raw_packets += raw.size();
         if (tel_ != nullptr) {
           span.attr("sid", static_cast<double>(q.sid));
           span.attr("raw_packets", static_cast<double>(raw.size()));
@@ -228,8 +265,15 @@ std::vector<Alert> InferenceEngine::infer(
     // failed retrieval cannot *suppress* an alert — verification degrades
     // to trusting the summary decision instead of silently dropping it.
     if (config_.verify_all_alerts && fetch && !via_feedback) {
+      fb.requested = true;
+      fresh_attempts = 0;
+      fresh_backoff = 0.0;
       std::vector<packet::PacketRecord> raw;
-      if (gather_raw(evidence->matched_rows, raw)) {
+      const bool gathered = gather_raw(evidence->matched_rows, raw);
+      fb.attempts += fresh_attempts;
+      fb.backoff_s += fresh_backoff;
+      fb.raw_packets += raw.size();
+      if (gathered) {
         const auto raw_alerts = rules::RawMatcher({verification_rule(rule)})
                                     .analyze(raw, 0.0, config_.tau_c_scale);
         if (raw_alerts.empty()) {
@@ -237,9 +281,12 @@ std::vector<Alert> InferenceEngine::infer(
           if (tel_alerts_suppressed_ != nullptr) tel_alerts_suppressed_->add(1);
           continue;
         }
+        verified = true;
+        fb.raw_confirmed = true;
       } else {
         ++stats_.feedback_fallbacks;
         if (tel_feedback_fallbacks_ != nullptr) tel_feedback_fallbacks_->add(1);
+        fb.fallback = true;
       }
     }
 
@@ -249,6 +296,7 @@ std::vector<Alert> InferenceEngine::infer(
     alert.matched_packets = evidence->matched_count;
     alert.via_feedback = via_feedback;
     alert.confidence = report_fraction_;
+    alert.caution = caution_;
     if (q.variance) {
       alert.variance =
           matched_variance(aggregate, evidence->matched_rows, q.variance->field);
@@ -261,13 +309,62 @@ std::vector<Alert> InferenceEngine::infer(
                                         packet::FieldIndex::kIpSrcAddr);
       alert.distributed = alert.variance >= 0.005;
     }
-    if (tel_alerts_ != nullptr) {
-      tel_alerts_->add(1);
+    if (config_.record_provenance) {
+      alert.provenance = build_provenance(aggregate, q, th, threshold_case,
+                                          strict, loose, *evidence, fb,
+                                          alert, verified);
+      if (tel_provenance_records_ != nullptr) tel_provenance_records_->add(1);
+    }
+    if (tel_ != nullptr) {
+      const auto it = tel_alerts_by_sid_.find(alert.sid);
+      if (it != tel_alerts_by_sid_.end()) it->second->add(1);
       if (alert.via_feedback) tel_alerts_feedback_->add(1);
     }
     alerts.push_back(std::move(alert));
   }
   return alerts;
+}
+
+std::shared_ptr<const observe::AlertProvenance>
+InferenceEngine::build_provenance(
+    const AggregatedSummary& aggregate, const rules::Question& q,
+    const ThresholdPair& th, observe::ThresholdCase threshold_case,
+    const SimilarityResult& strict, const SimilarityResult& loose,
+    const SimilarityResult& evidence, const observe::FeedbackProvenance& fb,
+    const Alert& alert, bool verified) const {
+  auto prov = std::make_shared<observe::AlertProvenance>();
+  prov->sid = q.sid;
+  prov->threshold_case = threshold_case;
+  prov->tau_d1 = th.tau_d1;
+  prov->tau_d2 = th.tau_d2;
+  prov->tau_c = scaled_tau_c(q);
+  prov->tau_c_scale = config_.tau_c_scale;
+  prov->strict_count = strict.matched_count;
+  prov->loose_count = loose.matched_count;
+  prov->report_fraction = report_fraction_;
+  prov->caution = caution_;
+  prov->centroids.reserve(evidence.matched_rows.size());
+  for (std::size_t j = 0; j < evidence.matched_rows.size(); ++j) {
+    const std::size_t row = evidence.matched_rows[j];
+    observe::CentroidEvidence ce;
+    ce.monitor = static_cast<std::uint32_t>(aggregate.origin[row]);
+    ce.local_index = aggregate.local_index[row];
+    ce.count = aggregate.counts[row];
+    ce.distance = evidence.matched_distances[j];
+    ce.margin_d1 = th.tau_d1 - ce.distance;
+    ce.margin_d2 = th.tau_d2 - ce.distance;
+    prov->monitors.push_back(ce.monitor);
+    prov->centroids.push_back(ce);
+  }
+  std::sort(prov->monitors.begin(), prov->monitors.end());
+  prov->monitors.erase(
+      std::unique(prov->monitors.begin(), prov->monitors.end()),
+      prov->monitors.end());
+  prov->feedback = fb;
+  prov->variance = alert.variance;
+  prov->distributed = alert.distributed;
+  prov->verified = verified;
+  return prov;
 }
 
 }  // namespace jaal::inference

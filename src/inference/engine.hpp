@@ -24,6 +24,7 @@
 #include "inference/aggregate.hpp"
 #include "inference/postprocessor.hpp"
 #include "inference/similarity.hpp"
+#include "observe/provenance.hpp"
 #include "rules/raw_matcher.hpp"
 #include "runtime/thread_pool.hpp"
 #include "telemetry/telemetry.hpp"
@@ -62,6 +63,10 @@ struct EngineConfig {
   /// port-80 flood tripping the port-22 rule after normalization collapses
   /// the port distance).  Requires a fetcher.
   bool verify_all_alerts = false;
+  /// Attach an AlertProvenance (full causal chain) to every alert.  Off
+  /// costs one branch per raised alert; the margins it records come from
+  /// distances Algorithm 1 computes anyway.
+  bool record_provenance = true;
 };
 
 struct Alert {
@@ -76,18 +81,48 @@ struct Alert {
   /// late, or monitors crashed — scale it down so consumers can weigh
   /// degraded-mode alerts.
   double confidence = 1.0;
+  /// Summary-fidelity caution signal in effect at decision time: the
+  /// fraction of monitors whose summaries are currently drifting from
+  /// their baseline (0 = all healthy).  Surfaced for consumers; the engine
+  /// never auto-acts on it.
+  double caution = 0.0;
+  /// Full causal chain behind this alert; null when
+  /// EngineConfig::record_provenance is off.  Shared (immutable) so alerts
+  /// stay cheap to copy.
+  std::shared_ptr<const observe::AlertProvenance> provenance;
+};
+
+/// Result of one raw-packet retrieval plus what the transport spent on it.
+/// `packets` is nullopt when retrieval *failed* (transport fault, retries
+/// exhausted) — distinct from an empty vector (retrieval worked, nothing
+/// behind the centroid).  Implicitly constructible from the bare payload
+/// shapes fetchers historically returned (vector / optional / nullopt), so
+/// simple fetchers stay one-liners; transport-backed fetchers also fill
+/// attempts/backoff_s and alert provenance surfaces them.
+struct RawFetch {
+  std::optional<std::vector<packet::PacketRecord>> packets;
+  std::size_t attempts = 0;  ///< Transport attempts made (0 = untracked).
+  double backoff_s = 0.0;    ///< Simulated retry backoff spent.
+
+  RawFetch() = default;
+  RawFetch(std::vector<packet::PacketRecord> p)  // NOLINT(google-explicit-*)
+      : packets(std::move(p)) {}
+  RawFetch(  // NOLINT(google-explicit-*)
+      std::optional<std::vector<packet::PacketRecord>> p)
+      : packets(std::move(p)) {}
+  RawFetch(std::nullopt_t) {}  // NOLINT(google-explicit-*)
+  RawFetch(std::optional<std::vector<packet::PacketRecord>> p,
+           std::size_t attempts_, double backoff_s_)
+      : packets(std::move(p)), attempts(attempts_), backoff_s(backoff_s_) {}
 };
 
 /// Callback the controller wires to monitors: fetch raw packets behind the
-/// given centroid indices at one monitor (§7's per-epoch hash table).
-/// Returns nullopt when retrieval *failed* (transport fault, retries
-/// exhausted) — distinct from an empty vector (retrieval worked, nothing
-/// behind the centroid).  On failure the engine falls back to summary-only
-/// inference: the loose-threshold decision stands, exactly as if no fetcher
-/// were wired.
-using RawPacketFetcher =
-    std::function<std::optional<std::vector<packet::PacketRecord>>(
-        summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
+/// given centroid indices at one monitor (§7's per-epoch hash table).  On a
+/// failed retrieval (RawFetch::packets == nullopt) the engine falls back to
+/// summary-only inference: the loose-threshold decision stands, exactly as
+/// if no fetcher were wired.
+using RawPacketFetcher = std::function<RawFetch(
+    summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
 
 struct InferenceStats {
   std::uint64_t feedback_requests = 0;   ///< Case-3 occurrences.
@@ -147,6 +182,14 @@ class InferenceEngine {
     return report_fraction_;
   }
 
+  /// Observability hook: the current drift caution signal (fraction of
+  /// monitors whose summary fidelity is drifting, clamped to [0, 1]).  The
+  /// engine stamps it on alerts and provenance but never changes a decision
+  /// because of it — operators decide what a cautious epoch means.  Never
+  /// throws (per-epoch hot path).
+  void set_caution(double caution) noexcept;
+  [[nodiscard]] double caution() const noexcept { return caution_; }
+
   /// Attaches the shared execution runtime: question-vector matching
   /// (Algorithm 1 per rule, strict + loose) fans out over the pool; the
   /// decision/feedback pass stays serial in rule order, so alerts are
@@ -162,17 +205,34 @@ class InferenceEngine {
  private:
   [[nodiscard]] std::uint64_t scaled_tau_c(const rules::Question& q) const;
 
+  /// Assembles the causal chain for one raised alert from plain data the
+  /// decision loop already computed (no re-matching, no clocks).
+  [[nodiscard]] std::shared_ptr<const observe::AlertProvenance>
+  build_provenance(const AggregatedSummary& aggregate,
+                   const rules::Question& q, const ThresholdPair& th,
+                   observe::ThresholdCase threshold_case,
+                   const SimilarityResult& strict,
+                   const SimilarityResult& loose,
+                   const SimilarityResult& evidence,
+                   const observe::FeedbackProvenance& fb, const Alert& alert,
+                   bool verified) const;
+
   rules::RawMatcher matcher_;
   std::vector<rules::Question> questions_;
   EngineConfig config_;
   double report_fraction_ = 1.0;
+  double caution_ = 0.0;
   InferenceStats stats_;
   std::shared_ptr<runtime::ThreadPool> pool_;
   telemetry::Telemetry* tel_ = nullptr;
   telemetry::Counter* tel_questions_ = nullptr;
   telemetry::Counter* tel_questions_matched_ = nullptr;
-  telemetry::Counter* tel_alerts_ = nullptr;
+  /// Per-sid alert counters, registered once at set_telemetry time as
+  /// 'jaal_inference_alerts_total{sid="..."}' so the hot path never touches
+  /// the registry.
+  std::unordered_map<std::uint32_t, telemetry::Counter*> tel_alerts_by_sid_;
   telemetry::Counter* tel_alerts_feedback_ = nullptr;
+  telemetry::Counter* tel_provenance_records_ = nullptr;
   telemetry::Counter* tel_alerts_suppressed_ = nullptr;
   telemetry::Counter* tel_feedback_requests_ = nullptr;
   telemetry::Counter* tel_feedback_fallbacks_ = nullptr;

@@ -10,9 +10,11 @@ SimilarityResult estimate_similarity(const rules::Question& question,
   const std::uint64_t tau_c =
       tau_c_override > 0 ? tau_c_override : question.tau_c;
   for (std::size_t i = 0; i < aggregate.rows(); ++i) {
-    if (question.distance(aggregate.centroids.row(i)) <= tau_d) {
+    const double d = question.distance(aggregate.centroids.row(i));
+    if (d <= tau_d) {
       res.matched_count += aggregate.counts[i];
       res.matched_rows.push_back(i);
+      res.matched_distances.push_back(d);
     }
   }
   res.alert = res.matched_count >= tau_c;

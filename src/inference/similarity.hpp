@@ -16,6 +16,9 @@ struct SimilarityResult {
   bool alert = false;                    ///< sum >= tau_c.
   std::uint64_t matched_count = 0;       ///< Sum of counts over matched rows.
   std::vector<std::size_t> matched_rows; ///< Q: indices into the aggregate.
+  /// Eq. 5 distance of each matched row to q, parallel to matched_rows.
+  /// Provenance uses these to record per-centroid threshold margins.
+  std::vector<double> matched_distances;
 };
 
 /// Runs Algorithm 1 with distance threshold `tau_d`.  `tau_c` defaults to

@@ -22,17 +22,22 @@
 //                   netsim::latency/replication models, assign::*
 //   telemetry       telemetry::Telemetry, telemetry::to_jsonl,
 //                   telemetry::to_prometheus
+//   observability   observe::ObserveConfig, observe::AlertProvenance,
+//                   observe::DriftDetector, observe::HealthTracker,
+//                   observe::HealthReport (alert causal chains, summary
+//                   drift monitors, the epoch health report —
+//                   examples/jaal_doctor is the reference consumer)
 //   payload         payload::TermMatrix (payload-mode detection)
 //
 // Error policy (library-wide, enforced at this surface):
 //
 //   * Construction-time misconfiguration throws std::invalid_argument —
 //     constructors and config validation (JaalController, InferenceEngine,
-//     Summarizer, FaultScenario::validate, LinkQueue, ...) are the only
-//     places the library throws on bad input.
+//     Summarizer, FaultScenario::validate, LinkQueue, DriftConfig::validate,
+//     ...) are the only places the library throws on bad input.
 //   * Runtime degradation never throws: it is reported through status and
 //     optional returns.  A silent monitor is a nullopt summary; a failed
-//     feedback retrieval is a nullopt from RawPacketFetcher (the engine
+//     feedback retrieval is a RawFetch with nullopt packets (the engine
 //     degrades to summary-only inference); transport loss is a ShipStatus;
 //     a partial epoch is an EpochResult with report_fraction < 1.
 //   * The per-epoch hot path — JaalController::ingest/close_epoch,
@@ -61,6 +66,7 @@
 #include "netsim/link.hpp"
 #include "netsim/replication.hpp"
 #include "netsim/topology.hpp"
+#include "observe/observe.hpp"
 #include "payload/term_matrix.hpp"
 #include "rules/rule.hpp"
 #include "telemetry/export.hpp"

@@ -1,0 +1,122 @@
+// Summary-quality drift monitors.
+//
+// Jaal's detection quality rests on an assumption the pipeline never checks:
+// that rank-r SVD plus k centroids still *represent* the traffic they
+// summarize.  When the traffic distribution shifts (flash crowds, new
+// services, an attack the ruleset does not know), summary fidelity erodes
+// silently — the engine keeps matching question vectors against centroids
+// that no longer resemble the packets behind them.  This module closes that
+// gap: every Summarizer emits per-batch FidelityStats (SVD energy retained
+// at rank r, k-means inertia, combined reconstruction error), and a
+// DriftDetector per (monitor, metric) tracks an EWMA baseline with an EWMA
+// variance, raising a HealthEvent when the z-score leaves the baseline band
+// and a matching recovery event when it returns.
+//
+// Hysteresis: entering the drifted state needs |z| >= z_enter; leaving it
+// needs |z| <= z_exit < z_enter.  A metric oscillating around one threshold
+// therefore cannot flap start/end events every epoch — the band between
+// z_exit and z_enter is sticky in both directions.
+//
+// Everything here is plain deterministic arithmetic on the (seeded)
+// summarizer output: no clocks, no RNG — the same trace produces the same
+// events byte-for-byte across runs and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace jaal::observe {
+
+/// Per-batch summary fidelity, computed by the Summarizer from quantities
+/// the pipeline already has (total energy is one extra O(np) pass; the
+/// inertia comes out of k-means for free).
+struct FidelityStats {
+  std::uint64_t epoch = 0;    ///< Filled by the controller.
+  std::uint32_t monitor = 0;  ///< summarize::MonitorId.
+  std::size_t batch_packets = 0;
+  /// Fraction of the batch's squared Frobenius energy the rank-r
+  /// truncation retains (the §4.2 quantity; ~0.90+ on MAWI-like traffic).
+  double svd_energy_retained = 1.0;
+  /// Mean squared distance from each point to its centroid (k-means
+  /// inertia / n), in whichever space was clustered (field space for S1,
+  /// U_r space for S2 — consistent per deployment, which is what the
+  /// baseline needs).
+  double kmeans_inertia = 0.0;
+  /// Combined per-packet summary error: (truncation residual energy +
+  /// quantization inertia) / n.  What a consumer reconstructing packets
+  /// from the summary would actually be off by, squared.
+  double reconstruction_error = 0.0;
+};
+
+/// DriftDetector tuning.  Defaults are calibrated for per-epoch fidelity
+/// series: a baseline that adapts over ~5 epochs, a 4-sigma entry bar, and
+/// a relative variance floor so near-constant series (energy retained
+/// ~0.98 +- 1e-3) do not turn numeric dust into drift.
+struct DriftConfig {
+  double alpha = 0.2;      ///< EWMA weight for mean and variance.
+  double z_enter = 4.0;    ///< |z| >= z_enter enters the drifted state.
+  double z_exit = 1.5;     ///< |z| <= z_exit recovers from it.
+  std::size_t warmup = 3;  ///< Baseline-only samples before any event.
+  /// Sigma floor, as a fraction of |baseline mean|: deviations are judged
+  /// against max(ewma_sigma, rel_floor * |mean|, abs_floor).
+  double rel_floor = 0.01;
+  double abs_floor = 1e-9;
+
+  /// Throws std::invalid_argument on a degenerate configuration
+  /// (alpha outside (0, 1], z_exit > z_enter, negative floors).
+  void validate() const;
+};
+
+enum class HealthEventKind : std::uint8_t {
+  kDriftStart,  ///< Metric left the baseline band (|z| >= z_enter).
+  kDriftEnd,    ///< Metric returned to baseline (|z| <= z_exit).
+};
+
+/// One drift transition on one (monitor, metric) series.
+struct HealthEvent {
+  std::uint64_t epoch = 0;
+  std::uint32_t monitor = 0;
+  std::string metric;  ///< "svd_energy" | "kmeans_inertia" | "recon_error".
+  HealthEventKind kind = HealthEventKind::kDriftStart;
+  double value = 0.0;     ///< The observation that triggered the event.
+  double baseline = 0.0;  ///< EWMA mean at trigger time (pre-update).
+  double z = 0.0;         ///< Signed z-score against that baseline.
+};
+
+/// One-line deterministic JSON for a health event (no trailing newline);
+/// doubles use %.17g so the text round-trips bit-exactly.
+[[nodiscard]] std::string to_json(const HealthEvent& event);
+
+/// EWMA baseline + z-score drift detector with hysteresis over one scalar
+/// series.  observe() returns the z-score of the sample against the
+/// *pre-update* baseline, then folds the sample in (the baseline keeps
+/// adapting while drifted, so a sustained shift eventually becomes the new
+/// normal and the drift episode ends — exactly the operator semantics we
+/// want: "something changed", not "forever different from epoch 0").
+class DriftDetector {
+ public:
+  DriftDetector() : DriftDetector(DriftConfig{}) {}
+  explicit DriftDetector(const DriftConfig& cfg);
+
+  /// Feeds one sample; returns its z-score (0 during warmup).
+  double observe(double x);
+
+  [[nodiscard]] bool drifting() const noexcept { return drifting_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] std::size_t samples() const noexcept { return n_; }
+  /// True exactly when the last observe() changed the drifting state.
+  [[nodiscard]] bool transitioned() const noexcept { return transitioned_; }
+  [[nodiscard]] double last_z() const noexcept { return last_z_; }
+
+ private:
+  DriftConfig cfg_;
+  double mean_ = 0.0;
+  double var_ = 0.0;
+  std::size_t n_ = 0;
+  bool drifting_ = false;
+  bool transitioned_ = false;
+  double last_z_ = 0.0;
+};
+
+}  // namespace jaal::observe

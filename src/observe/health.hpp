@@ -1,0 +1,189 @@
+// Epoch health tracking and the operator-facing HealthReport.
+//
+// The HealthTracker is the deployment's detection-quality ledger: the
+// controller feeds it every monitor's per-epoch FidelityStats (which drive
+// the per-(monitor, metric) DriftDetectors) plus the epoch's degraded-mode
+// accounting, and it answers two questions at any time: "how cautious
+// should a consumer be about this epoch's alerts?" (caution(), the tau_c
+// caution signal — the fraction of monitors whose summary fidelity is
+// currently drifting, surfaced on alerts but never auto-acted on) and
+// "what is the overall health of this deployment?" (report()).
+//
+// The HealthReport adds an optional per-rule precision scoreboard filled
+// from labeled trials (jaal_doctor runs them; a live deployment has no
+// labels) and renders as human-readable text — a *ranked* diagnosis, worst
+// finding first — or as deterministic JSONL for the CI artifact trail.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "observe/drift.hpp"
+
+namespace jaal::observe {
+
+/// Deployment-level observability knobs (JaalConfig::observe).
+struct ObserveConfig {
+  /// Attach an AlertProvenance to every alert (near-zero cost when off:
+  /// one branch per alert in the serial decision phase).
+  bool provenance = true;
+  /// Run the summary-fidelity drift monitors and the caution signal.
+  bool drift = true;
+  DriftConfig drift_config;
+};
+
+/// Aggregated fidelity and drift state of one monitor.
+struct MonitorHealth {
+  std::uint32_t monitor = 0;
+  std::size_t epochs = 0;  ///< Epochs this monitor produced a summary.
+  double mean_energy = 0.0;
+  double min_energy = 1.0;
+  double mean_inertia = 0.0;
+  double max_inertia = 0.0;
+  double mean_recon_error = 0.0;
+  std::size_t drift_events = 0;  ///< kDriftStart transitions observed.
+  bool drifting = false;         ///< Any metric currently drifted.
+};
+
+/// Per-rule precision from labeled trials (filled by jaal_doctor; empty on
+/// a live deployment, which has no ground truth).
+struct RuleScore {
+  std::uint32_t sid = 0;
+  std::string msg;
+  std::uint64_t true_positives = 0;   ///< Fired on a trial labeled with it.
+  std::uint64_t false_positives = 0;  ///< Fired anywhere else.
+  std::uint64_t labeled_trials = 0;   ///< Trials carrying this rule's attack.
+
+  [[nodiscard]] double precision() const noexcept {
+    const std::uint64_t fired = true_positives + false_positives;
+    return fired == 0 ? 1.0
+                      : static_cast<double>(true_positives) /
+                            static_cast<double>(fired);
+  }
+  [[nodiscard]] double recall() const noexcept {
+    return labeled_trials == 0 ? 1.0
+                               : static_cast<double>(true_positives) /
+                                     static_cast<double>(labeled_trials);
+  }
+};
+
+/// PR 4 degraded-mode accounting, folded over all epochs seen.
+struct DegradationSummary {
+  std::size_t epochs = 0;
+  std::size_t degraded_epochs = 0;  ///< report_fraction < 1.
+  std::size_t monitor_crash_epochs = 0;
+  std::size_t summaries_dropped = 0;
+  std::size_t summaries_late = 0;
+  std::size_t summaries_rolled_in = 0;
+  std::uint64_t packets_lost = 0;
+  std::uint64_t feedback_fallbacks = 0;
+  std::uint64_t alerts = 0;
+  double min_report_fraction = 1.0;
+  double mean_report_fraction = 1.0;
+};
+
+/// The assembled health picture, with renderers.
+struct HealthReport {
+  std::vector<MonitorHealth> monitors;  ///< Ascending monitor id.
+  std::vector<HealthEvent> events;      ///< Chronological.
+  DegradationSummary degradation;
+  std::vector<RuleScore> scoreboard;    ///< Optional (labeled trials only).
+  double caution = 0.0;                 ///< Current caution signal.
+
+  /// One ranked finding: higher severity = worse; ties broken by text.
+  struct Finding {
+    double severity = 0.0;  ///< 0 = informational, 1 = critical.
+    std::string text;
+  };
+  /// The ranked diagnosis, worst first.  Always non-empty (an all-healthy
+  /// deployment yields one informational finding saying so).
+  [[nodiscard]] std::vector<Finding> ranked_findings() const;
+
+  /// Human-readable report: summary header, ranked findings, per-monitor
+  /// fidelity table, scoreboard (when present), event log.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Deterministic JSONL: one "health_summary" line, then one line per
+  /// monitor, rule score, and event, in fixed order; doubles as %.17g.
+  [[nodiscard]] std::string to_jsonl() const;
+};
+
+/// Accumulates epoch observations into a HealthReport.  Fed serially by the
+/// controller (fidelity in monitor order, then one end_epoch), so its
+/// output is deterministic across runs and thread counts.
+class HealthTracker {
+ public:
+  /// Throws std::invalid_argument on a bad drift config or zero monitors.
+  HealthTracker(const ObserveConfig& cfg, std::size_t monitor_count);
+
+  /// Plain-data view of one epoch's degradation (mirrors EpochResult
+  /// without depending on core).
+  struct EpochDegradation {
+    double report_fraction = 1.0;
+    std::size_t monitors_crashed = 0;
+    std::size_t summaries_dropped = 0;
+    std::size_t summaries_late = 0;
+    std::size_t summaries_rolled_in = 0;
+    std::uint64_t packets_lost = 0;
+    std::uint64_t feedback_fallbacks = 0;
+    std::size_t alerts = 0;
+  };
+
+  /// Feeds one monitor's fidelity for the current epoch; any drift
+  /// transitions it causes are buffered until end_epoch.  No-op when
+  /// drift monitoring is disabled.
+  void observe_fidelity(const FidelityStats& stats);
+
+  /// Closes the epoch: folds the degradation accounting and returns the
+  /// drift events raised since the previous end_epoch (chronological,
+  /// monitor order within the epoch).
+  std::vector<HealthEvent> end_epoch(std::uint64_t epoch,
+                                     const EpochDegradation& degradation);
+
+  /// The tau_c caution signal: fraction of monitors with any currently
+  /// drifting fidelity metric, in [0, 1].  0 when drift is disabled.
+  [[nodiscard]] double caution() const noexcept;
+
+  /// Monitors with at least one drifting metric right now.
+  [[nodiscard]] std::size_t monitors_drifting() const noexcept;
+
+  [[nodiscard]] std::uint64_t drift_events_total() const noexcept {
+    return drift_events_total_;
+  }
+
+  /// Assembles the report from everything seen so far (scoreboard empty;
+  /// callers with labeled trials fill it in).
+  [[nodiscard]] HealthReport report() const;
+
+ private:
+  struct PerMonitor {
+    DriftDetector energy;
+    DriftDetector inertia;
+    DriftDetector recon;
+    std::size_t epochs = 0;
+    double energy_sum = 0.0;
+    double min_energy = 1.0;
+    double inertia_sum = 0.0;
+    double max_inertia = 0.0;
+    double recon_sum = 0.0;
+    std::size_t drift_events = 0;
+    [[nodiscard]] bool drifting() const noexcept {
+      return energy.drifting() || inertia.drifting() || recon.drifting();
+    }
+  };
+
+  void check_metric(DriftDetector& detector, const FidelityStats& stats,
+                    const char* metric, double value, PerMonitor& pm);
+
+  ObserveConfig cfg_;
+  std::vector<PerMonitor> monitors_;
+  std::vector<HealthEvent> epoch_events_;  ///< Since the last end_epoch.
+  std::vector<HealthEvent> all_events_;
+  DegradationSummary degradation_;
+  double report_fraction_sum_ = 0.0;
+  std::uint64_t drift_events_total_ = 0;
+};
+
+}  // namespace jaal::observe

@@ -1,0 +1,9 @@
+// Umbrella header for the detection-observability subsystem:
+//   - observe/provenance.hpp  per-alert causal chains (AlertProvenance)
+//   - observe/drift.hpp       summary-fidelity drift monitors
+//   - observe/health.hpp      ObserveConfig, HealthTracker, HealthReport
+#pragma once
+
+#include "observe/drift.hpp"
+#include "observe/health.hpp"
+#include "observe/provenance.hpp"

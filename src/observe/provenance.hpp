@@ -1,0 +1,106 @@
+// Alert provenance: the full causal chain behind one alert.
+//
+// An Alert says *that* a rule fired; an AlertProvenance says *why*: which
+// aggregated centroids matched the question vector and by what margin
+// against tau_d1/tau_d2, which monitors contributed them, which of the
+// engine's threshold cases (§5.3) the decision took, what the feedback
+// round-trip did (attempts, fallback, raw verdict), and the degraded-mode
+// context (report_fraction, caution) in effect at decision time.
+//
+// Provenance is built from plain data the engine already computed — counts,
+// seeded distances, threshold constants — in the serial decision phase, so
+// the same seeded run produces byte-identical provenance across runs and
+// thread counts.  Capture is toggled by EngineConfig::record_provenance
+// (default on); off costs one branch per alert.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace jaal::observe {
+
+/// Which of the engine's §5.3 threshold cases produced the alert.
+enum class ThresholdCase : std::uint8_t {
+  kStrictMatch = 1,       ///< Case 1: matched at tau_d1 (high confidence).
+  kUncertainVerified = 3, ///< Case 3: tau_d1 missed, raw packets confirmed.
+  kUncertainAssumed = 4,  ///< Case 3 without usable feedback (no fetcher,
+                          ///< feedback disabled, or retrieval fallback):
+                          ///< the loose tau_d2 decision stands.
+};
+
+[[nodiscard]] const char* to_string(ThresholdCase c) noexcept;
+
+/// One aggregated centroid that matched the question vector.
+struct CentroidEvidence {
+  std::uint32_t monitor = 0;     ///< Origin monitor (summarize::MonitorId).
+  std::size_t local_index = 0;   ///< Centroid index at that monitor.
+  std::uint64_t count = 0;       ///< Packets behind the centroid.
+  double distance = 0.0;         ///< Eq. 5 distance to the question vector.
+  /// Threshold margins (positive = inside): tau_d - distance.
+  double margin_d1 = 0.0;
+  double margin_d2 = 0.0;
+};
+
+/// Outcome of the case-3 feedback round-trip for this alert.
+struct FeedbackProvenance {
+  bool requested = false;     ///< The engine asked for raw packets.
+  bool fallback = false;      ///< Retrieval failed; summary decision stood.
+  std::size_t attempts = 0;   ///< Transport attempts across all retrievals
+                              ///< freshly made for this alert (cache hits
+                              ///< contribute 0).
+  double backoff_s = 0.0;     ///< Total retry backoff those attempts cost.
+  std::size_t raw_packets = 0;  ///< Raw packets examined.
+  bool raw_confirmed = false;   ///< Exact-match verdict (when it ran).
+};
+
+struct AlertProvenance {
+  std::uint32_t sid = 0;
+  ThresholdCase threshold_case = ThresholdCase::kStrictMatch;
+
+  // Thresholds in effect at decision time.
+  double tau_d1 = 0.0;
+  double tau_d2 = 0.0;
+  std::uint64_t tau_c = 0;      ///< Scaled count threshold actually applied.
+  double tau_c_scale = 1.0;     ///< Volume scale folded into tau_c.
+
+  // The two Algorithm-1 passes.
+  std::uint64_t strict_count = 0;  ///< Sum of counts within tau_d1.
+  std::uint64_t loose_count = 0;   ///< Sum of counts within tau_d2.
+
+  // Degraded-mode context (PR 4) at decision time.
+  double report_fraction = 1.0;
+  /// Drift caution signal (fraction of monitors whose summary fidelity is
+  /// currently drifting, 0 = all healthy).  Surfaced, never acted on.
+  double caution = 0.0;
+
+  /// The evidence set Q the decision used: strict matches for case 1,
+  /// loose matches for case 3.  Non-empty for every raised alert.
+  std::vector<CentroidEvidence> centroids;
+  /// Distinct contributing monitors, ascending.
+  std::vector<std::uint32_t> monitors;
+
+  FeedbackProvenance feedback;
+
+  // Postprocessor (Algorithm 2) outcome.
+  double variance = 0.0;
+  bool distributed = false;
+  /// verify_all_alerts (§10) raw confirmation ran and passed.
+  bool verified = false;
+
+  /// Mean margin of the evidence set against the threshold that admitted it
+  /// (tau_d1 for case 1, tau_d2 otherwise); 0 on an empty set.
+  [[nodiscard]] double mean_margin() const noexcept;
+};
+
+/// One-line deterministic JSON (no trailing newline): field order fixed,
+/// doubles as %.17g, centroids in aggregate-row order.
+[[nodiscard]] std::string to_json(const AlertProvenance& p);
+
+/// JSONL for a batch of provenance records, one line each, in order.
+[[nodiscard]] std::string to_jsonl(
+    const std::vector<std::shared_ptr<const AlertProvenance>>& records);
+
+}  // namespace jaal::observe

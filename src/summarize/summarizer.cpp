@@ -1,5 +1,6 @@
 #include "summarize/summarizer.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -113,10 +114,12 @@ SummarizeOutput Summarizer::summarize(
   };
 
   SummarizeOutput out;
+  double inertia = 0.0;
   if (use_split) {
     // Split: cluster rows of U_r; ship factors separately.
     const KMeansResult km = run_kmeans(svd.u);
     if (tel_ != nullptr) split_format_->add(1);
+    inertia = km.inertia;
     SplitSummary s;
     s.monitor = monitor_;
     s.u_centroids = km.centroids;
@@ -130,12 +133,35 @@ SummarizeOutput Summarizer::summarize(
     const linalg::Matrix x_p = svd.reconstruct();
     const KMeansResult km = run_kmeans(x_p);
     if (tel_ != nullptr) combined_format_->add(1);
+    inertia = km.inertia;
     CombinedSummary s;
     s.monitor = monitor_;
     s.centroids = km.centroids;
     s.counts = km.counts;
     out.summary = std::move(s);
     out.assignment = km.assignment;
+  }
+
+  if (cfg_.record_fidelity) {
+    // Fidelity of this batch's summary, for the drift monitors: how much
+    // of the batch the rank-r truncation keeps, how tight the clustering
+    // is, and the combined per-packet summary error.
+    const double n = static_cast<double>(batch.size());
+    double total_energy = 0.0;
+    for (double v : x_bar.data()) total_energy += v * v;
+    double retained_energy = 0.0;
+    for (double s : svd.sigma) retained_energy += s * s;
+    observe::FidelityStats fs;
+    fs.monitor = monitor_;
+    fs.batch_packets = batch.size();
+    fs.svd_energy_retained =
+        total_energy > 0.0
+            ? std::min(1.0, retained_energy / total_energy)
+            : 1.0;
+    fs.kmeans_inertia = inertia / n;
+    const double residual = std::max(0.0, total_energy - retained_energy);
+    fs.reconstruction_error = (residual + inertia) / n;
+    out.fidelity = fs;
   }
   return out;
 }

@@ -7,9 +7,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <random>
 #include <span>
 
+#include "observe/drift.hpp"
 #include "runtime/thread_pool.hpp"
 #include "summarize/kmeans.hpp"
 #include "summarize/normalize.hpp"
@@ -36,6 +38,10 @@ struct SummarizerConfig {
   /// and cheaper for large batches.
   bool randomized_svd = false;
   std::uint64_t seed = 42;
+  /// Emit per-batch FidelityStats (SVD energy retained, k-means inertia,
+  /// reconstruction error) for the drift monitors.  Costs one O(np) pass
+  /// over the normalized batch; the rest falls out of SVD/k-means.
+  bool record_fidelity = true;
 };
 
 /// Summarization output: the wire summary plus the packet->centroid map the
@@ -44,6 +50,10 @@ struct SummarizerConfig {
 struct SummarizeOutput {
   MonitorSummary summary;
   std::vector<std::size_t> assignment;  ///< packets[i] -> centroid index.
+  /// Summary fidelity of this batch (when record_fidelity is on).  The
+  /// epoch field is 0 here; the controller stamps it before feeding the
+  /// HealthTracker.
+  std::optional<observe::FidelityStats> fidelity;
 };
 
 class Summarizer {

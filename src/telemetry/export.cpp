@@ -78,6 +78,32 @@ bool is_wall_clock_metric(const std::string& name) noexcept {
          name.rfind("jaal_runtime_", 0) == 0;
 }
 
+std::string escape_label_value(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string with_label(const std::string& name, const std::string& key,
+                       const std::string& value) {
+  const std::string pair = key + "=\"" + escape_label_value(value) + "\"";
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos || name.back() != '}') {
+    return name + "{" + pair + "}";
+  }
+  std::string out = name.substr(0, name.size() - 1);
+  if (out.back() != '{') out += ',';
+  return out + pair + "}";
+}
+
 std::string prometheus_text(const MetricsSnapshot& snapshot) {
   const auto entries = sorted_entries(snapshot);
   std::string out;

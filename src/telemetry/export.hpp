@@ -41,4 +41,18 @@ struct JsonlOptions {
 /// histograms and the scheduler-dependent jaal_runtime_* family).
 [[nodiscard]] bool is_wall_clock_metric(const std::string& name) noexcept;
 
+/// Escapes a Prometheus label *value* per the text exposition format:
+/// backslash, double quote, and line feed become \\, \", and \n.
+[[nodiscard]] std::string escape_label_value(const std::string& value);
+
+/// Composes a labeled metric name: 'base' -> 'base{key="value"}', or appends
+/// to an existing label set ('base{a="1"}' -> 'base{a="1",key="value"}').
+/// The value is escaped with escape_label_value; the key must already be a
+/// valid label name.  Registering per-label-value series goes through this
+/// helper so arbitrary strings (rule messages, scenario names) cannot break
+/// the exposition format.
+[[nodiscard]] std::string with_label(const std::string& name,
+                                     const std::string& key,
+                                     const std::string& value);
+
 }  // namespace jaal::telemetry

@@ -1,0 +1,211 @@
+// Summary-quality drift monitors: the seeded EWMA detector and the
+// deployment-level health tracker.  A stationary trace must not flag; an
+// injected distribution shift must; hysteresis must keep the flag from
+// flapping while the baseline re-converges.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "attack/generators.hpp"
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "observe/drift.hpp"
+#include "observe/health.hpp"
+#include "summarize/summarizer.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::observe {
+namespace {
+
+TEST(Drift, ConfigValidationRejectsNonsense) {
+  DriftConfig bad;
+  bad.alpha = 0.0;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = {};
+  bad.z_exit = bad.z_enter + 1.0;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  bad = {};
+  bad.rel_floor = -0.1;
+  EXPECT_THROW(DriftDetector{bad}, std::invalid_argument);
+  EXPECT_NO_THROW(DriftDetector{DriftConfig{}});
+}
+
+TEST(Drift, WarmupSuppressesJudgment) {
+  DriftConfig cfg;
+  cfg.warmup = 4;
+  DriftDetector d(cfg);
+  // A wild jump inside the warmup window is absorbed into the baseline, not
+  // judged against it.
+  (void)d.observe(1.0);
+  (void)d.observe(100.0);
+  (void)d.observe(1.0);
+  EXPECT_FALSE(d.drifting());
+  EXPECT_FALSE(d.transitioned());
+}
+
+TEST(Drift, ShiftEntersAndHysteresisExitsWithoutFlapping) {
+  DriftDetector d{DriftConfig{}};
+  for (int i = 0; i < 6; ++i) (void)d.observe(1.0);
+  EXPECT_FALSE(d.drifting());
+
+  // A level shift: enters drift on the first judged sample...
+  std::size_t transitions = 0;
+  (void)d.observe(2.0);
+  EXPECT_TRUE(d.drifting());
+  EXPECT_TRUE(d.transitioned());
+  ++transitions;
+  // ...and while the EWMA re-converges onto the new level, the flag eases
+  // out exactly once (z must fall to z_exit, not merely below z_enter).
+  for (int i = 0; i < 40; ++i) {
+    (void)d.observe(2.0);
+    transitions += d.transitioned() ? 1 : 0;
+  }
+  EXPECT_FALSE(d.drifting());
+  EXPECT_EQ(transitions, 2u);  // one start, one end — no flapping
+}
+
+TEST(Drift, StationaryNoiseStaysQuiet) {
+  DriftDetector d{DriftConfig{}};
+  // Deterministic small-amplitude noise around 1.0 (an LCG, no wall clock).
+  std::uint64_t state = 12345;
+  for (int i = 0; i < 500; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double noise = static_cast<double>(state >> 40) / (1 << 24);
+    (void)d.observe(1.0 + 0.01 * (noise - 0.5));
+    EXPECT_FALSE(d.drifting()) << "flagged at sample " << i;
+  }
+}
+
+// Feeds one summarizer's fidelity over `epochs` batches from `source` into
+// `tracker` (monitor 0), returning all drift events raised.
+std::vector<HealthEvent> feed_fidelity(HealthTracker& tracker,
+                                       trace::PacketSource& gen,
+                                       std::size_t epochs,
+                                       std::uint64_t first_epoch) {
+  summarize::SummarizerConfig scfg;
+  scfg.batch_size = 1000;
+  scfg.min_batch = 400;
+  scfg.rank = 12;
+  scfg.centroids = 200;
+  summarize::Summarizer summarizer(scfg);
+  std::vector<HealthEvent> events;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    const auto batch = trace::take(gen, scfg.batch_size);
+    summarize::SummarizeOutput out = summarizer.summarize(batch);
+    EXPECT_TRUE(out.fidelity.has_value()) << "fidelity recording off";
+    if (!out.fidelity) continue;
+    out.fidelity->epoch = first_epoch + e;
+    tracker.observe_fidelity(*out.fidelity);
+    auto raised = tracker.end_epoch(first_epoch + e, {});
+    events.insert(events.end(), raised.begin(), raised.end());
+  }
+  return events;
+}
+
+ObserveConfig tracker_config() {
+  ObserveConfig cfg;
+  cfg.drift_config.warmup = 5;  // match the jaal_doctor deployment
+  return cfg;
+}
+
+// The shift source: background swamped by a near-uniform SYN flood, whose
+// batches have almost no cluster structure — the summarizer's k-means
+// inertia and energy statistics move far off the Trace-1 baseline.
+attack::DistributedSynFlood make_flood() {
+  attack::AttackConfig atk;
+  atk.victim_ip = core::evaluation_victim_ip();
+  atk.packets_per_second = 50000.0;
+  atk.seed = 11;
+  return attack::DistributedSynFlood(atk);
+}
+
+TEST(Drift, StationaryTraceRaisesNoEvents) {
+  HealthTracker tracker(tracker_config(), 1);
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 7);
+  feed_fidelity(tracker, gen, 16, 0);
+  EXPECT_EQ(tracker.drift_events_total(), 0u);
+  EXPECT_EQ(tracker.monitors_drifting(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.caution(), 0.0);
+}
+
+TEST(Drift, InjectedShiftIsFlaggedAndRaisesCaution) {
+  HealthTracker tracker(tracker_config(), 1);
+  trace::BackgroundTraffic baseline(trace::trace1_profile(), 7);
+  feed_fidelity(tracker, baseline, 8, 0);
+  ASSERT_EQ(tracker.drift_events_total(), 0u);
+
+  attack::DistributedSynFlood flood = make_flood();
+  std::vector<HealthEvent> events = feed_fidelity(tracker, flood, 2, 8);
+  // Mid-episode the monitor counts as drifting, so caution is raised...
+  EXPECT_GT(tracker.drift_events_total(), 0u);
+  EXPECT_GT(tracker.caution(), 0.0);
+  // ...and once the EWMA re-converges on the shifted regime, hysteresis
+  // eases the flag (and caution) back out.
+  const auto later = feed_fidelity(tracker, flood, 6, 10);
+  events.insert(events.end(), later.begin(), later.end());
+  bool saw_start = false;
+  for (const HealthEvent& e : events) {
+    saw_start |= e.kind == HealthEventKind::kDriftStart;
+    EXPECT_GE(e.epoch, 8u) << "drift flagged before the shift";
+  }
+  EXPECT_TRUE(saw_start);
+  EXPECT_DOUBLE_EQ(tracker.caution(), 0.0);
+
+  const HealthReport report = tracker.report();
+  EXPECT_FALSE(report.events.empty());
+  EXPECT_GT(report.monitors.at(0).drift_events, 0u);
+}
+
+TEST(Drift, DisabledDriftIsInertAndCautionFree) {
+  ObserveConfig cfg = tracker_config();
+  cfg.drift = false;
+  HealthTracker tracker(cfg, 1);
+  trace::BackgroundTraffic baseline(trace::trace1_profile(), 7);
+  feed_fidelity(tracker, baseline, 6, 0);
+  attack::DistributedSynFlood flood = make_flood();
+  feed_fidelity(tracker, flood, 6, 6);
+  EXPECT_EQ(tracker.drift_events_total(), 0u);
+  EXPECT_DOUBLE_EQ(tracker.caution(), 0.0);
+}
+
+// Deployment-level: the controller surfaces drift events and the caution
+// signal on EpochResult, deterministically across thread counts.
+TEST(Drift, ControllerSurfacesEventsDeterministically) {
+  auto run = [](std::size_t threads) {
+    core::JaalConfig cfg;
+    cfg.summarizer.batch_size = 1000;
+    cfg.summarizer.min_batch = 400;
+    cfg.summarizer.rank = 12;
+    cfg.summarizer.centroids = 200;
+    cfg.monitor_count = 2;
+    cfg.epoch_seconds = 1.0;
+    cfg.threads = threads;
+    cfg.observe.drift_config.warmup = 5;
+    core::JaalController controller(
+        cfg, rules::parse_rules(rules::default_ruleset_text(),
+                                core::evaluation_rule_vars()));
+    std::string log;
+    trace::TraceProfile profile = trace::trace1_profile();
+    profile.packets_per_second = 2000.0;
+    trace::BackgroundTraffic phase1(profile, 7);
+    trace::TraceProfile shifted = trace::trace2_profile();
+    shifted.packets_per_second = 6000.0;
+    shifted.pareto_alpha = 1.05;
+    trace::BackgroundTraffic phase2(shifted, 21);
+    for (auto* source : {&phase1, &phase2}) {
+      for (const core::EpochResult& epoch : controller.run(*source, 6.0)) {
+        for (const HealthEvent& e : epoch.drift_events) log += to_json(e) + "\n";
+      }
+    }
+    return log;
+  };
+  const std::string serial = run(1);
+  EXPECT_NE(serial.find("drift_start"), std::string::npos)
+      << "shifted deployment raised no drift events";
+  EXPECT_EQ(serial, run(2));
+}
+
+}  // namespace
+}  // namespace jaal::observe

@@ -1,0 +1,233 @@
+// Alert provenance: the causal chain must reproduce the threshold decision
+// it explains, and the JSONL export must be byte-identical across runs and
+// thread counts (the ISSUE-5 acceptance bar).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/generators.hpp"
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "observe/provenance.hpp"
+#include "trace/mix.hpp"
+
+namespace jaal::core {
+namespace {
+
+struct ProvenanceRun {
+  std::vector<inference::Alert> alerts;
+  std::string jsonl;
+};
+
+// One seeded 3-epoch deployment (Trace-1 background + DDoS), the operating
+// point the telemetry pipeline tests use, with provenance toggleable.
+ProvenanceRun run_deployment(std::size_t threads, bool provenance = true) {
+  trace::TraceProfile profile = trace::trace1_profile();
+  profile.packets_per_second = 2000.0;
+  trace::BackgroundTraffic background(profile, 7);
+  attack::AttackConfig atk;
+  atk.victim_ip = evaluation_victim_ip();
+  atk.packets_per_second = 5000.0;
+  atk.start_time = 1.0;
+  atk.seed = 11;
+  attack::DistributedSynFlood flood(atk);
+  trace::TrafficMix mix(background, {&flood}, 0.10);
+
+  JaalConfig cfg;
+  cfg.summarizer.batch_size = 1000;
+  cfg.summarizer.min_batch = 400;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 200;
+  cfg.monitor_count = 2;
+  cfg.epoch_seconds = 1.0;
+  cfg.threads = threads;
+  cfg.engine.default_thresholds = {0.008, 0.03};
+  cfg.engine.feedback_enabled = true;
+  cfg.observe.provenance = provenance;
+  JaalController controller(
+      cfg, rules::parse_rules(rules::default_ruleset_text(),
+                              evaluation_rule_vars()));
+
+  ProvenanceRun out;
+  std::vector<std::shared_ptr<const observe::AlertProvenance>> records;
+  for (const EpochResult& epoch : controller.run(mix, 3.0)) {
+    for (const inference::Alert& alert : epoch.alerts) {
+      out.alerts.push_back(alert);
+      if (alert.provenance) records.push_back(alert.provenance);
+    }
+  }
+  out.jsonl = observe::to_jsonl(records);
+  return out;
+}
+
+// The margins recorded on every evidence centroid must be exactly the
+// recorded thresholds minus the recorded distance, and the counts must
+// reproduce the threshold case that raised the alert.
+void expect_consistent(const observe::AlertProvenance& p) {
+  ASSERT_FALSE(p.centroids.empty());
+  ASSERT_FALSE(p.monitors.empty());
+  EXPECT_GE(p.tau_d2, p.tau_d1);
+  const bool strict = p.threshold_case == observe::ThresholdCase::kStrictMatch;
+  for (const observe::CentroidEvidence& c : p.centroids) {
+    EXPECT_NEAR(c.margin_d1, p.tau_d1 - c.distance, 1e-12);
+    EXPECT_NEAR(c.margin_d2, p.tau_d2 - c.distance, 1e-12);
+    // Every evidence centroid sits inside the threshold that admitted it.
+    EXPECT_GE(strict ? c.margin_d1 : c.margin_d2, 0.0);
+  }
+  if (strict) {
+    EXPECT_GE(p.strict_count, p.tau_c);
+  } else {
+    // Case 3 means strict said no and loose said yes.
+    EXPECT_LT(p.strict_count, p.tau_c);
+    EXPECT_GE(p.loose_count, p.tau_c);
+  }
+  // Contributing monitors are distinct and ascending.
+  for (std::size_t i = 1; i < p.monitors.size(); ++i) {
+    EXPECT_LT(p.monitors[i - 1], p.monitors[i]);
+  }
+}
+
+TEST(Provenance, EveryAlertCarriesAConsistentCausalChain) {
+  const ProvenanceRun run = run_deployment(1);
+  ASSERT_FALSE(run.alerts.empty());
+  for (const inference::Alert& alert : run.alerts) {
+    ASSERT_NE(alert.provenance, nullptr);
+    EXPECT_EQ(alert.provenance->sid, alert.sid);
+    EXPECT_DOUBLE_EQ(alert.provenance->report_fraction, alert.confidence);
+    EXPECT_DOUBLE_EQ(alert.provenance->caution, alert.caution);
+    expect_consistent(*alert.provenance);
+  }
+  EXPECT_NE(run.jsonl.find("\"kind\":\"provenance\""), std::string::npos);
+}
+
+TEST(Provenance, JsonlIsByteIdenticalAcrossRunsAndThreads) {
+  const ProvenanceRun a = run_deployment(1);
+  const ProvenanceRun b = run_deployment(1);
+  const ProvenanceRun pooled = run_deployment(2);
+  ASSERT_FALSE(a.jsonl.empty());
+  EXPECT_EQ(a.jsonl, b.jsonl);
+  EXPECT_EQ(a.jsonl, pooled.jsonl);
+}
+
+TEST(Provenance, ToggleOffAttachesNothingAndKeepsDecisions) {
+  const ProvenanceRun on = run_deployment(1, true);
+  const ProvenanceRun off = run_deployment(1, false);
+  ASSERT_EQ(on.alerts.size(), off.alerts.size());
+  for (std::size_t i = 0; i < off.alerts.size(); ++i) {
+    EXPECT_EQ(off.alerts[i].provenance, nullptr);
+    // Capture is observability only: the decisions are unchanged.
+    EXPECT_EQ(off.alerts[i].sid, on.alerts[i].sid);
+    EXPECT_EQ(off.alerts[i].matched_packets, on.alerts[i].matched_packets);
+  }
+  EXPECT_TRUE(off.jsonl.empty());
+}
+
+// Case-3 provenance at the engine level: a strict threshold nobody can meet
+// forces the uncertain path, and the feedback outcome (verified vs fallback
+// vs feedback-off) lands in FeedbackProvenance.
+class ProvenanceCase3 : public ::testing::Test {
+ protected:
+  static const Trial& trial() {
+    static const Trial kTrial = [] {
+      TrialConfig tcfg;
+      tcfg.summarizer.batch_size = 1000;
+      tcfg.summarizer.min_batch = 400;
+      tcfg.summarizer.rank = 12;
+      tcfg.summarizer.centroids = 200;
+      tcfg.monitor_count = 2;
+      tcfg.profile = trace::trace1_profile();
+      tcfg.attack_intensity_min = 1.0;
+      tcfg.attack_intensity_max = 1.0;
+      return make_trial(packet::AttackType::kDistributedSynFlood, tcfg, 5);
+    }();
+    return kTrial;
+  }
+
+  static inference::EngineConfig engine_config(bool feedback) {
+    inference::EngineConfig ecfg;
+    // tau_d1 no centroid can satisfy, loose tau_d2 at the operating point:
+    // every firing rule goes through case 3.
+    ecfg.default_thresholds = {1e-9, 0.03};
+    ecfg.feedback_enabled = feedback;
+    TrialConfig tcfg;
+    tcfg.summarizer.batch_size = 1000;
+    tcfg.monitor_count = 2;
+    ecfg.tau_c_scale = tau_c_scale_for(tcfg);
+    return ecfg;
+  }
+
+  static std::vector<rules::Rule> ruleset() {
+    return rules::parse_rules(rules::default_ruleset_text(),
+                              evaluation_rule_vars());
+  }
+};
+
+TEST_F(ProvenanceCase3, VerifiedFeedbackIsRecorded) {
+  inference::InferenceEngine engine(ruleset(), engine_config(true));
+  const auto alerts = engine.infer(trial().aggregate, trial().fetcher());
+  ASSERT_FALSE(alerts.empty());
+  bool saw_verified = false;
+  for (const inference::Alert& alert : alerts) {
+    ASSERT_NE(alert.provenance, nullptr);
+    const observe::AlertProvenance& p = *alert.provenance;
+    EXPECT_NE(p.threshold_case, observe::ThresholdCase::kStrictMatch);
+    expect_consistent(p);
+    if (p.threshold_case == observe::ThresholdCase::kUncertainVerified) {
+      saw_verified = true;
+      EXPECT_TRUE(p.feedback.requested);
+      EXPECT_TRUE(p.feedback.raw_confirmed);
+      EXPECT_FALSE(p.feedback.fallback);
+      EXPECT_GT(p.feedback.raw_packets, 0u);
+    }
+  }
+  EXPECT_TRUE(saw_verified);
+}
+
+TEST_F(ProvenanceCase3, FailedRetrievalRecordsTheFallback) {
+  inference::InferenceEngine engine(ruleset(), engine_config(true));
+  const inference::RawPacketFetcher broken =
+      [](summarize::MonitorId, const std::vector<std::size_t>&) {
+        return inference::RawFetch(std::nullopt);
+      };
+  const auto alerts = engine.infer(trial().aggregate, broken);
+  ASSERT_FALSE(alerts.empty());
+  for (const inference::Alert& alert : alerts) {
+    ASSERT_NE(alert.provenance, nullptr);
+    const observe::AlertProvenance& p = *alert.provenance;
+    EXPECT_EQ(p.threshold_case, observe::ThresholdCase::kUncertainAssumed);
+    EXPECT_TRUE(p.feedback.requested);
+    EXPECT_TRUE(p.feedback.fallback);
+    EXPECT_FALSE(p.feedback.raw_confirmed);
+    EXPECT_EQ(p.feedback.raw_packets, 0u);
+  }
+}
+
+TEST_F(ProvenanceCase3, FeedbackOffStandsOnTheLooseDecision) {
+  inference::InferenceEngine engine(ruleset(), engine_config(false));
+  const auto alerts = engine.infer(trial().aggregate, nullptr);
+  ASSERT_FALSE(alerts.empty());
+  for (const inference::Alert& alert : alerts) {
+    ASSERT_NE(alert.provenance, nullptr);
+    const observe::AlertProvenance& p = *alert.provenance;
+    EXPECT_EQ(p.threshold_case, observe::ThresholdCase::kUncertainAssumed);
+    EXPECT_FALSE(p.feedback.requested);
+  }
+}
+
+TEST(Provenance, MeanMarginAveragesTheAdmittingThreshold) {
+  observe::AlertProvenance p;
+  p.threshold_case = observe::ThresholdCase::kStrictMatch;
+  p.centroids.push_back({0, 0, 1, 0.0, 0.002, 0.01});
+  p.centroids.push_back({1, 3, 2, 0.0, 0.006, 0.03});
+  EXPECT_NEAR(p.mean_margin(), 0.004, 1e-15);
+  p.threshold_case = observe::ThresholdCase::kUncertainAssumed;
+  EXPECT_NEAR(p.mean_margin(), 0.02, 1e-15);
+  EXPECT_DOUBLE_EQ(observe::AlertProvenance{}.mean_margin(), 0.0);
+}
+
+}  // namespace
+}  // namespace jaal::core

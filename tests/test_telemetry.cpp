@@ -269,5 +269,43 @@ TEST(Telemetry, PrometheusExpositionRoundTrips) {
 
 #endif  // JAAL_TELEMETRY_DISABLED
 
+TEST(Telemetry, LabelValueEscaping) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(escape_label_value(""), "");
+}
+
+TEST(Telemetry, WithLabelComposesAndAppends) {
+  EXPECT_EQ(with_label("jaal_alerts_total", "sid", "1000002"),
+            "jaal_alerts_total{sid=\"1000002\"}");
+  // Appending to an existing label set keeps prior labels intact.
+  EXPECT_EQ(with_label("jaal_alerts_total{sid=\"7\"}", "rule", "x"),
+            "jaal_alerts_total{sid=\"7\",rule=\"x\"}");
+  // Hostile values cannot break out of the quoted label value.
+  EXPECT_EQ(with_label("m", "msg", "a\"b\\c\nd"),
+            "m{msg=\"a\\\"b\\\\c\\nd\"}");
+}
+
+#ifndef JAAL_TELEMETRY_DISABLED
+
+TEST(Telemetry, EscapedLabelStaysInsideItsQuotesInTheExposition) {
+  MetricsRegistry reg;
+  reg.counter(with_label("jaal_test_labeled_total", "msg", "quote\"and\\slash"))
+      .add(5);
+  const std::string text = prometheus_text(reg.snapshot());
+  // The hostile value appears escaped, inside one quoted label value, and
+  // the series still parses as a counter sample.
+  EXPECT_NE(
+      text.find("jaal_test_labeled_total{msg=\"quote\\\"and\\\\slash\"} 5"),
+      std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE jaal_test_labeled_total counter"),
+            std::string::npos);
+}
+
+#endif  // JAAL_TELEMETRY_DISABLED
+
 }  // namespace
 }  // namespace jaal::telemetry
