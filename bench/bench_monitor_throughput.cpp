@@ -7,6 +7,7 @@
 
 #include <random>
 
+#include "linalg/simd.hpp"
 #include "linalg/svd.hpp"
 #include "packet/wire.hpp"
 #include "rules/raw_matcher.hpp"
@@ -77,7 +78,7 @@ void BM_FullSummarizeRandomizedSvd(benchmark::State& state) {
   cfg.min_batch = 1;
   cfg.rank = 12;
   cfg.centroids = packets.size() / 5;
-  cfg.randomized_svd = true;
+  cfg.svd_backend = summarize::SvdBackend::kRandomized;
   summarize::Summarizer summarizer(cfg);
   for (auto _ : state) {
     benchmark::DoNotOptimize(summarizer.summarize(packets));
@@ -85,6 +86,71 @@ void BM_FullSummarizeRandomizedSvd(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_FullSummarizeRandomizedSvd)->Arg(1000)->Arg(2000);
+
+/// The SIMD acceptance pair: the same full pipeline with the kernels pinned
+/// to scalar vs the best level this host supports.  The items/s ratio of the
+/// two is the single-thread speedup the CI regression gate tracks.
+void BM_FullSummarizeForcedLevel(benchmark::State& state,
+                                 linalg::simd::Level level) {
+  const auto packets = batch(static_cast<std::size_t>(state.range(0)));
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = packets.size();
+  cfg.min_batch = 1;
+  cfg.rank = 12;
+  cfg.centroids = packets.size() / 5;
+  summarize::Summarizer summarizer(cfg);
+  const linalg::simd::Level prev = linalg::simd::active();
+  linalg::simd::force_level(level);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summarizer.summarize(packets));
+  }
+  linalg::simd::force_level(prev);
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+void BM_FullSummarizeScalar(benchmark::State& state) {
+  BM_FullSummarizeForcedLevel(state, linalg::simd::Level::kScalar);
+}
+void BM_FullSummarizeSimd(benchmark::State& state) {
+  BM_FullSummarizeForcedLevel(state, linalg::simd::detected());
+}
+BENCHMARK(BM_FullSummarizeScalar)->Arg(1000)->Arg(2000);
+BENCHMARK(BM_FullSummarizeSimd)->Arg(1000)->Arg(2000);
+
+void BM_FullSummarizeIncrementalSvd(benchmark::State& state) {
+  const auto packets = batch(static_cast<std::size_t>(state.range(0)));
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = packets.size();
+  cfg.min_batch = 1;
+  cfg.rank = 12;
+  cfg.centroids = packets.size() / 5;
+  cfg.svd_backend = summarize::SvdBackend::kIncremental;
+  summarize::Summarizer summarizer(cfg);
+  // First update is the cold eigensolve; steady state is what matters.
+  (void)summarizer.summarize(packets);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summarizer.summarize(packets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullSummarizeIncrementalSvd)->Arg(1000)->Arg(2000);
+
+void BM_FullSummarizeMiniBatch(benchmark::State& state) {
+  const auto packets = batch(static_cast<std::size_t>(state.range(0)));
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = packets.size();
+  cfg.min_batch = 1;
+  cfg.rank = 12;
+  cfg.centroids = packets.size() / 5;
+  cfg.svd_backend = summarize::SvdBackend::kIncremental;
+  cfg.cluster_backend = summarize::ClusterBackend::kMiniBatch;
+  summarize::Summarizer summarizer(cfg);
+  (void)summarizer.summarize(packets);  // seed centroids / basis
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(summarizer.summarize(packets));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_FullSummarizeMiniBatch)->Arg(1000)->Arg(2000);
 
 void BM_SerializeSummary(benchmark::State& state) {
   const auto packets = batch(1000);

@@ -65,10 +65,14 @@ inline inference::EngineConfig operating_point(double tau_c_scale,
 /// diffing/plotting the JSON instead of scraping stdout.  Row order and key
 /// order are preserved.  A "meta" object records the build commit and the
 /// machine's hardware concurrency, so a perf delta in the trajectory can be
-/// attributed to code vs. host.
+/// attributed to code vs. host (bench/check_bench_regression.py keys off
+/// it).  `extra_meta` appends raw JSON values under additional meta keys —
+/// the value string is emitted verbatim, so pass `"true"`, `"3"`, or
+/// `"\"avx2\""` as appropriate.
 inline void write_bench_json(
     const std::string& bench,
     const std::vector<std::vector<std::pair<std::string, double>>>& rows,
+    const std::vector<std::pair<std::string, std::string>>& extra_meta = {},
     const std::string& path = "") {
   const std::string file = path.empty() ? "BENCH_" + bench + ".json" : path;
   std::FILE* f = std::fopen(file.c_str(), "w");
@@ -79,8 +83,12 @@ inline void write_bench_json(
   std::fprintf(f, "{\n  \"bench\": \"%s\",\n", bench.c_str());
   std::fprintf(f,
                "  \"meta\": {\"git_sha\": \"%s\", "
-               "\"hardware_concurrency\": %u},\n",
+               "\"hardware_concurrency\": %u",
                JAAL_GIT_SHA, std::thread::hardware_concurrency());
+  for (const auto& [key, raw_value] : extra_meta) {
+    std::fprintf(f, ", \"%s\": %s", key.c_str(), raw_value.c_str());
+  }
+  std::fprintf(f, "},\n");
   std::fprintf(f, "  \"results\": [\n");
   for (std::size_t r = 0; r < rows.size(); ++r) {
     std::fprintf(f, "    {");

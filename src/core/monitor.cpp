@@ -73,7 +73,8 @@ bool Monitor::batch_ready() const noexcept {
 
 std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
     const telemetry::SpanContext& parent) {
-  epoch_store_.clear();
+  store_offsets_.clear();
+  store_packets_.clear();
   last_fidelity_.reset();
   if (buffer_.size() < summarizer_.config().min_batch) {
     // Below n_min the SVD/clustering quality collapses (§5.1): keep
@@ -84,12 +85,21 @@ std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
   summarize::SummarizeOutput out = summarizer_.summarize(buffer_, parent);
   last_fidelity_ = out.fidelity;
 
-  // Build the per-epoch centroid -> raw packet map (§7's hash table).
+  // Build the per-epoch centroid -> raw packet map (§7's hash table) as a
+  // CSR layout via counting sort on the assignment: one pass to count, one
+  // prefix sum, one pass to scatter.
   std::size_t k = 0;
   for (std::size_t c : out.assignment) k = std::max(k, c + 1);
-  epoch_store_.assign(k, {});
+  store_offsets_.assign(k + 1, 0);
+  for (std::size_t c : out.assignment) ++store_offsets_[c + 1];
+  for (std::size_t c = 0; c < k; ++c) {
+    store_offsets_[c + 1] += store_offsets_[c];
+  }
+  store_packets_.resize(buffer_.size());
+  std::vector<std::size_t> cursor(store_offsets_.begin(),
+                                  store_offsets_.end() - 1);
   for (std::size_t i = 0; i < buffer_.size(); ++i) {
-    epoch_store_[out.assignment[i]].push_back(buffer_[i]);
+    store_packets_[cursor[out.assignment[i]]++] = buffer_[i];
   }
   buffer_.clear();
 
@@ -105,16 +115,23 @@ std::optional<summarize::MonitorSummary> Monitor::flush_epoch(
 void Monitor::discard_epoch() {
   lost_to_crash_ += buffer_.size();
   buffer_.clear();
-  epoch_store_.clear();
+  store_offsets_.clear();
+  store_packets_.clear();
   last_fidelity_.reset();
 }
 
 std::vector<packet::PacketRecord> Monitor::raw_packets_for(
     const std::vector<std::size_t>& centroid_indices) const {
   std::vector<packet::PacketRecord> out;
+  const std::size_t k =
+      store_offsets_.empty() ? 0 : store_offsets_.size() - 1;
   for (std::size_t c : centroid_indices) {
-    if (c >= epoch_store_.size()) continue;
-    out.insert(out.end(), epoch_store_[c].begin(), epoch_store_[c].end());
+    if (c >= k) continue;
+    out.insert(out.end(),
+               store_packets_.begin() +
+                   static_cast<std::ptrdiff_t>(store_offsets_[c]),
+               store_packets_.begin() +
+                   static_cast<std::ptrdiff_t>(store_offsets_[c + 1]));
   }
   return out;
 }

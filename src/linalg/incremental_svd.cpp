@@ -1,0 +1,196 @@
+#include "linalg/incremental_svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "linalg/simd.hpp"
+#include "linalg/soa.hpp"
+
+namespace jaal::linalg {
+namespace {
+
+/// Classical two-sided Jacobi eigensolve of a symmetric p x p matrix `b`
+/// (diagonalized in place), accumulating the rotations into `j` (which must
+/// start as the identity).  Returns the sweeps spent.
+int jacobi_eigensolve(Matrix& b, Matrix& j, const SvdOptions& opts) {
+  const std::size_t p = b.rows();
+  int sweeps_used = 0;
+  for (int sweep = 0; sweep < opts.max_sweeps; ++sweep) {
+    ++sweeps_used;
+    bool rotated = false;
+    for (std::size_t q = 0; q + 1 < p; ++q) {
+      for (std::size_t r = q + 1; r < p; ++r) {
+        const double off = b(q, r);
+        const double dq = b(q, q);
+        const double dr = b(r, r);
+        if (dq * dr < 1e-60 && std::abs(off) < 1e-30) continue;
+        if (std::abs(off) <= opts.tolerance * std::sqrt(std::abs(dq * dr))) {
+          continue;
+        }
+        rotated = true;
+        const double zeta = (dr - dq) / (2.0 * off);
+        const double t = std::copysign(
+            1.0 / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
+        const double cs = 1.0 / std::sqrt(1.0 + t * t);
+        const double sn = cs * t;
+        // B <- G^T B G for the (q, r) plane rotation G.
+        for (std::size_t m = 0; m < p; ++m) {
+          const double bmq = b(m, q);
+          b(m, q) = cs * bmq - sn * b(m, r);
+          b(m, r) = sn * bmq + cs * b(m, r);
+        }
+        for (std::size_t m = 0; m < p; ++m) {
+          const double bqm = b(q, m);
+          b(q, m) = cs * bqm - sn * b(r, m);
+          b(r, m) = sn * bqm + cs * b(r, m);
+        }
+        // Exact symmetry for the rotated pair (the two-step update leaves
+        // roundoff-level asymmetry that would otherwise accumulate).
+        b(r, q) = b(q, r);
+        for (std::size_t m = 0; m < p; ++m) {
+          const double jmq = j(m, q);
+          j(m, q) = cs * jmq - sn * j(m, r);
+          j(m, r) = sn * jmq + cs * j(m, r);
+        }
+      }
+    }
+    if (!rotated) return sweeps_used;
+    if (sweep + 1 == opts.max_sweeps) {
+      throw std::runtime_error("incremental_svd: eigensolve did not converge");
+    }
+  }
+  return sweeps_used;
+}
+
+/// Modified Gram-Schmidt re-orthonormalization: the basis is a product of
+/// orthogonal rotations and drifts only at roundoff speed, but a monitor
+/// runs for unbounded epochs, so scrub occasionally.
+void reorthonormalize(Matrix& m) {
+  const std::size_t n = m.rows();
+  for (std::size_t c = 0; c < m.cols(); ++c) {
+    for (std::size_t prev = 0; prev < c; ++prev) {
+      double proj = 0.0;
+      for (std::size_t r = 0; r < n; ++r) proj += m(r, c) * m(r, prev);
+      for (std::size_t r = 0; r < n; ++r) m(r, c) -= proj * m(r, prev);
+    }
+    double norm = 0.0;
+    for (std::size_t r = 0; r < n; ++r) norm += m(r, c) * m(r, c);
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;
+    for (std::size_t r = 0; r < n; ++r) m(r, c) /= norm;
+  }
+}
+
+}  // namespace
+
+IncrementalSvd::IncrementalSvd(std::size_t dims, SvdOptions opts)
+    : dims_(dims), opts_(opts) {
+  if (dims_ == 0) {
+    throw std::invalid_argument("IncrementalSvd: dims must be positive");
+  }
+}
+
+void IncrementalSvd::reset() noexcept {
+  warm_ = false;
+  basis_ = Matrix{};
+  last_sweeps_ = 0;
+  updates_ = 0;
+}
+
+SvdResult IncrementalSvd::update(const Matrix& x, std::size_t rank) {
+  if (x.cols() != dims_) {
+    throw std::invalid_argument("IncrementalSvd::update: dims mismatch");
+  }
+  if (x.empty()) {
+    throw std::invalid_argument("IncrementalSvd::update: empty batch");
+  }
+  const std::size_t n = x.rows();
+  const std::size_t p = dims_;
+  if (rank == 0 || rank > std::min(n, p)) {
+    throw std::invalid_argument(
+        "IncrementalSvd::update: rank outside [1, min(n, p)]");
+  }
+
+  // Gram matrix C = X^T X: the only O(n) stage, one fused SIMD pass per
+  // column pair over the SoA copy.
+  const SoaMatrix xs = SoaMatrix::from_rows(x);
+  Matrix c(p, p);
+  for (std::size_t a = 0; a < p; ++a) {
+    for (std::size_t b = a; b < p; ++b) {
+      const double dot = simd::dot(xs.col(a), xs.col(b), n);
+      c(a, b) = dot;
+      c(b, a) = dot;
+    }
+  }
+
+  // Rotate into the accumulated basis, where C is nearly diagonal for
+  // batches resembling the previous ones, then finish diagonalizing.
+  Matrix b = warm_ ? basis_.transposed() * c * basis_ : std::move(c);
+  Matrix j = Matrix::identity(p);
+  last_sweeps_ = jacobi_eigensolve(b, j, opts_);
+  Matrix v = warm_ ? basis_ * j : std::move(j);
+
+  // Sign canonicalization: make each basis column's largest-magnitude entry
+  // positive.  U flips with V, so U Sigma V^T is unchanged; it keeps the
+  // warm-start basis (and downstream centroids of U rows) from flapping
+  // between equivalent sign choices across epochs.
+  for (std::size_t col = 0; col < p; ++col) {
+    double extreme = 0.0;
+    for (std::size_t r = 0; r < p; ++r) {
+      if (std::abs(v(r, col)) > std::abs(extreme)) extreme = v(r, col);
+    }
+    if (extreme < 0.0) {
+      for (std::size_t r = 0; r < p; ++r) v(r, col) = -v(r, col);
+    }
+  }
+
+  // Order by eigenvalue (= squared singular value) descending.
+  std::vector<double> eig(p);
+  for (std::size_t d = 0; d < p; ++d) eig[d] = b(d, d);
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t z) {
+    return eig[a] > eig[z];
+  });
+
+  Matrix sorted(p, p);
+  for (std::size_t col = 0; col < p; ++col) {
+    for (std::size_t r = 0; r < p; ++r) sorted(r, col) = v(r, order[col]);
+  }
+  basis_ = std::move(sorted);
+  warm_ = true;
+  if (++updates_ % 256 == 0) reorthonormalize(basis_);
+
+  SvdResult out;
+  out.sweeps = last_sweeps_;
+  out.sigma.resize(rank);
+  out.v = Matrix(p, rank);
+  for (std::size_t col = 0; col < rank; ++col) {
+    out.sigma[col] = std::sqrt(std::max(0.0, eig[order[col]]));
+    for (std::size_t r = 0; r < p; ++r) out.v(r, col) = basis_(r, col);
+  }
+
+  // U = X V Sigma^-1, accumulated column-by-column over the SoA batch so
+  // the inner loop is a contiguous axpy.
+  out.u = Matrix(n, rank);
+  std::vector<double> u_col(n);
+  for (std::size_t col = 0; col < rank; ++col) {
+    const double sigma = out.sigma[col];
+    if (sigma <= 0.0) continue;  // zero singular value -> zero U column
+    std::fill(u_col.begin(), u_col.end(), 0.0);
+    const double inv = 1.0 / sigma;
+    for (std::size_t field = 0; field < p; ++field) {
+      const double scale = out.v(field, col);
+      if (scale == 0.0) continue;
+      const double* column = xs.col(field);
+      for (std::size_t r = 0; r < n; ++r) u_col[r] += scale * column[r];
+    }
+    for (std::size_t r = 0; r < n; ++r) out.u(r, col) = u_col[r] * inv;
+  }
+  return out;
+}
+
+}  // namespace jaal::linalg

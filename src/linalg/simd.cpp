@@ -1,0 +1,469 @@
+#include "linalg/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <string_view>
+#include <utility>
+
+// Compiled with -ffp-contract=off (see src/CMakeLists.txt): fused
+// multiply-adds would let one dispatch level contract a*b+c where another
+// does not, breaking the bit-identity contract between levels.
+
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define JAAL_SIMD_X86 1
+#endif
+
+namespace jaal::linalg::simd {
+namespace {
+
+#ifdef JAAL_SIMD_X86
+typedef double v4d __attribute__((vector_size(32)));
+typedef double v8d __attribute__((vector_size(64)));
+#endif
+
+template <class VD>
+[[gnu::always_inline]] inline VD broadcast(double x) noexcept {
+  VD v;
+  for (std::size_t l = 0; l < sizeof(VD) / sizeof(double); ++l) v[l] = x;
+  return v;
+}
+
+template <class VI>
+[[gnu::always_inline]] inline VI broadcast_i(long long x) noexcept {
+  VI v;
+  for (std::size_t l = 0; l < sizeof(VI) / sizeof(long long); ++l) v[l] = x;
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// nearest_centroids: lanes are points (SoA batch), reduction over fields is
+// serial per lane, so every level is bit-identical to the scalar scan.
+
+[[gnu::always_inline]] inline void nearest_one(
+    const double* x, std::size_t stride, std::size_t d,
+    const double* centroids, std::size_t k, std::size_t i,
+    std::size_t* assignment, double* best_dist) noexcept {
+  double best = std::numeric_limits<double>::max();
+  std::size_t best_c = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const double* cen = centroids + c * d;
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = x[j * stride + i] - cen[j];
+      acc += diff * diff;
+    }
+    if (acc < best) {
+      best = acc;
+      best_c = c;
+    }
+  }
+  assignment[i] = best_c;
+  best_dist[i] = best;
+}
+
+void nearest_centroids_scalar(const double* x, std::size_t stride,
+                              std::size_t d, const double* centroids,
+                              std::size_t k, std::size_t begin,
+                              std::size_t end, std::size_t* assignment,
+                              double* best_dist) noexcept {
+  for (std::size_t i = begin; i < end; ++i) {
+    nearest_one(x, stride, d, centroids, k, i, assignment, best_dist);
+  }
+}
+
+#ifdef JAAL_SIMD_X86
+template <class VD>
+[[gnu::always_inline]] inline void nearest_centroids_impl(
+    const double* x, std::size_t stride, std::size_t d,
+    const double* centroids, std::size_t k, std::size_t begin,
+    std::size_t end, std::size_t* assignment, double* best_dist) noexcept {
+  constexpr std::size_t kW = sizeof(VD) / sizeof(double);
+  using VI = decltype(std::declval<VD>() < std::declval<VD>());
+  std::size_t i = begin;
+  for (; i + kW <= end; i += kW) {
+    VD best = broadcast<VD>(std::numeric_limits<double>::max());
+    VI best_c = broadcast_i<VI>(0);
+    for (std::size_t c = 0; c < k; ++c) {
+      const double* cen = centroids + c * d;
+      VD acc = broadcast<VD>(0.0);
+      for (std::size_t j = 0; j < d; ++j) {
+        VD xv;
+        std::memcpy(&xv, x + j * stride + i, sizeof xv);
+        const VD diff = xv - broadcast<VD>(cen[j]);
+        acc += diff * diff;
+      }
+      const VI closer = acc < best;
+      best = closer ? acc : best;
+      best_c = closer ? broadcast_i<VI>(static_cast<long long>(c)) : best_c;
+    }
+    for (std::size_t l = 0; l < kW; ++l) {
+      assignment[i + l] = static_cast<std::size_t>(best_c[l]);
+      best_dist[i + l] = best[l];
+    }
+  }
+  for (; i < end; ++i) {
+    nearest_one(x, stride, d, centroids, k, i, assignment, best_dist);
+  }
+}
+
+__attribute__((target("avx2"))) void nearest_centroids_avx2(
+    const double* x, std::size_t stride, std::size_t d,
+    const double* centroids, std::size_t k, std::size_t begin,
+    std::size_t end, std::size_t* assignment, double* best_dist) noexcept {
+  nearest_centroids_impl<v4d>(x, stride, d, centroids, k, begin, end,
+                              assignment, best_dist);
+}
+
+__attribute__((target("avx512f"))) void nearest_centroids_avx512(
+    const double* x, std::size_t stride, std::size_t d,
+    const double* centroids, std::size_t k, std::size_t begin,
+    std::size_t end, std::size_t* assignment, double* best_dist) noexcept {
+  nearest_centroids_impl<v8d>(x, stride, d, centroids, k, begin, end,
+                              assignment, best_dist);
+}
+#endif  // JAAL_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// nearest_point: lanes are centroids (dimension-major storage); the arg-min
+// extracts lanes in ascending centroid order so ties resolve exactly like
+// the scalar first-index-wins scan.
+
+Nearest nearest_point_scalar(const double* dims, std::size_t stride,
+                             std::size_t d, std::size_t k,
+                             const double* v) noexcept {
+  Nearest out;
+  out.dist = std::numeric_limits<double>::max();
+  for (std::size_t c = 0; c < k; ++c) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = v[j] - dims[j * stride + c];
+      acc += diff * diff;
+    }
+    if (acc < out.dist) {
+      out.dist = acc;
+      out.index = c;
+    }
+  }
+  return out;
+}
+
+#ifdef JAAL_SIMD_X86
+template <class VD>
+[[gnu::always_inline]] inline Nearest nearest_point_impl(
+    const double* dims, std::size_t stride, std::size_t d, std::size_t k,
+    const double* v) noexcept {
+  constexpr std::size_t kW = sizeof(VD) / sizeof(double);
+  Nearest out;
+  out.dist = std::numeric_limits<double>::max();
+  std::size_t c = 0;
+  for (; c + kW <= k; c += kW) {
+    VD acc = broadcast<VD>(0.0);
+    for (std::size_t j = 0; j < d; ++j) {
+      VD cv;
+      std::memcpy(&cv, dims + j * stride + c, sizeof cv);
+      const VD diff = broadcast<VD>(v[j]) - cv;
+      acc += diff * diff;
+    }
+    for (std::size_t l = 0; l < kW; ++l) {
+      if (acc[l] < out.dist) {
+        out.dist = acc[l];
+        out.index = c + l;
+      }
+    }
+  }
+  for (; c < k; ++c) {
+    double acc = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = v[j] - dims[j * stride + c];
+      acc += diff * diff;
+    }
+    if (acc < out.dist) {
+      out.dist = acc;
+      out.index = c;
+    }
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) Nearest nearest_point_avx2(
+    const double* dims, std::size_t stride, std::size_t d, std::size_t k,
+    const double* v) noexcept {
+  return nearest_point_impl<v4d>(dims, stride, d, k, v);
+}
+
+__attribute__((target("avx512f"))) Nearest nearest_point_avx512(
+    const double* dims, std::size_t stride, std::size_t d, std::size_t k,
+    const double* v) noexcept {
+  return nearest_point_impl<v8d>(dims, stride, d, k, v);
+}
+#endif  // JAAL_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Reductions: canonical 4-accumulator order at EVERY level.  Virtual lane
+// l accumulates elements i with i % 4 == l in ascending i; the final
+// combine is (l0 + l1) + (l2 + l3).  The scalar body below IS the
+// specification; the AVX2 body reproduces it with one vector accumulator.
+// There is deliberately no 8-wide reduction: folding 8 lanes into 4 would
+// regroup the partial sums and break bit-identity with this order.
+
+double dot_scalar(const double* a, const double* b, std::size_t n) noexcept {
+  double lane[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    lane[0] += a[i] * b[i];
+    lane[1] += a[i + 1] * b[i + 1];
+    lane[2] += a[i + 2] * b[i + 2];
+    lane[3] += a[i + 3] * b[i + 3];
+  }
+  for (std::size_t t = 0; i + t < n; ++t) lane[t] += a[i + t] * b[i + t];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+PairDots pair_dots_scalar(const double* a, const double* b,
+                          std::size_t n) noexcept {
+  double la[4] = {0.0, 0.0, 0.0, 0.0};
+  double lb[4] = {0.0, 0.0, 0.0, 0.0};
+  double lg[4] = {0.0, 0.0, 0.0, 0.0};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    for (std::size_t l = 0; l < 4; ++l) {
+      la[l] += a[i + l] * a[i + l];
+      lb[l] += b[i + l] * b[i + l];
+      lg[l] += a[i + l] * b[i + l];
+    }
+  }
+  for (std::size_t t = 0; i + t < n; ++t) {
+    la[t] += a[i + t] * a[i + t];
+    lb[t] += b[i + t] * b[i + t];
+    lg[t] += a[i + t] * b[i + t];
+  }
+  PairDots out;
+  out.alpha = (la[0] + la[1]) + (la[2] + la[3]);
+  out.beta = (lb[0] + lb[1]) + (lb[2] + lb[3]);
+  out.gamma = (lg[0] + lg[1]) + (lg[2] + lg[3]);
+  return out;
+}
+
+#ifdef JAAL_SIMD_X86
+__attribute__((target("avx2"))) double dot_avx2(const double* a,
+                                                const double* b,
+                                                std::size_t n) noexcept {
+  v4d acc = broadcast<v4d>(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    v4d av, bv;
+    std::memcpy(&av, a + i, sizeof av);
+    std::memcpy(&bv, b + i, sizeof bv);
+    acc += av * bv;
+  }
+  double lane[4] = {acc[0], acc[1], acc[2], acc[3]};
+  for (std::size_t t = 0; i + t < n; ++t) lane[t] += a[i + t] * b[i + t];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+__attribute__((target("avx2"))) PairDots pair_dots_avx2(
+    const double* a, const double* b, std::size_t n) noexcept {
+  v4d aa = broadcast<v4d>(0.0);
+  v4d bb = broadcast<v4d>(0.0);
+  v4d ab = broadcast<v4d>(0.0);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    v4d av, bv;
+    std::memcpy(&av, a + i, sizeof av);
+    std::memcpy(&bv, b + i, sizeof bv);
+    aa += av * av;
+    bb += bv * bv;
+    ab += av * bv;
+  }
+  double la[4] = {aa[0], aa[1], aa[2], aa[3]};
+  double lb[4] = {bb[0], bb[1], bb[2], bb[3]};
+  double lg[4] = {ab[0], ab[1], ab[2], ab[3]};
+  for (std::size_t t = 0; i + t < n; ++t) {
+    la[t] += a[i + t] * a[i + t];
+    lb[t] += b[i + t] * b[i + t];
+    lg[t] += a[i + t] * b[i + t];
+  }
+  PairDots out;
+  out.alpha = (la[0] + la[1]) + (la[2] + la[3]);
+  out.beta = (lb[0] + lb[1]) + (lb[2] + lb[3]);
+  out.gamma = (lg[0] + lg[1]) + (lg[2] + lg[3]);
+  return out;
+}
+#endif  // JAAL_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// rotate_pair: elementwise, so any width is bit-identical.
+
+void rotate_pair_scalar(double* a, double* b, std::size_t n, double cs,
+                        double sn) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ai = a[i];
+    a[i] = cs * ai - sn * b[i];
+    b[i] = sn * ai + cs * b[i];
+  }
+}
+
+#ifdef JAAL_SIMD_X86
+template <class VD>
+[[gnu::always_inline]] inline void rotate_pair_impl(double* a, double* b,
+                                                    std::size_t n, double cs,
+                                                    double sn) noexcept {
+  constexpr std::size_t kW = sizeof(VD) / sizeof(double);
+  const VD csv = broadcast<VD>(cs);
+  const VD snv = broadcast<VD>(sn);
+  std::size_t i = 0;
+  for (; i + kW <= n; i += kW) {
+    VD av, bv;
+    std::memcpy(&av, a + i, sizeof av);
+    std::memcpy(&bv, b + i, sizeof bv);
+    const VD ar = csv * av - snv * bv;
+    const VD br = snv * av + csv * bv;
+    std::memcpy(a + i, &ar, sizeof ar);
+    std::memcpy(b + i, &br, sizeof br);
+  }
+  for (; i < n; ++i) {
+    const double ai = a[i];
+    a[i] = cs * ai - sn * b[i];
+    b[i] = sn * ai + cs * b[i];
+  }
+}
+
+__attribute__((target("avx2"))) void rotate_pair_avx2(
+    double* a, double* b, std::size_t n, double cs, double sn) noexcept {
+  rotate_pair_impl<v4d>(a, b, n, cs, sn);
+}
+
+__attribute__((target("avx512f"))) void rotate_pair_avx512(
+    double* a, double* b, std::size_t n, double cs, double sn) noexcept {
+  rotate_pair_impl<v8d>(a, b, n, cs, sn);
+}
+#endif  // JAAL_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch state.
+
+Level detect_cpu() noexcept {
+#ifdef JAAL_SIMD_X86
+  if (__builtin_cpu_supports("avx512f")) return Level::kAvx512;
+  if (__builtin_cpu_supports("avx2")) return Level::kAvx2;
+#endif
+  return Level::kScalar;
+}
+
+Level clamp(Level level) noexcept {
+  return level <= detected() ? level : detected();
+}
+
+Level env_level(Level best) noexcept {
+  const char* env = std::getenv("JAAL_SIMD");
+  if (env == nullptr) return best;
+  const std::string_view v(env);
+  if (v == "scalar" || v == "off" || v == "0") return Level::kScalar;
+  if (v == "avx2") return clamp(Level::kAvx2);
+  if (v == "avx512") return clamp(Level::kAvx512);
+  return best;  // unknown value: keep the detected level
+}
+
+std::atomic<Level>& active_state() noexcept {
+  static std::atomic<Level> state{env_level(detect_cpu())};
+  return state;
+}
+
+}  // namespace
+
+Level detected() noexcept {
+  static const Level level = detect_cpu();
+  return level;
+}
+
+Level active() noexcept {
+  return active_state().load(std::memory_order_relaxed);
+}
+
+Level force_level(Level level) noexcept {
+  const Level effective = clamp(level);
+  active_state().store(effective, std::memory_order_relaxed);
+  return effective;
+}
+
+std::string_view level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kAvx2:
+      return "avx2";
+    case Level::kAvx512:
+      return "avx512";
+    case Level::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+double dot(const double* a, const double* b, std::size_t n) noexcept {
+#ifdef JAAL_SIMD_X86
+  // Reductions dispatch to the 4-wide body at most (determinism contract).
+  if (active() != Level::kScalar) return dot_avx2(a, b, n);
+#endif
+  return dot_scalar(a, b, n);
+}
+
+PairDots pair_dots(const double* a, const double* b, std::size_t n) noexcept {
+#ifdef JAAL_SIMD_X86
+  if (active() != Level::kScalar) return pair_dots_avx2(a, b, n);
+#endif
+  return pair_dots_scalar(a, b, n);
+}
+
+void rotate_pair(double* a, double* b, std::size_t n, double cs,
+                 double sn) noexcept {
+#ifdef JAAL_SIMD_X86
+  switch (active()) {
+    case Level::kAvx512:
+      return rotate_pair_avx512(a, b, n, cs, sn);
+    case Level::kAvx2:
+      return rotate_pair_avx2(a, b, n, cs, sn);
+    case Level::kScalar:
+      break;
+  }
+#endif
+  rotate_pair_scalar(a, b, n, cs, sn);
+}
+
+void nearest_centroids(const double* x, std::size_t stride, std::size_t d,
+                       const double* centroids, std::size_t k,
+                       std::size_t begin, std::size_t end,
+                       std::size_t* assignment, double* best_dist) noexcept {
+#ifdef JAAL_SIMD_X86
+  switch (active()) {
+    case Level::kAvx512:
+      return nearest_centroids_avx512(x, stride, d, centroids, k, begin, end,
+                                      assignment, best_dist);
+    case Level::kAvx2:
+      return nearest_centroids_avx2(x, stride, d, centroids, k, begin, end,
+                                    assignment, best_dist);
+    case Level::kScalar:
+      break;
+  }
+#endif
+  nearest_centroids_scalar(x, stride, d, centroids, k, begin, end, assignment,
+                           best_dist);
+}
+
+Nearest nearest_point(const double* dims, std::size_t stride, std::size_t d,
+                      std::size_t k, const double* v) noexcept {
+#ifdef JAAL_SIMD_X86
+  switch (active()) {
+    case Level::kAvx512:
+      return nearest_point_avx512(dims, stride, d, k, v);
+    case Level::kAvx2:
+      return nearest_point_avx2(dims, stride, d, k, v);
+    case Level::kScalar:
+      break;
+  }
+#endif
+  return nearest_point_scalar(dims, stride, d, k, v);
+}
+
+}  // namespace jaal::linalg::simd

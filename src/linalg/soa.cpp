@@ -1,0 +1,32 @@
+#include "linalg/soa.hpp"
+
+namespace jaal::linalg {
+namespace {
+
+constexpr std::size_t pad8(std::size_t n) noexcept { return (n + 7) & ~std::size_t{7}; }
+
+}  // namespace
+
+SoaMatrix::SoaMatrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), stride_(pad8(rows)),
+      data_(stride_ * cols, 0.0) {}
+
+SoaMatrix SoaMatrix::from_rows(const Matrix& m) {
+  SoaMatrix out(m.rows(), m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    const auto row = m.row(r);
+    for (std::size_t c = 0; c < m.cols(); ++c) out(r, c) = row[c];
+  }
+  return out;
+}
+
+Matrix SoaMatrix::to_rows() const {
+  Matrix out(rows_, cols_);
+  for (std::size_t c = 0; c < cols_; ++c) {
+    const double* column = col(c);
+    for (std::size_t r = 0; r < rows_; ++r) out(r, c) = column[r];
+  }
+  return out;
+}
+
+}  // namespace jaal::linalg

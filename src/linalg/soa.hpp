@@ -1,0 +1,69 @@
+// Structure-of-arrays (column-major) companion to the row-major Matrix.
+//
+// The SIMD kernels in linalg/simd.hpp vectorize across *rows* (points) of a
+// batch, which needs each field's values contiguous: column j of an
+// n x p batch is one array of n doubles.  SoaMatrix stores exactly that,
+// with each column padded to a multiple of 8 doubles so 4/8-wide kernels
+// can be pointed at any column without alignment gymnastics (the padding is
+// zero-filled and never addressed by the kernels, which take explicit n).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace jaal::linalg {
+
+class SoaMatrix {
+ public:
+  SoaMatrix() = default;
+
+  /// Zero-initialized rows x cols, column-major with padded column stride.
+  SoaMatrix(std::size_t rows, std::size_t cols);
+
+  /// Transposing copy of a row-major matrix.
+  [[nodiscard]] static SoaMatrix from_rows(const Matrix& m);
+
+  /// Transposing copy back to row-major.
+  [[nodiscard]] Matrix to_rows() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  /// Doubles between the starts of adjacent columns (>= rows()).
+  [[nodiscard]] std::size_t stride() const noexcept { return stride_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_ == 0 || cols_ == 0; }
+
+  /// Start of column c (contiguous; rows() live values, padding after).
+  [[nodiscard]] double* col(std::size_t c) noexcept {
+    return data_.data() + c * stride_;
+  }
+  [[nodiscard]] const double* col(std::size_t c) const noexcept {
+    return data_.data() + c * stride_;
+  }
+  [[nodiscard]] std::span<double> col_span(std::size_t c) noexcept {
+    return {col(c), rows_};
+  }
+  [[nodiscard]] std::span<const double> col_span(std::size_t c) const noexcept {
+    return {col(c), rows_};
+  }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) noexcept {
+    return data_[c * stride_ + r];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const noexcept {
+    return data_[c * stride_ + r];
+  }
+
+  /// Base pointer for the SIMD kernels: column j lives at data() + j*stride().
+  [[nodiscard]] const double* data() const noexcept { return data_.data(); }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t stride_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace jaal::linalg

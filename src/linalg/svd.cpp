@@ -5,22 +5,25 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
+#include "linalg/soa.hpp"
+
 namespace jaal::linalg {
 namespace {
 
 /// One-sided Jacobi on an n x p matrix with n >= p.  Orthogonalizes the
 /// columns of a working copy W by plane rotations, accumulating them in V;
-/// afterwards W = U * diag(sigma).
+/// afterwards W = U * diag(sigma).  The two O(n) inner loops — the Gram
+/// dot products and the rotation itself — run through the dispatched SIMD
+/// kernels; reductions use the canonical lane order of linalg/simd.hpp so
+/// the result is bit-identical at every dispatch level.
 SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
   const std::size_t n = a.rows();
   const std::size_t p = a.cols();
 
   // Column-major working copy: Jacobi touches column pairs, so keep each
-  // column contiguous.
-  std::vector<std::vector<double>> w(p, std::vector<double>(n));
-  for (std::size_t r = 0; r < n; ++r) {
-    for (std::size_t c = 0; c < p; ++c) w[c][r] = a(r, c);
-  }
+  // column contiguous (and padded for the vector kernels).
+  SoaMatrix w = SoaMatrix::from_rows(a);
   Matrix v = Matrix::identity(p);
 
   int sweeps_used = 0;
@@ -29,12 +32,10 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
     bool rotated = false;
     for (std::size_t i = 0; i + 1 < p; ++i) {
       for (std::size_t j = i + 1; j < p; ++j) {
-        double alpha = 0.0, beta = 0.0, gamma = 0.0;
-        for (std::size_t r = 0; r < n; ++r) {
-          alpha += w[i][r] * w[i][r];
-          beta += w[j][r] * w[j][r];
-          gamma += w[i][r] * w[j][r];
-        }
+        const simd::PairDots dots = simd::pair_dots(w.col(i), w.col(j), n);
+        const double alpha = dots.alpha;
+        const double beta = dots.beta;
+        const double gamma = dots.gamma;
         // Numerically-zero columns (rank deficiency) rotate against noise
         // forever; skip them outright.
         if (alpha < 1e-30 || beta < 1e-30) continue;
@@ -48,11 +49,7 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
             1.0 / (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta)), zeta);
         const double cs = 1.0 / std::sqrt(1.0 + t * t);
         const double sn = cs * t;
-        for (std::size_t r = 0; r < n; ++r) {
-          const double wi = w[i][r];
-          w[i][r] = cs * wi - sn * w[j][r];
-          w[j][r] = sn * wi + cs * w[j][r];
-        }
+        simd::rotate_pair(w.col(i), w.col(j), n, cs, sn);
         for (std::size_t r = 0; r < p; ++r) {
           const double vi = v(r, i);
           v(r, i) = cs * vi - sn * v(r, j);
@@ -69,9 +66,7 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
   // Extract sigma = column norms, U = normalized columns; sort descending.
   std::vector<double> sigma(p);
   for (std::size_t c = 0; c < p; ++c) {
-    double s = 0.0;
-    for (std::size_t r = 0; r < n; ++r) s += w[c][r] * w[c][r];
-    sigma[c] = std::sqrt(s);
+    sigma[c] = std::sqrt(simd::dot(w.col(c), w.col(c), n));
   }
   std::vector<std::size_t> order(p);
   std::iota(order.begin(), order.end(), 0);
@@ -89,7 +84,8 @@ SvdResult jacobi_tall(const Matrix& a, const SvdOptions& opts) {
     // A numerically zero singular value gets a zero U column; reconstruction
     // is unaffected because it is scaled by sigma = 0.
     const double inv = sigma[src] > 0.0 ? 1.0 / sigma[src] : 0.0;
-    for (std::size_t r = 0; r < n; ++r) out.u(r, c) = w[src][r] * inv;
+    const double* col = w.col(src);
+    for (std::size_t r = 0; r < n; ++r) out.u(r, c) = col[r] * inv;
     for (std::size_t r = 0; r < p; ++r) out.v(r, c) = v(r, src);
   }
   return out;

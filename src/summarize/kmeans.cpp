@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
 #include "runtime/thread_pool.hpp"
 
 namespace jaal::summarize {
@@ -23,34 +24,53 @@ namespace {
 /// is identical either way, so the cutoff only affects speed.
 constexpr std::size_t kParallelAssignMin = 128;
 
+/// Points per pool task in the assignment step.  Blocks keep the SIMD
+/// kernel fed with long runs; lanes are independent points, so any block
+/// decomposition yields identical bits.
+constexpr std::size_t kAssignBlock = 512;
+
+}  // namespace
+
+void assign_to_centroids(const linalg::SoaMatrix& x,
+                         const linalg::Matrix& centroids,
+                         std::span<std::size_t> assignment,
+                         std::span<double> best_dist,
+                         runtime::ThreadPool* pool) {
+  const std::size_t n = x.rows();
+  const std::size_t k = centroids.rows();
+  if (centroids.cols() != x.cols()) {
+    throw std::invalid_argument("assign_to_centroids: dimension mismatch");
+  }
+  if (assignment.size() != n || best_dist.size() != n) {
+    throw std::invalid_argument("assign_to_centroids: output size mismatch");
+  }
+  if (n == 0) return;
+  const auto run_block = [&](std::size_t begin, std::size_t end) {
+    linalg::simd::nearest_centroids(x.data(), x.stride(), x.cols(),
+                                    centroids.data().data(), k, begin, end,
+                                    assignment.data(), best_dist.data());
+  };
+  if (pool != nullptr && n >= kParallelAssignMin) {
+    const std::size_t blocks = (n + kAssignBlock - 1) / kAssignBlock;
+    pool->parallel_for(0, blocks, [&](std::size_t b) {
+      run_block(b * kAssignBlock, std::min(n, (b + 1) * kAssignBlock));
+    });
+  } else {
+    run_block(0, n);
+  }
+}
+
+namespace {
+
 /// Nearest-centroid search for every row of x: fills assignment[i] and
-/// best_dist[i].  Each index is independent and its arithmetic does not
-/// depend on scheduling, so pooled and serial runs produce identical bits.
-void assign_nearest(const linalg::Matrix& x, const linalg::Matrix& centroids,
+/// best_dist[i] through the SIMD kernel.  Each point is one lane and its
+/// arithmetic does not depend on scheduling or dispatch level, so pooled,
+/// serial, vector, and scalar runs all produce identical bits.
+void assign_nearest(const linalg::SoaMatrix& x, const linalg::Matrix& centroids,
                     std::vector<std::size_t>& assignment,
                     std::vector<double>& best_dist,
                     runtime::ThreadPool* pool) {
-  const std::size_t n = x.rows();
-  const std::size_t k = centroids.rows();
-  const auto body = [&](std::size_t i) {
-    const auto row = x.row(i);
-    double best = std::numeric_limits<double>::max();
-    std::size_t best_c = 0;
-    for (std::size_t c = 0; c < k; ++c) {
-      const double dist = sq_dist(row, centroids.row(c));
-      if (dist < best) {
-        best = dist;
-        best_c = c;
-      }
-    }
-    assignment[i] = best_c;
-    best_dist[i] = best;
-  };
-  if (pool != nullptr && n >= kParallelAssignMin) {
-    pool->parallel_for(0, n, body);
-  } else {
-    for (std::size_t i = 0; i < n; ++i) body(i);
-  }
+  assign_to_centroids(x, centroids, assignment, best_dist, pool);
 }
 
 /// k-means++ D^2 seeding: first centroid uniform, each next centroid chosen
@@ -127,6 +147,9 @@ KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
     std::copy(src.begin(), src.end(), res.centroids.row(c).begin());
   }
 
+  // One SoA conversion per call; every Lloyd iteration's assignment step
+  // reads the same column-major copy.
+  const linalg::SoaMatrix xs = linalg::SoaMatrix::from_rows(x);
   res.assignment.assign(n, 0);
   res.counts.assign(k, 0);
   std::vector<double> best_dist(n, 0.0);
@@ -136,7 +159,7 @@ KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
     // Assignment step: the nearest-centroid search fans out over the pool;
     // the floating-point reductions below stay serial in point order so the
     // result is bit-identical to a threads=1 run.
-    assign_nearest(x, res.centroids, res.assignment, best_dist, opts.pool);
+    assign_nearest(xs, res.centroids, res.assignment, best_dist, opts.pool);
     res.inertia = 0.0;
     std::fill(res.counts.begin(), res.counts.end(), 0);
     std::fill(sums.data().begin(), sums.data().end(), 0.0);
@@ -165,7 +188,7 @@ KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
   }
 
   // Final assignment consistent with the returned centroids.
-  assign_nearest(x, res.centroids, res.assignment, best_dist, opts.pool);
+  assign_nearest(xs, res.centroids, res.assignment, best_dist, opts.pool);
   res.inertia = 0.0;
   std::fill(res.counts.begin(), res.counts.end(), 0);
   for (std::size_t i = 0; i < n; ++i) {
@@ -248,28 +271,25 @@ KMeansResult weighted_kmeans(const linalg::Matrix& x,
     std::copy(src.begin(), src.end(), res.centroids.row(c).begin());
   }
 
+  const linalg::SoaMatrix xs = linalg::SoaMatrix::from_rows(x);
   res.assignment.assign(n, 0);
   res.counts.assign(k, 0);
+  std::vector<double> best_dist(n, 0.0);
   linalg::Matrix sums(k, d);
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
     res.iterations = iter + 1;
+    // Assignment via the SIMD kernel; the weighted accumulation stays
+    // serial in point order so results do not depend on scheduling.
+    assign_to_centroids(xs, res.centroids, res.assignment, best_dist,
+                        opts.pool);
     res.inertia = 0.0;
     std::fill(res.counts.begin(), res.counts.end(), 0);
     std::fill(sums.data().begin(), sums.data().end(), 0.0);
     for (std::size_t i = 0; i < n; ++i) {
       const auto row = x.row(i);
-      double best = std::numeric_limits<double>::max();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        const double dist = sq_dist(row, res.centroids.row(c));
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
+      const std::size_t best_c = res.assignment[i];
       const double w = static_cast<double>(weights[i]);
-      res.assignment[i] = best_c;
-      res.inertia += best * w;
+      res.inertia += best_dist[i] * w;
       res.counts[best_c] += weights[i];
       auto sum_row = sums.row(best_c);
       for (std::size_t j = 0; j < d; ++j) sum_row[j] += row[j] * w;

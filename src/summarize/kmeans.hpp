@@ -8,9 +8,11 @@
 
 #include <cstdint>
 #include <random>
+#include <span>
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/soa.hpp"
 
 namespace jaal::runtime {
 class ThreadPool;
@@ -49,6 +51,19 @@ struct KMeansResult {
 [[nodiscard]] KMeansResult kmeans(const linalg::Matrix& x, std::size_t k,
                                   std::mt19937_64& rng,
                                   const KMeansOptions& opts = {});
+
+/// Nearest-centroid assignment of every row of `x` (SoA layout) against
+/// `centroids` (k x d, row-major): fills assignment[i] / best_dist[i] through
+/// the dispatched SIMD kernel, fanning out over `pool` when given.  Each
+/// point is one lane, so the bits are identical across thread counts and
+/// dispatch levels.  Exposed for reuse by the Summarizer's mini-batch path
+/// (one SoA conversion, many probes).  Throws std::invalid_argument on
+/// dimension or output-size mismatch.
+void assign_to_centroids(const linalg::SoaMatrix& x,
+                         const linalg::Matrix& centroids,
+                         std::span<std::size_t> assignment,
+                         std::span<double> best_dist,
+                         runtime::ThreadPool* pool = nullptr);
 
 /// Weighted k-means: row i represents weights[i] identical points (e.g. a
 /// centroid from a lower summarization level with its membership count).

@@ -3,11 +3,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "linalg/simd.hpp"
+
 namespace jaal::summarize {
 
 MiniBatchClusterer::MiniBatchClusterer(std::size_t k, std::size_t dims,
                                        std::uint64_t seed)
-    : k_(k), dims_(dims), rng_(seed), centroids_(k, dims) {
+    : k_(k), dims_(dims), rng_(seed), centroids_(k, dims),
+      dim_major_(k, dims) {
   if (k_ == 0 || dims_ == 0) {
     throw std::invalid_argument("MiniBatchClusterer: zero k or dims");
   }
@@ -16,21 +19,12 @@ MiniBatchClusterer::MiniBatchClusterer(std::size_t k, std::size_t dims,
 }
 
 std::size_t MiniBatchClusterer::nearest(std::span<const double> v) const {
-  std::size_t best = 0;
-  double best_d = std::numeric_limits<double>::max();
-  for (std::size_t c = 0; c < seeded_; ++c) {
-    const auto row = centroids_.row(c);
-    double d = 0.0;
-    for (std::size_t j = 0; j < dims_; ++j) {
-      const double diff = v[j] - row[j];
-      d += diff * diff;
-    }
-    if (d < best_d) {
-      best_d = d;
-      best = c;
-    }
-  }
-  return best;
+  if (seeded_ == 0) return 0;
+  // Centroids are lanes of the dimension-major mirror; per-lane field
+  // order and first-index-wins ties match the scalar scan bit for bit.
+  return linalg::simd::nearest_point(dim_major_.data(), dim_major_.stride(),
+                                     dims_, seeded_, v.data())
+      .index;
 }
 
 void MiniBatchClusterer::add(std::span<const double> v) {
@@ -41,6 +35,7 @@ void MiniBatchClusterer::add(std::span<const double> v) {
   if (seeded_ < k_) {
     auto row = centroids_.row(seeded_);
     std::copy(v.begin(), v.end(), row.begin());
+    for (std::size_t j = 0; j < dims_; ++j) dim_major_(seeded_, j) = v[j];
     counts_[seeded_] = 1;
     epoch_counts_[seeded_] = 1;
     ++seeded_;
@@ -60,6 +55,7 @@ void MiniBatchClusterer::add(std::span<const double> v) {
   const double eta = 1.0 / static_cast<double>(counts_[c]);
   for (std::size_t j = 0; j < dims_; ++j) {
     row[j] += eta * (v[j] - row[j]);
+    dim_major_(c, j) = row[j];
   }
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/soa.hpp"
 #include "packet/fields.hpp"
 
 namespace jaal::summarize {
@@ -33,7 +34,11 @@ class MiniBatchClusterer {
   void add(const packet::PacketRecord& pkt);
 
   [[nodiscard]] std::size_t k() const noexcept { return k_; }
+  [[nodiscard]] std::size_t dims() const noexcept { return dims_; }
   [[nodiscard]] std::uint64_t seen() const noexcept { return seen_; }
+  /// Centroids seeded so far (the first k distinct adds); the nearest-
+  /// centroid search only scans these.
+  [[nodiscard]] std::size_t seeded() const noexcept { return seeded_; }
 
   /// Current centroids (k x dims) — rows with zero count are unused seeds.
   [[nodiscard]] const linalg::Matrix& centroids() const noexcept {
@@ -63,6 +68,11 @@ class MiniBatchClusterer {
   std::size_t dims_;
   std::mt19937_64 rng_;
   linalg::Matrix centroids_;
+  /// Dimension-major mirror of centroids_ (k rows, dims cols in SoA form:
+  /// coordinate j of centroid c at col(j)[c]) so the per-packet nearest
+  /// search can run the vector kernel with centroids as lanes.  Kept in
+  /// sync by add(); O(dims) extra writes per update.
+  linalg::SoaMatrix dim_major_;
   std::vector<std::uint64_t> counts_;        ///< Lifetime update counts.
   std::vector<std::uint64_t> epoch_counts_;  ///< Members this epoch.
   std::size_t seeded_ = 0;

@@ -79,8 +79,20 @@ SummarizeOutput Summarizer::summarize(
                                ? tel_->tracer.span("svd", parent, monitor_)
                                : telemetry::Span{};
     const auto start = std::chrono::steady_clock::now();
-    svd = cfg_.randomized_svd ? linalg::randomized_svd(x_bar, r, rng_)
-                              : linalg::truncated_svd(x_bar, r);
+    switch (cfg_.svd_backend) {
+      case SvdBackend::kRandomized:
+        svd = linalg::randomized_svd(x_bar, r, rng_);
+        break;
+      case SvdBackend::kIncremental:
+        if (!incremental_svd_) {
+          incremental_svd_.emplace(packet::kFieldCount);
+        }
+        svd = incremental_svd_->update(x_bar, r);
+        break;
+      case SvdBackend::kJacobi:
+        svd = linalg::truncated_svd(x_bar, r);
+        break;
+    }
     if (tel_ != nullptr) {
       svd_ms_->observe(ms_since(start));
       svd_sweeps_->observe(svd.sweeps);
@@ -96,14 +108,50 @@ SummarizeOutput Summarizer::summarize(
   KMeansOptions km_opts = cfg_.kmeans;
   km_opts.pool = pool_.get();
 
+  // Mini-batch clustering pass: stream the batch rows through the warm
+  // clusterer (one nearest-centroid update each), then assign the whole
+  // batch against the post-update centroid snapshot so the summary carries
+  // exact per-epoch counts and the monitor gets a packet->centroid map.
+  // Centroid positions persist across epochs — that warm start is the
+  // point — so flush_epoch() is never called here.
+  const auto run_minibatch = [&](const linalg::Matrix& points) {
+    const std::size_t n = points.rows();
+    const std::size_t d = points.cols();
+    if (!minibatch_ || minibatch_->dims() != d ||
+        minibatch_->k() != cfg_.centroids) {
+      minibatch_.emplace(cfg_.centroids, d, cfg_.seed);
+    }
+    for (std::size_t i = 0; i < n; ++i) minibatch_->add(points.row(i));
+    const std::size_t live = minibatch_->seeded();
+    KMeansResult km;
+    km.iterations = 1;
+    km.centroids = linalg::Matrix(live, d);
+    for (std::size_t c = 0; c < live; ++c) {
+      const auto src = minibatch_->centroids().row(c);
+      std::copy(src.begin(), src.end(), km.centroids.row(c).begin());
+    }
+    km.assignment.assign(n, 0);
+    km.counts.assign(live, 0);
+    std::vector<double> best_dist(n, 0.0);
+    assign_to_centroids(linalg::SoaMatrix::from_rows(points), km.centroids,
+                        km.assignment, best_dist, km_opts.pool);
+    for (std::size_t i = 0; i < n; ++i) {
+      km.inertia += best_dist[i];
+      ++km.counts[km.assignment[i]];
+    }
+    return km;
+  };
+
   // Step 2 (§4.3): packets-mode vector quantization, instrumented the same
-  // way for both summary formats.
+  // way for both summary formats and both backends.
   const auto run_kmeans = [&](const linalg::Matrix& points) {
     telemetry::Span span = tel_ != nullptr
                                ? tel_->tracer.span("kmeans", parent, monitor_)
                                : telemetry::Span{};
     const auto start = std::chrono::steady_clock::now();
-    KMeansResult km = kmeans(points, cfg_.centroids, rng_, km_opts);
+    KMeansResult km = cfg_.cluster_backend == ClusterBackend::kMiniBatch
+                          ? run_minibatch(points)
+                          : kmeans(points, cfg_.centroids, rng_, km_opts);
     if (tel_ != nullptr) {
       kmeans_ms_->observe(ms_since(start));
       kmeans_iterations_->observe(static_cast<double>(km.iterations));

@@ -11,9 +11,11 @@
 #include <random>
 #include <span>
 
+#include "linalg/incremental_svd.hpp"
 #include "observe/drift.hpp"
 #include "runtime/thread_pool.hpp"
 #include "summarize/kmeans.hpp"
+#include "summarize/minibatch.hpp"
 #include "summarize/normalize.hpp"
 #include "summarize/summary.hpp"
 #include "telemetry/telemetry.hpp"
@@ -26,6 +28,31 @@ enum class SummaryFormat : std::uint8_t {
   kSplit,     ///< Force S2.
 };
 
+/// Fields-mode (§4.2) reduction backend.
+enum class SvdBackend : std::uint8_t {
+  /// Exact one-sided Jacobi, from scratch per batch (the reference path).
+  kJacobi,
+  /// Randomized range-finder — near-identical on decaying spectra
+  /// (Fig. 10) and cheaper for large batches; RNG-dependent.
+  kRandomized,
+  /// Warm-started Gram eigensolve (linalg/incremental_svd.hpp): exact
+  /// factors of the current batch, but the Jacobi sweeps start from the
+  /// previous epoch's basis, so steady-state batches converge in 1-2
+  /// sweeps instead of ~6+.  Deterministic.
+  kIncremental,
+};
+
+/// Packets-mode (§4.3) vector quantization backend.
+enum class ClusterBackend : std::uint8_t {
+  /// k-means++ seeding + Lloyd iterations, from scratch per batch.
+  kLloyd,
+  /// Streaming Sculley mini-batch clusterer persisted across epochs: each
+  /// batch row updates its nearest centroid once, then the batch is
+  /// assigned against the resulting (warm) centroids.  No per-epoch
+  /// re-seeding spike; quality slightly below full Lloyd.
+  kMiniBatch,
+};
+
 struct SummarizerConfig {
   std::size_t batch_size = 1000;   ///< n: packets per batch.
   std::size_t min_batch = 600;     ///< n_min: below this, skip summarizing.
@@ -33,10 +60,8 @@ struct SummarizerConfig {
   std::size_t centroids = 200;     ///< k: representative packets.
   SummaryFormat format = SummaryFormat::kAuto;
   KMeansOptions kmeans;
-  /// Use the randomized range-finder SVD instead of exact Jacobi for the
-  /// fields-mode reduction — near-identical on decaying spectra (Fig. 10)
-  /// and cheaper for large batches.
-  bool randomized_svd = false;
+  SvdBackend svd_backend = SvdBackend::kJacobi;
+  ClusterBackend cluster_backend = ClusterBackend::kLloyd;
   std::uint64_t seed = 42;
   /// Emit per-batch FidelityStats (SVD energy retained, k-means inertia,
   /// reconstruction error) for the drift monitors.  Costs one O(np) pass
@@ -95,6 +120,12 @@ class Summarizer {
   SummarizerConfig cfg_;
   MonitorId monitor_;
   std::mt19937_64 rng_;
+  /// Warm state for SvdBackend::kIncremental (lazily constructed).
+  std::optional<linalg::IncrementalSvd> incremental_svd_;
+  /// Warm state for ClusterBackend::kMiniBatch (lazily constructed;
+  /// re-seeded if the clustered dimensionality changes, e.g. a format
+  /// switch between U_r rows and reconstructed packet rows).
+  std::optional<MiniBatchClusterer> minibatch_;
   std::shared_ptr<runtime::ThreadPool> pool_;
   telemetry::Telemetry* tel_ = nullptr;
   telemetry::Histogram* svd_ms_ = nullptr;

@@ -1,0 +1,209 @@
+#include "linalg/incremental_svd.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "summarize/summarizer.hpp"
+#include "summarize/summary.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::linalg {
+namespace {
+
+/// Batches resembling normalized header vectors: [0,1] entries with a few
+/// dominant directions, so the spectrum decays like the paper's Fig. 10.
+Matrix batch(std::size_t n, std::size_t p, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::normal_distribution<double> noise(0.0, 0.05);
+  std::vector<double> profile(p);
+  std::mt19937_64 profile_rng(7);  // shared across seeds: similar batches
+  for (double& v : profile) v = unit(profile_rng);
+  Matrix x(n, p);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double scale = 0.5 + 0.5 * unit(rng);
+    for (std::size_t j = 0; j < p; ++j) {
+      const double v = profile[j] * scale + noise(rng);
+      x(i, j) = std::min(1.0, std::max(0.0, v));
+    }
+  }
+  return x;
+}
+
+double frobenius_gap(const Matrix& a, const Matrix& b) {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    const double d = a.data()[i] - b.data()[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+TEST(IncrementalSvd, ValidatesInput) {
+  EXPECT_THROW(IncrementalSvd(0), std::invalid_argument);
+  IncrementalSvd inc(6);
+  EXPECT_THROW((void)inc.update(Matrix{}, 1), std::invalid_argument);
+  EXPECT_THROW((void)inc.update(Matrix(10, 5), 1), std::invalid_argument);
+  EXPECT_THROW((void)inc.update(Matrix(10, 6), 0), std::invalid_argument);
+  EXPECT_THROW((void)inc.update(Matrix(10, 6), 7), std::invalid_argument);
+}
+
+TEST(IncrementalSvd, ColdUpdateMatchesExactSvd) {
+  const Matrix x = batch(150, 10, 1);
+  IncrementalSvd inc(10);
+  const SvdResult got = inc.update(x, 10);
+  const SvdResult want = svd(x);
+  ASSERT_EQ(got.sigma.size(), want.sigma.size());
+  for (std::size_t i = 0; i < want.sigma.size(); ++i) {
+    EXPECT_NEAR(got.sigma[i], want.sigma[i], 1e-8 * (1.0 + want.sigma[0]))
+        << "i=" << i;
+  }
+  // The factors reproduce the batch, not just the spectrum.
+  EXPECT_LT(frobenius_gap(got.reconstruct(), x), 1e-6);
+}
+
+TEST(IncrementalSvd, TruncatedFactorsReconstructLikeExact) {
+  const Matrix x = batch(200, 12, 2);
+  const std::size_t r = 8;
+  IncrementalSvd inc(12);
+  const SvdResult got = inc.update(x, r);
+  const SvdResult want = truncated_svd(x, r);
+  EXPECT_EQ(got.u.rows(), 200u);
+  EXPECT_EQ(got.u.cols(), r);
+  EXPECT_EQ(got.v.rows(), 12u);
+  EXPECT_EQ(got.v.cols(), r);
+  const double got_err = frobenius_gap(got.reconstruct(), x);
+  const double want_err = frobenius_gap(want.reconstruct(), x);
+  // Same truncation error up to Gram-route roundoff.
+  EXPECT_NEAR(got_err, want_err, 1e-6 + 0.01 * want_err);
+}
+
+TEST(IncrementalSvd, WarmStartConvergesInFewerSweeps) {
+  const Matrix x = batch(300, 12, 10);
+  IncrementalSvd inc(12);
+  (void)inc.update(x, 8);
+  const int cold = inc.last_sweeps();
+  EXPECT_TRUE(inc.warm());  // warm after the first update
+  EXPECT_GE(cold, 2);       // the cold solve actually had work to do
+  // A statistically identical epoch (here: literally the same batch, the
+  // limiting case of "traffic looks like last epoch") arrives with the
+  // Gram matrix already diagonal in the accumulated basis: the warm
+  // eigensolve detects convergence in one sweep.
+  (void)inc.update(x, 8);
+  EXPECT_LE(inc.last_sweeps(), 2);
+  EXPECT_LT(inc.last_sweeps(), cold);
+}
+
+TEST(IncrementalSvd, WarmUpdatesStayAccurate) {
+  IncrementalSvd inc(10);
+  for (std::uint64_t epoch = 0; epoch < 8; ++epoch) {
+    const Matrix x = batch(150, 10, 20 + epoch);
+    const SvdResult got = inc.update(x, 10);
+    const SvdResult want = svd(x);
+    for (std::size_t i = 0; i < want.sigma.size(); ++i) {
+      EXPECT_NEAR(got.sigma[i], want.sigma[i], 1e-7 * (1.0 + want.sigma[0]))
+          << "epoch=" << epoch << " i=" << i;
+    }
+  }
+}
+
+TEST(IncrementalSvd, ResetColdStarts) {
+  IncrementalSvd inc(8);
+  (void)inc.update(batch(100, 8, 3), 4);
+  EXPECT_TRUE(inc.warm());
+  inc.reset();
+  EXPECT_FALSE(inc.warm());
+  EXPECT_EQ(inc.last_sweeps(), 0);
+}
+
+TEST(IncrementalSvd, DeterministicAcrossInstances) {
+  IncrementalSvd a(10);
+  IncrementalSvd b(10);
+  for (std::uint64_t epoch = 0; epoch < 3; ++epoch) {
+    const Matrix x = batch(120, 10, 30 + epoch);
+    const SvdResult ra = a.update(x, 6);
+    const SvdResult rb = b.update(x, 6);
+    EXPECT_EQ(ra.sigma, rb.sigma);
+    EXPECT_TRUE(std::equal(ra.u.data().begin(), ra.u.data().end(),
+                           rb.u.data().begin()));
+    EXPECT_TRUE(std::equal(ra.v.data().begin(), ra.v.data().end(),
+                           rb.v.data().begin()));
+  }
+}
+
+TEST(IncrementalSvd, SummarizerIncrementalBackendIsDeterministic) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 4);
+  const auto packets = trace::take(gen, 800);
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = 800;
+  cfg.min_batch = 400;
+  cfg.rank = 12;
+  cfg.centroids = 64;
+  cfg.svd_backend = summarize::SvdBackend::kIncremental;
+  summarize::Summarizer a(cfg);
+  summarize::Summarizer b(cfg);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    const auto oa = a.summarize(packets);
+    const auto ob = b.summarize(packets);
+    EXPECT_EQ(oa.assignment, ob.assignment) << "epoch=" << epoch;
+    EXPECT_EQ(summarize::serialize(oa.summary),
+              summarize::serialize(ob.summary));
+  }
+}
+
+TEST(IncrementalSvd, SummarizerIncrementalBackendKeepsFidelity) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 4);
+  const auto packets = trace::take(gen, 800);
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = 800;
+  cfg.min_batch = 400;
+  cfg.rank = 12;
+  cfg.centroids = 64;
+  summarize::Summarizer exact(cfg);
+  cfg.svd_backend = summarize::SvdBackend::kIncremental;
+  summarize::Summarizer incremental(cfg);
+  const auto exact_out = exact.summarize(packets);
+  // Warm the basis, then measure the steady-state epoch.
+  (void)incremental.summarize(packets);
+  const auto inc_out = incremental.summarize(packets);
+  ASSERT_TRUE(exact_out.fidelity.has_value());
+  ASSERT_TRUE(inc_out.fidelity.has_value());
+  EXPECT_NEAR(inc_out.fidelity->svd_energy_retained,
+              exact_out.fidelity->svd_energy_retained, 1e-6);
+}
+
+TEST(IncrementalSvd, SummarizerMiniBatchBackendWarmsAcrossEpochs) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 6);
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = 700;
+  cfg.min_batch = 350;
+  cfg.rank = 12;
+  cfg.centroids = 48;
+  cfg.cluster_backend = summarize::ClusterBackend::kMiniBatch;
+  summarize::Summarizer a(cfg);
+  summarize::Summarizer b(cfg);
+  double first_inertia = 0.0;
+  double last_inertia = 0.0;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    const auto packets = trace::take(gen, 700);
+    const auto oa = a.summarize(packets);
+    const auto ob = b.summarize(packets);
+    // Deterministic across instances...
+    EXPECT_EQ(oa.assignment, ob.assignment) << "epoch=" << epoch;
+    EXPECT_EQ(summarize::serialize(oa.summary),
+              summarize::serialize(ob.summary));
+    // ...and structurally sound: every packet maps to a live centroid.
+    ASSERT_TRUE(oa.fidelity.has_value());
+    if (epoch == 0) first_inertia = oa.fidelity->kmeans_inertia;
+    last_inertia = oa.fidelity->kmeans_inertia;
+  }
+  // Warm centroids must not be catastrophically worse than the first
+  // epoch's (they should be in the same ballpark or better).
+  EXPECT_LT(last_inertia, first_inertia * 3.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace jaal::linalg

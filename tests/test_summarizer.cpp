@@ -148,7 +148,7 @@ TEST(Summarizer, RandomizedSvdVariantProducesEquivalentQuality) {
   const auto packets = batch(800, 6);
   SummarizerConfig exact_cfg = config(800, 12, 100);
   SummarizerConfig rand_cfg = exact_cfg;
-  rand_cfg.randomized_svd = true;
+  rand_cfg.svd_backend = SvdBackend::kRandomized;
 
   auto quantization = [&](const SummarizeOutput& out) {
     const CombinedSummary combined =
