@@ -1,52 +1,16 @@
 #include "core/alert_log.hpp"
 
-#include <cstdio>
 #include <ostream>
 
+#include "inference/alert_json.hpp"
+
 namespace jaal::core {
-namespace {
-
-void append_escaped(std::string& out, const std::string& s) {
-  for (unsigned char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (c < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += static_cast<char>(c);
-        }
-    }
-  }
-}
-
-}  // namespace
 
 std::string alert_to_json(const inference::Alert& alert,
                           double epoch_end_time) {
-  std::string out = "{\"time\":";
-  char num[64];
-  std::snprintf(num, sizeof(num), "%.6f", epoch_end_time);
-  out += num;
-  out += ",\"sid\":" + std::to_string(alert.sid);
-  out += ",\"msg\":\"";
-  append_escaped(out, alert.msg);
-  out += "\",\"matched_packets\":" + std::to_string(alert.matched_packets);
-  out += ",\"distributed\":";
-  out += alert.distributed ? "true" : "false";
-  out += ",\"via_feedback\":";
-  out += alert.via_feedback ? "true" : "false";
-  std::snprintf(num, sizeof(num), "%.8f", alert.variance);
-  out += ",\"variance\":";
-  out += num;
-  out += "}";
-  return out;
+  // The encoder lives in inference:: so the persistence layer (src/store)
+  // can share the exact byte format without depending on jaal_core.
+  return inference::alert_to_json(alert, epoch_end_time);
 }
 
 AlertLogger::AlertLogger(std::ostream& out) : out_(&out) {}
@@ -54,7 +18,7 @@ AlertLogger::AlertLogger(std::ostream& out) : out_(&out) {}
 std::size_t AlertLogger::log_epoch(double epoch_end_time,
                                    const std::vector<inference::Alert>& alerts) {
   for (const auto& alert : alerts) {
-    *out_ << alert_to_json(alert, epoch_end_time) << '\n';
+    *out_ << core::alert_to_json(alert, epoch_end_time) << '\n';
     ++lines_;
   }
   return alerts.size();

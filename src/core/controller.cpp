@@ -55,6 +55,18 @@ JaalController::JaalController(const JaalConfig& cfg,
     // registry (and the same exports) as every other jaal metric.
     if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
   }
+  if (!cfg_.store_dir.empty()) {
+    // Open (and recover) the persistence layer before any epoch runs: torn
+    // shard tails and uncommitted epochs are truncated here, and the epoch
+    // counter resumes after the last durable epoch so a relaunched
+    // deployment continues the same epoch sequence.
+    store_ = std::make_unique<store::DeploymentStore>(
+        store::StoreConfig{cfg_.store_dir, cfg_.store_epochs_per_shard},
+        /*writable=*/true, cfg_.telemetry);
+    if (const auto last = store_->last_committed_epoch()) {
+      epoch_index_ = *last + 1;
+    }
+  }
   monitors_.reserve(cfg_.monitor_count);
   for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
     summarize::SummarizerConfig scfg = cfg_.summarizer;
@@ -126,6 +138,11 @@ EpochResult JaalController::close_epoch(double now) {
     if (!transport_.monitor_up(i, epoch)) {
       monitors_[i].discard_epoch();
       ++result.monitors_crashed;
+    } else {
+      // Pin this epoch's summarization RNG stream to (seed, epoch): the
+      // summary then depends only on the epoch's batch, not on how many
+      // epochs ran before — the restart-determinism contract of the store.
+      monitors_[i].begin_epoch(epoch);
     }
   }
   transport_.note_crashed(result.monitors_crashed);
@@ -206,6 +223,7 @@ EpochResult JaalController::close_epoch(double now) {
   // summaries rolled forward from earlier epochs aggregate first.
   inference::Aggregator aggregator;
   for (summarize::MonitorSummary& s : carry_) {
+    if (store_) store_->put_summary(epoch, s);
     aggregator.add(s);
     ++result.summaries_rolled_in;
   }
@@ -224,6 +242,9 @@ EpochResult JaalController::close_epoch(double now) {
     switch (outcome.status) {
       case faults::ShipStatus::kDelivered:
         ship_bytes += bytes;
+        // Persisted in aggregation order, full fidelity: replay rebuilds
+        // this exact aggregate from the log.
+        if (store_) store_->put_summary(epoch, *slots[i]);
         aggregator.add(*slots[i]);
         ++result.monitors_reporting;
         break;
@@ -300,8 +321,25 @@ EpochResult JaalController::close_epoch(double now) {
     }
   };
 
+  // Store commit: alerts and provenance land first, then the EpochMeta
+  // record in the summaries log marks the epoch durable — a crash between
+  // any of these appends leaves an uncommitted epoch that recovery
+  // truncates wholesale on the next open.
+  const auto commit_store = [&] {
+    if (!store_) return;
+    for (const inference::Alert& a : result.alerts) {
+      store_->put_alert(epoch, a, result.end_time);
+      if (a.provenance) {
+        store_->put_provenance(epoch, a.sid, *a.provenance);
+      }
+    }
+    store_->commit_epoch({epoch, result.end_time, result.packets,
+                          result.report_fraction, result.caution});
+  };
+
   if (aggregator.summaries_added() == 0) {
     close_health();
+    commit_store();
     return result;
   }
 
@@ -350,6 +388,7 @@ EpochResult JaalController::close_epoch(double now) {
     post.attr("via_feedback", static_cast<double>(via_feedback));
   }
   close_health();
+  commit_store();
   return result;
 }
 

@@ -25,6 +25,7 @@
 #include "inference/engine.hpp"
 #include "observe/observe.hpp"
 #include "runtime/thread_pool.hpp"
+#include "store/store.hpp"
 #include "trace/background.hpp"
 
 namespace jaal::core {
@@ -80,6 +81,20 @@ struct JaalConfig : DeploymentConfig {
   /// engine.record_provenance, fidelity recording summarizer.record_fidelity
   /// — all default on).
   observe::ObserveConfig observe;
+  /// Persistence (src/store): when non-empty, every closed epoch's
+  /// aggregated summaries, alerts and provenance are appended to
+  /// time-sharded mmap'd logs under this directory, with one EpochMeta
+  /// commit record per epoch.  A controller constructed over an existing
+  /// store resumes at the epoch after the last committed one (torn shard
+  /// tails and uncommitted epochs are truncated on open); subsequent
+  /// epochs are byte-identical to an uninterrupted run with the default
+  /// stateless backends (kJacobi + kLloyd).  Empty (default) = no
+  /// persistence.  Store I/O failures never interrupt the deployment: the
+  /// store goes inert (see store::DeploymentStore::failed).
+  std::string store_dir;
+  /// Epochs per .jstore shard file (shard roll = msync + truncate of the
+  /// finished shard).
+  std::uint64_t store_epochs_per_shard = 64;
 };
 
 /// Everything observed during one epoch.  The degraded-mode fields are all
@@ -166,6 +181,19 @@ class JaalController {
     return pool_ ? pool_->threads() : 1;
   }
 
+  /// The epoch close_epoch() will stamp next.  0 on a fresh deployment;
+  /// last committed + 1 when resumed from a store.
+  [[nodiscard]] std::uint64_t next_epoch() const noexcept {
+    return epoch_index_;
+  }
+
+  /// The persistence layer, when JaalConfig::store_dir is set (null
+  /// otherwise).  Exposed for health checks: store()->failed(),
+  /// torn_bytes_truncated(), last_committed_epoch().
+  [[nodiscard]] const store::DeploymentStore* store() const noexcept {
+    return store_.get();
+  }
+
   /// Runtime counters (tasks, queue high-water, per-stage latency); nullopt
   /// when running serial.
   [[nodiscard]] std::optional<runtime::RuntimeStatsSnapshot> runtime_stats()
@@ -178,6 +206,9 @@ class JaalController {
   faults::SummaryTransport transport_;
   inference::InferenceEngine engine_;
   observe::HealthTracker health_;
+  /// Persistence sink (JaalConfig::store_dir); null when persistence is
+  /// off.
+  std::unique_ptr<store::DeploymentStore> store_;
   /// Late summaries awaiting the next epoch (LatePolicy::kRollForward).
   std::vector<summarize::MonitorSummary> carry_;
   std::uint64_t epoch_packets_ = 0;

@@ -33,6 +33,15 @@ class Monitor {
   /// SVD/k-means instrumentation.  Null detaches (the default).
   void set_telemetry(telemetry::Telemetry* tel);
 
+  /// Pins the summarizer's RNG stream to (seed, epoch) so this epoch's
+  /// summary does not depend on how many epochs ran before it — the
+  /// restart-determinism contract of the store (see
+  /// summarize::Summarizer::begin_epoch).  The controller calls this at
+  /// every epoch close before flushing.
+  void begin_epoch(std::uint64_t epoch) noexcept {
+    summarizer_.begin_epoch(epoch);
+  }
+
   /// Buffers one observed packet.  Malformed headers (non-IPv4, non-TCP,
   /// truncated lengths) and oversized frames (> 9000-byte jumbo bound) are
   /// dropped and counted instead of buffered — garbage rows would poison

@@ -1,0 +1,56 @@
+#include "inference/alert_json.hpp"
+
+#include <cstdio>
+
+namespace jaal::inference {
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string alert_to_json(const Alert& alert, double epoch_end_time) {
+  std::string out = "{\"time\":";
+  char num[64];
+  std::snprintf(num, sizeof(num), "%.6f", epoch_end_time);
+  out += num;
+  out += ",\"sid\":" + std::to_string(alert.sid);
+  out += ",\"msg\":\"";
+  append_escaped(out, alert.msg);
+  out += "\",\"matched_packets\":" + std::to_string(alert.matched_packets);
+  out += ",\"distributed\":";
+  out += alert.distributed ? "true" : "false";
+  out += ",\"via_feedback\":";
+  out += alert.via_feedback ? "true" : "false";
+  std::snprintf(num, sizeof(num), "%.8f", alert.variance);
+  out += ",\"variance\":";
+  out += num;
+  std::snprintf(num, sizeof(num), "%.8f", alert.confidence);
+  out += ",\"confidence\":";
+  out += num;
+  std::snprintf(num, sizeof(num), "%.8f", alert.caution);
+  out += ",\"caution\":";
+  out += num;
+  out += "}";
+  return out;
+}
+
+}  // namespace jaal::inference

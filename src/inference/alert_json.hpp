@@ -1,0 +1,19 @@
+// Deterministic single-line JSON encoding of an Alert — the byte format
+// shared by the operator log (core::AlertLogger), the persistence layer
+// (store::AlertStore), and replay comparisons: two alerts are "the same"
+// exactly when their JSON lines are byte-identical.
+#pragma once
+
+#include <string>
+
+#include "inference/engine.hpp"
+
+namespace jaal::inference {
+
+/// Renders one alert as a single-line JSON object (no trailing newline):
+/// fixed field order, %.6f epoch time, %.8f floats, RFC 8259 string
+/// escaping.
+[[nodiscard]] std::string alert_to_json(const Alert& alert,
+                                        double epoch_end_time);
+
+}  // namespace jaal::inference

@@ -27,6 +27,12 @@
 //                   observe::HealthReport (alert causal chains, summary
 //                   drift monitors, the epoch health report —
 //                   examples/jaal_doctor is the reference consumer)
+//   persistence     store::StoreConfig, store::DeploymentStore,
+//                   store::StoreReplayer, store::EpochMeta (mmap'd
+//                   time-sharded .jstore logs of summaries/alerts/
+//                   provenance, crash-safe restart, retroactive rule
+//                   replay — JaalConfig::store_dir wires it in;
+//                   examples/retroactive_query is the reference consumer)
 //   payload         payload::TermMatrix (payload-mode detection)
 //
 // Error policy (library-wide, enforced at this surface):
@@ -59,6 +65,7 @@
 #include "core/monitor.hpp"
 #include "faults/scenario.hpp"
 #include "faults/transport.hpp"
+#include "inference/alert_json.hpp"
 #include "inference/correlator.hpp"
 #include "inference/engine.hpp"
 #include "netsim/event.hpp"
@@ -69,6 +76,8 @@
 #include "observe/observe.hpp"
 #include "payload/term_matrix.hpp"
 #include "rules/rule.hpp"
+#include "store/replay.hpp"
+#include "store/store.hpp"
 #include "telemetry/export.hpp"
 #include "telemetry/telemetry.hpp"
 #include "trace/background.hpp"

@@ -1,0 +1,85 @@
+#include "store/flat_record.hpp"
+
+#include <array>
+
+namespace jaal::store {
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kCrcTable = make_crc_table();
+
+void put_u32(std::uint8_t* out, std::uint32_t v) noexcept {
+  out[0] = static_cast<std::uint8_t>(v & 0xFF);
+  out[1] = static_cast<std::uint8_t>((v >> 8) & 0xFF);
+  out[2] = static_cast<std::uint8_t>((v >> 16) & 0xFF);
+  out[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+std::uint32_t get_u32(const std::uint8_t* in) noexcept {
+  return std::uint32_t{in[0]} | (std::uint32_t{in[1]} << 8) |
+         (std::uint32_t{in[2]} << 16) | (std::uint32_t{in[3]} << 24);
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> bytes) noexcept {
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : bytes) {
+    c = kCrcTable[(c ^ b) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void encode_record_header(const RecordHeader& h, std::uint8_t* out) noexcept {
+  put_u32(out + 0, h.payload_len);
+  put_u32(out + 4, h.crc32);
+  put_u32(out + 8, static_cast<std::uint32_t>(h.epoch & 0xFFFFFFFFu));
+  put_u32(out + 12, static_cast<std::uint32_t>(h.epoch >> 32));
+  put_u32(out + 16, h.stream);
+  put_u32(out + 20, h.kind);
+}
+
+RecordHeader decode_record_header(const std::uint8_t* in) noexcept {
+  RecordHeader h;
+  h.payload_len = get_u32(in + 0);
+  h.crc32 = get_u32(in + 4);
+  h.epoch = std::uint64_t{get_u32(in + 8)} |
+            (std::uint64_t{get_u32(in + 12)} << 32);
+  h.stream = get_u32(in + 16);
+  h.kind = get_u32(in + 20);
+  return h;
+}
+
+std::optional<RecordView> next_record(std::span<const std::uint8_t> shard,
+                                      std::size_t& offset) noexcept {
+  if (offset + kRecordHeaderBytes > shard.size()) return std::nullopt;
+  const RecordHeader h = decode_record_header(shard.data() + offset);
+  // An all-zero header is pre-allocated (never written) space, not
+  // corruption: kind 0 is not a valid RecordKind either way.
+  if (h.kind < static_cast<std::uint32_t>(RecordKind::kSummary) ||
+      h.kind > static_cast<std::uint32_t>(RecordKind::kEpochMeta)) {
+    return std::nullopt;
+  }
+  if (h.payload_len > kMaxRecordPayload) return std::nullopt;
+  const std::size_t end = offset + kRecordHeaderBytes + h.payload_len;
+  if (end > shard.size()) return std::nullopt;
+  const std::span<const std::uint8_t> payload =
+      shard.subspan(offset + kRecordHeaderBytes, h.payload_len);
+  if (crc32(payload) != h.crc32) return std::nullopt;
+  offset = end;
+  return RecordView{h.epoch, h.stream, static_cast<RecordKind>(h.kind),
+                    payload};
+}
+
+}  // namespace jaal::store

@@ -1,0 +1,177 @@
+#include "store/store.hpp"
+
+#include <cstring>
+
+#include "inference/alert_json.hpp"
+
+namespace jaal::store {
+namespace {
+
+void put_u64_le(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+std::uint64_t get_u64_le(const std::uint8_t* in) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= std::uint64_t{in[i]} << (8 * i);
+  return v;
+}
+
+std::uint64_t double_bits(double d) noexcept {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+double bits_double(std::uint64_t bits) noexcept {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+std::span<const std::uint8_t> as_bytes(std::string_view s) noexcept {
+  return {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()};
+}
+
+std::string_view as_view(std::span<const std::uint8_t> bytes) noexcept {
+  return {reinterpret_cast<const char*>(bytes.data()), bytes.size()};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_epoch_meta(const EpochMeta& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32);
+  put_u64_le(out, double_bits(m.end_time));
+  put_u64_le(out, m.packets);
+  put_u64_le(out, double_bits(m.report_fraction));
+  put_u64_le(out, double_bits(m.caution));
+  return out;
+}
+
+std::optional<EpochMeta> decode_epoch_meta(
+    std::uint64_t epoch, std::span<const std::uint8_t> payload) {
+  if (payload.size() != 32) return std::nullopt;
+  EpochMeta m;
+  m.epoch = epoch;
+  m.end_time = bits_double(get_u64_le(payload.data()));
+  m.packets = get_u64_le(payload.data() + 8);
+  m.report_fraction = bits_double(get_u64_le(payload.data() + 16));
+  m.caution = bits_double(get_u64_le(payload.data() + 24));
+  return m;
+}
+
+DeploymentStore::DeploymentStore(const StoreConfig& cfg, bool writable,
+                                 telemetry::Telemetry* tel) {
+  summaries_ = std::make_unique<TimeShardLog>(
+      TimeShardConfig{cfg.dir, "summaries", cfg.epochs_per_shard}, writable,
+      tel);
+  alerts_ = std::make_unique<TimeShardLog>(
+      TimeShardConfig{cfg.dir, "alerts", cfg.epochs_per_shard}, writable,
+      tel);
+  provenance_ = std::make_unique<TimeShardLog>(
+      TimeShardConfig{cfg.dir, "provenance", cfg.epochs_per_shard}, writable,
+      tel);
+  // The last EpochMeta in the summaries log is the store's commit horizon.
+  summaries_->for_each([&](const RecordView& rec) {
+    if (rec.kind == RecordKind::kEpochMeta) last_committed_ = rec.epoch;
+    return true;
+  });
+  if (writable) {
+    // Drop everything newer than the horizon from all three logs: records
+    // of a half-written epoch (summaries appended, meta never landed — or
+    // alerts persisted for an epoch whose meta was torn away) must not
+    // resurface as data after a restart.
+    (void)summaries_->truncate_after_epoch(last_committed_);
+    (void)alerts_->truncate_after_epoch(last_committed_);
+    (void)provenance_->truncate_after_epoch(last_committed_);
+  }
+}
+
+void DeploymentStore::put_summary(std::uint64_t epoch,
+                                  const summarize::MonitorSummary& s) {
+  // Full float64 fidelity: replaying these bytes must rebuild the exact
+  // in-memory aggregate the live controller matched against.
+  const std::vector<std::uint8_t> bytes =
+      summarize::serialize(s, summarize::WirePrecision::kFloat64);
+  const std::uint32_t monitor =
+      std::visit([](const auto& v) { return v.monitor; }, s);
+  (void)summaries_->append(epoch, monitor, RecordKind::kSummary, bytes);
+}
+
+void DeploymentStore::put_alert(std::uint64_t epoch,
+                                const inference::Alert& a,
+                                double epoch_end_time) {
+  const std::string line = inference::alert_to_json(a, epoch_end_time);
+  (void)alerts_->append(epoch, a.sid, RecordKind::kAlert, as_bytes(line));
+}
+
+void DeploymentStore::put_provenance(std::uint64_t epoch, std::uint32_t sid,
+                                     const observe::AlertProvenance& p) {
+  const std::string line = observe::to_json(p);
+  (void)provenance_->append(epoch, sid, RecordKind::kProvenance,
+                            as_bytes(line));
+}
+
+void DeploymentStore::commit_epoch(const EpochMeta& meta) {
+  const std::vector<std::uint8_t> payload = encode_epoch_meta(meta);
+  if (summaries_->append(meta.epoch, 0, RecordKind::kEpochMeta, payload)) {
+    last_committed_ = meta.epoch;
+  }
+}
+
+void DeploymentStore::sync() {
+  (void)summaries_->sync();
+  (void)alerts_->sync();
+  (void)provenance_->sync();
+}
+
+bool DeploymentStore::failed() const noexcept {
+  return summaries_->failed() || alerts_->failed() || provenance_->failed();
+}
+
+std::uint64_t DeploymentStore::torn_bytes_truncated() const noexcept {
+  return summaries_->torn_bytes_truncated() +
+         alerts_->torn_bytes_truncated() +
+         provenance_->torn_bytes_truncated();
+}
+
+void DeploymentStore::each_summary(
+    const std::function<bool(std::uint64_t, std::uint32_t,
+                             const summarize::MonitorSummary&)>& fn) const {
+  summaries_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kSummary) return true;
+    return fn(rec.epoch, rec.stream, summarize::deserialize(rec.payload));
+  });
+}
+
+void DeploymentStore::each_epoch_meta(
+    const std::function<bool(const EpochMeta&)>& fn) const {
+  summaries_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kEpochMeta) return true;
+    const auto meta = decode_epoch_meta(rec.epoch, rec.payload);
+    return !meta || fn(*meta);
+  });
+}
+
+void DeploymentStore::each_alert_line(
+    const std::function<bool(std::uint64_t, std::uint32_t, std::string_view)>&
+        fn) const {
+  alerts_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kAlert) return true;
+    return fn(rec.epoch, rec.stream, as_view(rec.payload));
+  });
+}
+
+void DeploymentStore::each_provenance_line(
+    const std::function<bool(std::uint64_t, std::uint32_t, std::string_view)>&
+        fn) const {
+  provenance_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kProvenance) return true;
+    return fn(rec.epoch, rec.stream, as_view(rec.payload));
+  });
+}
+
+}  // namespace jaal::store

@@ -1,0 +1,133 @@
+// Typed persistence for one deployment: three time-sharded record logs
+// under one directory —
+//   summaries.NNNNNN.jstore   MonitorSummary payloads (float64 wire format)
+//                             plus one EpochMeta commit record per epoch;
+//   alerts.NNNNNN.jstore      alert JSON lines (inference::alert_to_json);
+//   provenance.NNNNNN.jstore  provenance JSON lines (observe::to_json).
+//
+// Crash-safety protocol: everything an epoch produced is appended first,
+// then one EpochMeta record lands in the summaries log — that record IS the
+// epoch's commit point.  A writer opening the store truncates torn shard
+// tails (flat_timeshard walk-on-open) and then drops every record newer
+// than the last committed EpochMeta from all three logs, so a half-written
+// epoch can never resurface.  last_committed_epoch() tells a restarted
+// deployment where to resume.
+//
+// Error policy: construction throws std::invalid_argument on an unusable
+// directory or incompatible shards; the per-epoch append path never throws —
+// an I/O failure flips failed() and the store goes inert (the deployment
+// keeps running, it just stops persisting).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "inference/engine.hpp"
+#include "observe/provenance.hpp"
+#include "store/flat_timeshard.hpp"
+#include "summarize/summary.hpp"
+
+namespace jaal::store {
+
+struct StoreConfig {
+  std::string dir;  ///< Directory for the shard files (created if absent).
+  std::uint64_t epochs_per_shard = 64;
+};
+
+/// The per-epoch commit record: enough deployment context for a replayer to
+/// reproduce the engine's per-epoch state (tau_c volume scale, degraded-mode
+/// report fraction, drift caution) exactly as the live run saw it.
+struct EpochMeta {
+  std::uint64_t epoch = 0;
+  double end_time = 0.0;         ///< Simulated epoch close time.
+  std::uint64_t packets = 0;     ///< Packets ingested this epoch.
+  double report_fraction = 1.0;  ///< Delivered / expected summaries.
+  double caution = 0.0;          ///< Drift caution at decision time.
+};
+
+/// Fixed 32-byte little-endian payload (epoch rides in the record header).
+[[nodiscard]] std::vector<std::uint8_t> encode_epoch_meta(const EpochMeta& m);
+/// nullopt on a malformed payload.
+[[nodiscard]] std::optional<EpochMeta> decode_epoch_meta(
+    std::uint64_t epoch, std::span<const std::uint8_t> payload);
+
+class DeploymentStore {
+ public:
+  /// Writer mode recovers the store (torn tails, uncommitted epochs) and
+  /// appends; reader mode only scans.  Throws std::invalid_argument on an
+  /// unusable directory or shards from an incompatible format version.
+  DeploymentStore(const StoreConfig& cfg, bool writable,
+                  telemetry::Telemetry* tel = nullptr);
+
+  /// Epoch of the last EpochMeta commit record; nullopt for a fresh store.
+  /// A restarted deployment resumes at *last_committed_epoch() + 1.
+  [[nodiscard]] std::optional<std::uint64_t> last_committed_epoch()
+      const noexcept {
+    return last_committed_;
+  }
+
+  // ---- writer path (per-epoch hot path: never throws) ----
+
+  /// Persists one aggregated summary, full-fidelity (float64), in
+  /// aggregation order — replay reproduces the live aggregate bit-for-bit.
+  void put_summary(std::uint64_t epoch, const summarize::MonitorSummary& s);
+  void put_alert(std::uint64_t epoch, const inference::Alert& a,
+                 double epoch_end_time);
+  void put_provenance(std::uint64_t epoch, std::uint32_t sid,
+                      const observe::AlertProvenance& p);
+  /// Commits the epoch: after this record is appended, the epoch is
+  /// durable-on-truncate (walk-on-open keeps everything up to it).
+  void commit_epoch(const EpochMeta& meta);
+  /// msync all three tail shards (shard rolls and destruction sync
+  /// automatically; call this for an explicit durability point).
+  void sync();
+
+  /// True after any log hit an unrecoverable I/O failure (store inert).
+  [[nodiscard]] bool failed() const noexcept;
+  /// Bytes removed by torn-tail recovery at open, across the three logs.
+  [[nodiscard]] std::uint64_t torn_bytes_truncated() const noexcept;
+
+  // ---- read path ----
+
+  /// Every stored summary in append (= aggregation) order.  Return false to
+  /// stop.  Throws std::runtime_error only on a payload that fails
+  /// summarize::deserialize (CRC-valid but foreign — practically a
+  /// programming error).
+  void each_summary(
+      const std::function<bool(std::uint64_t epoch, std::uint32_t monitor,
+                               const summarize::MonitorSummary&)>& fn) const;
+  /// Every committed EpochMeta, ascending.
+  void each_epoch_meta(
+      const std::function<bool(const EpochMeta&)>& fn) const;
+  /// Alert JSON lines in append order (view aliases the shard mapping).
+  void each_alert_line(
+      const std::function<bool(std::uint64_t epoch, std::uint32_t sid,
+                               std::string_view line)>& fn) const;
+  /// Provenance JSON lines in append order.
+  void each_provenance_line(
+      const std::function<bool(std::uint64_t epoch, std::uint32_t sid,
+                               std::string_view line)>& fn) const;
+
+  /// Underlying logs, for tests and tooling.
+  [[nodiscard]] const TimeShardLog& summaries_log() const noexcept {
+    return *summaries_;
+  }
+  [[nodiscard]] const TimeShardLog& alerts_log() const noexcept {
+    return *alerts_;
+  }
+  [[nodiscard]] const TimeShardLog& provenance_log() const noexcept {
+    return *provenance_;
+  }
+
+ private:
+  std::unique_ptr<TimeShardLog> summaries_;
+  std::unique_ptr<TimeShardLog> alerts_;
+  std::unique_ptr<TimeShardLog> provenance_;
+  std::optional<std::uint64_t> last_committed_;
+};
+
+}  // namespace jaal::store

@@ -15,6 +15,15 @@ double ms_since(std::chrono::steady_clock::time_point start) {
       .count();
 }
 
+/// Same finalizer the fault scenarios use to derive independent streams
+/// from structured keys.
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Summarizer::Summarizer(const SummarizerConfig& cfg, MonitorId monitor)
@@ -47,6 +56,10 @@ void Summarizer::set_telemetry(telemetry::Telemetry* tel) {
       &tel_->metrics.counter("jaal_summarize_split_format_total");
   combined_format_ =
       &tel_->metrics.counter("jaal_summarize_combined_format_total");
+}
+
+void Summarizer::begin_epoch(std::uint64_t epoch) noexcept {
+  rng_.seed(splitmix64(cfg_.seed ^ splitmix64(epoch)));
 }
 
 std::size_t Summarizer::combined_cost() const noexcept {

@@ -96,6 +96,18 @@ class Summarizer {
       std::span<const packet::PacketRecord> batch,
       const telemetry::SpanContext& parent = {});
 
+  /// Re-derives the RNG stream for the given epoch from (seed, epoch), so
+  /// summarization is a pure function of (config, epoch, batch) rather than
+  /// of the whole RNG history — a deployment restarted at epoch e produces
+  /// the same summaries as one that ran from epoch 0 (the same purity rule
+  /// the fault scenarios follow).  The controller calls this before every
+  /// flush; direct users who never call it keep the single continuous
+  /// stream seeded at construction.  Note the warm backends (kIncremental
+  /// SVD, kMiniBatch clustering) carry cross-epoch numeric state that this
+  /// does not reset — restart byte-identity holds for the stateless
+  /// defaults (kJacobi + kLloyd).
+  void begin_epoch(std::uint64_t epoch) noexcept;
+
   [[nodiscard]] const SummarizerConfig& config() const noexcept { return cfg_; }
 
   /// Attaches the shared execution runtime: the k-means assignment step of

@@ -2,6 +2,7 @@
 
 #include <cstring>
 #include <stdexcept>
+#include <string>
 
 namespace jaal::summarize {
 namespace {
@@ -16,16 +17,35 @@ void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
   out.push_back(static_cast<std::uint8_t>(v >> 24));
 }
 
-void put_f32(std::vector<std::uint8_t>& out, double v) {
-  const float f = static_cast<float>(v);
-  std::uint32_t bits;
-  std::memcpy(&bits, &f, sizeof(bits));
-  put_u32(out, bits);
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v & 0xFFFFFFFFu));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
 }
+
+/// Scalar writer for the configured precision: f32 quantizes (the wire
+/// model), f64 round-trips doubles bit-exactly (the store model).
+struct ScalarWriter {
+  std::vector<std::uint8_t>& out;
+  WirePrecision precision;
+
+  void scalar(double v) const {
+    if (precision == WirePrecision::kFloat64) {
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      put_u64(out, bits);
+    } else {
+      const float f = static_cast<float>(v);
+      std::uint32_t bits;
+      std::memcpy(&bits, &f, sizeof(bits));
+      put_u32(out, bits);
+    }
+  }
+};
 
 class Reader {
  public:
-  explicit Reader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  Reader(std::span<const std::uint8_t> bytes, WirePrecision precision)
+      : bytes_(bytes), precision_(precision) {}
 
   std::uint8_t u8() {
     need(1);
@@ -40,7 +60,14 @@ class Reader {
     pos_ += 4;
     return v;
   }
-  double f32() {
+  double scalar() {
+    if (precision_ == WirePrecision::kFloat64) {
+      const std::uint64_t bits =
+          std::uint64_t{u32()} | (std::uint64_t{u32()} << 32);
+      double d;
+      std::memcpy(&d, &bits, sizeof(d));
+      return d;
+    }
     const std::uint32_t bits = u32();
     float f;
     std::memcpy(&f, &bits, sizeof(f));
@@ -55,13 +82,14 @@ class Reader {
     }
   }
   std::span<const std::uint8_t> bytes_;
+  WirePrecision precision_;
   std::size_t pos_ = 0;
 };
 
-void put_matrix(std::vector<std::uint8_t>& out, const linalg::Matrix& m) {
-  put_u32(out, static_cast<std::uint32_t>(m.rows()));
-  put_u32(out, static_cast<std::uint32_t>(m.cols()));
-  for (double v : m.data()) put_f32(out, v);
+void put_matrix(const ScalarWriter& w, const linalg::Matrix& m) {
+  put_u32(w.out, static_cast<std::uint32_t>(m.rows()));
+  put_u32(w.out, static_cast<std::uint32_t>(m.cols()));
+  for (double v : m.data()) w.scalar(v);
 }
 
 linalg::Matrix get_matrix(Reader& r) {
@@ -71,7 +99,7 @@ linalg::Matrix get_matrix(Reader& r) {
     throw std::runtime_error("summary deserialize: implausible matrix size");
   }
   linalg::Matrix m(rows, cols);
-  for (double& v : m.data()) v = r.f32();
+  for (double& v : m.data()) v = r.scalar();
   return m;
 }
 
@@ -128,13 +156,17 @@ std::size_t wire_bytes(const MonitorSummary& s) noexcept {
   return element_count(s) * 4;
 }
 
-std::vector<std::uint8_t> serialize(const MonitorSummary& s) {
+std::vector<std::uint8_t> serialize(const MonitorSummary& s,
+                                    WirePrecision precision) {
   std::vector<std::uint8_t> out;
+  out.push_back(kWireMagic);
+  out.push_back(static_cast<std::uint8_t>(precision));
+  const ScalarWriter w{out, precision};
   if (const auto* c = std::get_if<CombinedSummary>(&s)) {
     c->check_invariants();
     out.push_back(kTagCombined);
     put_u32(out, c->monitor);
-    put_matrix(out, c->centroids);
+    put_matrix(w, c->centroids);
     put_u32(out, static_cast<std::uint32_t>(c->counts.size()));
     for (std::uint64_t n : c->counts) {
       put_u32(out, static_cast<std::uint32_t>(n));
@@ -144,10 +176,10 @@ std::vector<std::uint8_t> serialize(const MonitorSummary& s) {
     sp.check_invariants();
     out.push_back(kTagSplit);
     put_u32(out, sp.monitor);
-    put_matrix(out, sp.u_centroids);
+    put_matrix(w, sp.u_centroids);
     put_u32(out, static_cast<std::uint32_t>(sp.sigma.size()));
-    for (double v : sp.sigma) put_f32(out, v);
-    put_matrix(out, sp.vt);
+    for (double v : sp.sigma) w.scalar(v);
+    put_matrix(w, sp.vt);
     put_u32(out, static_cast<std::uint32_t>(sp.counts.size()));
     for (std::uint64_t n : sp.counts) {
       put_u32(out, static_cast<std::uint32_t>(n));
@@ -157,7 +189,22 @@ std::vector<std::uint8_t> serialize(const MonitorSummary& s) {
 }
 
 MonitorSummary deserialize(std::span<const std::uint8_t> bytes) {
-  Reader r(bytes);
+  if (bytes.size() < 2) {
+    throw std::runtime_error("summary deserialize: truncated buffer");
+  }
+  if (bytes[0] != kWireMagic) {
+    throw std::runtime_error(
+        "summary deserialize: bad magic byte (not a serialized summary, or "
+        "a pre-versioning buffer)");
+  }
+  const std::uint8_t version = bytes[1];
+  if (version != static_cast<std::uint8_t>(WirePrecision::kFloat32) &&
+      version != static_cast<std::uint8_t>(WirePrecision::kFloat64)) {
+    throw std::runtime_error(
+        "summary deserialize: unsupported format version " +
+        std::to_string(version));
+  }
+  Reader r(bytes.subspan(2), static_cast<WirePrecision>(version));
   const std::uint8_t tag = r.u8();
   if (tag == kTagCombined) {
     CombinedSummary c;
@@ -175,7 +222,7 @@ MonitorSummary deserialize(std::span<const std::uint8_t> bytes) {
     s.u_centroids = get_matrix(r);
     const std::uint32_t nr = r.u32();
     s.sigma.reserve(nr);
-    for (std::uint32_t i = 0; i < nr; ++i) s.sigma.push_back(r.f32());
+    for (std::uint32_t i = 0; i < nr; ++i) s.sigma.push_back(r.scalar());
     s.vt = get_matrix(r);
     const std::uint32_t n = r.u32();
     s.counts.reserve(n);

@@ -58,11 +58,32 @@ using MonitorSummary = std::variant<CombinedSummary, SplitSummary>;
 /// needed for threshold matching).
 [[nodiscard]] std::size_t wire_bytes(const MonitorSummary& s) noexcept;
 
-/// Serializes to a self-describing byte buffer (little-endian, tagged).
-[[nodiscard]] std::vector<std::uint8_t> serialize(const MonitorSummary& s);
+/// Every serialized summary starts with this magic byte followed by a
+/// format-version byte; deserialize() rejects anything else, so a stale or
+/// foreign buffer fails loudly instead of decoding as garbage.
+inline constexpr std::uint8_t kWireMagic = 0x4A;  // 'J'
 
-/// Parses a buffer produced by serialize().  Throws std::runtime_error on a
-/// malformed buffer.
+/// Scalar precision of the serialized buffer, doubling as the wire format
+/// version byte.
+enum class WirePrecision : std::uint8_t {
+  /// v1: float32 scalars — what a deployment ships over the network
+  /// (matches wire_bytes()).
+  kFloat32 = 1,
+  /// v2: float64 scalars — full fidelity, used by the persistence layer
+  /// (src/store) so historical replay reproduces the live aggregate
+  /// bit-for-bit.
+  kFloat64 = 2,
+};
+
+/// Serializes to a self-describing byte buffer: magic, version, tag, then
+/// little-endian fields at the requested scalar precision.
+[[nodiscard]] std::vector<std::uint8_t> serialize(
+    const MonitorSummary& s,
+    WirePrecision precision = WirePrecision::kFloat32);
+
+/// Parses a buffer produced by serialize() (either precision).  Throws
+/// std::runtime_error on a missing/foreign magic byte, an unsupported
+/// format version, or a malformed body.
 [[nodiscard]] MonitorSummary deserialize(
     std::span<const std::uint8_t> bytes);
 

@@ -1,0 +1,225 @@
+// Crash-safe restart of a persisted deployment: a controller killed
+// mid-epoch reopens its store, resumes at the epoch after the last commit,
+// and — fed the same packets — produces byte-identical alerts to a run that
+// never died.  The determinism contract behind it is Monitor::begin_epoch
+// (per-epoch RNG streams) plus the store's commit protocol.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "inference/alert_json.hpp"
+#include "store/replay.hpp"
+#include "store/store.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("jaal_restart_test_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+JaalConfig restart_config(const std::string& dir) {
+  JaalConfig cfg;
+  cfg.summarizer.batch_size = 400;
+  // Low floor so every monitor flushes every epoch: after any epoch close
+  // all buffers are empty, which is what makes a restarted (cold) monitor
+  // equivalent to a running one.
+  cfg.summarizer.min_batch = 150;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 48;
+  cfg.monitor_count = 3;
+  cfg.epoch_seconds = 0.04;
+  cfg.engine.default_thresholds = {0.02, 0.02};
+  cfg.engine.tau_c_scale = 1.8;
+  // A restarted health tracker is cold; disable drift so the caution
+  // signal cannot differ between the runs under comparison.
+  cfg.observe.drift = false;
+  cfg.store_dir = dir;
+  return cfg;
+}
+
+std::vector<rules::Rule> ruleset() {
+  return rules::parse_rules(rules::default_ruleset_text(),
+                            evaluation_rule_vars());
+}
+
+/// The same packet stream for every run: pre-generated and sliced by epoch
+/// so an interrupted run and its resumption see exactly the packets the
+/// uninterrupted run saw.
+std::vector<std::vector<packet::PacketRecord>> epoch_slices(
+    const JaalConfig& cfg, std::size_t epochs) {
+  trace::BackgroundTraffic gen(trace::trace1_profile(), 21);
+  std::vector<std::vector<packet::PacketRecord>> slices(epochs);
+  const double horizon = cfg.epoch_seconds * static_cast<double>(epochs);
+  while (gen.peek_time() < horizon) {
+    const packet::PacketRecord pkt = gen.next();
+    const auto e =
+        static_cast<std::size_t>(pkt.timestamp / cfg.epoch_seconds);
+    if (e >= epochs) break;
+    slices[e].push_back(pkt);
+  }
+  return slices;
+}
+
+std::vector<std::string> alert_lines(const std::vector<EpochResult>& epochs) {
+  std::vector<std::string> lines;
+  for (const auto& e : epochs) {
+    for (const auto& a : e.alerts) {
+      lines.push_back(inference::alert_to_json(a, e.end_time));
+    }
+  }
+  return lines;
+}
+
+/// Feeds epochs [from, to) of the pre-sliced stream.
+std::vector<EpochResult> drive(
+    JaalController& controller, const JaalConfig& cfg,
+    const std::vector<std::vector<packet::PacketRecord>>& slices,
+    std::size_t from, std::size_t to) {
+  std::vector<EpochResult> out;
+  for (std::size_t e = from; e < to; ++e) {
+    for (const auto& pkt : slices[e]) controller.ingest(pkt);
+    out.push_back(
+        controller.close_epoch(cfg.epoch_seconds *
+                               static_cast<double>(e + 1)));
+  }
+  return out;
+}
+
+TEST(StoreRestart, ResumesAfterLastCommittedEpoch) {
+  constexpr std::size_t kEpochs = 8;
+  constexpr std::size_t kCrashAt = 4;  // dies while epoch 4 is open
+  TempDir dir("resume");
+  const JaalConfig cfg = restart_config(dir.str());
+  const auto slices = epoch_slices(cfg, kEpochs);
+
+  // Reference: one controller, never interrupted.
+  TempDir ref_dir("resume_ref");
+  std::vector<EpochResult> reference;
+  {
+    JaalConfig ref_cfg = restart_config(ref_dir.str());
+    JaalController controller(ref_cfg, ruleset());
+    reference = drive(controller, ref_cfg, slices, 0, kEpochs);
+  }
+
+  // Interrupted run: closes epochs 0..kCrashAt-1, ingests part of epoch
+  // kCrashAt, then is destroyed without closing it (the half-epoch's
+  // packets die with the monitors' buffers — nothing of it was committed).
+  {
+    JaalController controller(cfg, ruleset());
+    (void)drive(controller, cfg, slices, 0, kCrashAt);
+    for (std::size_t i = 0; i < slices[kCrashAt].size() / 2; ++i) {
+      controller.ingest(slices[kCrashAt][i]);
+    }
+    ASSERT_FALSE(controller.store()->failed());
+  }
+
+  // Restart: the store hands back the resume point; the upstream replays
+  // the whole crash epoch (it was never acknowledged).
+  JaalController resumed(cfg, ruleset());
+  ASSERT_EQ(resumed.next_epoch(), kCrashAt);
+  const auto tail = drive(resumed, cfg, slices, kCrashAt, kEpochs);
+
+  // Every resumed epoch is byte-identical to the uninterrupted run.
+  ASSERT_EQ(tail.size(), kEpochs - kCrashAt);
+  for (std::size_t i = 0; i < tail.size(); ++i) {
+    const EpochResult& got = tail[i];
+    const EpochResult& want = reference[kCrashAt + i];
+    EXPECT_EQ(got.end_time, want.end_time);
+    EXPECT_EQ(got.packets, want.packets);
+    ASSERT_EQ(got.alerts.size(), want.alerts.size()) << "epoch " << i;
+    for (std::size_t j = 0; j < got.alerts.size(); ++j) {
+      EXPECT_EQ(inference::alert_to_json(got.alerts[j], got.end_time),
+                inference::alert_to_json(want.alerts[j], want.end_time))
+          << "epoch " << kCrashAt + i << " alert " << j;
+    }
+  }
+
+  // The combined store now holds a contiguous committed history 0..7.
+  store::DeploymentStore reader({dir.str(), cfg.store_epochs_per_shard},
+                                /*writable=*/false);
+  std::vector<std::uint64_t> committed;
+  reader.each_epoch_meta([&](const store::EpochMeta& m) {
+    committed.push_back(m.epoch);
+    return true;
+  });
+  ASSERT_EQ(committed.size(), kEpochs);
+  for (std::size_t e = 0; e < kEpochs; ++e) EXPECT_EQ(committed[e], e);
+
+  // And its alert log equals the uninterrupted run's, line for line.
+  std::vector<std::string> stored;
+  reader.each_alert_line(
+      [&](std::uint64_t, std::uint32_t, std::string_view line) {
+        stored.emplace_back(line);
+        return true;
+      });
+  EXPECT_EQ(stored, alert_lines(reference));
+}
+
+TEST(StoreRestart, TornTailIsHealedBeforeResuming) {
+  constexpr std::size_t kEpochs = 6;
+  constexpr std::size_t kCrashAt = 3;
+  TempDir dir("torn");
+  const JaalConfig cfg = restart_config(dir.str());
+  const auto slices = epoch_slices(cfg, kEpochs);
+  {
+    JaalController controller(cfg, ruleset());
+    (void)drive(controller, cfg, slices, 0, kCrashAt);
+  }
+  // Simulate a crash mid-append: garbage on the summaries tail shard.
+  store::TimeShardLog probe({dir.str(), "summaries",
+                             cfg.store_epochs_per_shard},
+                            /*writable=*/false);
+  const auto paths = probe.shard_paths();
+  ASSERT_FALSE(paths.empty());
+  {
+    std::ofstream f(paths.back(), std::ios::binary | std::ios::app);
+    f << "interrupted write";
+  }
+
+  JaalController resumed(cfg, ruleset());
+  ASSERT_NE(resumed.store(), nullptr);
+  EXPECT_GT(resumed.store()->torn_bytes_truncated(), 0u);
+  EXPECT_EQ(resumed.next_epoch(), kCrashAt);
+  (void)drive(resumed, cfg, slices, kCrashAt, kEpochs);
+
+  store::DeploymentStore reader({dir.str(), cfg.store_epochs_per_shard},
+                                /*writable=*/false);
+  std::vector<std::uint64_t> committed;
+  reader.each_epoch_meta([&](const store::EpochMeta& m) {
+    committed.push_back(m.epoch);
+    return true;
+  });
+  ASSERT_EQ(committed.size(), kEpochs);
+  for (std::size_t e = 0; e < kEpochs; ++e) EXPECT_EQ(committed[e], e);
+}
+
+TEST(StoreRestart, FreshDirectoryStartsAtEpochZero) {
+  TempDir dir("fresh");
+  const JaalConfig cfg = restart_config(dir.str());
+  JaalController controller(cfg, ruleset());
+  EXPECT_EQ(controller.next_epoch(), 0u);
+  ASSERT_NE(controller.store(), nullptr);
+  EXPECT_FALSE(controller.store()->last_committed_epoch().has_value());
+}
+
+}  // namespace
+}  // namespace jaal::core
