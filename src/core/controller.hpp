@@ -88,7 +88,11 @@ struct JaalConfig : DeploymentConfig {
   /// store resumes at the epoch after the last committed one (torn shard
   /// tails and uncommitted epochs are truncated on open); subsequent
   /// epochs are byte-identical to an uninterrupted run with the default
-  /// stateless backends (kJacobi + kLloyd).  Empty (default) = no
+  /// stateless backends (kJacobi + kLloyd) and the default
+  /// LatePolicy::kDiscard.  Under kRollForward, late summaries still
+  /// awaiting roll-forward at the moment of the crash live only in memory
+  /// and are not replayed, so the first resumed epoch aggregates without
+  /// them.  Empty (default) = no
   /// persistence.  Store I/O failures never interrupt the deployment: the
   /// store goes inert (see store::DeploymentStore::failed).
   std::string store_dir;

@@ -52,6 +52,24 @@ bool iterate_shard(std::span<const std::uint8_t> bytes,
   return true;
 }
 
+/// True when the shard's magic fully landed on disk.  A shard whose magic
+/// is intact was completely rolled by *some* build — its header fields are
+/// authoritative, never torn noise.
+bool magic_landed(const FlatMmap& map) noexcept {
+  return map.size() >= kShardHeaderBytes &&
+         std::memcmp(map.data(), kShardMagic, sizeof(kShardMagic)) == 0;
+}
+
+/// Offset just past the last non-zero byte at or after `from`: the extent
+/// of bytes actually written.  Growth pre-zeroes mmap capacity, so trailing
+/// zeros are unused allocation, not torn record data.
+std::size_t data_extent(const FlatMmap& map, std::size_t from) noexcept {
+  std::size_t end = map.size();
+  const std::uint8_t* d = map.data();
+  while (end > from && d[end - 1] == 0) --end;
+  return end;
+}
+
 }  // namespace
 
 TimeShardLog::TimeShardLog(TimeShardConfig cfg, bool writable,
@@ -93,6 +111,36 @@ TimeShardLog::TimeShardLog(TimeShardConfig cfg, bool writable,
     shard_indices_.push_back(std::stoull(digits));
   }
   std::sort(shard_indices_.begin(), shard_indices_.end());
+  // Validate every discovered header up front, reader and writer alike.  A
+  // shard whose magic is intact but whose header disagrees with this build
+  // or config (format version, schema hash, epoch range / shard width) is
+  // incompatible: refuse the whole store loudly rather than ever mistaking
+  // committed data for a torn roll.  Only a *tail* shard whose magic never
+  // landed is a recoverable crash-during-roll.
+  for (std::size_t i = 0; i < shard_indices_.size();) {
+    const std::uint64_t idx = shard_indices_[i];
+    FlatMmap map;
+    if (!map.open(shard_path(idx), false)) {
+      throw std::invalid_argument("TimeShardLog: cannot open shard " +
+                                  shard_path(idx));
+    }
+    if (header_ok(map, idx)) {
+      ++i;
+      continue;
+    }
+    const bool tail = i + 1 == shard_indices_.size();
+    if (magic_landed(map) || !tail) {
+      throw std::invalid_argument(
+          "TimeShardLog: incompatible shard header (format/schema/shard "
+          "width mismatch) in " +
+          shard_path(idx));
+    }
+    if (writable_) {
+      ++i;  // open_tail_for_write deletes the torn roll
+    } else {
+      shard_indices_.pop_back();  // readers just skip it
+    }
+  }
   if (writable_ && !open_tail_for_write()) {
     throw std::invalid_argument(
         "TimeShardLog: cannot recover tail shard under " + cfg_.dir);
@@ -136,20 +184,17 @@ bool TimeShardLog::open_tail_for_write() {
     const std::string path = shard_path(idx);
     if (!tail_.open(path, true)) return false;
     if (!header_ok(tail_, idx)) {
-      const bool incompatible =
-          tail_.size() >= kShardHeaderBytes &&
-          std::memcmp(tail_.data(), kShardMagic, sizeof(kShardMagic)) == 0 &&
-          (get_u32_at(tail_.data() + 8) != kShardFormatVersion ||
-           get_u32_at(tail_.data() + 12) != kRecordSchemaHash);
-      if (incompatible) {
-        // A well-formed shard from an incompatible build: refuse the whole
-        // store rather than silently dropping data.
+      if (magic_landed(tail_)) {
+        // A fully-rolled shard whose header disagrees with this build or
+        // config: refuse the whole store rather than silently dropping
+        // data.  (The constructor pre-validation already throws for this;
+        // kept as a defensive backstop.)
         return false;
       }
-      // Crash during a shard roll: the header never fully landed.  The file
+      // Crash during a shard roll: the magic never fully landed.  The file
       // holds no committed data — delete it and fall back to the previous
       // shard.
-      torn_bytes_ += tail_.size();
+      torn_bytes_ += data_extent(tail_, 0);
       tail_.close();
       std::error_code ec;
       fs::remove(path, ec);
@@ -157,7 +202,7 @@ bool TimeShardLog::open_tail_for_write() {
       continue;
     }
     const std::size_t end = walk_end(tail_);
-    torn_bytes_ += tail_.size() - end;
+    torn_bytes_ += data_extent(tail_, end) - end;
     if (!tail_.truncate_to(end)) return false;
     tail_used_ = end;
     tail_index_ = idx;

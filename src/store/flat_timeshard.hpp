@@ -11,8 +11,12 @@
 //   * the tail shard is recovered on open by walking its frames — the first
 //     frame that fails validation marks the torn tail, which is truncated
 //     (an interrupted append can never resurface as data);
-//   * a tail shard whose *header* is unreadable (crash during roll) is
-//     deleted outright in writer mode.
+//   * a tail shard whose header *magic* never fully landed (crash during
+//     roll) holds no committed data: writers delete it, readers skip it;
+//   * a shard whose magic is intact but whose header disagrees with this
+//     build or config (format version, schema hash, epoch range / shard
+//     width) is incompatible — construction throws for reader and writer
+//     alike, so committed data is never mistaken for a torn roll.
 // The walk, not any length field, is authoritative for what exists.
 #pragma once
 
@@ -87,7 +91,9 @@ class TimeShardLog {
   /// Epoch of the last valid record, nullopt when the log is empty.
   [[nodiscard]] std::optional<std::uint64_t> last_epoch() const;
 
-  /// Bytes removed by torn-tail recovery when the writer opened.
+  /// Torn record bytes removed by recovery when the writer opened (counted
+  /// to the last non-zero byte: zeroed pre-allocated capacity is not torn
+  /// data).
   [[nodiscard]] std::uint64_t torn_bytes_truncated() const noexcept {
     return torn_bytes_;
   }

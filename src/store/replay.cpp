@@ -22,7 +22,13 @@ std::vector<ReplayEpoch> StoreReplayer::replay(
     }
     if (rec.kind != RecordKind::kEpochMeta) return true;
     const auto meta = decode_epoch_meta(rec.epoch, rec.payload);
-    if (!meta) return true;
+    if (!meta) {
+      // CRC-valid but malformed commit record: the epoch is unreplayable.
+      // Discard its pending summaries so they cannot leak into the next
+      // epoch's aggregate.
+      if (aggregator.summaries_added() > 0) (void)aggregator.take();
+      return true;
+    }
     ReplayEpoch out;
     out.epoch = meta->epoch;
     out.end_time = meta->end_time;

@@ -64,7 +64,8 @@ std::optional<EpochMeta> decode_epoch_meta(
 }
 
 DeploymentStore::DeploymentStore(const StoreConfig& cfg, bool writable,
-                                 telemetry::Telemetry* tel) {
+                                 telemetry::Telemetry* tel)
+    : writable_(writable) {
   summaries_ = std::make_unique<TimeShardLog>(
       TimeShardConfig{cfg.dir, "summaries", cfg.epochs_per_shard}, writable,
       tel);
@@ -143,6 +144,9 @@ void DeploymentStore::each_summary(
                              const summarize::MonitorSummary&)>& fn) const {
   summaries_->for_each([&](const RecordView& rec) {
     if (rec.kind != RecordKind::kSummary) return true;
+    // Epochs are non-decreasing, so the first record past the commit
+    // horizon ends the committed prefix.
+    if (!visible(rec.epoch)) return false;
     return fn(rec.epoch, rec.stream, summarize::deserialize(rec.payload));
   });
 }
@@ -161,6 +165,7 @@ void DeploymentStore::each_alert_line(
         fn) const {
   alerts_->for_each([&](const RecordView& rec) {
     if (rec.kind != RecordKind::kAlert) return true;
+    if (!visible(rec.epoch)) return false;
     return fn(rec.epoch, rec.stream, as_view(rec.payload));
   });
 }
@@ -170,6 +175,7 @@ void DeploymentStore::each_provenance_line(
         fn) const {
   provenance_->for_each([&](const RecordView& rec) {
     if (rec.kind != RecordKind::kProvenance) return true;
+    if (!visible(rec.epoch)) return false;
     return fn(rec.epoch, rec.stream, as_view(rec.payload));
   });
 }

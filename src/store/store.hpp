@@ -92,6 +92,12 @@ class DeploymentStore {
   [[nodiscard]] std::uint64_t torn_bytes_truncated() const noexcept;
 
   // ---- read path ----
+  //
+  // In reader mode every iterator surfaces only the committed prefix
+  // (records with epoch <= last_committed_epoch()) — exactly what a writer
+  // open's recovery would keep, so readers and writers never disagree about
+  // the store's contents after a crash.  A writer additionally sees its own
+  // not-yet-committed appends for the in-flight epoch.
 
   /// Every stored summary in append (= aggregation) order.  Return false to
   /// stop.  Throws std::runtime_error only on a payload that fails
@@ -124,10 +130,16 @@ class DeploymentStore {
   }
 
  private:
+  /// True for committed records; readers stop at the commit horizon.
+  [[nodiscard]] bool visible(std::uint64_t epoch) const noexcept {
+    return writable_ || (last_committed_ && epoch <= *last_committed_);
+  }
+
   std::unique_ptr<TimeShardLog> summaries_;
   std::unique_ptr<TimeShardLog> alerts_;
   std::unique_ptr<TimeShardLog> provenance_;
   std::optional<std::uint64_t> last_committed_;
+  bool writable_ = false;
 };
 
 }  // namespace jaal::store

@@ -255,6 +255,64 @@ TEST(TimeShard, IncompatibleFormatVersionIsRefused) {
                std::invalid_argument);
 }
 
+TEST(TimeShard, ChangedShardWidthIsRefusedNotWiped) {
+  TempDir dir("width");
+  const auto payload = bytes_of("precious committed data");
+  {
+    TimeShardLog log({dir.str(), "t", 4}, /*writable=*/true);
+    for (std::uint64_t e = 0; e < 10; ++e) {
+      ASSERT_TRUE(log.append(e, 0, RecordKind::kAlert, payload));
+    }
+  }
+  // Reopening with a different epochs_per_shard makes every header fail
+  // validation.  That must refuse the store (writer and reader alike) —
+  // never be mistaken for a torn roll and deleted shard by shard.
+  EXPECT_THROW(TimeShardLog({dir.str(), "t", 8}, /*writable=*/true),
+               std::invalid_argument);
+  EXPECT_THROW(TimeShardLog({dir.str(), "t", 8}, /*writable=*/false),
+               std::invalid_argument);
+  // All ten records survive a reopen with the original config.
+  TimeShardLog log({dir.str(), "t", 4}, /*writable=*/true);
+  std::size_t n = 0;
+  log.for_each([&](const RecordView&) { return ++n, true; });
+  EXPECT_EQ(n, 10u);
+}
+
+TEST(TimeShard, TornBytesCountOnlyGarbageNotPreallocatedCapacity) {
+  TempDir dir("tornbytes");
+  const auto payload = bytes_of("record payload");
+  std::string tail_path;
+  {
+    TimeShardLog log({dir.str(), "t", 64}, /*writable=*/true);
+    for (std::uint64_t e = 0; e < 3; ++e) {
+      ASSERT_TRUE(log.append(e, 0, RecordKind::kAlert, payload));
+    }
+    tail_path = log.shard_paths().back();
+  }
+  const auto clean_size = fs::file_size(tail_path);
+  const std::vector<char> zeros(1 << 20, 0);
+  {
+    // Crash mid-append: two bytes of a torn frame, then the zeroed
+    // pre-allocated capacity the doubling growth policy left behind.
+    std::ofstream f(tail_path, std::ios::binary | std::ios::app);
+    f << "XY";
+    f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  {
+    TimeShardLog reopened({dir.str(), "t", 64}, /*writable=*/true);
+    EXPECT_EQ(reopened.torn_bytes_truncated(), 2u);
+  }
+  EXPECT_EQ(fs::file_size(tail_path), clean_size);
+  {
+    // Pure pre-allocated capacity (all zeros past the data) is not torn.
+    std::ofstream f(tail_path, std::ios::binary | std::ios::app);
+    f.write(zeros.data(), static_cast<std::streamsize>(zeros.size()));
+  }
+  TimeShardLog reopened({dir.str(), "t", 64}, /*writable=*/true);
+  EXPECT_EQ(reopened.torn_bytes_truncated(), 0u);
+  EXPECT_EQ(fs::file_size(tail_path), clean_size);
+}
+
 TEST(TimeShard, TruncateAfterEpochCutsShardsAndRecords) {
   TempDir dir("truncate");
   TimeShardLog log({dir.str(), "t", 4}, /*writable=*/true);
@@ -330,6 +388,77 @@ TEST(Store, UncommittedEpochIsDroppedOnReopen) {
     return true;
   });
   EXPECT_EQ(summaries, 1u);  // the uncommitted epoch-1 summary is gone
+}
+
+TEST(Store, ReaderSurfacesOnlyCommittedPrefix) {
+  TempDir dir("readerprefix");
+  inference::Alert a;
+  a.sid = 7;
+  a.msg = "m";
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    store.put_summary(0, sample_summary(1));
+    store.put_alert(0, a, 2.0);
+    store.commit_epoch({0, 2.0, 100, 1.0, 0.0});
+    // Epoch 1 is half-written: records land, the commit never does.
+    store.put_summary(1, sample_summary(2));
+    store.put_alert(1, a, 4.0);
+  }
+  // A read-only open must observe the same committed prefix a writer
+  // open's recovery would keep — never the half-written epoch.
+  DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+  EXPECT_EQ(reader.last_committed_epoch(), std::optional<std::uint64_t>{0});
+  std::size_t summaries = 0, alerts = 0;
+  reader.each_summary([&](std::uint64_t epoch, std::uint32_t,
+                          const summarize::MonitorSummary&) {
+    EXPECT_EQ(epoch, 0u);
+    ++summaries;
+    return true;
+  });
+  reader.each_alert_line(
+      [&](std::uint64_t epoch, std::uint32_t, std::string_view) {
+        EXPECT_EQ(epoch, 0u);
+        ++alerts;
+        return true;
+      });
+  EXPECT_EQ(summaries, 1u);
+  EXPECT_EQ(alerts, 1u);
+}
+
+TEST(Store, ReplayDropsEpochWithMalformedMeta) {
+  TempDir dir("badmeta");
+  {
+    // Craft the summaries log by hand: epoch 1's commit record is
+    // CRC-valid but malformed (wrong payload size), so it cannot be
+    // replayed — and its summaries must not leak into epoch 2's aggregate.
+    TimeShardLog log({dir.str(), "summaries", 64}, /*writable=*/true);
+    const auto put_summary = [&](std::uint64_t e, std::uint32_t mon) {
+      const auto bytes = summarize::serialize(
+          sample_summary(mon), summarize::WirePrecision::kFloat64);
+      ASSERT_TRUE(log.append(e, mon, RecordKind::kSummary, bytes));
+    };
+    put_summary(0, 1);
+    ASSERT_TRUE(log.append(0, 0, RecordKind::kEpochMeta,
+                           encode_epoch_meta({0, 2.0, 100, 1.0, 0.0})));
+    put_summary(1, 2);
+    const std::vector<std::uint8_t> malformed(16, 0xAB);
+    ASSERT_TRUE(log.append(1, 0, RecordKind::kEpochMeta, malformed));
+    put_summary(2, 3);
+    ASSERT_TRUE(log.append(2, 0, RecordKind::kEpochMeta,
+                           encode_epoch_meta({2, 6.0, 100, 1.0, 0.0})));
+  }
+  inference::InferenceEngine engine(
+      rules::parse_rules(rules::default_ruleset_text(),
+                         core::evaluation_rule_vars()),
+      inference::EngineConfig{});
+  const StoreReplayer replayer({dir.str(), 64});
+  const auto replayed = replayer.replay(engine, 1.0);
+  ASSERT_EQ(replayed.size(), 2u);
+  EXPECT_EQ(replayed[0].epoch, 0u);
+  EXPECT_EQ(replayed[0].summaries, 1u);
+  EXPECT_EQ(replayed[1].epoch, 2u);
+  // Without the discard, epoch 1's orphaned summary would inflate this.
+  EXPECT_EQ(replayed[1].summaries, 1u);
 }
 
 TEST(Store, AlertAndProvenanceLinesRoundTrip) {
