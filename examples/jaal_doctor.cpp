@@ -13,11 +13,21 @@
 //                across threads=1 vs 2, and every alert's margins must
 //                reproduce its threshold decision — exit 1 otherwise
 //
-//   $ ./jaal_doctor           # human-readable ranked diagnosis
-//   $ ./jaal_doctor --json    # health JSONL on stdout (the CI artifact)
+//   store        the live run persists its operational timeline (per-epoch
+//                metrics deltas + flight events) and the offline replay
+//                must reproduce the live health report and SLO summary
+//                byte-for-byte from the store alone
+//
+//   $ ./jaal_doctor                      # human-readable ranked diagnosis
+//   $ ./jaal_doctor --json               # health JSONL on stdout (CI)
+//   $ ./jaal_doctor --store DIR          # offline diagnosis from a store
+//   $ ./jaal_doctor --store DIR --json   # offline timeline JSONL on stdout
+//   $ ./jaal_doctor --store DIR --epoch N  # point query via the epoch index
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -38,6 +48,19 @@ summarize::SummarizerConfig doctor_summarizer() {
   scfg.rank = 12;
   scfg.centroids = 200;  // k/n = 0.2, the paper's sweet spot
   return scfg;
+}
+
+/// The observability knobs of the doctor's deployment.  The offline replay
+/// (--store) must use the same knobs the live run had — the drift config
+/// parameterizes the reconstructed detectors.
+observe::ObserveConfig doctor_observe_config() {
+  observe::ObserveConfig ocfg;
+  // Six healthy epochs before the shift: let the EWMA baselines settle over
+  // most of them so stationary jitter is not judged drift-worthy.
+  ocfg.drift_config.warmup = 5;
+  ocfg.flight_recorder = true;
+  ocfg.slo = true;
+  return ocfg;
 }
 
 /// Checks that an alert's provenance margins reproduce its threshold
@@ -72,9 +95,11 @@ std::string check_provenance(const inference::Alert& alert) {
 struct DoctorRun {
   std::string provenance_jsonl;
   std::string health_jsonl;  ///< Deployment report (scoreboard empty).
+  std::string slo_jsonl;     ///< Live SLO summary (completeness SLI).
   observe::HealthReport report;
   std::size_t alerts = 0;
   std::size_t drift_events = 0;
+  std::uint64_t flight_dumps = 0;  ///< Automatic regression dumps taken.
   double final_caution = 0.0;
   std::string error;  ///< First provenance inconsistency, empty when clean.
 };
@@ -83,8 +108,12 @@ struct DoctorRun {
 /// flood, then six epochs after the backbone mix shifts (Trace-2 port mix,
 /// triple the rate, heavier flow tail) — the shift is what the drift
 /// monitors are there to catch.  Mild transport loss keeps the degraded-mode
-/// accounting non-trivial.
-DoctorRun run_deployment(std::size_t threads) {
+/// accounting non-trivial.  The run persists its operational timeline into
+/// `store_dir` (wiped first) so the offline replay can be checked against
+/// the live report.
+DoctorRun run_deployment(std::size_t threads, const std::string& store_dir) {
+  std::filesystem::remove_all(store_dir);  // fresh store, no resume
+  telemetry::Telemetry tel;  // feeds the persisted per-epoch metrics deltas
   core::JaalConfig cfg;
   cfg.summarizer = doctor_summarizer();
   cfg.monitor_count = 2;
@@ -94,9 +123,10 @@ DoctorRun run_deployment(std::size_t threads) {
   cfg.engine.feedback_enabled = true;
   cfg.faults.seed = 42;
   cfg.faults.drop_rate = 0.05;
-  // Six healthy epochs before the shift: let the EWMA baselines settle over
-  // most of them so stationary jitter is not judged drift-worthy.
-  cfg.observe.drift_config.warmup = 5;
+  cfg.observe = doctor_observe_config();
+  cfg.telemetry = &tel;
+  cfg.store_dir = store_dir;
+  cfg.store_metrics = true;
   core::JaalController doctor(
       cfg, rules::parse_rules(rules::default_ruleset_text(),
                               core::evaluation_rule_vars()));
@@ -138,8 +168,105 @@ DoctorRun run_deployment(std::size_t threads) {
 
   out.report = doctor.health_report();
   out.health_jsonl = out.report.to_jsonl();
+  out.slo_jsonl = doctor.slo() != nullptr ? doctor.slo()->to_jsonl() : "";
+  out.flight_dumps = doctor.flight_recorder() != nullptr
+                         ? doctor.flight_recorder()->dumps_taken()
+                         : 0;
   out.provenance_jsonl = observe::to_jsonl(records);
-  return out;
+  return out;  // ~JaalController finalizes the store (sidecar indexes land)
+}
+
+/// Offline replay of one store directory, using the doctor deployment's
+/// observability config (monitor count derived from the stored events).
+store::StoreDiagnosis diagnose_dir(const std::string& dir,
+                                   telemetry::Telemetry* tel) {
+  const store::DeploymentStore ro(store::StoreConfig{dir, 64},
+                                  /*writable=*/false, tel);
+  store::StoreDiagnosisConfig dcfg;
+  dcfg.observe = doctor_observe_config();
+  return store::diagnose_store(ro, dcfg);
+}
+
+std::uint64_t counter_value(const telemetry::Telemetry& tel,
+                            const std::string& name) {
+  for (const auto& e : tel.metrics.snapshot().entries) {
+    if (e.name == name) return e.counter;
+  }
+  return 0;
+}
+
+/// Offline mode: reconstruct the timeline/diagnosis from `dir` alone.
+/// `epoch_query` < 0 means "whole timeline"; otherwise answer a point query
+/// for that epoch through the secondary index and verify (via the
+/// jaal_store_* telemetry) that the index, not a shard scan, answered it.
+int run_store_mode(const std::string& dir, long long epoch_query, bool json) {
+  telemetry::Telemetry tel;
+  if (epoch_query >= 0) {
+    const store::DeploymentStore ro(store::StoreConfig{dir, 64},
+                                    /*writable=*/false, &tel);
+    const auto epoch = static_cast<std::uint64_t>(epoch_query);
+    const auto meta = ro.epoch_meta_at(epoch);
+    if (!meta) {
+      std::fprintf(stderr, "epoch %llu is not committed in %s\n",
+                   static_cast<unsigned long long>(epoch), dir.c_str());
+      return 1;
+    }
+    std::printf("{\"kind\":\"epoch_meta\",\"epoch\":%llu,\"end_time\":%.17g,"
+                "\"packets\":%llu,\"report_fraction\":%.17g,"
+                "\"caution\":%.17g}\n",
+                static_cast<unsigned long long>(meta->epoch), meta->end_time,
+                static_cast<unsigned long long>(meta->packets),
+                meta->report_fraction, meta->caution);
+    for (const observe::FlightEvent& ev : ro.events_at(epoch)) {
+      std::printf("%s\n", observe::to_json(ev).c_str());
+    }
+    ro.each_alert_line_in_epoch(epoch,
+                                [](std::uint32_t, std::string_view line) {
+                                  std::printf("%.*s\n",
+                                              static_cast<int>(line.size()),
+                                              line.data());
+                                  return true;
+                                });
+    // The acceptance bar for the sidecar index: the point queries above
+    // must have been answered by index seeks, never a full shard scan.
+    const std::uint64_t hits =
+        counter_value(tel, "jaal_store_index_point_queries_total");
+    const std::uint64_t fallbacks =
+        counter_value(tel, "jaal_store_index_fallback_scans_total");
+    std::fprintf(stderr,
+                 "index: %llu point queries answered, %llu fallback scans, "
+                 "%llu bytes visited\n",
+                 static_cast<unsigned long long>(hits),
+                 static_cast<unsigned long long>(fallbacks),
+                 static_cast<unsigned long long>(
+                     counter_value(tel, "jaal_store_scan_bytes_total")));
+    if (hits == 0 || fallbacks != 0) {
+      std::fprintf(stderr, "FAIL: point query fell back to a shard scan\n");
+      return 1;
+    }
+    return 0;
+  }
+
+  const store::StoreDiagnosis diag = diagnose_dir(dir, &tel);
+  if (json) {
+    std::fputs(diag.timeline_jsonl.c_str(), stdout);
+  } else {
+    std::printf("jaal_doctor --store %s: %llu epochs, %llu alerts, "
+                "%llu flight events, %llu metrics records, %llu provenance "
+                "records\n",
+                dir.c_str(), static_cast<unsigned long long>(diag.epochs),
+                static_cast<unsigned long long>(diag.alerts),
+                static_cast<unsigned long long>(diag.flight_events),
+                static_cast<unsigned long long>(diag.metrics_records),
+                static_cast<unsigned long long>(diag.provenance_records));
+    std::printf("health reconstruction %s, drift cross-check: %llu "
+                "mismatched epochs\n\n",
+                diag.health_complete ? "complete" : "partial (no ops stream)",
+                static_cast<unsigned long long>(diag.drift_mismatches));
+    std::fputs(diag.health.to_text().c_str(), stdout);
+    if (!diag.slo_jsonl.empty()) std::fputs(diag.slo_jsonl.c_str(), stdout);
+  }
+  return diag.drift_mismatches == 0 ? 0 : 1;
 }
 
 /// Grounds the per-rule scoreboard in labeled trials: a few positives per
@@ -201,15 +328,38 @@ std::vector<observe::RuleScore> build_scoreboard(
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool json = argc > 1 && std::strcmp(argv[1], "--json") == 0;
+  bool json = false;
+  std::string store_dir;
+  long long epoch_query = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--store") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--epoch") == 0 && i + 1 < argc) {
+      epoch_query = std::atoll(argv[++i]);
+    } else {
+      std::fprintf(stderr,
+                   "usage: jaal_doctor [--json] [--store DIR [--epoch N]]\n");
+      return 2;
+    }
+  }
+  if (!store_dir.empty()) {
+    try {
+      return run_store_mode(store_dir, epoch_query, json);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "jaal_doctor --store: %s\n", e.what());
+      return 1;
+    }
+  }
 
   if (!json) {
     std::printf("jaal_doctor: replaying a seeded Trace-1 deployment "
                 "(12 x 1 s epochs, traffic shift at t=6 s)\n");
   }
-  const DoctorRun base = run_deployment(1);
-  const DoctorRun rerun = run_deployment(1);
-  const DoctorRun threaded = run_deployment(2);
+  const DoctorRun base = run_deployment(1, "jaal_doctor_store.1");
+  const DoctorRun rerun = run_deployment(1, "jaal_doctor_store.2");
+  const DoctorRun threaded = run_deployment(2, "jaal_doctor_store.3");
 
   // --- Self-checks: the observability layer is only trustworthy if it is
   // deterministic and its evidence reproduces the decisions it explains.
@@ -231,6 +381,70 @@ int main(int argc, char** argv) {
       base.health_jsonl != threaded.health_jsonl) {
     fail("report differs between threads=1 and threads=2");
   }
+  if (base.slo_jsonl.empty() || base.slo_jsonl != rerun.slo_jsonl ||
+      base.slo_jsonl != threaded.slo_jsonl) {
+    fail("SLO summary not deterministic across runs / thread counts");
+  }
+  if (base.flight_dumps == 0) {
+    fail("no automatic flight dump despite the traffic-shift regression");
+  }
+
+  // --- Store round trip: the offline replay must reproduce the live
+  // diagnosis byte-for-byte from the persisted records alone, on every
+  // store the three runs wrote.
+  std::string timeline_jsonl;
+  try {
+    telemetry::Telemetry store_tel;
+    const store::StoreDiagnosis diag =
+        diagnose_dir("jaal_doctor_store.1", &store_tel);
+    timeline_jsonl = diag.timeline_jsonl;
+    if (diag.health.to_jsonl() != base.health_jsonl) {
+      fail("offline health report differs from the live one");
+    }
+    if (diag.slo_jsonl != base.slo_jsonl) {
+      fail("offline SLO summary differs from the live one");
+    }
+    if (!diag.health_complete) {
+      fail("stored epochs missing their flight-event close records");
+    }
+    if (diag.drift_mismatches != 0) {
+      fail("stored drift events disagree with the re-derived transitions");
+    }
+    if (diag.metrics_records != diag.epochs) {
+      fail("not every committed epoch carries a metrics delta");
+    }
+    const store::StoreDiagnosis diag2 =
+        diagnose_dir("jaal_doctor_store.2", nullptr);
+    const store::StoreDiagnosis diag3 =
+        diagnose_dir("jaal_doctor_store.3", nullptr);
+    if (diag2.timeline_jsonl != timeline_jsonl ||
+        diag3.timeline_jsonl != timeline_jsonl) {
+      fail("persisted timeline differs across runs / thread counts");
+    }
+
+    // Point queries must be served by the sidecar epoch index, not scans.
+    {
+      telemetry::Telemetry point_tel;
+      const store::DeploymentStore ro(
+          store::StoreConfig{"jaal_doctor_store.1", 64},
+          /*writable=*/false, &point_tel);
+      const std::uint64_t probe = diag.epochs / 2;
+      const bool have_meta = ro.epoch_meta_at(probe).has_value();
+      const bool have_events = !ro.events_at(probe).empty();
+      if (!have_meta || !have_events) {
+        fail("point query missed a committed epoch");
+      }
+      if (counter_value(point_tel, "jaal_store_index_point_queries_total") ==
+              0 ||
+          counter_value(point_tel, "jaal_store_index_fallback_scans_total") !=
+              0) {
+        fail("--epoch point query fell back to a shard scan");
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "FAIL: store round trip: %s\n", e.what());
+    ok = false;
+  }
 
   // --- Assemble the operator-facing report: deployment health plus the
   // labeled-trial scoreboard.
@@ -247,6 +461,10 @@ int main(int argc, char** argv) {
     std::ofstream f("jaal_doctor_health.jsonl");
     f << health_jsonl;
   }
+  {
+    std::ofstream f("jaal_doctor_timeline.jsonl");
+    f << timeline_jsonl;
+  }
 
   if (json) {
     std::fputs(health_jsonl.c_str(), stdout);
@@ -256,10 +474,14 @@ int main(int argc, char** argv) {
                 "%zu drift transitions, final caution %.2f\n",
                 base.alerts, base.alerts, base.drift_events,
                 base.final_caution);
-    std::printf("wrote jaal_doctor_provenance.jsonl and "
-                "jaal_doctor_health.jsonl\n");
-    std::printf("determinism: provenance and health JSONL byte-identical "
-                "across runs and thread counts\n");
+    std::fputs(base.slo_jsonl.c_str(), stdout);
+    std::printf("wrote jaal_doctor_provenance.jsonl, jaal_doctor_health.jsonl"
+                " and jaal_doctor_timeline.jsonl\n");
+    std::printf("determinism: provenance, health and store timeline JSONL "
+                "byte-identical across runs and thread counts\n");
+    std::printf("store round trip: offline diagnosis from "
+                "jaal_doctor_store.1 reproduced the live report%s\n",
+                ok ? "" : " [FAILED]");
   }
   return ok ? 0 : 1;
 }

@@ -118,6 +118,8 @@ int main() {
   const double duration = 6.0;
   double epoch_end = start + cfg.epoch_seconds;
   std::size_t alerts_total = 0;
+  std::size_t epochs_closed = 0;
+  MetricsSnapshot warmup_snap;  // registry state after the first 3 epochs
 
   auto close_and_ship = [&](double t) {
     const core::EpochResult result = controller.close_epoch(t);
@@ -141,6 +143,7 @@ int main() {
                 t, result.monitors_reporting, controller.monitors().size(),
                 static_cast<unsigned long long>(result.packets),
                 result.alerts.size());
+    if (++epochs_closed == 3) warmup_snap = tel.metrics.snapshot();
   };
 
   while (mix.peek_time() - start < duration) {
@@ -153,6 +156,9 @@ int main() {
   }
   close_and_ship(epoch_end);
   (void)events.run_until(epoch_end + 1.0);  // let the links drain
+  // Snapshot here so the ROC sweep's cost can be isolated with
+  // MetricsSnapshot::diff below.
+  const MetricsSnapshot deployment_snap = tel.metrics.snapshot();
 
   // --- 3. A small ROC sweep so the cost report sits next to the quality
   // numbers it buys.
@@ -210,6 +216,18 @@ int main() {
               counter_family_sum(snap, "jaal_inference_alerts_total"),
               counter_of(snap, "jaal_inference_feedback_requests_total"),
               counter_of(snap, "jaal_inference_raw_packets_fetched_total"));
+
+  // What the post-warmup epochs alone cost: the registry is monotonic, so
+  // the window between two snapshots is just MetricsSnapshot::diff.
+  const MetricsSnapshot window = deployment_snap.diff(warmup_snap);
+  std::printf("\n----- epochs 4..%zu only (MetricsSnapshot::diff) -----\n",
+              epochs_closed);
+  std::printf("  packets observed          %.0f\n",
+              counter_of(window, "jaal_monitor_packets_observed_total"));
+  std::printf("  batches summarized        %.0f\n",
+              counter_of(window, "jaal_summarize_batches_total"));
+  std::printf("  alerts raised             %.0f\n",
+              counter_family_sum(window, "jaal_inference_alerts_total"));
 
   std::printf("\n----- ship links (simulated, deterministic) -----\n");
   for (const auto& link : links) {

@@ -1,6 +1,7 @@
 #include "core/controller.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <mutex>
 #include <stdexcept>
@@ -40,6 +41,13 @@ JaalController::JaalController(const JaalConfig& cfg,
     pool_ = std::make_shared<runtime::ThreadPool>(threads);
     engine_.set_pool(pool_);
   }
+  if (cfg_.observe.flight_recorder) {
+    flight_ = std::make_unique<observe::FlightRecorder>(
+        cfg_.observe.flight_capacity);
+  }
+  if (cfg_.observe.slo) {
+    slo_ = std::make_unique<observe::SloTracker>(cfg_.observe.slo_config);
+  }
   if (cfg_.telemetry != nullptr) {
     engine_.set_telemetry(cfg_.telemetry);
     transport_.set_telemetry(cfg_.telemetry);
@@ -51,6 +59,22 @@ JaalController::JaalController(const JaalConfig& cfg,
     tel_drift_events_ = &m.counter("jaal_observe_drift_events_total");
     tel_monitors_drifting_ = &m.gauge("jaal_observe_monitors_drifting");
     tel_caution_permille_ = &m.gauge("jaal_observe_caution_permille");
+    if (cfg_.observe.flight_recorder || cfg_.store_metrics) {
+      tel_flight_events_ = &m.counter("jaal_observe_flight_events_total");
+      tel_flight_dropped_ = &m.counter("jaal_observe_flight_dropped_total");
+      tel_flight_dumps_ = &m.counter("jaal_observe_flight_dumps_total");
+    }
+    if (cfg_.observe.slo) {
+      tel_slo_epochs_ = &m.counter("jaal_slo_epochs_observed_total");
+      tel_slo_rf_breaches_ =
+          &m.counter("jaal_slo_report_fraction_breaches_total");
+      tel_slo_lat_breaches_ = &m.counter("jaal_slo_stage_ms_breaches_total");
+      tel_slo_burn_ = &m.gauge("jaal_slo_burn_rate_permille");
+      tel_slo_rf_budget_ =
+          &m.gauge("jaal_slo_report_fraction_budget_remaining_permille");
+      tel_slo_lat_budget_ =
+          &m.gauge("jaal_slo_stage_ms_budget_remaining_permille");
+    }
     // One stats system: the pool's runtime counters land in the same
     // registry (and the same exports) as every other jaal metric.
     if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
@@ -103,6 +127,10 @@ void JaalController::ingest(const packet::PacketRecord& pkt) {
 }
 
 EpochResult JaalController::close_epoch(double now) {
+  // Wall clock only feeds the latency SLI (never any persisted or
+  // deterministic output); skip the clock reads entirely when SLO is off.
+  const auto wall_start = slo_ ? std::chrono::steady_clock::now()
+                               : std::chrono::steady_clock::time_point{};
   // Per-epoch feedback-fallback delta for the health ledger (engine stats
   // are monotonic across epochs).
   const std::uint64_t fallbacks_before = engine_.stats().feedback_fallbacks;
@@ -114,6 +142,28 @@ EpochResult JaalController::close_epoch(double now) {
   epoch_lost_packets_ = 0;
   const std::uint64_t epoch = epoch_index_;
   ++epoch_index_;
+
+  // Flight events: recorded into the ring (flight_recorder on) and/or
+  // collected for the store's per-epoch kEvents batch (store_metrics on).
+  // All emission points sit in the serial phases of this function, so the
+  // event sequence is deterministic across runs and thread counts.
+  const bool persist_ops = store_ != nullptr && cfg_.store_metrics;
+  std::vector<observe::FlightEvent> fr_events;
+  const auto fev = [&](observe::FlightEvent ev) {
+    if (flight_ == nullptr && !persist_ops) return;
+    ev.epoch = epoch;
+    ev.seq = flight_seq_++;
+    if (flight_) flight_->record(ev);
+    if (persist_ops) fr_events.push_back(ev);
+    if (tel_flight_events_ != nullptr) tel_flight_events_->add(1);
+  };
+  const auto span_event = [&](std::uint32_t stage) {
+    observe::FlightEvent ev;
+    ev.kind = observe::FlightEventKind::kSpan;
+    ev.actor = stage;
+    ev.a = now;
+    fev(ev);
+  };
 
   // One trace per epoch: the root span's trace id is the epoch index, and
   // the simulated end time rides along so traces line up across runs even
@@ -131,6 +181,7 @@ EpochResult JaalController::close_epoch(double now) {
     telemetry::Span observe = tel->tracer.span("observe", epoch_ctx);
     observe.attr("packets", static_cast<double>(result.packets));
   }
+  span_event(0);  // observe
 
   // Crash windows: a monitor that is down this epoch loses its buffered
   // packets (a process restart) and ships nothing.
@@ -214,6 +265,14 @@ EpochResult JaalController::close_epoch(double now) {
       fs.epoch = epoch;
       health_.observe_fidelity(fs);
       result.fidelity.push_back(fs);
+      observe::FlightEvent ev;
+      ev.kind = observe::FlightEventKind::kFidelity;
+      ev.actor = fs.monitor;
+      ev.a = fs.svd_energy_retained;
+      ev.b = fs.kmeans_inertia;
+      ev.c = fs.reconstruction_error;
+      ev.u[0] = fs.batch_packets;
+      fev(ev);
     }
   }
 
@@ -248,16 +307,30 @@ EpochResult JaalController::close_epoch(double now) {
         aggregator.add(*slots[i]);
         ++result.monitors_reporting;
         break;
-      case faults::ShipStatus::kDropped:
+      case faults::ShipStatus::kDropped: {
         ++result.summaries_dropped;
+        observe::FlightEvent ev;
+        ev.kind = observe::FlightEventKind::kShip;
+        ev.actor = static_cast<std::uint32_t>(i);
+        ev.u[0] = 1;  // dropped
+        fev(ev);
         break;
-      case faults::ShipStatus::kLate:
+      }
+      case faults::ShipStatus::kLate: {
         ++result.summaries_late;
-        if (cfg_.late_policy == faults::LatePolicy::kRollForward) {
+        const bool roll =
+            cfg_.late_policy == faults::LatePolicy::kRollForward;
+        if (roll) {
           ship_bytes += bytes;  // it did cross the link, just slowly
           carry_.push_back(std::move(*slots[i]));
         }
+        observe::FlightEvent ev;
+        ev.kind = observe::FlightEventKind::kShip;
+        ev.actor = static_cast<std::uint32_t>(i);
+        ev.u[0] = roll ? 3 : 2;  // rolled forward : late
+        fev(ev);
         break;
+      }
     }
   }
 
@@ -277,6 +350,7 @@ EpochResult JaalController::close_epoch(double now) {
   summarize_span.attr("monitors_reporting",
                       static_cast<double>(result.monitors_reporting));
   summarize_span.finish();
+  span_event(1);  // summarize
   if (tel != nullptr) {
     // The ship leg: summary bytes crossing the monitor->controller links.
     // Since the fault transport it can fail — dropped/late arrivals are
@@ -293,6 +367,7 @@ EpochResult JaalController::close_epoch(double now) {
       ship.attr("report_fraction", result.report_fraction);
     }
   }
+  span_event(2);  // ship
   // The caution signal the engine surfaces on this epoch's alerts, and the
   // close-out that folds the epoch into the health ledger on every exit
   // path (the drift events it returns belong to this epoch).
@@ -319,6 +394,77 @@ EpochResult JaalController::close_epoch(double now) {
       tel_caution_permille_->set(
           static_cast<std::int64_t>(result.caution * 1000.0 + 0.5));
     }
+    // Drift transitions, then the feedback and close events — the order the
+    // offline replay (store/doctor) relies on: fidelity before close.
+    for (const observe::HealthEvent& e : result.drift_events) {
+      observe::FlightEvent ev;
+      ev.kind = e.kind == observe::HealthEventKind::kDriftStart
+                    ? observe::FlightEventKind::kDriftStart
+                    : observe::FlightEventKind::kDriftEnd;
+      ev.actor = e.monitor;
+      ev.a = e.value;
+      ev.b = e.baseline;
+      ev.c = e.z;
+      ev.u[0] = observe::drift_metric_id(e.metric);
+      fev(ev);
+    }
+    if (deg.feedback_fallbacks > 0) {
+      observe::FlightEvent ev;
+      ev.kind = observe::FlightEventKind::kFeedback;
+      ev.u[0] = deg.feedback_fallbacks;
+      fev(ev);
+    }
+    {
+      observe::FlightEvent ev;
+      ev.kind = observe::FlightEventKind::kEpochClose;
+      ev.actor = static_cast<std::uint32_t>(deg.alerts);
+      ev.a = result.report_fraction;
+      ev.b = result.caution;
+      ev.c = static_cast<double>(cfg_.monitor_count);
+      ev.u[0] = deg.monitors_crashed;
+      ev.u[1] = deg.summaries_dropped;
+      ev.u[2] = deg.summaries_late;
+      ev.u[3] = deg.summaries_rolled_in;
+      ev.u[4] = deg.packets_lost;
+      ev.u[5] = deg.feedback_fallbacks;
+      fev(ev);
+    }
+    if (slo_) {
+      const double latency_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - wall_start)
+              .count();
+      slo_->observe_epoch(epoch, result.report_fraction, latency_ms);
+      if (tel_slo_epochs_ != nullptr) {
+        tel_slo_epochs_->add(1);
+        tel_slo_rf_breaches_->add(slo_->rf_breaches() -
+                                  slo_prev_rf_breaches_);
+        tel_slo_lat_breaches_->add(slo_->latency_breaches() -
+                                   slo_prev_lat_breaches_);
+        slo_prev_rf_breaches_ = slo_->rf_breaches();
+        slo_prev_lat_breaches_ = slo_->latency_breaches();
+        tel_slo_burn_->set(slo_->rf_burn_rate_permille());
+        tel_slo_rf_budget_->set(slo_->rf_budget_remaining_permille());
+        tel_slo_lat_budget_->set(slo_->latency_budget_remaining_permille());
+      }
+    }
+    if (flight_) {
+      // Regression trigger: the health report's worst finding got worse
+      // than anything seen before — capture the ring before later epochs
+      // overwrite the lead-up.
+      const auto findings = health_.report().ranked_findings();
+      const double severity =
+          findings.empty() ? 0.0 : findings.front().severity;
+      if (severity > last_top_severity_) {
+        last_top_severity_ = severity;
+        last_flight_dump_ = flight_->dump_jsonl();
+        if (tel_flight_dumps_ != nullptr) tel_flight_dumps_->add(1);
+      }
+      if (tel_flight_dropped_ != nullptr) {
+        tel_flight_dropped_->add(flight_->dropped() - flight_dropped_prev_);
+        flight_dropped_prev_ = flight_->dropped();
+      }
+    }
   };
 
   // Store commit: alerts and provenance land first, then the EpochMeta
@@ -331,6 +477,17 @@ EpochResult JaalController::close_epoch(double now) {
       store_->put_alert(epoch, a, result.end_time);
       if (a.provenance) {
         store_->put_provenance(epoch, a.sid, *a.provenance);
+      }
+    }
+    if (persist_ops) {
+      // Ops stream: the flight events raised closing this epoch and the
+      // registry's delta since the previous commit, both riding under this
+      // epoch's EpochMeta (an uncommitted epoch rolls them back).
+      if (!fr_events.empty()) store_->put_events(epoch, fr_events);
+      if (cfg_.telemetry != nullptr) {
+        telemetry::MetricsSnapshot cur = cfg_.telemetry->metrics.snapshot();
+        store_->put_metrics(epoch, cur.diff(prev_metrics_));
+        prev_metrics_ = std::move(cur);
       }
     }
     store_->commit_epoch({epoch, result.end_time, result.packets,
@@ -349,6 +506,7 @@ EpochResult JaalController::close_epoch(double now) {
   const inference::AggregatedSummary aggregate = aggregator.take();
   aggregate_span.attr("rows", static_cast<double>(aggregate.origin.size()));
   aggregate_span.finish();
+  span_event(3);  // aggregate
 
   const inference::RawPacketFetcher fetch =
       [this](summarize::MonitorId id,
@@ -375,6 +533,7 @@ EpochResult JaalController::close_epoch(double now) {
     result.alerts = engine_.infer(aggregate, fetch, infer_span.context());
     infer_span.attr("alerts", static_cast<double>(result.alerts.size()));
   }
+  span_event(4);  // infer
   if (tel != nullptr) {
     // The postprocess leg: distributed/feedback classification tallies.
     std::size_t distributed = 0, via_feedback = 0;
@@ -387,6 +546,7 @@ EpochResult JaalController::close_epoch(double now) {
     post.attr("distributed", static_cast<double>(distributed));
     post.attr("via_feedback", static_cast<double>(via_feedback));
   }
+  span_event(5);  // postprocess
   close_health();
   commit_store();
   return result;

@@ -99,6 +99,14 @@ struct JaalConfig : DeploymentConfig {
   /// Epochs per .jstore shard file (shard roll = msync + truncate of the
   /// finished shard).
   std::uint64_t store_epochs_per_shard = 64;
+  /// Persist the operational timeline: one kMetrics record (the metrics
+  /// registry's delta since the previous commit — deterministic metrics
+  /// only, see store/metrics_codec) and one kEvents flight-event batch per
+  /// epoch, committed under the epoch's EpochMeta.  jaal_doctor --store
+  /// replays them offline into the exact live HealthReport / SLO summary.
+  /// Requires store_dir; the metrics side additionally requires telemetry.
+  /// Off by default (the ops log then stays empty).
+  bool store_metrics = false;
 };
 
 /// Everything observed during one epoch.  The degraded-mode fields are all
@@ -203,6 +211,23 @@ class JaalController {
   [[nodiscard]] std::optional<runtime::RuntimeStatsSnapshot> runtime_stats()
       const;
 
+  /// The flight recorder, when ObserveConfig::flight_recorder is on (null
+  /// otherwise).  dump_jsonl() gives the on-demand dump.
+  [[nodiscard]] const observe::FlightRecorder* flight_recorder()
+      const noexcept {
+    return flight_.get();
+  }
+  /// The SLO tracker, when ObserveConfig::slo is on (null otherwise).
+  [[nodiscard]] const observe::SloTracker* slo() const noexcept {
+    return slo_.get();
+  }
+  /// The most recent automatic flight dump — taken when an epoch close
+  /// raises the health report's top finding severity above its previous
+  /// high-water mark.  Empty until the first regression.
+  [[nodiscard]] const std::string& last_flight_dump() const noexcept {
+    return last_flight_dump_;
+  }
+
  private:
   JaalConfig cfg_;
   std::shared_ptr<runtime::ThreadPool> pool_;  ///< Null when threads == 1.
@@ -215,15 +240,42 @@ class JaalController {
   std::unique_ptr<store::DeploymentStore> store_;
   /// Late summaries awaiting the next epoch (LatePolicy::kRollForward).
   std::vector<summarize::MonitorSummary> carry_;
+  /// Flight recorder (ObserveConfig::flight_recorder); null when off.
+  std::unique_ptr<observe::FlightRecorder> flight_;
+  /// SLO tracker (ObserveConfig::slo); null when off.
+  std::unique_ptr<observe::SloTracker> slo_;
+  /// Baseline for per-epoch metrics deltas (store_metrics): the registry
+  /// snapshot at the previous commit (empty at construction, so the first
+  /// epoch's delta covers everything since startup).
+  telemetry::MetricsSnapshot prev_metrics_;
+  /// Seq counter for *persisted* flight events (the recorder keeps its own;
+  /// this one stays deterministic even when the ring is off).
+  std::uint64_t flight_seq_ = 0;
+  /// High-water severity of the health report's top finding; an epoch
+  /// raising it triggers an automatic flight dump.
+  double last_top_severity_ = 0.0;
+  std::string last_flight_dump_;
   std::uint64_t epoch_packets_ = 0;
   std::uint64_t epoch_lost_packets_ = 0;
   std::uint64_t epoch_index_ = 0;  ///< Trace id of the next epoch's trace.
+  std::uint64_t slo_prev_rf_breaches_ = 0;
+  std::uint64_t slo_prev_lat_breaches_ = 0;
+  std::uint64_t flight_dropped_prev_ = 0;
   telemetry::Counter* tel_degraded_epochs_ = nullptr;
   telemetry::Counter* tel_rolled_forward_ = nullptr;
   telemetry::Counter* tel_packets_lost_ = nullptr;
   telemetry::Counter* tel_drift_events_ = nullptr;
   telemetry::Gauge* tel_monitors_drifting_ = nullptr;
   telemetry::Gauge* tel_caution_permille_ = nullptr;
+  telemetry::Counter* tel_flight_events_ = nullptr;
+  telemetry::Counter* tel_flight_dropped_ = nullptr;
+  telemetry::Counter* tel_flight_dumps_ = nullptr;
+  telemetry::Counter* tel_slo_epochs_ = nullptr;
+  telemetry::Counter* tel_slo_rf_breaches_ = nullptr;
+  telemetry::Counter* tel_slo_lat_breaches_ = nullptr;
+  telemetry::Gauge* tel_slo_burn_ = nullptr;
+  telemetry::Gauge* tel_slo_rf_budget_ = nullptr;
+  telemetry::Gauge* tel_slo_lat_budget_ = nullptr;
 };
 
 }  // namespace jaal::core

@@ -24,15 +24,19 @@
 //                   telemetry::to_prometheus
 //   observability   observe::ObserveConfig, observe::AlertProvenance,
 //                   observe::DriftDetector, observe::HealthTracker,
-//                   observe::HealthReport (alert causal chains, summary
-//                   drift monitors, the epoch health report —
+//                   observe::HealthReport, observe::FlightRecorder,
+//                   observe::SloTracker (alert causal chains, summary
+//                   drift monitors, the epoch health report, the flight
+//                   recorder ring and SLO error budgets —
 //                   examples/jaal_doctor is the reference consumer)
 //   persistence     store::StoreConfig, store::DeploymentStore,
-//                   store::StoreReplayer, store::EpochMeta (mmap'd
-//                   time-sharded .jstore logs of summaries/alerts/
-//                   provenance, crash-safe restart, retroactive rule
-//                   replay — JaalConfig::store_dir wires it in;
-//                   examples/retroactive_query is the reference consumer)
+//                   store::StoreReplayer, store::EpochMeta,
+//                   store::diagnose_store (mmap'd time-sharded .jstore
+//                   logs of summaries/alerts/provenance/ops, crash-safe
+//                   restart, retroactive rule replay, offline timeline
+//                   diagnosis — JaalConfig::store_dir wires it in;
+//                   examples/retroactive_query and jaal_doctor --store
+//                   are the reference consumers)
 //   payload         payload::TermMatrix (payload-mode detection)
 //
 // Error policy (library-wide, enforced at this surface):
@@ -76,6 +80,7 @@
 #include "observe/observe.hpp"
 #include "payload/term_matrix.hpp"
 #include "rules/rule.hpp"
+#include "store/doctor.hpp"
 #include "store/replay.hpp"
 #include "store/store.hpp"
 #include "telemetry/export.hpp"

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "observe/drift.hpp"
+#include "observe/slo.hpp"
 
 namespace jaal::observe {
 
@@ -32,6 +33,16 @@ struct ObserveConfig {
   /// Run the summary-fidelity drift monitors and the caution signal.
   bool drift = true;
   DriftConfig drift_config;
+  /// Operational flight recorder (observe/flight_recorder.hpp): off by
+  /// default; when on, the controller records structured events from its
+  /// serial epoch-close phase into a ring of flight_capacity events.
+  bool flight_recorder = false;
+  std::size_t flight_capacity = 4096;
+  /// SLO tracking (observe/slo.hpp): off by default; when on, every epoch
+  /// feeds the report_fraction and close-latency error budgets and the
+  /// jaal_slo_* metrics are exported.
+  bool slo = false;
+  SloConfig slo_config;
 };
 
 /// Aggregated fidelity and drift state of one monitor.

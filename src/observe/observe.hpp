@@ -1,9 +1,14 @@
 // Umbrella header for the detection-observability subsystem:
-//   - observe/provenance.hpp  per-alert causal chains (AlertProvenance)
-//   - observe/drift.hpp       summary-fidelity drift monitors
-//   - observe/health.hpp      ObserveConfig, HealthTracker, HealthReport
+//   - observe/provenance.hpp       per-alert causal chains (AlertProvenance)
+//   - observe/drift.hpp            summary-fidelity drift monitors
+//   - observe/health.hpp           ObserveConfig, HealthTracker, HealthReport
+//   - observe/flight_recorder.hpp  operational event ring + JSONL dumps
+//   - observe/slo.hpp              error-budget tracking (report_fraction,
+//                                  epoch latency)
 #pragma once
 
 #include "observe/drift.hpp"
+#include "observe/flight_recorder.hpp"
 #include "observe/health.hpp"
 #include "observe/provenance.hpp"
+#include "observe/slo.hpp"

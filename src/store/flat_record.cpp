@@ -68,7 +68,7 @@ std::optional<RecordView> next_record(std::span<const std::uint8_t> shard,
   // An all-zero header is pre-allocated (never written) space, not
   // corruption: kind 0 is not a valid RecordKind either way.
   if (h.kind < static_cast<std::uint32_t>(RecordKind::kSummary) ||
-      h.kind > static_cast<std::uint32_t>(RecordKind::kEpochMeta)) {
+      h.kind > kMaxRecordKind) {
     return std::nullopt;
   }
   if (h.payload_len > kMaxRecordPayload) return std::nullopt;

@@ -21,7 +21,13 @@ enum class RecordKind : std::uint32_t {
   kAlert = 2,       ///< One alert JSON line (inference::alert_to_json).
   kProvenance = 3,  ///< One provenance JSON line (observe::to_json).
   kEpochMeta = 4,   ///< Per-epoch commit point (store::EpochMeta).
+  kMetrics = 5,     ///< Per-epoch MetricsSnapshot delta (metrics_codec).
+  kEvents = 6,      ///< Per-epoch flight-recorder events (metrics_codec).
 };
+
+/// Highest valid RecordKind value (frame validation bound).
+inline constexpr std::uint32_t kMaxRecordKind =
+    static_cast<std::uint32_t>(RecordKind::kEvents);
 
 /// Largest payload a well-formed record may carry; anything bigger in a
 /// header is treated as corruption.

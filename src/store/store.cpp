@@ -1,6 +1,7 @@
 #include "store/store.hpp"
 
 #include <cstring>
+#include <stdexcept>
 
 #include "inference/alert_json.hpp"
 
@@ -75,19 +76,22 @@ DeploymentStore::DeploymentStore(const StoreConfig& cfg, bool writable,
   provenance_ = std::make_unique<TimeShardLog>(
       TimeShardConfig{cfg.dir, "provenance", cfg.epochs_per_shard}, writable,
       tel);
+  ops_ = std::make_unique<TimeShardLog>(
+      TimeShardConfig{cfg.dir, "ops", cfg.epochs_per_shard}, writable, tel);
   // The last EpochMeta in the summaries log is the store's commit horizon.
   summaries_->for_each([&](const RecordView& rec) {
     if (rec.kind == RecordKind::kEpochMeta) last_committed_ = rec.epoch;
     return true;
   });
   if (writable) {
-    // Drop everything newer than the horizon from all three logs: records
+    // Drop everything newer than the horizon from all four logs: records
     // of a half-written epoch (summaries appended, meta never landed — or
-    // alerts persisted for an epoch whose meta was torn away) must not
-    // resurface as data after a restart.
+    // alerts / metrics persisted for an epoch whose meta was torn away)
+    // must not resurface as data after a restart.
     (void)summaries_->truncate_after_epoch(last_committed_);
     (void)alerts_->truncate_after_epoch(last_committed_);
     (void)provenance_->truncate_after_epoch(last_committed_);
+    (void)ops_->truncate_after_epoch(last_committed_);
   }
 }
 
@@ -116,6 +120,18 @@ void DeploymentStore::put_provenance(std::uint64_t epoch, std::uint32_t sid,
                             as_bytes(line));
 }
 
+void DeploymentStore::put_metrics(std::uint64_t epoch,
+                                  const telemetry::MetricsSnapshot& delta) {
+  const std::vector<std::uint8_t> payload = encode_metrics_delta(delta);
+  (void)ops_->append(epoch, 0, RecordKind::kMetrics, payload);
+}
+
+void DeploymentStore::put_events(
+    std::uint64_t epoch, std::span<const observe::FlightEvent> events) {
+  const std::vector<std::uint8_t> payload = encode_flight_events(events);
+  (void)ops_->append(epoch, 0, RecordKind::kEvents, payload);
+}
+
 void DeploymentStore::commit_epoch(const EpochMeta& meta) {
   const std::vector<std::uint8_t> payload = encode_epoch_meta(meta);
   if (summaries_->append(meta.epoch, 0, RecordKind::kEpochMeta, payload)) {
@@ -127,16 +143,18 @@ void DeploymentStore::sync() {
   (void)summaries_->sync();
   (void)alerts_->sync();
   (void)provenance_->sync();
+  (void)ops_->sync();
 }
 
 bool DeploymentStore::failed() const noexcept {
-  return summaries_->failed() || alerts_->failed() || provenance_->failed();
+  return summaries_->failed() || alerts_->failed() ||
+         provenance_->failed() || ops_->failed();
 }
 
 std::uint64_t DeploymentStore::torn_bytes_truncated() const noexcept {
   return summaries_->torn_bytes_truncated() +
          alerts_->torn_bytes_truncated() +
-         provenance_->torn_bytes_truncated();
+         provenance_->torn_bytes_truncated() + ops_->torn_bytes_truncated();
 }
 
 void DeploymentStore::each_summary(
@@ -177,6 +195,92 @@ void DeploymentStore::each_provenance_line(
     if (rec.kind != RecordKind::kProvenance) return true;
     if (!visible(rec.epoch)) return false;
     return fn(rec.epoch, rec.stream, as_view(rec.payload));
+  });
+}
+
+namespace {
+
+[[noreturn]] void refuse_ops_payload(const char* what) {
+  throw std::runtime_error(std::string("DeploymentStore: ") + what +
+                           " payload refused (unknown magic or version — "
+                           "written by an incompatible build)");
+}
+
+}  // namespace
+
+void DeploymentStore::each_metrics_delta(
+    const std::function<bool(std::uint64_t,
+                             const telemetry::MetricsSnapshot&)>& fn) const {
+  ops_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kMetrics) return true;
+    if (!visible(rec.epoch)) return false;
+    const auto snap = decode_metrics_delta(rec.payload);
+    if (!snap) refuse_ops_payload("kMetrics");
+    return fn(rec.epoch, *snap);
+  });
+}
+
+void DeploymentStore::each_flight_events(
+    const std::function<bool(std::uint64_t,
+                             const std::vector<observe::FlightEvent>&)>& fn)
+    const {
+  ops_->for_each([&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kEvents) return true;
+    if (!visible(rec.epoch)) return false;
+    const auto events = decode_flight_events(rec.payload);
+    if (!events) refuse_ops_payload("kEvents");
+    return fn(rec.epoch, *events);
+  });
+}
+
+std::optional<EpochMeta> DeploymentStore::epoch_meta_at(
+    std::uint64_t epoch) const {
+  if (!visible(epoch)) return std::nullopt;
+  std::optional<EpochMeta> out;
+  summaries_->for_each_in_epoch(epoch, [&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kEpochMeta) return true;
+    out = decode_epoch_meta(rec.epoch, rec.payload);
+    return false;
+  });
+  return out;
+}
+
+std::optional<telemetry::MetricsSnapshot> DeploymentStore::metrics_delta_at(
+    std::uint64_t epoch) const {
+  if (!visible(epoch)) return std::nullopt;
+  std::optional<telemetry::MetricsSnapshot> out;
+  bool refused = false;
+  ops_->for_each_in_epoch(epoch, [&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kMetrics) return true;
+    out = decode_metrics_delta(rec.payload);
+    refused = !out.has_value();
+    return false;
+  });
+  if (refused) refuse_ops_payload("kMetrics");
+  return out;
+}
+
+std::vector<observe::FlightEvent> DeploymentStore::events_at(
+    std::uint64_t epoch) const {
+  std::vector<observe::FlightEvent> out;
+  if (!visible(epoch)) return out;
+  ops_->for_each_in_epoch(epoch, [&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kEvents) return true;
+    if (auto events = decode_flight_events(rec.payload)) {
+      out = std::move(*events);
+    }
+    return false;
+  });
+  return out;
+}
+
+void DeploymentStore::each_alert_line_in_epoch(
+    std::uint64_t epoch,
+    const std::function<bool(std::uint32_t, std::string_view)>& fn) const {
+  if (!visible(epoch)) return;
+  alerts_->for_each_in_epoch(epoch, [&](const RecordView& rec) {
+    if (rec.kind != RecordKind::kAlert) return true;
+    return fn(rec.stream, as_view(rec.payload));
   });
 }
 

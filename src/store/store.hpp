@@ -1,17 +1,25 @@
-// Typed persistence for one deployment: three time-sharded record logs
+// Typed persistence for one deployment: four time-sharded record logs
 // under one directory —
 //   summaries.NNNNNN.jstore   MonitorSummary payloads (float64 wire format)
 //                             plus one EpochMeta commit record per epoch;
 //   alerts.NNNNNN.jstore      alert JSON lines (inference::alert_to_json);
-//   provenance.NNNNNN.jstore  provenance JSON lines (observe::to_json).
+//   provenance.NNNNNN.jstore  provenance JSON lines (observe::to_json);
+//   ops.NNNNNN.jstore         per-epoch operational records: one kMetrics
+//                             MetricsSnapshot delta and one kEvents
+//                             flight-event batch (store/metrics_codec) —
+//                             the telemetry timeline jaal_doctor --store
+//                             replays offline.  Absent from stores written
+//                             before this stream existed; those stay
+//                             readable.
 //
 // Crash-safety protocol: everything an epoch produced is appended first,
 // then one EpochMeta record lands in the summaries log — that record IS the
 // epoch's commit point.  A writer opening the store truncates torn shard
 // tails (flat_timeshard walk-on-open) and then drops every record newer
-// than the last committed EpochMeta from all three logs, so a half-written
-// epoch can never resurface.  last_committed_epoch() tells a restarted
-// deployment where to resume.
+// than the last committed EpochMeta from all four logs (an uncommitted
+// epoch's kMetrics/kEvents roll back with it), so a half-written epoch can
+// never resurface.  last_committed_epoch() tells a restarted deployment
+// where to resume.
 //
 // Error policy: construction throws std::invalid_argument on an unusable
 // directory or incompatible shards; the per-epoch append path never throws —
@@ -27,8 +35,10 @@
 #include <string_view>
 
 #include "inference/engine.hpp"
+#include "observe/flight_recorder.hpp"
 #include "observe/provenance.hpp"
 #include "store/flat_timeshard.hpp"
+#include "store/metrics_codec.hpp"
 #include "summarize/summary.hpp"
 
 namespace jaal::store {
@@ -79,16 +89,24 @@ class DeploymentStore {
                  double epoch_end_time);
   void put_provenance(std::uint64_t epoch, std::uint32_t sid,
                       const observe::AlertProvenance& p);
+  /// Persists one epoch's metrics delta (normally registry snapshot diffed
+  /// against the previous epoch's — see MetricsSnapshot::diff).  Call
+  /// before commit_epoch so the record rides under the epoch's commit.
+  void put_metrics(std::uint64_t epoch,
+                   const telemetry::MetricsSnapshot& delta);
+  /// Persists the flight events raised while closing this epoch.
+  void put_events(std::uint64_t epoch,
+                  std::span<const observe::FlightEvent> events);
   /// Commits the epoch: after this record is appended, the epoch is
   /// durable-on-truncate (walk-on-open keeps everything up to it).
   void commit_epoch(const EpochMeta& meta);
-  /// msync all three tail shards (shard rolls and destruction sync
+  /// msync all four tail shards (shard rolls and destruction sync
   /// automatically; call this for an explicit durability point).
   void sync();
 
   /// True after any log hit an unrecoverable I/O failure (store inert).
   [[nodiscard]] bool failed() const noexcept;
-  /// Bytes removed by torn-tail recovery at open, across the three logs.
+  /// Bytes removed by torn-tail recovery at open, across the four logs.
   [[nodiscard]] std::uint64_t torn_bytes_truncated() const noexcept;
 
   // ---- read path ----
@@ -117,6 +135,39 @@ class DeploymentStore {
   void each_provenance_line(
       const std::function<bool(std::uint64_t epoch, std::uint32_t sid,
                                std::string_view line)>& fn) const;
+  /// Every committed per-epoch metrics delta, ascending by epoch.  Throws
+  /// std::runtime_error on a CRC-valid payload the codec refuses (unknown
+  /// magic/version: the store was written by an incompatible build).
+  void each_metrics_delta(
+      const std::function<bool(std::uint64_t epoch,
+                               const telemetry::MetricsSnapshot&)>& fn)
+      const;
+  /// Every committed per-epoch flight-event batch, ascending by epoch.
+  /// Same refusal policy as each_metrics_delta.
+  void each_flight_events(
+      const std::function<bool(std::uint64_t epoch,
+                               const std::vector<observe::FlightEvent>&)>&
+          fn) const;
+
+  // ---- point queries (secondary epoch index; see TimeShardLog
+  //      for_each_in_epoch for the index/fallback semantics) ----
+
+  /// The commit record of one epoch; nullopt when the epoch is not
+  /// committed.
+  [[nodiscard]] std::optional<EpochMeta> epoch_meta_at(
+      std::uint64_t epoch) const;
+  /// The metrics delta of one epoch; nullopt when absent.  Throws like
+  /// each_metrics_delta on a refused payload.
+  [[nodiscard]] std::optional<telemetry::MetricsSnapshot> metrics_delta_at(
+      std::uint64_t epoch) const;
+  /// The flight events of one epoch (empty when absent).
+  [[nodiscard]] std::vector<observe::FlightEvent> events_at(
+      std::uint64_t epoch) const;
+  /// Alert JSON lines of one epoch.
+  void each_alert_line_in_epoch(
+      std::uint64_t epoch,
+      const std::function<bool(std::uint32_t sid, std::string_view line)>&
+          fn) const;
 
   /// Underlying logs, for tests and tooling.
   [[nodiscard]] const TimeShardLog& summaries_log() const noexcept {
@@ -128,6 +179,9 @@ class DeploymentStore {
   [[nodiscard]] const TimeShardLog& provenance_log() const noexcept {
     return *provenance_;
   }
+  [[nodiscard]] const TimeShardLog& ops_log() const noexcept {
+    return *ops_;
+  }
 
  private:
   /// True for committed records; readers stop at the commit horizon.
@@ -138,6 +192,7 @@ class DeploymentStore {
   std::unique_ptr<TimeShardLog> summaries_;
   std::unique_ptr<TimeShardLog> alerts_;
   std::unique_ptr<TimeShardLog> provenance_;
+  std::unique_ptr<TimeShardLog> ops_;
   std::optional<std::uint64_t> last_committed_;
   bool writable_ = false;
 };

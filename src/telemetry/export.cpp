@@ -4,6 +4,8 @@
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
+#include <iterator>
+#include <string_view>
 
 namespace jaal::telemetry {
 namespace {
@@ -71,7 +73,171 @@ std::vector<MetricsSnapshot::Entry> sorted_entries(
   return entries;
 }
 
+struct HelpEntry {
+  std::string_view base;
+  std::string_view help;
+};
+
+/// One line per metric family, sorted by base name for binary search.  Help
+/// text must stay single-line and free of backslashes (the exposition format
+/// would require escaping).
+constexpr HelpEntry kMetricHelp[] = {
+    {"jaal_baseline_reservoir_evictions_total",
+     "Baseline windows evicted by reservoir sampling to hold the memory "
+     "budget."},
+    {"jaal_faults_crashed_monitor_epochs_total",
+     "Monitor-epochs spent inside an injected crash window."},
+    {"jaal_faults_degraded_epochs_total",
+     "Epochs closed with report_fraction below 1."},
+    {"jaal_faults_feedback_attempts_total",
+     "Feedback retrieval attempts over the transport, retries included."},
+    {"jaal_faults_feedback_failures_total",
+     "Feedback retrieval attempts that failed on the transport."},
+    {"jaal_faults_feedback_giveups_total",
+     "Feedback retrievals abandoned after exhausting their retry budget."},
+    {"jaal_faults_packets_lost_total",
+     "Ingress packets lost to crashed monitors, never observed."},
+    {"jaal_faults_summaries_delivered_total",
+     "Monitor summaries delivered to the engine by the deadline."},
+    {"jaal_faults_summaries_dropped_total",
+     "Monitor summaries lost on the transport."},
+    {"jaal_faults_summaries_late_total",
+     "Monitor summaries that arrived after the aggregation deadline."},
+    {"jaal_faults_summaries_reordered_total",
+     "Monitor summaries delivered out of send order."},
+    {"jaal_faults_summaries_rolled_forward_total",
+     "Late summaries carried into the next epoch under kRollForward."},
+    {"jaal_inference_alerts_suppressed_total",
+     "Rule matches withheld because scaled degraded-mode thresholds were not "
+     "met."},
+    {"jaal_inference_alerts_total",
+     "Alerts raised, labeled by rule sid."},
+    {"jaal_inference_alerts_via_feedback_total",
+     "Alerts confirmed through the monitor feedback loop."},
+    {"jaal_inference_feedback_fallbacks_total",
+     "Feedback requests answered summary-only after transport failure."},
+    {"jaal_inference_feedback_requests_total",
+     "Raw-packet feedback requests issued to monitors."},
+    {"jaal_inference_questions_evaluated_total",
+     "Rule questions evaluated against aggregated summaries."},
+    {"jaal_inference_questions_matched_total",
+     "Rule questions whose strict or loose threshold matched."},
+    {"jaal_inference_raw_bytes_fetched_total",
+     "Raw packet bytes pulled from monitors by feedback."},
+    {"jaal_inference_raw_packets_fetched_total",
+     "Raw packets pulled from monitors by feedback."},
+    {"jaal_monitor_batches_flushed_total",
+     "Packet batches flushed into the summarizer."},
+    {"jaal_monitor_packets_malformed_total",
+     "Packets rejected by monitors as malformed."},
+    {"jaal_monitor_packets_observed_total",
+     "Packets observed across all monitors."},
+    {"jaal_monitor_packets_oversized_total",
+     "Packets truncated to the feature window by monitors."},
+    {"jaal_monitor_silent_epochs_total",
+     "Monitor epoch closes that stayed below n_min and shipped nothing."},
+    {"jaal_monitor_summary_bytes_total",
+     "Serialized summary bytes produced by monitors."},
+    {"jaal_netsim_link_bytes_forwarded_total",
+     "Bytes forwarded by a simulated link, labeled by link."},
+    {"jaal_netsim_link_dropped_bytes_total",
+     "Bytes dropped by a simulated link, labeled by link."},
+    {"jaal_netsim_link_drops_total",
+     "Messages dropped by a simulated link, labeled by link."},
+    {"jaal_netsim_link_messages_forwarded_total",
+     "Messages forwarded by a simulated link, labeled by link."},
+    {"jaal_netsim_link_queue_depth_high_water_bytes",
+     "High-water queued bytes on a simulated link, labeled by link."},
+    {"jaal_observe_caution_permille",
+     "Current caution signal (drifting-monitor fraction) in permille."},
+    {"jaal_observe_drift_events_total",
+     "Drift enter/exit transitions raised by the health tracker."},
+    {"jaal_observe_flight_dropped_total",
+     "Flight-recorder events overwritten before being dumped (ring "
+     "wrap-around)."},
+    {"jaal_observe_flight_dumps_total",
+     "Flight-recorder dumps taken (crash, health regression, or on "
+     "demand)."},
+    {"jaal_observe_flight_events_total",
+     "Structured events appended to the flight-recorder ring."},
+    {"jaal_observe_monitors_drifting",
+     "Monitors currently flagged as drifting by the health tracker."},
+    {"jaal_observe_provenance_records_total",
+     "Alert provenance records captured."},
+    {"jaal_runtime_parallel_for_calls_total",
+     "parallel_for invocations on the thread pool."},
+    {"jaal_runtime_queue_depth_high_water",
+     "High-water mark of the thread-pool task queue."},
+    {"jaal_runtime_stage_ms",
+     "Wall-clock latency per pipeline stage, labeled by stage."},
+    {"jaal_runtime_tasks_completed_total",
+     "Thread-pool tasks completed."},
+    {"jaal_runtime_tasks_submitted_total",
+     "Thread-pool tasks submitted."},
+    {"jaal_slo_burn_rate_permille",
+     "Rolling-window error-budget burn rate in permille of budget per "
+     "epoch."},
+    {"jaal_slo_epochs_observed_total",
+     "Epochs folded into the SLO tracker."},
+    {"jaal_slo_report_fraction_breaches_total",
+     "Epochs whose report_fraction fell below the SLO target."},
+    {"jaal_slo_report_fraction_budget_remaining_permille",
+     "Remaining report_fraction error budget in permille."},
+    {"jaal_slo_stage_ms_breaches_total",
+     "Epochs whose per-stage wall-clock latency exceeded the SLO target."},
+    {"jaal_slo_stage_ms_budget_remaining_permille",
+     "Remaining latency error budget in permille (wall-clock derived)."},
+    {"jaal_store_bytes_written_total",
+     "Bytes appended to the deployment store."},
+    {"jaal_store_index_fallback_scans_total",
+     "Point queries that fell back to a full shard walk (missing or stale "
+     "sidecar index)."},
+    {"jaal_store_index_point_queries_total",
+     "Epoch point queries answered through the sidecar index."},
+    {"jaal_store_msync_ms",
+     "Wall-clock latency of store msync calls."},
+    {"jaal_store_records_total",
+     "Records appended to the deployment store."},
+    {"jaal_store_scan_bytes_total",
+     "Record bytes visited by store reads (walks plus point queries)."},
+    {"jaal_store_shards_rolled_total",
+     "Store shard files finalized and rolled."},
+    {"jaal_store_torn_bytes_truncated_total",
+     "Torn tail bytes truncated during store recovery."},
+    {"jaal_summarize_batches_total",
+     "Packet batches summarized."},
+    {"jaal_summarize_combined_format_total",
+     "Summaries shipped in the combined (B = U_r Sigma_r) format."},
+    {"jaal_summarize_kmeans_iterations",
+     "Lloyd iterations per k-means run."},
+    {"jaal_summarize_kmeans_ms",
+     "Wall-clock latency per k-means run."},
+    {"jaal_summarize_split_format_total",
+     "Summaries shipped in the split (factors separate) format."},
+    {"jaal_summarize_svd_ms",
+     "Wall-clock latency per SVD."},
+    {"jaal_summarize_svd_sweeps",
+     "Jacobi sweeps per SVD."},
+};
+
 }  // namespace
+
+std::string metric_help(const std::string& base_name) {
+  const auto* end = kMetricHelp + std::size(kMetricHelp);
+  const auto* it = std::lower_bound(
+      kMetricHelp, end, base_name,
+      [](const HelpEntry& e, const std::string& n) { return e.base < n; });
+  if (it != end && it->base == base_name) return std::string(it->help);
+  // Unknown family: fall back to what the naming convention guarantees.
+  if (base_name.size() > 6 &&
+      base_name.rfind("_total") == base_name.size() - 6) {
+    return "Monotonic event count.";
+  }
+  if (is_wall_clock_metric(base_name)) {
+    return "Wall-clock measurement in milliseconds.";
+  }
+  return "Point-in-time value.";
+}
 
 bool is_wall_clock_metric(const std::string& name) noexcept {
   return name.find("_ms") != std::string::npos ||
@@ -115,6 +281,7 @@ std::string prometheus_text(const MetricsSnapshot& snapshot) {
                        : e.kind == MetricKind::kGauge    ? "gauge"
                                                          : "histogram";
     if (base != last_base) {
+      out += "# HELP " + base + " " + metric_help(base) + "\n";
       out += "# TYPE " + base + " " + type + "\n";
       last_base = base;
     }

@@ -25,7 +25,15 @@ namespace jaal::telemetry {
 /// Prometheus text exposition (version 0.0.4) of a metrics snapshot.
 /// Labels embedded in metric names ('name{k="v"}') are split onto each
 /// sample line; histograms expand to _bucket{le=...}/_sum/_count series.
+/// Every metric family gets a '# HELP' line from metric_help() ahead of its
+/// '# TYPE' line.
 [[nodiscard]] std::string prometheus_text(const MetricsSnapshot& snapshot);
+
+/// One-line description of a metric family (the base name, labels
+/// stripped).  Known jaal_* families come from a fixed registry; unknown
+/// names fall back to a generic line derived from the naming convention, so
+/// every family always has help text.
+[[nodiscard]] std::string metric_help(const std::string& base_name);
 
 struct JsonlOptions {
   bool include_timings = true;

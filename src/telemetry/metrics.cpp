@@ -1,8 +1,10 @@
 #include "telemetry/metrics.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace jaal::telemetry {
 
@@ -68,6 +70,51 @@ HistogramSnapshot Histogram::snapshot() const {
     }
   }
   return snap;
+}
+
+MetricsSnapshot MetricsSnapshot::diff(const MetricsSnapshot& prev) const {
+  std::unordered_map<std::string_view, const Entry*> base;
+  base.reserve(prev.entries.size());
+  for (const Entry& e : prev.entries) base.emplace(e.name, &e);
+
+  MetricsSnapshot out;
+  out.entries.reserve(entries.size());
+  for (const Entry& cur : entries) {
+    Entry d = cur;
+    const auto it = base.find(cur.name);
+    const Entry* old =
+        it != base.end() && it->second->kind == cur.kind ? it->second : nullptr;
+    if (old != nullptr) {
+      switch (cur.kind) {
+        case MetricKind::kCounter:
+          // Monotonic-counter assumption: current < previous means a reset,
+          // so the whole current value is new growth.
+          d.counter =
+              cur.counter >= old->counter ? cur.counter - old->counter
+                                          : cur.counter;
+          break;
+        case MetricKind::kGauge:
+          break;  // point-in-time: the current value IS the observation
+        case MetricKind::kHistogram: {
+          const HistogramSnapshot& c = cur.histogram;
+          const HistogramSnapshot& p = old->histogram;
+          const bool reset = c.count < p.count;
+          d.histogram.count = reset ? c.count : c.count - p.count;
+          d.histogram.sum = reset ? c.sum : c.sum - p.sum;
+          d.histogram.max = c.max;  // lifetime high-water, not a rate
+          for (std::size_t b = 0; b < d.histogram.buckets.size(); ++b) {
+            const std::uint64_t pb =
+                b < p.buckets.size() && !reset ? p.buckets[b] : 0;
+            d.histogram.buckets[b] =
+                c.buckets[b] >= pb ? c.buckets[b] - pb : c.buckets[b];
+          }
+          break;
+        }
+      }
+    }
+    out.entries.push_back(std::move(d));
+  }
+  return out;
 }
 
 MetricsRegistry::Entry& MetricsRegistry::find_or_create(std::string_view name,

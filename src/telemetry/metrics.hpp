@@ -167,6 +167,20 @@ struct MetricsSnapshot {
     HistogramSnapshot histogram;
   };
   std::vector<Entry> entries;
+
+  /// What this snapshot accumulated since `prev`: every entry of *this*
+  /// with counters and histogram counts/buckets replaced by their delta
+  /// against the same-named entry in `prev` (absent in prev = zero
+  /// baseline).  Gauges are point-in-time and keep their current value;
+  /// histogram sums subtract (the delta of a deterministic series is
+  /// deterministic) and max stays the lifetime max.
+  ///
+  /// Assumes counters are monotonic — the registry never decrements — so a
+  /// current value below the previous one means the counter was reset (a
+  /// new registry); the delta then clamps to the current value rather than
+  /// wrapping.  Entries whose kinds disagree between the snapshots are
+  /// treated as new (prev ignored).
+  [[nodiscard]] MetricsSnapshot diff(const MetricsSnapshot& prev) const;
 };
 
 /// Named metric registry.  Handles returned by counter()/gauge()/histogram()

@@ -1,0 +1,123 @@
+// observe/flight_recorder: the fixed-size ring of structured operational
+// events — seq assignment, oldest-first wrap-around, deterministic JSONL
+// dumps, and the wait-free concurrent record() contract.
+#include "observe/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace jaal::observe {
+namespace {
+
+FlightEvent fidelity_event(std::uint64_t epoch, std::uint32_t monitor) {
+  FlightEvent ev;
+  ev.epoch = epoch;
+  ev.kind = FlightEventKind::kFidelity;
+  ev.actor = monitor;
+  ev.a = 0.9991;
+  ev.b = 0.0007;
+  ev.c = 0.0031;
+  ev.u[0] = 2941;
+  return ev;
+}
+
+TEST(FlightRecorder, ZeroCapacityThrows) {
+  EXPECT_THROW(FlightRecorder(0), std::invalid_argument);
+}
+
+TEST(FlightRecorder, AssignsGapFreeSequenceOldestFirst) {
+  FlightRecorder rec(16);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    FlightEvent ev = fidelity_event(i, 0);
+    ev.seq = 999;  // record() owns seq; the caller's value is ignored.
+    rec.record(ev);
+  }
+  EXPECT_EQ(rec.total_recorded(), 5u);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (std::uint64_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, i);
+    EXPECT_EQ(events[i].epoch, i);
+  }
+}
+
+TEST(FlightRecorder, WrapKeepsNewestAndCountsDropped) {
+  FlightRecorder rec(4);
+  for (std::uint64_t i = 0; i < 10; ++i) rec.record(fidelity_event(i, 0));
+  EXPECT_EQ(rec.total_recorded(), 10u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // The ring holds the last capacity events, oldest surviving one first.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 6u + i);
+  }
+}
+
+TEST(FlightRecorder, DumpIsDeterministicAcrossInstances) {
+  FlightRecorder a(8);
+  FlightRecorder b(8);
+  for (std::uint64_t i = 0; i < 12; ++i) {
+    a.record(fidelity_event(i, static_cast<std::uint32_t>(i % 3)));
+    b.record(fidelity_event(i, static_cast<std::uint32_t>(i % 3)));
+  }
+  const std::string da = a.dump_jsonl();
+  EXPECT_EQ(da, b.dump_jsonl());
+  EXPECT_EQ(a.dumps_taken(), 1u);
+  // Header line first, then one line per live event.
+  EXPECT_EQ(da.rfind("{\"kind\":\"flight_recorder\"", 0), 0u);
+  EXPECT_EQ(std::count(da.begin(), da.end(), '\n'), 1 + 8);
+}
+
+TEST(FlightRecorder, EventJsonCarriesKindSpecificPayload) {
+  FlightEvent ev = fidelity_event(7, 2);
+  ev.seq = 41;
+  const std::string line = to_json(ev);
+  EXPECT_NE(line.find("\"seq\":41"), std::string::npos);
+  EXPECT_NE(line.find("\"epoch\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"kind\":\"fidelity\""), std::string::npos);
+  EXPECT_NE(line.find("\"actor\":2"), std::string::npos);
+  EXPECT_NE(line.find("2941"), std::string::npos);
+}
+
+TEST(FlightRecorder, DriftMetricNamesRoundTrip) {
+  for (std::uint64_t id = 0; id < 3; ++id) {
+    EXPECT_EQ(drift_metric_id(drift_metric_name(id)), id);
+  }
+}
+
+TEST(FlightRecorder, ConcurrentRecordLosesNothing) {
+  // capacity >> in-flight writers: the documented no-wrap-within-a-burst
+  // regime, where record() must publish every event exactly once.
+  constexpr std::uint64_t kPerThread = 2000;
+  FlightRecorder rec(2 * kPerThread);
+  auto writer = [&rec](std::uint32_t actor) {
+    for (std::uint64_t i = 0; i < kPerThread; ++i) {
+      rec.record(fidelity_event(i, actor));
+    }
+  };
+  std::thread t0(writer, 0);
+  std::thread t1(writer, 1);
+  t0.join();
+  t1.join();
+  EXPECT_EQ(rec.total_recorded(), 2 * kPerThread);
+  EXPECT_EQ(rec.dropped(), 0u);
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2 * kPerThread);
+  // Every sequence number appears exactly once.
+  std::vector<std::uint64_t> seqs;
+  seqs.reserve(events.size());
+  for (const auto& ev : events) seqs.push_back(ev.seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::uint64_t i = 0; i < seqs.size(); ++i) EXPECT_EQ(seqs[i], i);
+}
+
+}  // namespace
+}  // namespace jaal::observe

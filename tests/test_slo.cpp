@@ -1,0 +1,106 @@
+// observe/slo: error-budget arithmetic over the completeness and latency
+// SLIs — config validation, budget depletion, rolling-window burn rate,
+// the no-latency-sample sentinel, and the deterministic summary line.
+#include "observe/slo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace jaal::observe {
+namespace {
+
+TEST(SloConfig, ValidateRejectsDegenerateTargets) {
+  SloConfig cfg;
+  cfg.objective = 1.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SloConfig{};
+  cfg.objective = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SloConfig{};
+  cfg.report_fraction_min = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SloConfig{};
+  cfg.latency_target_ms = 0.0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg = SloConfig{};
+  cfg.window = 0;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  EXPECT_NO_THROW(SloConfig{}.validate());
+}
+
+TEST(SloTracker, AllGoodEpochsLeaveBudgetUntouched) {
+  SloTracker slo;
+  for (std::uint64_t e = 0; e < 20; ++e) slo.observe_epoch(e, 1.0, 10.0);
+  EXPECT_EQ(slo.epochs(), 20u);
+  EXPECT_EQ(slo.rf_breaches(), 0u);
+  EXPECT_EQ(slo.latency_breaches(), 0u);
+  EXPECT_EQ(slo.rf_budget_remaining_permille(), 1000);
+  EXPECT_EQ(slo.latency_budget_remaining_permille(), 1000);
+  EXPECT_EQ(slo.rf_burn_rate_permille(), 0);
+}
+
+TEST(SloTracker, BreachesDepleteTheLifetimeBudget) {
+  SloConfig cfg;
+  cfg.objective = 0.9;  // 10% of epochs may be bad.
+  cfg.window = 8;
+  SloTracker slo(cfg);
+  // 20 epochs allow 2 bad ones; 1 bad epoch burns half the budget.
+  for (std::uint64_t e = 0; e < 20; ++e) {
+    slo.observe_epoch(e, e == 3 ? 0.5 : 1.0, -1.0);
+  }
+  EXPECT_EQ(slo.rf_breaches(), 1u);
+  EXPECT_EQ(slo.rf_budget_remaining_permille(), 500);
+  // Overdraw clamps at zero rather than going negative.
+  SloTracker drained(cfg);
+  for (std::uint64_t e = 0; e < 10; ++e) drained.observe_epoch(e, 0.0, -1.0);
+  EXPECT_EQ(drained.rf_budget_remaining_permille(), 0);
+}
+
+TEST(SloTracker, BurnRateTracksTheRollingWindowOnly) {
+  SloConfig cfg;
+  cfg.objective = 0.9;
+  cfg.window = 10;
+  SloTracker slo(cfg);
+  // 2 bad epochs inside the window: (2/10) / 0.1 = 2x sustainable.
+  for (std::uint64_t e = 0; e < 10; ++e) {
+    slo.observe_epoch(e, e < 2 ? 0.0 : 1.0, -1.0);
+  }
+  EXPECT_EQ(slo.rf_burn_rate_permille(), 2000);
+  // Ten more good epochs push the bad ones out of the window entirely;
+  // the lifetime budget still remembers them.
+  for (std::uint64_t e = 10; e < 20; ++e) slo.observe_epoch(e, 1.0, -1.0);
+  EXPECT_EQ(slo.rf_burn_rate_permille(), 0);
+  EXPECT_EQ(slo.rf_breaches(), 2u);
+  EXPECT_EQ(slo.rf_budget_remaining_permille(), 0);
+}
+
+TEST(SloTracker, NegativeLatencyMeansNoSample) {
+  SloConfig cfg;
+  cfg.latency_target_ms = 50.0;
+  SloTracker slo(cfg);
+  slo.observe_epoch(0, 1.0, -1.0);   // offline reconstruction: no sample
+  slo.observe_epoch(1, 1.0, 49.0);   // under target
+  slo.observe_epoch(2, 1.0, 51.0);   // over target
+  EXPECT_EQ(slo.latency_breaches(), 1u);
+}
+
+TEST(SloTracker, SummaryLineIsDeterministicAndCompletenessOnly) {
+  SloTracker a;
+  SloTracker b;
+  for (std::uint64_t e = 0; e < 7; ++e) {
+    // Different wall-clock latencies must not leak into the summary.
+    a.observe_epoch(e, e == 2 ? 0.5 : 1.0, 10.0 + static_cast<double>(e));
+    b.observe_epoch(e, e == 2 ? 0.5 : 1.0, 90.0 - static_cast<double>(e));
+  }
+  const std::string line = a.to_jsonl();
+  EXPECT_EQ(line, b.to_jsonl());
+  EXPECT_EQ(line.rfind("{\"kind\":\"slo_summary\"", 0), 0u);
+  EXPECT_NE(line.find("\"epochs\":7"), std::string::npos);
+  EXPECT_NE(line.find("\"rf_breaches\":1"), std::string::npos);
+  EXPECT_EQ(line.find("latency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jaal::observe

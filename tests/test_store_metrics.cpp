@@ -1,0 +1,381 @@
+// The store's operational records (kMetrics / kEvents): codec round trips
+// and determinism, the commit-protocol guarantees (uncommitted epochs roll
+// back on writer reopen), point queries, and the version-refusal policy for
+// payloads written by an incompatible build.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "store/flat_record.hpp"
+#include "store/flat_timeshard.hpp"
+#include "store/metrics_codec.hpp"
+#include "store/store.hpp"
+#include "telemetry/export.hpp"
+
+namespace jaal::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct TempDir {
+  fs::path path;
+  explicit TempDir(const std::string& tag)
+      : path(fs::temp_directory_path() /
+             ("jaal_store_metrics_test_" + tag + "_" +
+              std::to_string(::getpid()))) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  [[nodiscard]] std::string str() const { return path.string(); }
+};
+
+telemetry::MetricsSnapshot::Entry counter_entry(const std::string& name,
+                                                std::uint64_t value) {
+  telemetry::MetricsSnapshot::Entry e;
+  e.name = name;
+  e.kind = telemetry::MetricKind::kCounter;
+  e.counter = value;
+  return e;
+}
+
+telemetry::MetricsSnapshot::Entry gauge_entry(const std::string& name,
+                                              std::int64_t value) {
+  telemetry::MetricsSnapshot::Entry e;
+  e.name = name;
+  e.kind = telemetry::MetricKind::kGauge;
+  e.gauge = value;
+  return e;
+}
+
+telemetry::MetricsSnapshot::Entry histogram_entry(const std::string& name,
+                                                  std::uint64_t count,
+                                                  double sum) {
+  telemetry::MetricsSnapshot::Entry e;
+  e.name = name;
+  e.kind = telemetry::MetricKind::kHistogram;
+  e.histogram.count = count;
+  e.histogram.sum = sum;
+  e.histogram.max = sum;
+  e.histogram.buckets.assign(telemetry::Histogram::kBucketCount, 0);
+  if (count > 0) e.histogram.buckets[3] = count;
+  return e;
+}
+
+telemetry::MetricsSnapshot delta_for_epoch(std::uint64_t epoch) {
+  telemetry::MetricsSnapshot s;
+  s.entries.push_back(counter_entry("jaal_packets_observed_total",
+                                    1000 + epoch * 17));
+  s.entries.push_back(gauge_entry("jaal_epoch_current",
+                                  static_cast<std::int64_t>(epoch)));
+  s.entries.push_back(histogram_entry("jaal_batch_packets", 4 + epoch,
+                                      0.5 * static_cast<double>(epoch + 1)));
+  return s;
+}
+
+std::vector<observe::FlightEvent> events_for_epoch(std::uint64_t epoch) {
+  std::vector<observe::FlightEvent> out;
+  observe::FlightEvent fid;
+  fid.seq = epoch * 2;
+  fid.epoch = epoch;
+  fid.kind = observe::FlightEventKind::kFidelity;
+  fid.actor = 0;
+  fid.a = 0.999;
+  fid.b = 0.0007;
+  fid.c = 0.003;
+  fid.u[0] = 2900 + epoch;
+  out.push_back(fid);
+  observe::FlightEvent close;
+  close.seq = epoch * 2 + 1;
+  close.epoch = epoch;
+  close.kind = observe::FlightEventKind::kEpochClose;
+  close.actor = 3;
+  close.a = 1.0;
+  close.c = 2.0;
+  out.push_back(close);
+  return out;
+}
+
+EpochMeta meta_for_epoch(std::uint64_t epoch) {
+  EpochMeta m;
+  m.epoch = epoch;
+  m.end_time = static_cast<double>(epoch + 1);
+  m.packets = 2000 + epoch;
+  m.report_fraction = 1.0;
+  return m;
+}
+
+bool snapshots_equal(const telemetry::MetricsSnapshot& a,
+                     const telemetry::MetricsSnapshot& b) {
+  if (a.entries.size() != b.entries.size()) return false;
+  for (std::size_t i = 0; i < a.entries.size(); ++i) {
+    const auto& x = a.entries[i];
+    const auto& y = b.entries[i];
+    if (x.name != y.name || x.kind != y.kind || x.counter != y.counter ||
+        x.gauge != y.gauge || x.histogram.count != y.histogram.count ||
+        x.histogram.sum != y.histogram.sum ||
+        x.histogram.buckets != y.histogram.buckets) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// ------------------------------------------------------------------ codec
+
+TEST(MetricsCodec, RoundTripsSortedByName) {
+  telemetry::MetricsSnapshot s;
+  // Deliberately out of name order: the codec must canonicalize.
+  s.entries.push_back(gauge_entry("zeta_gauge", -7));
+  s.entries.push_back(counter_entry("alpha_total", 42));
+  s.entries.push_back(histogram_entry("mid_histogram", 3, 1.25));
+  const auto bytes = encode_metrics_delta(s);
+  const auto back = decode_metrics_delta(bytes);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->entries.size(), 3u);
+  EXPECT_EQ(back->entries[0].name, "alpha_total");
+  EXPECT_EQ(back->entries[0].counter, 42u);
+  EXPECT_EQ(back->entries[1].name, "mid_histogram");
+  EXPECT_EQ(back->entries[1].histogram.count, 3u);
+  EXPECT_EQ(back->entries[1].histogram.sum, 1.25);
+  EXPECT_EQ(back->entries[2].name, "zeta_gauge");
+  EXPECT_EQ(back->entries[2].gauge, -7);
+
+  // Same content in a different order encodes to identical bytes.
+  telemetry::MetricsSnapshot shuffled;
+  shuffled.entries.push_back(s.entries[2]);
+  shuffled.entries.push_back(s.entries[0]);
+  shuffled.entries.push_back(s.entries[1]);
+  EXPECT_EQ(encode_metrics_delta(shuffled), bytes);
+}
+
+TEST(MetricsCodec, ElidesWallClockAndZeroDeltas) {
+  telemetry::MetricsSnapshot s;
+  s.entries.push_back(counter_entry("jaal_alerts_raised_total", 0));
+  s.entries.push_back(counter_entry("jaal_packets_observed_total", 5));
+  s.entries.push_back(histogram_entry("jaal_stage_observe_ms", 9, 3.0));
+  s.entries.push_back(counter_entry("jaal_runtime_pool_tasks_total", 11));
+  s.entries.push_back(gauge_entry("jaal_epoch_current", 0));
+  const auto back = decode_metrics_delta(encode_metrics_delta(s));
+  ASSERT_TRUE(back.has_value());
+  // Wall-clock ("_ms", jaal_runtime_) and zero counter deltas are dropped;
+  // a zero gauge is an observation and survives.
+  ASSERT_EQ(back->entries.size(), 2u);
+  EXPECT_EQ(back->entries[0].name, "jaal_epoch_current");
+  EXPECT_EQ(back->entries[1].name, "jaal_packets_observed_total");
+  EXPECT_TRUE(telemetry::is_wall_clock_metric("jaal_stage_observe_ms"));
+  EXPECT_TRUE(
+      telemetry::is_wall_clock_metric("jaal_runtime_pool_tasks_total"));
+}
+
+TEST(MetricsCodec, FlightEventsRoundTripBitExact) {
+  const auto events = events_for_epoch(6);
+  const auto back = decode_flight_events(encode_flight_events(events));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ((*back)[i].seq, events[i].seq);
+    EXPECT_EQ((*back)[i].epoch, events[i].epoch);
+    EXPECT_EQ((*back)[i].kind, events[i].kind);
+    EXPECT_EQ((*back)[i].actor, events[i].actor);
+    EXPECT_EQ((*back)[i].a, events[i].a);
+    EXPECT_EQ((*back)[i].c, events[i].c);
+    for (int j = 0; j < 6; ++j) EXPECT_EQ((*back)[i].u[j], events[i].u[j]);
+  }
+}
+
+TEST(MetricsCodec, RefusesUnknownMagicAndVersion) {
+  auto bytes = encode_metrics_delta(delta_for_epoch(0));
+  ASSERT_GE(bytes.size(), 2u);
+  auto wrong_version = bytes;
+  wrong_version[1] = 99;
+  EXPECT_FALSE(decode_metrics_delta(wrong_version).has_value());
+  auto wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_FALSE(decode_metrics_delta(wrong_magic).has_value());
+  auto ev = encode_flight_events(events_for_epoch(0));
+  ev[1] = 99;
+  EXPECT_FALSE(decode_flight_events(ev).has_value());
+}
+
+// ------------------------------------------------------- store round trip
+
+TEST(StoreMetrics, ReopenRoundTripsMetricsAndEvents) {
+  TempDir dir("roundtrip");
+  constexpr std::uint64_t kEpochs = 5;
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    for (std::uint64_t e = 0; e < kEpochs; ++e) {
+      store.put_metrics(e, delta_for_epoch(e));
+      store.put_events(e, events_for_epoch(e));
+      store.commit_epoch(meta_for_epoch(e));
+    }
+  }
+  DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+  ASSERT_TRUE(reader.last_committed_epoch().has_value());
+  EXPECT_EQ(*reader.last_committed_epoch(), kEpochs - 1);
+  std::uint64_t next = 0;
+  reader.each_metrics_delta(
+      [&](std::uint64_t epoch, const telemetry::MetricsSnapshot& delta) {
+        EXPECT_EQ(epoch, next);
+        // The codec canonicalizes by name; rebuild the expectation the
+        // same way for a structural comparison.
+        const auto expected = decode_metrics_delta(
+            encode_metrics_delta(delta_for_epoch(epoch)));
+        EXPECT_TRUE(expected && snapshots_equal(delta, *expected));
+        ++next;
+        return true;
+      });
+  EXPECT_EQ(next, kEpochs);
+  next = 0;
+  reader.each_flight_events(
+      [&](std::uint64_t epoch,
+          const std::vector<observe::FlightEvent>& events) {
+        EXPECT_EQ(epoch, next);
+        EXPECT_EQ(events.size(), 2u);
+        EXPECT_EQ(events[0].kind, observe::FlightEventKind::kFidelity);
+        EXPECT_EQ(events[1].kind, observe::FlightEventKind::kEpochClose);
+        ++next;
+        return true;
+      });
+  EXPECT_EQ(next, kEpochs);
+  // Point queries agree with the full scan.
+  const auto delta3 = reader.metrics_delta_at(3);
+  ASSERT_TRUE(delta3.has_value());
+  const auto expected3 =
+      decode_metrics_delta(encode_metrics_delta(delta_for_epoch(3)));
+  EXPECT_TRUE(expected3 && snapshots_equal(*delta3, *expected3));
+  EXPECT_EQ(reader.events_at(2).size(), 2u);
+  EXPECT_TRUE(reader.events_at(kEpochs + 5).empty());
+}
+
+TEST(StoreMetrics, UncommittedEpochRollsBackOnWriterReopen) {
+  TempDir dir("rollback");
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    store.put_metrics(0, delta_for_epoch(0));
+    store.put_events(0, events_for_epoch(0));
+    store.commit_epoch(meta_for_epoch(0));
+    // Epoch 1's operational records are appended but never committed —
+    // the crash window between put_* and commit_epoch.
+    store.put_metrics(1, delta_for_epoch(1));
+    store.put_events(1, events_for_epoch(1));
+  }
+  {
+    // Writer reopen runs recovery: everything past the commit horizon is
+    // truncated from all logs.
+    DeploymentStore recovered({dir.str(), 64}, /*writable=*/true);
+    ASSERT_TRUE(recovered.last_committed_epoch().has_value());
+    EXPECT_EQ(*recovered.last_committed_epoch(), 0u);
+  }
+  DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+  std::uint64_t metrics_epochs = 0;
+  reader.each_metrics_delta([&](std::uint64_t, const auto&) {
+    ++metrics_epochs;
+    return true;
+  });
+  EXPECT_EQ(metrics_epochs, 1u);
+  EXPECT_FALSE(reader.metrics_delta_at(1).has_value());
+  EXPECT_TRUE(reader.events_at(1).empty());
+}
+
+TEST(StoreMetrics, ReaderHidesUncommittedTail) {
+  // Without a writer reopen in between, a reader must still surface only
+  // the committed prefix.
+  TempDir dir("visible");
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    store.put_metrics(0, delta_for_epoch(0));
+    store.commit_epoch(meta_for_epoch(0));
+    store.put_metrics(1, delta_for_epoch(1));
+    store.sync();
+    DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+    EXPECT_TRUE(reader.metrics_delta_at(0).has_value());
+    EXPECT_FALSE(reader.metrics_delta_at(1).has_value());
+  }
+}
+
+// -------------------------------------------------------- version refusal
+
+/// Flips the payload version byte of the first record of `kind` in the ops
+/// log's first shard and re-stamps the frame CRC — simulating a CRC-valid
+/// record written by a build with a newer payload schema.
+void bump_payload_version(const fs::path& dir, RecordKind kind) {
+  const fs::path shard = dir / "ops.000000.jstore";
+  ASSERT_TRUE(fs::exists(shard));
+  std::fstream f(shard, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  const auto size = fs::file_size(shard);
+  std::vector<std::uint8_t> bytes(size);
+  f.read(reinterpret_cast<char*>(bytes.data()),
+         static_cast<std::streamsize>(size));
+  std::size_t off = kShardHeaderBytes;
+  while (off + kRecordHeaderBytes <= bytes.size()) {
+    RecordHeader h = decode_record_header(bytes.data() + off);
+    if (h.payload_len == 0 && h.crc32 == 0 && h.epoch == 0 && h.kind == 0) {
+      break;  // pre-allocated tail
+    }
+    const std::size_t payload_at = off + kRecordHeaderBytes;
+    ASSERT_LE(payload_at + h.payload_len, bytes.size());
+    if (h.kind == static_cast<std::uint32_t>(kind)) {
+      bytes[payload_at + 1] = 99;  // the version byte after the magic
+      h.crc32 = crc32({bytes.data() + payload_at, h.payload_len});
+      encode_record_header(h, bytes.data() + off);
+      f.seekp(static_cast<std::streamoff>(off));
+      f.write(reinterpret_cast<const char*>(bytes.data() + off),
+              static_cast<std::streamsize>(kRecordHeaderBytes +
+                                           h.payload_len));
+      ASSERT_TRUE(f.good());
+      return;
+    }
+    off = payload_at + h.payload_len;
+  }
+  FAIL() << "no record of the requested kind in " << shard;
+}
+
+TEST(StoreMetrics, RefusesMetricsPayloadFromNewerSchema) {
+  TempDir dir("refuse_metrics");
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    store.put_metrics(0, delta_for_epoch(0));
+    store.put_events(0, events_for_epoch(0));
+    store.commit_epoch(meta_for_epoch(0));
+  }
+  bump_payload_version(dir.path, RecordKind::kMetrics);
+  DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+  EXPECT_THROW(
+      reader.each_metrics_delta([](std::uint64_t, const auto&) {
+        return true;
+      }),
+      std::runtime_error);
+  EXPECT_THROW((void)reader.metrics_delta_at(0), std::runtime_error);
+  // The events stream in the same log is untouched and still readable.
+  EXPECT_EQ(reader.events_at(0).size(), 2u);
+}
+
+TEST(StoreMetrics, RefusesEventsPayloadFromNewerSchema) {
+  TempDir dir("refuse_events");
+  {
+    DeploymentStore store({dir.str(), 64}, /*writable=*/true);
+    store.put_events(0, events_for_epoch(0));
+    store.commit_epoch(meta_for_epoch(0));
+  }
+  bump_payload_version(dir.path, RecordKind::kEvents);
+  DeploymentStore reader({dir.str(), 64}, /*writable=*/false);
+  EXPECT_THROW(
+      reader.each_flight_events(
+          [](std::uint64_t, const std::vector<observe::FlightEvent>&) {
+            return true;
+          }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace jaal::store

@@ -305,7 +305,76 @@ TEST(Telemetry, EscapedLabelStaysInsideItsQuotesInTheExposition) {
             std::string::npos);
 }
 
+TEST(Telemetry, HelpLinesCuratedAndConventionFallback) {
+  // Curated families get their one-line description; unknown families fall
+  // back to what the naming convention guarantees.
+  EXPECT_EQ(metric_help("jaal_faults_packets_lost_total"),
+            "Ingress packets lost to crashed monitors, never observed.");
+  EXPECT_EQ(metric_help("jaal_test_unknown_total"),
+            "Monotonic event count.");
+  EXPECT_EQ(metric_help("jaal_test_unknown_ms"),
+            "Wall-clock measurement in milliseconds.");
+  EXPECT_EQ(metric_help("jaal_test_unknown_depth"), "Point-in-time value.");
+
+  MetricsRegistry reg;
+  reg.counter("jaal_faults_packets_lost_total").add(3);
+  const std::string text = prometheus_text(reg.snapshot());
+  // Exactly one # HELP line per family, before its # TYPE line.
+  const auto help_at =
+      text.find("# HELP jaal_faults_packets_lost_total Ingress packets");
+  ASSERT_NE(help_at, std::string::npos);
+  EXPECT_EQ(text.find("# HELP jaal_faults_packets_lost_total", help_at + 1),
+            std::string::npos);
+  EXPECT_LT(help_at, text.find("# TYPE jaal_faults_packets_lost_total"));
+}
+
 #endif  // JAAL_TELEMETRY_DISABLED
+
+TEST(Telemetry, SnapshotDiffDeltasCountersKeepsGauges) {
+  auto entry = [](const std::string& name, MetricKind kind) {
+    MetricsSnapshot::Entry e;
+    e.name = name;
+    e.kind = kind;
+    return e;
+  };
+  MetricsSnapshot prev;
+  prev.entries.push_back(entry("jaal_a_total", MetricKind::kCounter));
+  prev.entries.back().counter = 10;
+  prev.entries.push_back(entry("jaal_depth", MetricKind::kGauge));
+  prev.entries.back().gauge = 5;
+  prev.entries.push_back(entry("jaal_hist", MetricKind::kHistogram));
+  prev.entries.back().histogram.count = 2;
+  prev.entries.back().histogram.sum = 1.0;
+  prev.entries.back().histogram.max = 0.75;
+  prev.entries.back().histogram.buckets = {2, 0, 0};
+
+  MetricsSnapshot cur = prev;
+  cur.entries[0].counter = 17;
+  cur.entries[1].gauge = -3;
+  cur.entries[2].histogram.count = 5;
+  cur.entries[2].histogram.sum = 4.5;
+  cur.entries[2].histogram.max = 2.5;
+  cur.entries[2].histogram.buckets = {2, 3, 0};
+  cur.entries.push_back(entry("jaal_new_total", MetricKind::kCounter));
+  cur.entries.back().counter = 4;
+
+  const MetricsSnapshot d = cur.diff(prev);
+  ASSERT_EQ(d.entries.size(), 4u);
+  EXPECT_EQ(d.entries[0].counter, 7u);           // counter: delta
+  EXPECT_EQ(d.entries[1].gauge, -3);             // gauge: point-in-time
+  EXPECT_EQ(d.entries[2].histogram.count, 3u);   // histogram: count delta
+  EXPECT_DOUBLE_EQ(d.entries[2].histogram.sum, 3.5);
+  EXPECT_DOUBLE_EQ(d.entries[2].histogram.max, 2.5);  // lifetime max
+  const std::vector<std::uint64_t> want_buckets = {0, 3, 0};
+  EXPECT_EQ(d.entries[2].histogram.buckets, want_buckets);
+  EXPECT_EQ(d.entries[3].counter, 4u);           // absent in prev: itself
+
+  // A counter below its previous value means the registry was reset; the
+  // delta clamps to the current value rather than wrapping.
+  MetricsSnapshot reset = prev;
+  reset.entries[0].counter = 2;
+  EXPECT_EQ(reset.diff(prev).entries[0].counter, 2u);
+}
 
 }  // namespace
 }  // namespace jaal::telemetry
