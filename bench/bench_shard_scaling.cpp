@@ -1,0 +1,171 @@
+// Inference-tier scaling across engine shard counts.
+//
+// One InferenceEngine's matching cost grows linearly with aggregate rows,
+// i.e. with monitor count — the tier's reason to exist.  This bench builds
+// one fixed 16-monitor epoch of summaries (SVD + k-means paid once, outside
+// the timed region), then drives the tier's per-epoch path — begin_epoch,
+// add_summary x16, aggregate_epoch, infer_epoch — at 1/2/4/8 shards over
+// identical bytes and reports wall-ms and speedup per setting.  The exact
+// merge is byte-identical across shard counts (asserted here on the alert
+// fingerprint; tests/test_shard_equivalence.cpp asserts it on the full
+// store), so any speedup is free.  Emits BENCH_shard_scaling.json.
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <sstream>
+#include <thread>
+
+#include "attack/generators.hpp"
+#include "common.hpp"
+#include "core/monitor.hpp"
+#include "inference/alert_json.hpp"
+#include "shard/tier.hpp"
+#include "trace/background.hpp"
+#include "trace/mix.hpp"
+
+namespace {
+
+using namespace jaal;
+
+constexpr std::size_t kMonitors = 16;
+constexpr std::size_t kPacketsPerMonitor = 1'500;
+constexpr int kReps = 3;
+
+summarize::SummarizerConfig summarizer_config() {
+  summarize::SummarizerConfig cfg;
+  cfg.batch_size = kPacketsPerMonitor;
+  cfg.min_batch = 300;
+  cfg.rank = 12;
+  cfg.centroids = 200;
+  return cfg;
+}
+
+/// One epoch of summaries: background traffic plus a distributed SYN flood,
+/// packets dealt round-robin across the monitors.  Seeded, so every shard
+/// setting sees the same bytes.
+std::vector<summarize::MonitorSummary> build_summaries() {
+  trace::BackgroundTraffic background(trace::trace1_profile(), 17);
+  attack::AttackConfig atk;
+  atk.victim_ip = core::evaluation_victim_ip();
+  atk.packets_per_second = 10000.0;
+  atk.start_time = 0.0;
+  atk.seed = 11;
+  attack::DistributedSynFlood flood(atk);
+  trace::TrafficMix mix(background, {&flood}, 0.10);
+
+  std::vector<core::Monitor> monitors;
+  monitors.reserve(kMonitors);
+  for (std::size_t m = 0; m < kMonitors; ++m) {
+    monitors.emplace_back(static_cast<summarize::MonitorId>(m),
+                          summarizer_config());
+    monitors.back().begin_epoch(0);
+  }
+  for (std::size_t i = 0; i < kMonitors * kPacketsPerMonitor; ++i) {
+    monitors[i % kMonitors].observe(mix.next());
+  }
+  std::vector<summarize::MonitorSummary> summaries;
+  for (core::Monitor& m : monitors) {
+    if (auto s = m.flush_epoch()) summaries.push_back(std::move(*s));
+  }
+  return summaries;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Shard scaling: 16-monitor inference epoch, 1/2/4/8 engine shards");
+  std::printf("  hardware threads available: %u\n",
+              std::thread::hardware_concurrency());
+
+  const std::vector<summarize::MonitorSummary> summaries = build_summaries();
+  std::printf("  %zu summaries per epoch (n=%zu, r=12, k=200)\n",
+              summaries.size(), kPacketsPerMonitor);
+
+  // On a single-core host the shards run back-to-back on one thread: the
+  // curve would measure scheduling overhead, not scaling.  Run the shards=1
+  // row only and tag the JSON so bench/check_bench_regression.py skips its
+  // scaling checks (same contract as bench_runtime_scaling).
+  const bool single_core = std::thread::hardware_concurrency() <= 1;
+  static const std::size_t kAllSettings[] = {1, 2, 4, 8};
+  const std::span<const std::size_t> shard_settings =
+      single_core ? std::span<const std::size_t>(kAllSettings, 1)
+                  : std::span<const std::size_t>(kAllSettings);
+  if (single_core) {
+    std::printf("  single-core host: skipping the scaling curve\n");
+  }
+
+  const auto pool = std::make_shared<runtime::ThreadPool>(
+      std::min<std::size_t>(std::thread::hardware_concurrency(), 8));
+  // Feedback needs raw packets (a deployment concern, not a tier-scaling
+  // one); the timed region is pure summary-plane work.
+  const inference::EngineConfig ecfg = bench::operating_point(1.0, false);
+
+  std::vector<std::vector<std::pair<std::string, double>>> rows;
+  double base_ms = 0.0;
+  std::string base_fingerprint;
+  std::size_t base_alerts = 0;
+
+  std::printf("  shards   wall-ms   speedup   aggregate-rows   alerts\n");
+  for (const std::size_t shards : shard_settings) {
+    shard::ShardingConfig sharding;
+    sharding.shards = shards;
+    shard::InferenceTier tier(sharding, bench::evaluation_ruleset(), ecfg);
+    tier.set_pool(pool);
+
+    double best_ms = 0.0;
+    std::size_t agg_rows = 0;
+    std::string fingerprint;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      tier.begin_epoch(static_cast<std::uint64_t>(rep));
+      for (const auto& s : summaries) (void)tier.add_summary(s);
+      const inference::AggregatedSummary& agg = tier.aggregate_epoch();
+      const auto alerts =
+          tier.infer_epoch([](summarize::MonitorId,
+                              const std::vector<std::size_t>&) {
+            return inference::RawFetch{std::nullopt};
+          });
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < best_ms) best_ms = ms;
+      agg_rows = agg.rows();
+      std::ostringstream fp;
+      for (const auto& a : alerts) {
+        fp << inference::alert_to_json(a, 0.0) << '\n';
+      }
+      fingerprint = fp.str();
+    }
+
+    if (shards == 1) {
+      base_ms = best_ms;
+      base_fingerprint = fingerprint;
+      base_alerts = fingerprint.empty()
+                        ? 0
+                        : static_cast<std::size_t>(
+                              std::count(fingerprint.begin(),
+                                         fingerprint.end(), '\n'));
+    } else if (fingerprint != base_fingerprint) {
+      std::printf("  DETERMINISM VIOLATION at shards=%zu\n", shards);
+      return 1;
+    }
+    const double speedup = best_ms > 0.0 ? base_ms / best_ms : 0.0;
+    std::printf("  %6zu  %8.2f  %8.2fx  %14zu  %7zu\n", shards, best_ms,
+                speedup, agg_rows, base_alerts);
+    rows.push_back({{"shards", static_cast<double>(shards)},
+                    {"wall_ms", best_ms},
+                    {"speedup", speedup}});
+  }
+  if (base_alerts == 0) {
+    std::printf("  WORKLOAD TOO QUIET: no alerts to fingerprint\n");
+    return 1;
+  }
+
+  bench::write_bench_json(
+      "shard_scaling", rows,
+      single_core ? std::vector<std::pair<std::string, std::string>>{
+                        {"skipped_single_core", "true"}}
+                  : std::vector<std::pair<std::string, std::string>>{});
+  return 0;
+}

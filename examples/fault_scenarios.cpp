@@ -34,13 +34,18 @@ struct RunOutcome {
   /// and how many feedback retrievals fell back to summary-only decisions.
   double mean_margin = 0.0;
   std::uint64_t feedback_fallbacks = 0;
+  /// Summaries refused by a down inference shard (ShardCrashWindow).
+  std::uint64_t shard_lost = 0;
   faults::TransportStats transport;
   std::string fingerprint;     ///< Serialized alerts (determinism check).
 };
 
 /// One 6-epoch deployment: 4 monitors, 1 s epochs, with (`attack` = true) or
-/// without the flood.  Everything is seeded; faults come from `scenario`.
-RunOutcome run_once(const faults::FaultScenario& scenario, bool attack) {
+/// without the flood.  Everything is seeded; faults come from `scenario`
+/// (transport faults to the transport, shard_crashes to the inference tier,
+/// which runs `shards` engine shards).
+RunOutcome run_once(const faults::FaultScenario& scenario, bool attack,
+                    std::size_t shards = 1) {
   trace::TraceProfile profile = trace::trace1_profile();
   profile.packets_per_second = 4000.0;
   trace::BackgroundTraffic background(profile, 7);
@@ -64,6 +69,7 @@ RunOutcome run_once(const faults::FaultScenario& scenario, bool attack) {
   cfg.engine.default_thresholds = {0.008, 0.03};
   cfg.engine.feedback_enabled = true;
   cfg.faults = scenario;
+  cfg.sharding.shards = shards;
   core::JaalController jaal(
       cfg, rules::parse_rules(rules::default_ruleset_text(),
                               core::evaluation_rule_vars()));
@@ -77,6 +83,7 @@ RunOutcome run_once(const faults::FaultScenario& scenario, bool attack) {
   double margin_sum = 0.0;
   std::size_t margin_count = 0;
   for (const core::EpochResult& epoch : jaal.run(mix, kDuration)) {
+    out.shard_lost += epoch.summaries_lost_shard;
     bool hit = false;
     for (const auto& alert : epoch.alerts) {
       for (std::uint32_t sid : sids) hit |= alert.sid == sid;
@@ -124,8 +131,10 @@ struct Row {
 };
 
 Row run_scenario(const std::string& label,
-                 const faults::FaultScenario& scenario) {
-  return {label, run_once(scenario, true), run_once(scenario, false)};
+                 const faults::FaultScenario& scenario,
+                 std::size_t shards = 1) {
+  return {label, run_once(scenario, true, shards),
+          run_once(scenario, false, shards)};
 }
 
 }  // namespace
@@ -150,32 +159,47 @@ int main() {
     scenario.crashes.push_back({2, 3, 4});
     rows.push_back(run_scenario("5% + crash@3", scenario));
   }
+  // Shard-loss scenario: a 4-shard inference tier with shard 1 down for
+  // epoch 3 — the tier refuses that shard's summaries, the report fraction
+  // drops, thresholds rescale; the deployment degrades instead of crashing.
+  {
+    faults::FaultScenario scenario;
+    scenario.seed = 42;
+    faults::ShardCrashWindow w;
+    w.shard = 1;
+    w.crash_epoch = 3;
+    w.restart_epoch = 4;
+    scenario.shard_crashes.push_back(w);
+    rows.push_back(run_scenario("shard 1 down@3", scenario, /*shards=*/4));
+  }
 
   std::printf("detection quality vs control-plane loss (4 monitors, "
               "6 x 1 s epochs, distributed SYN flood from t=%.0f s)\n\n",
               kAttackStart);
-  std::printf("%-14s %9s %9s %9s %11s %9s %6s %12s %10s\n", "scenario",
-              "delivered", "dropped", "crashed", "confidence", "TPR", "FPR",
-              "mean_margin", "fallbacks");
+  std::printf("%-14s %9s %9s %9s %10s %11s %9s %6s %12s %10s\n", "scenario",
+              "delivered", "dropped", "crashed", "shard_lost", "confidence",
+              "TPR", "FPR", "mean_margin", "fallbacks");
   std::ofstream csv("fault_scenarios_table.csv");
-  csv << "scenario,delivered,dropped,crashed_epochs,mean_confidence,tpr,fpr,"
-         "mean_margin,feedback_fallbacks\n";
+  csv << "scenario,delivered,dropped,crashed_epochs,shard_lost,"
+         "mean_confidence,tpr,fpr,mean_margin,feedback_fallbacks\n";
   for (const Row& row : rows) {
     const faults::TransportStats& t = row.attack.transport;
-    std::printf("%-14s %9llu %9llu %9llu %11.2f %9.2f %6.2f %12.4f %10llu\n",
-                row.label.c_str(),
-                static_cast<unsigned long long>(t.summaries_delivered),
-                static_cast<unsigned long long>(t.summaries_dropped),
-                static_cast<unsigned long long>(t.crashed_monitor_epochs),
-                row.attack.mean_confidence, row.attack.tpr, row.benign.fpr,
-                row.attack.mean_margin,
-                static_cast<unsigned long long>(
-                    row.attack.feedback_fallbacks));
+    std::printf(
+        "%-14s %9llu %9llu %9llu %10llu %11.2f %9.2f %6.2f %12.4f %10llu\n",
+        row.label.c_str(),
+        static_cast<unsigned long long>(t.summaries_delivered),
+        static_cast<unsigned long long>(t.summaries_dropped),
+        static_cast<unsigned long long>(t.crashed_monitor_epochs),
+        static_cast<unsigned long long>(row.attack.shard_lost),
+        row.attack.mean_confidence, row.attack.tpr, row.benign.fpr,
+        row.attack.mean_margin,
+        static_cast<unsigned long long>(row.attack.feedback_fallbacks));
     csv << row.label << ',' << t.summaries_delivered << ','
         << t.summaries_dropped << ',' << t.crashed_monitor_epochs << ','
-        << row.attack.mean_confidence << ',' << row.attack.tpr << ','
-        << row.benign.fpr << ',' << row.attack.mean_margin << ','
-        << row.attack.feedback_fallbacks << '\n';
+        << row.attack.shard_lost << ',' << row.attack.mean_confidence << ','
+        << row.attack.tpr << ',' << row.benign.fpr << ','
+        << row.attack.mean_margin << ',' << row.attack.feedback_fallbacks
+        << '\n';
   }
   std::printf("\ntable written to fault_scenarios_table.csv\n");
 
@@ -196,12 +220,28 @@ int main() {
               " -> %.2f (50%% loss)\n",
               baseline_tpr, moderate_tpr, rows[4].attack.tpr);
 
+  // Shard-loss check: the outage must surface as refused summaries and a
+  // dented confidence, never as a crash or a zeroed detection rate.
+  const Row& shard_row = rows.back();
+  if (shard_row.attack.shard_lost == 0) {
+    std::printf("FAIL: shard crash window refused nothing\n");
+    return 1;
+  }
+  if (shard_row.attack.tpr == 0.0) {
+    std::printf("FAIL: one lost shard zeroed out detection\n");
+    return 1;
+  }
+  std::printf("shard loss: %llu summaries refused, TPR held at %.2f\n",
+              static_cast<unsigned long long>(shard_row.attack.shard_lost),
+              shard_row.attack.tpr);
+
   // Determinism self-check: the seeded crash scenario reproduces exactly.
   faults::FaultScenario repeat;
   repeat.seed = 42;
   repeat.drop_rate = 0.05;
   repeat.crashes.push_back({2, 3, 4});
-  if (run_once(repeat, true).fingerprint != rows.back().attack.fingerprint) {
+  if (run_once(repeat, true).fingerprint !=
+      rows[rows.size() - 2].attack.fingerprint) {
     std::printf("FAIL: seeded scenario did not reproduce\n");
     return 1;
   }

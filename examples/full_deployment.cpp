@@ -97,7 +97,11 @@ int main() {
   ecfg.default_thresholds = {0.008, 0.03};
   ecfg.per_rule[1000005] = {0.015, 0.02};  // sockstress's usable range
   ecfg.verify_all_alerts = true;           // §10: raw-confirm every alert
-  inference::InferenceEngine engine(ruleset, ecfg);
+  // The inference tier is the deployment-facing detection API; at the
+  // default single shard it is the historical one-engine path bit-for-bit
+  // (bump sharding.shards to fan monitors out across engine shards).
+  shard::ShardingConfig sharding;
+  shard::InferenceTier tier(sharding, ruleset, ecfg);
   inference::AlertCorrelator correlator({3, 2});
   std::ofstream log_file("full_deployment_alerts.jsonl");
   core::AlertLogger logger(log_file);
@@ -113,21 +117,19 @@ int main() {
   constexpr double kRunFor = 0.96;
   std::uint64_t epoch_packets = 0;
 
+  std::uint64_t epoch_index = 0;
   std::function<void()> close_epoch = [&] {
-    inference::Aggregator aggregator;
+    tier.begin_epoch(epoch_index++);
     std::size_t reporting = 0;
     for (auto& monitor : monitors) {
       if (auto summary = monitor.flush_epoch()) {
-        aggregator.add(*summary);
-        ++reporting;
+        if (tier.add_summary(*summary)) ++reporting;
       }
     }
     const double now = events.now();
     if (reporting > 0) {
-      engine.set_tau_c_scale(static_cast<double>(epoch_packets) / 2000.0);
-      const auto aggregate = aggregator.take();
-      const auto alerts = engine.infer(
-          aggregate,
+      tier.set_tau_c_scale(static_cast<double>(epoch_packets) / 2000.0);
+      const auto alerts = tier.infer_epoch(
           [&](summarize::MonitorId id, const std::vector<std::size_t>& c) {
             return monitors.at(id).raw_packets_for(c);
           });
@@ -163,7 +165,7 @@ int main() {
   // --- 7. Wrap-up.
   core::CommStats comm;
   for (const auto& monitor : monitors) comm += monitor.comm();
-  comm.feedback_bytes = engine.stats().raw_bytes_fetched;
+  comm.feedback_bytes = tier.engine().stats().raw_bytes_fetched;
   std::printf(
       "\ntotals: %llu raw header bytes -> %llu summary + %llu feedback "
       "bytes (%.0f%% of raw)\n",

@@ -259,6 +259,11 @@ int run_store_mode(const std::string& dir, long long epoch_query, bool json) {
                 static_cast<unsigned long long>(diag.flight_events),
                 static_cast<unsigned long long>(diag.metrics_records),
                 static_cast<unsigned long long>(diag.provenance_records));
+    if (diag.shard_count > 1) {
+      // Informational only: the timeline itself is shard-count-invariant.
+      std::printf("written by a sharded inference tier (%llu shards)\n",
+                  static_cast<unsigned long long>(diag.shard_count));
+    }
     std::printf("health reconstruction %s, drift cross-check: %llu "
                 "mismatched epochs\n\n",
                 diag.health_complete ? "complete" : "partial (no ops stream)",
@@ -305,10 +310,10 @@ std::vector<observe::RuleScore> build_scoreboard(
         ++scores[sid].labeled_trials;
       }
     }
-    inference::InferenceEngine engine(ruleset, ecfg);
+    shard::InferenceTier tier({}, ruleset, ecfg);
     std::set<std::uint32_t> fired;
     for (const inference::Alert& alert :
-         engine.infer(trial.aggregate, trial.fetcher())) {
+         tier.infer(trial.aggregate, trial.fetcher())) {
       fired.insert(alert.sid);
     }
     for (std::uint32_t sid : fired) {

@@ -114,10 +114,13 @@ int main(int argc, char** argv) {
   // ---- Today: translate the new rule, replay it over the store. ----
   const auto new_rule =
       rules::parse_rules(kNewRuleText, core::evaluation_rule_vars());
-  inference::InferenceEngine engine(new_rule, cfg.engine);
+  // Replay drives the tier's root engine; the replayer is shard-agnostic
+  // (summaries were stored in arrival order), so the same call handles
+  // stores written by sharded deployments.
+  shard::InferenceTier tier({}, new_rule, cfg.engine);
   store::StoreReplayer replayer(
       {store_dir.string(), cfg.store_epochs_per_shard});
-  const auto replayed = replayer.replay(engine, cfg.engine.tau_c_scale);
+  const auto replayed = replayer.replay(tier.engine(), cfg.engine.tau_c_scale);
   const auto replay_lines = alert_lines(replayed);
   if (!json) {
     std::printf("replay over stored summaries with the new rule: "

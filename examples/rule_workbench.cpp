@@ -104,7 +104,9 @@ int main(int argc, char** argv) {
   ecfg.feedback_enabled = true;
   ecfg.verify_all_alerts = true;  // §10 extension: raw-confirm every alert
   ecfg.tau_c_scale = scale;
-  inference::InferenceEngine engine(ruleset, ecfg);
+  // One-shot tier (single shard): InferenceTier::infer over a pre-built
+  // aggregate is the workbench-style entry point of the tier API.
+  shard::InferenceTier tier({}, ruleset, ecfg);
   const inference::RawPacketFetcher fetcher =
       [&](summarize::MonitorId, const std::vector<std::size_t>& centroids) {
         std::vector<packet::PacketRecord> raw;
@@ -118,7 +120,7 @@ int main(int argc, char** argv) {
         }
         return raw;
       };
-  for (const auto& alert : engine.infer(aggregate, fetcher)) {
+  for (const auto& alert : tier.infer(aggregate, fetcher)) {
     std::printf("  sid %u: %s (matched %llu packets, variance %.5f%s)\n",
                 alert.sid, alert.msg.c_str(),
                 static_cast<unsigned long long>(alert.matched_packets),

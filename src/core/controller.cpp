@@ -26,20 +26,17 @@ JaalController::JaalController(const JaalConfig& cfg,
                                std::vector<rules::Rule> rules)
     : cfg_(cfg),
       transport_(cfg.faults, cfg.monitor_count),
-      engine_(std::move(rules), merged_engine_config(cfg)),
+      tier_(cfg.sharding, std::move(rules), merged_engine_config(cfg),
+            cfg.aggregation, cfg.faults.shard_crashes),
       health_(cfg.observe, std::max<std::size_t>(cfg.monitor_count, 1)) {
   if (cfg_.monitor_count == 0) {
     throw std::invalid_argument("JaalController: need at least one monitor");
-  }
-  if (cfg_.summary_deadline_s < 0.0) {
-    throw std::invalid_argument(
-        "JaalController: summary_deadline_s must be >= 0");
   }
   const std::size_t threads =
       cfg_.threads == 0 ? runtime::threads_from_env(1) : cfg_.threads;
   if (threads > 1) {
     pool_ = std::make_shared<runtime::ThreadPool>(threads);
-    engine_.set_pool(pool_);
+    tier_.set_pool(pool_);
   }
   if (cfg_.observe.flight_recorder) {
     flight_ = std::make_unique<observe::FlightRecorder>(
@@ -49,7 +46,7 @@ JaalController::JaalController(const JaalConfig& cfg,
     slo_ = std::make_unique<observe::SloTracker>(cfg_.observe.slo_config);
   }
   if (cfg_.telemetry != nullptr) {
-    engine_.set_telemetry(cfg_.telemetry);
+    tier_.set_telemetry(cfg_.telemetry);
     transport_.set_telemetry(cfg_.telemetry);
     auto& m = cfg_.telemetry->metrics;
     tel_degraded_epochs_ = &m.counter("jaal_faults_degraded_epochs_total");
@@ -90,6 +87,10 @@ JaalController::JaalController(const JaalConfig& cfg,
     if (const auto last = store_->last_committed_epoch()) {
       epoch_index_ = *last + 1;
     }
+    // Summary persistence rides the tier's accept path: a summary refused
+    // by a down shard is lost, not stored — the log records exactly what
+    // was aggregated.
+    tier_.set_store(store_.get());
   }
   monitors_.reserve(cfg_.monitor_count);
   for (std::size_t i = 0; i < cfg_.monitor_count; ++i) {
@@ -133,7 +134,8 @@ EpochResult JaalController::close_epoch(double now) {
                                : std::chrono::steady_clock::time_point{};
   // Per-epoch feedback-fallback delta for the health ledger (engine stats
   // are monotonic across epochs).
-  const std::uint64_t fallbacks_before = engine_.stats().feedback_fallbacks;
+  const std::uint64_t fallbacks_before =
+      tier_.engine().stats().feedback_fallbacks;
   EpochResult result;
   result.end_time = now;
   result.packets = epoch_packets_;
@@ -199,9 +201,10 @@ EpochResult JaalController::close_epoch(double now) {
   transport_.note_crashed(result.monitors_crashed);
 
   const double deadline =
-      now + (cfg_.summary_deadline_s > 0.0 ? cfg_.summary_deadline_s
-                                           : cfg_.epoch_seconds);
+      now + (cfg_.aggregation.deadline_s > 0.0 ? cfg_.aggregation.deadline_s
+                                               : cfg_.epoch_seconds);
   transport_.begin_epoch(epoch, now, deadline);
+  tier_.begin_epoch(epoch);
 
   telemetry::Span summarize_span =
       tel != nullptr ? tel->tracer.span("summarize", epoch_ctx)
@@ -278,13 +281,16 @@ EpochResult JaalController::close_epoch(double now) {
 
   // Ship + aggregate phase, serial in monitor order: the transport decides
   // each summary's fate (its draws depend only on seed/epoch/monitor, so
-  // the outcome is identical across runs and thread counts).  Late
-  // summaries rolled forward from earlier epochs aggregate first.
-  inference::Aggregator aggregator;
+  // the outcome is identical across runs and thread counts).  The tier
+  // routes each accepted summary to its owning shard (and persists it);
+  // a refusal means the shard is down this epoch.  Late summaries rolled
+  // forward from earlier epochs aggregate first.
   for (summarize::MonitorSummary& s : carry_) {
-    if (store_) store_->put_summary(epoch, s);
-    aggregator.add(s);
-    ++result.summaries_rolled_in;
+    if (tier_.add_summary(s)) {
+      ++result.summaries_rolled_in;
+    } else {
+      ++result.summaries_lost_shard;
+    }
   }
   carry_.clear();
   if (result.summaries_rolled_in > 0 && tel_rolled_forward_ != nullptr) {
@@ -299,14 +305,23 @@ EpochResult JaalController::close_epoch(double now) {
     const std::size_t bytes = summarize::wire_bytes(*slots[i]);
     const faults::ShipOutcome outcome = transport_.ship(i, bytes);
     switch (outcome.status) {
-      case faults::ShipStatus::kDelivered:
-        ship_bytes += bytes;
-        // Persisted in aggregation order, full fidelity: replay rebuilds
-        // this exact aggregate from the log.
-        if (store_) store_->put_summary(epoch, *slots[i]);
-        aggregator.add(*slots[i]);
-        ++result.monitors_reporting;
+      case faults::ShipStatus::kDelivered: {
+        ship_bytes += bytes;  // it crossed the link either way
+        if (tier_.add_summary(*slots[i])) {
+          ++result.monitors_reporting;
+        } else {
+          // Delivered, but the owning inference shard is down: the summary
+          // dies at the tier's door, degrading report_fraction like any
+          // other loss.
+          ++result.summaries_lost_shard;
+          observe::FlightEvent ev;
+          ev.kind = observe::FlightEventKind::kShip;
+          ev.actor = static_cast<std::uint32_t>(i);
+          ev.u[0] = 4;  // shard down
+          fev(ev);
+        }
         break;
+      }
       case faults::ShipStatus::kDropped: {
         ++result.summaries_dropped;
         observe::FlightEvent ev;
@@ -319,7 +334,7 @@ EpochResult JaalController::close_epoch(double now) {
       case faults::ShipStatus::kLate: {
         ++result.summaries_late;
         const bool roll =
-            cfg_.late_policy == faults::LatePolicy::kRollForward;
+            cfg_.aggregation.late_policy == faults::LatePolicy::kRollForward;
         if (roll) {
           ship_bytes += bytes;  // it did cross the link, just slowly
           carry_.push_back(std::move(*slots[i]));
@@ -360,10 +375,14 @@ EpochResult JaalController::close_epoch(double now) {
     ship.attr("monitors_reporting",
               static_cast<double>(result.monitors_reporting));
     if (result.summaries_dropped > 0 || result.summaries_late > 0 ||
-        result.monitors_crashed > 0) {
+        result.monitors_crashed > 0 || result.summaries_lost_shard > 0) {
       ship.attr("dropped", static_cast<double>(result.summaries_dropped));
       ship.attr("late", static_cast<double>(result.summaries_late));
       ship.attr("crashed", static_cast<double>(result.monitors_crashed));
+      if (result.summaries_lost_shard > 0) {
+        ship.attr("shard_lost",
+                  static_cast<double>(result.summaries_lost_shard));
+      }
       ship.attr("report_fraction", result.report_fraction);
     }
   }
@@ -372,7 +391,7 @@ EpochResult JaalController::close_epoch(double now) {
   // close-out that folds the epoch into the health ledger on every exit
   // path (the drift events it returns belong to this epoch).
   result.caution = health_.caution();
-  engine_.set_caution(result.caution);
+  tier_.set_caution(result.caution);
   const auto close_health = [&] {
     observe::HealthTracker::EpochDegradation deg;
     deg.report_fraction = result.report_fraction;
@@ -382,7 +401,7 @@ EpochResult JaalController::close_epoch(double now) {
     deg.summaries_rolled_in = result.summaries_rolled_in;
     deg.packets_lost = result.packets_lost;
     deg.feedback_fallbacks =
-        engine_.stats().feedback_fallbacks - fallbacks_before;
+        tier_.engine().stats().feedback_fallbacks - fallbacks_before;
     deg.alerts = result.alerts.size();
     result.drift_events = health_.end_epoch(epoch, deg);
     if (tel_drift_events_ != nullptr) {
@@ -490,20 +509,25 @@ EpochResult JaalController::close_epoch(double now) {
         prev_metrics_ = std::move(cur);
       }
     }
-    store_->commit_epoch({epoch, result.end_time, result.packets,
-                          result.report_fraction, result.caution});
+    store::EpochMeta meta{epoch, result.end_time, result.packets,
+                          result.report_fraction, result.caution};
+    meta.shard_count = tier_.shard_count();
+    store_->commit_epoch(meta);
   };
 
-  if (aggregator.summaries_added() == 0) {
+  if (tier_.pending() == 0) {
     close_health();
     commit_store();
+    result.shards = tier_.shard_stats();
     return result;
   }
 
   telemetry::Span aggregate_span =
       tel != nullptr ? tel->tracer.span("aggregate", epoch_ctx)
                      : telemetry::Span{};
-  const inference::AggregatedSummary aggregate = aggregator.take();
+  // The tier builds the aggregate hierarchy: per-shard aggregates, then the
+  // cross-shard merge (at one shard, exactly the old flat Aggregator).
+  const inference::AggregatedSummary& aggregate = tier_.aggregate_epoch();
   aggregate_span.attr("rows", static_cast<double>(aggregate.origin.size()));
   aggregate_span.finish();
   span_event(3);  // aggregate
@@ -522,15 +546,15 @@ EpochResult JaalController::close_epoch(double now) {
   // configured headroom factor; partial epochs additionally scale by the
   // report fraction so a missing monitor raises sensitivity instead of
   // silently missing.
-  engine_.set_tau_c_scale(cfg_.engine.tau_c_scale *
-                          static_cast<double>(result.packets) / 2000.0);
-  engine_.set_report_fraction(result.report_fraction);
+  tier_.set_tau_c_scale(cfg_.engine.tau_c_scale *
+                        static_cast<double>(result.packets) / 2000.0);
+  tier_.set_report_fraction(result.report_fraction);
   {
     telemetry::Span infer_span =
         tel != nullptr ? tel->tracer.span("infer", epoch_ctx)
                        : telemetry::Span{};
     runtime::StageTimer timer(pool_ ? &pool_->stats() : nullptr, "infer");
-    result.alerts = engine_.infer(aggregate, fetch, infer_span.context());
+    result.alerts = tier_.infer_epoch(fetch, infer_span.context());
     infer_span.attr("alerts", static_cast<double>(result.alerts.size()));
   }
   span_event(4);  // infer
@@ -549,6 +573,7 @@ EpochResult JaalController::close_epoch(double now) {
   span_event(5);  // postprocess
   close_health();
   commit_store();
+  result.shards = tier_.shard_stats();
   return result;
 }
 
@@ -591,7 +616,7 @@ std::vector<EpochResult> JaalController::run(trace::PacketSource& source,
 CommStats JaalController::comm() const {
   CommStats total;
   for (const Monitor& m : monitors_) total += m.comm();
-  total.feedback_bytes += engine_.stats().raw_bytes_fetched;
+  total.feedback_bytes += tier_.engine().stats().raw_bytes_fetched;
   return total;
 }
 

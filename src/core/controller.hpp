@@ -25,6 +25,7 @@
 #include "inference/engine.hpp"
 #include "observe/observe.hpp"
 #include "runtime/thread_pool.hpp"
+#include "shard/tier.hpp"
 #include "store/store.hpp"
 #include "trace/background.hpp"
 
@@ -67,15 +68,18 @@ struct JaalConfig : DeploymentConfig {
   telemetry::Telemetry* telemetry = nullptr;
   /// Seeded failure scenario on the monitor->engine control plane.  The
   /// default is fault-free: perfect delivery, no retries, the historical
-  /// behavior bit-for-bit.
+  /// behavior bit-for-bit.  FaultScenario::shard_crashes flows to the
+  /// inference tier (shard outages), everything else to the transport.
   faults::FaultScenario faults;
-  /// Aggregation deadline, in simulated seconds after the epoch close: a
-  /// summary arriving later is *late* (counted; late_policy decides its
-  /// fate).  0 (default) means one full epoch_seconds.
-  double summary_deadline_s = 0.0;
-  /// What happens to a late summary: discarded, or rolled forward into the
-  /// next epoch's aggregate (stale but not lost).
-  faults::LatePolicy late_policy = faults::LatePolicy::kDiscard;
+  /// The aggregation knobs — deadline, late-summary fate, report-fraction
+  /// threshold scaling — shared by the transport deadline and both tier
+  /// merge stages (see inference::AggregationPolicy; previously the
+  /// scattered summary_deadline_s / late_policy fields).
+  inference::AggregationPolicy aggregation;
+  /// Inference-tier shape: shard count, hash-ring seed, merge policy.  The
+  /// default single shard is the historical one-engine deployment,
+  /// bit-for-bit (see shard::InferenceTier).
+  shard::ShardingConfig sharding;
   /// Detection observability: alert provenance capture and summary-quality
   /// drift monitoring (both default on; provenance additionally requires
   /// engine.record_provenance, fidelity recording summarizer.record_fidelity
@@ -123,6 +127,13 @@ struct EpochResult {
   std::size_t summaries_rolled_in = 0;  ///< Late arrivals carried in from
                                         ///< earlier epochs (kRollForward).
   std::uint64_t packets_lost = 0;     ///< Ingress lost to crashed monitors.
+  /// Summaries delivered by the transport but refused because their owning
+  /// inference shard was down (faults::ShardCrashWindow).  They count
+  /// against report_fraction exactly like transport drops.
+  std::size_t summaries_lost_shard = 0;
+  /// Per-shard accounting (shard::InferenceTier::shard_stats); one entry
+  /// per shard, in shard order, every epoch.
+  std::vector<shard::ShardEpochStats> shards;
   /// Summaries delivered in time over summaries expected (produced plus
   /// crashed); the engine scales its count thresholds by it and stamps it
   /// on every alert as Alert::confidence.
@@ -165,8 +176,16 @@ class JaalController {
   /// Aggregate communication statistics over all monitors plus feedback.
   [[nodiscard]] CommStats comm() const;
 
+  /// The inference tier the controller drives (shard topology, per-shard
+  /// stats, the root engine).
+  [[nodiscard]] const shard::InferenceTier& tier() const noexcept {
+    return tier_;
+  }
+  /// The tier's root engine (stats, questions, thresholds) — the seam every
+  /// pre-tier consumer used; kept so alerting pipelines don't care whether
+  /// the deployment is sharded.
   [[nodiscard]] const inference::InferenceEngine& engine() const noexcept {
-    return engine_;
+    return tier_.engine();
   }
   [[nodiscard]] const std::vector<Monitor>& monitors() const noexcept {
     return monitors_;
@@ -233,7 +252,7 @@ class JaalController {
   std::shared_ptr<runtime::ThreadPool> pool_;  ///< Null when threads == 1.
   std::vector<Monitor> monitors_;
   faults::SummaryTransport transport_;
-  inference::InferenceEngine engine_;
+  shard::InferenceTier tier_;
   observe::HealthTracker health_;
   /// Persistence sink (JaalConfig::store_dir); null when persistence is
   /// off.

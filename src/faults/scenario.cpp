@@ -19,7 +19,7 @@ double RetryPolicy::max_total_backoff_s() const noexcept {
 
 bool FaultScenario::fault_free() const noexcept {
   return drop_rate == 0.0 && burst_rate == 0.0 && delay_mean_s == 0.0 &&
-         delay_jitter_s == 0.0 && crashes.empty() &&
+         delay_jitter_s == 0.0 && crashes.empty() && shard_crashes.empty() &&
          feedback_failure_rate == 0.0 && !use_link_model;
 }
 
@@ -44,6 +44,12 @@ void FaultScenario::validate() const {
     if (c.restart_epoch < c.crash_epoch) {
       throw std::invalid_argument(
           "FaultScenario: crash window restart_epoch < crash_epoch");
+    }
+  }
+  for (const ShardCrashWindow& c : shard_crashes) {
+    if (c.restart_epoch < c.crash_epoch) {
+      throw std::invalid_argument(
+          "FaultScenario: shard crash window restart_epoch < crash_epoch");
     }
   }
   if (retry.max_attempts == 0) {

@@ -7,6 +7,12 @@
 
 namespace jaal::inference {
 
+void AggregationPolicy::validate() const {
+  if (deadline_s < 0.0) {
+    throw std::invalid_argument("AggregationPolicy: deadline_s must be >= 0");
+  }
+}
+
 AggregatedSummary reduce_aggregate(const AggregatedSummary& aggregate,
                                    std::size_t k2, std::uint64_t seed) {
   if (aggregate.empty()) {

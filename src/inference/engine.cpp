@@ -29,10 +29,13 @@ rules::Rule verification_rule(const rules::Rule& rule) {
 }  // namespace
 
 InferenceEngine::InferenceEngine(std::vector<rules::Rule> rules,
-                                 EngineConfig config)
+                                 EngineConfig config,
+                                 AggregationPolicy aggregation)
     : matcher_(std::move(rules)),
       questions_(rules::translate(matcher_.rules())),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      aggregation_(aggregation) {
+  aggregation_.validate();
   if (questions_.empty()) {
     throw std::invalid_argument("InferenceEngine: empty rule set");
   }
@@ -95,15 +98,49 @@ void InferenceEngine::set_caution(double caution) noexcept {
 
 std::uint64_t InferenceEngine::scaled_tau_c(const rules::Question& q) const {
   // A partial aggregate (report_fraction < 1) carries proportionally less
-  // attack mass; scale the count threshold with it.  At 1.0 this is the
-  // exact full-epoch threshold (multiplying by 1.0 is bit-exact).
+  // attack mass; scale the count threshold with it (policy permitting).  At
+  // 1.0 this is the exact full-epoch threshold (multiplying by 1.0 is
+  // bit-exact).
+  const double fraction =
+      aggregation_.scale_thresholds_by_report_fraction ? report_fraction_
+                                                       : 1.0;
   const double t =
-      static_cast<double>(q.tau_c) * config_.tau_c_scale * report_fraction_;
+      static_cast<double>(q.tau_c) * config_.tau_c_scale * fraction;
   return std::max<std::uint64_t>(1, static_cast<std::uint64_t>(std::ceil(t)));
+}
+
+std::vector<QuestionMatch> InferenceEngine::match(
+    const AggregatedSummary& aggregate) const {
+  // Algorithm 1 per question (strict + loose thresholds) is read-only on
+  // the aggregate and independent across questions, so it fans out over the
+  // pool.  Matched rows depend only on tau_d (the distance threshold); the
+  // alert flag additionally compares the count sum against scaled_tau_c.
+  std::vector<QuestionMatch> matches(questions_.size());
+  const auto match_one = [&](std::size_t qi) {
+    const rules::Question& q = questions_[qi];
+    const ThresholdPair th = thresholds_for(q.sid);
+    const std::uint64_t tau_c = scaled_tau_c(q);
+    matches[qi] = {estimate_similarity(q, aggregate, th.tau_d1, tau_c),
+                   estimate_similarity(q, aggregate, th.tau_d2, tau_c)};
+  };
+  if (pool_ && questions_.size() > 1) {
+    pool_->parallel_for(0, questions_.size(), match_one, 1);
+  } else {
+    for (std::size_t qi = 0; qi < questions_.size(); ++qi) match_one(qi);
+  }
+  return matches;
 }
 
 std::vector<Alert> InferenceEngine::infer(
     const AggregatedSummary& aggregate, const RawPacketFetcher& fetch,
+    const telemetry::SpanContext& parent) {
+  if (aggregate.empty()) return {};
+  return decide(aggregate, match(aggregate), fetch, parent);
+}
+
+std::vector<Alert> InferenceEngine::decide(
+    const AggregatedSummary& aggregate,
+    const std::vector<QuestionMatch>& matches, const RawPacketFetcher& fetch,
     const telemetry::SpanContext& parent) {
   std::vector<Alert> alerts;
   if (aggregate.empty()) return alerts;
@@ -157,29 +194,10 @@ std::vector<Alert> InferenceEngine::infer(
     return true;
   };
 
-  // Matching phase: Algorithm 1 per question (strict + loose thresholds) is
-  // read-only on the aggregate and independent across questions, so it fans
-  // out over the pool.  The decision/feedback phase below mutates stats_
-  // and the fetch cache and therefore stays serial, in question order —
-  // making the alert stream bit-identical to the poolless path.
-  struct QuestionMatch {
-    SimilarityResult strict;
-    SimilarityResult loose;
-  };
-  std::vector<QuestionMatch> matches(questions_.size());
-  const auto match_one = [&](std::size_t qi) {
-    const rules::Question& q = questions_[qi];
-    const ThresholdPair th = thresholds_for(q.sid);
-    const std::uint64_t tau_c = scaled_tau_c(q);
-    matches[qi] = {estimate_similarity(q, aggregate, th.tau_d1, tau_c),
-                   estimate_similarity(q, aggregate, th.tau_d2, tau_c)};
-  };
-  if (pool_ && questions_.size() > 1) {
-    pool_->parallel_for(0, questions_.size(), match_one, 1);
-  } else {
-    for (std::size_t qi = 0; qi < questions_.size(); ++qi) match_one(qi);
-  }
-
+  // The decision/feedback phase mutates stats_ and the fetch cache and
+  // therefore stays serial, in question order — making the alert stream
+  // bit-identical to the poolless path (and, via the tier's merged matches,
+  // to the single-engine path at any shard count).
   const auto& rule_list = matcher_.rules();
   for (std::size_t qi = 0; qi < questions_.size(); ++qi) {
     const rules::Question& q = questions_[qi];

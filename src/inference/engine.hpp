@@ -124,6 +124,15 @@ struct RawFetch {
 using RawPacketFetcher = std::function<RawFetch(
     summarize::MonitorId, const std::vector<std::size_t>& centroid_indices)>;
 
+/// One question's Algorithm 1 result at both thresholds — the unit of work
+/// the matching phase produces and the decision phase consumes.  Shard
+/// engines ship these to the tier's cross-shard merge (matched rows are
+/// per-row facts, so per-shard partials merge exactly; see shard/tier.hpp).
+struct QuestionMatch {
+  SimilarityResult strict;  ///< tau_d1 (low FPR).
+  SimilarityResult loose;   ///< tau_d2 (high TPR).
+};
+
 struct InferenceStats {
   std::uint64_t feedback_requests = 0;   ///< Case-3 occurrences.
   std::uint64_t feedback_fallbacks = 0;  ///< Retrieval failed; summary-only.
@@ -136,17 +145,39 @@ struct InferenceStats {
 class InferenceEngine {
  public:
   /// `rules` supplies both the question vectors (translated internally) and
-  /// the raw-matching semantics for feedback.  Throws on empty rules or
-  /// threshold pairs with tau_d2 < tau_d1.
-  InferenceEngine(std::vector<rules::Rule> rules, EngineConfig config);
+  /// the raw-matching semantics for feedback.  `aggregation` governs the
+  /// report-fraction threshold scaling (see AggregationPolicy); the default
+  /// is the historical behavior.  Throws on empty rules, threshold pairs
+  /// with tau_d2 < tau_d1, or an invalid aggregation policy.
+  InferenceEngine(std::vector<rules::Rule> rules, EngineConfig config,
+                  AggregationPolicy aggregation = {});
 
   /// Runs the full inference pass over one aggregated summary.  `fetch` may
   /// be null when feedback is disabled; case-3 outcomes then fall back to
   /// the loose-threshold decision (alert, trading FPR for TPR).  `parent`
   /// is the enclosing trace span (the controller's per-epoch infer span);
   /// feedback retrievals become child spans keyed by rule sid.
+  /// Equivalent to decide(aggregate, match(aggregate), fetch, parent).
   [[nodiscard]] std::vector<Alert> infer(
       const AggregatedSummary& aggregate, const RawPacketFetcher& fetch,
+      const telemetry::SpanContext& parent = {});
+
+  /// Matching phase alone: Algorithm 1 per question (strict + loose), one
+  /// QuestionMatch per question in question order.  Read-only on engine
+  /// state; fans out over the attached pool.  The sharded tier runs this
+  /// per shard and merges the partials before a single decide() at the
+  /// root.
+  [[nodiscard]] std::vector<QuestionMatch> match(
+      const AggregatedSummary& aggregate) const;
+
+  /// Decision phase alone: the serial case-1/2/3 loop, feedback retrievals,
+  /// variance postprocessing and provenance over precomputed matches
+  /// (matches.size() must equal questions().size(); matched_rows index into
+  /// `aggregate`).  Mutates stats and telemetry — run it exactly once per
+  /// epoch, at the root of the tier.
+  [[nodiscard]] std::vector<Alert> decide(
+      const AggregatedSummary& aggregate, const std::vector<QuestionMatch>& matches,
+      const RawPacketFetcher& fetch,
       const telemetry::SpanContext& parent = {});
 
   [[nodiscard]] const InferenceStats& stats() const noexcept { return stats_; }
@@ -202,9 +233,13 @@ class InferenceEngine {
   /// feedback retrieval spans.  Null detaches (the default).
   void set_telemetry(telemetry::Telemetry* tel);
 
- private:
+  /// The count threshold in effect for a question right now (tau_c scaled
+  /// by tau_c_scale and — policy permitting — the report fraction).  Public
+  /// so the cross-shard merge can re-derive the alert flag over merged
+  /// counts with the exact root-engine threshold.
   [[nodiscard]] std::uint64_t scaled_tau_c(const rules::Question& q) const;
 
+ private:
   /// Assembles the causal chain for one raised alert from plain data the
   /// decision loop already computed (no re-matching, no clocks).
   [[nodiscard]] std::shared_ptr<const observe::AlertProvenance>
@@ -220,6 +255,7 @@ class InferenceEngine {
   rules::RawMatcher matcher_;
   std::vector<rules::Question> questions_;
   EngineConfig config_;
+  AggregationPolicy aggregation_;
   double report_fraction_ = 1.0;
   double caution_ = 0.0;
   InferenceStats stats_;

@@ -11,13 +11,23 @@
 //                   core::ConfusionCounts, core::RocCurve
 //   rules           rules::Rule, rules::parse_rules,
 //                   rules::default_ruleset_text, rules::RuleVars
-//   inference       inference::InferenceEngine, inference::Alert,
+//   inference       shard::InferenceTier, shard::ShardingConfig,
+//                   inference::AggregationPolicy, inference::Alert,
 //                   inference::AggregatedSummary, inference::AlertCorrelator
+//                   (the tier is the deployment-facing detection API:
+//                   consistent-hash monitor partitioning across N engine
+//                   shards with hierarchical cross-shard aggregation,
+//                   byte-identical to one engine at every shard count;
+//                   inference::InferenceEngine remains exported for
+//                   single-engine embedding and store replay, but new code
+//                   should construct an InferenceTier — at shards=1 it IS
+//                   the old engine, same bytes, same alerts)
 //   traffic         trace::BackgroundTraffic, trace::TrafficMix,
 //                   trace::PcapReader/Writer, attack::* generators
 //   fault model     faults::FaultScenario, faults::CrashWindow,
-//                   faults::RetryPolicy, faults::LatePolicy,
-//                   faults::SummaryTransport, faults::TransportStats
+//                   faults::ShardCrashWindow, faults::RetryPolicy,
+//                   faults::LatePolicy, faults::SummaryTransport,
+//                   faults::TransportStats
 //   network sim     netsim::Topology, netsim::EventQueue, netsim::LinkQueue,
 //                   netsim::latency/replication models, assign::*
 //   telemetry       telemetry::Telemetry, telemetry::to_jsonl,
@@ -80,6 +90,8 @@
 #include "observe/observe.hpp"
 #include "payload/term_matrix.hpp"
 #include "rules/rule.hpp"
+#include "shard/hash_ring.hpp"
+#include "shard/tier.hpp"
 #include "store/doctor.hpp"
 #include "store/replay.hpp"
 #include "store/store.hpp"

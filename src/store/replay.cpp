@@ -35,6 +35,7 @@ std::vector<ReplayEpoch> StoreReplayer::replay(
     out.packets = meta->packets;
     out.report_fraction = meta->report_fraction;
     out.caution = meta->caution;
+    out.shard_count = meta->shard_count;
     out.summaries = aggregator.summaries_added();
     // Restore the engine knobs the live controller set for this epoch.
     engine.set_tau_c_scale(base_tau_c_scale *

@@ -44,23 +44,30 @@ std::string_view as_view(std::span<const std::uint8_t> bytes) noexcept {
 
 std::vector<std::uint8_t> encode_epoch_meta(const EpochMeta& m) {
   std::vector<std::uint8_t> out;
-  out.reserve(32);
+  out.reserve(40);
   put_u64_le(out, double_bits(m.end_time));
   put_u64_le(out, m.packets);
   put_u64_le(out, double_bits(m.report_fraction));
   put_u64_le(out, double_bits(m.caution));
+  // Sharded deployments append their shard count; the one-shard encoding is
+  // byte-identical to the pre-sharding format.
+  if (m.shard_count != 1) put_u64_le(out, m.shard_count);
   return out;
 }
 
 std::optional<EpochMeta> decode_epoch_meta(
     std::uint64_t epoch, std::span<const std::uint8_t> payload) {
-  if (payload.size() != 32) return std::nullopt;
+  if (payload.size() != 32 && payload.size() != 40) return std::nullopt;
   EpochMeta m;
   m.epoch = epoch;
   m.end_time = bits_double(get_u64_le(payload.data()));
   m.packets = get_u64_le(payload.data() + 8);
   m.report_fraction = bits_double(get_u64_le(payload.data() + 16));
   m.caution = bits_double(get_u64_le(payload.data() + 24));
+  if (payload.size() == 40) {
+    m.shard_count = get_u64_le(payload.data() + 32);
+    if (m.shard_count == 0) return std::nullopt;
+  }
   return m;
 }
 

@@ -57,9 +57,14 @@ struct EpochMeta {
   std::uint64_t packets = 0;     ///< Packets ingested this epoch.
   double report_fraction = 1.0;  ///< Delivered / expected summaries.
   double caution = 0.0;          ///< Drift caution at decision time.
+  /// Inference-tier shard count the writing deployment ran with.  Encoded
+  /// only when != 1, so stores written by single-engine deployments (and all
+  /// pre-sharding stores) keep the original 32-byte payload byte-for-byte.
+  std::uint64_t shard_count = 1;
 };
 
-/// Fixed 32-byte little-endian payload (epoch rides in the record header).
+/// Little-endian payload (epoch rides in the record header): 32 bytes, plus
+/// a trailing shard-count u64 only when shard_count != 1.
 [[nodiscard]] std::vector<std::uint8_t> encode_epoch_meta(const EpochMeta& m);
 /// nullopt on a malformed payload.
 [[nodiscard]] std::optional<EpochMeta> decode_epoch_meta(

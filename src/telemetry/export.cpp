@@ -244,6 +244,10 @@ bool is_wall_clock_metric(const std::string& name) noexcept {
          name.rfind("jaal_runtime_", 0) == 0;
 }
 
+bool is_tier_shape_metric(const std::string& name) noexcept {
+  return name.rfind("jaal_shard_", 0) == 0;
+}
+
 std::string escape_label_value(const std::string& value) {
   std::string out;
   out.reserve(value.size());

@@ -58,7 +58,7 @@ FaultedRun run_faulted(std::size_t threads,
   cfg.engine.feedback_enabled = true;
   cfg.telemetry = &tel;
   cfg.faults = scenario;
-  cfg.late_policy = late_policy;
+  cfg.aggregation.late_policy = late_policy;
   JaalController controller(
       cfg, rules::parse_rules(rules::default_ruleset_text(),
                               evaluation_rule_vars()));
