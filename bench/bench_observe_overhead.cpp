@@ -13,11 +13,15 @@
 // operational stack (flight recorder + SLO + telemetry + store_metrics) —
 // and reports best-of-N epoch wall time per mode plus the relative
 // overhead against observability-off.  The full_ops mode must stay within
-// 3% of off (the acceptance bar); the bench exits 1 past that.
+// 3% of off (the acceptance bar); the bench exits 1 past that.  A fifth
+// mode, tracing_full, adds the per-epoch critical-path profiler (span
+// drain + tree rebuild + straggler scan, both duration modes) on top of
+// full_ops and must stay within 5%.
 // Emits BENCH_observe_overhead.json alongside the table; epochs_per_sec is
 // the key bench/check_bench_regression.py tracks.
 #include <chrono>
 #include <filesystem>
+#include <iterator>
 
 #include "attack/generators.hpp"
 #include "common.hpp"
@@ -33,12 +37,14 @@ constexpr std::size_t kMonitors = 4;
 constexpr std::size_t kPacketsPerEpoch = 6'000;  // ~1.5k per monitor
 constexpr int kReps = 5;
 constexpr double kFullOpsOverheadMax = 1.03;
+constexpr double kTracingFullOverheadMax = 1.05;
 
 struct Mode {
   const char* name;
   bool provenance;
   bool drift;
-  bool ops;  ///< flight recorder + SLO + telemetry + store_metrics
+  bool ops;      ///< flight recorder + SLO + telemetry + store_metrics
+  bool profile;  ///< per-epoch critical-path profiler (needs ops)
 };
 
 core::JaalConfig deployment(const Mode& mode, telemetry::Telemetry* tel,
@@ -53,6 +59,7 @@ core::JaalConfig deployment(const Mode& mode, telemetry::Telemetry* tel,
   cfg.engine.feedback_enabled = true;
   cfg.observe.provenance = mode.provenance;
   cfg.observe.drift = mode.drift;
+  cfg.observe.profile = mode.profile;
   if (mode.ops) {
     cfg.observe.flight_recorder = true;
     cfg.observe.slo = true;
@@ -86,18 +93,21 @@ int main() {
 
   const std::string store_dir = "bench_observe_overhead_store";
   const Mode modes[] = {
-      {"off", false, false, false},
-      {"drift_only", false, true, false},
-      {"full", true, true, false},
-      {"full_ops", true, true, true},
+      {"off", false, false, false, false},
+      {"drift_only", false, true, false, false},
+      {"full", true, true, false, false},
+      {"full_ops", true, true, true, false},
+      {"tracing_full", true, true, true, true},
   };
+  constexpr int kModes = static_cast<int>(std::size(modes));
   std::vector<std::vector<std::pair<std::string, double>>> rows;
   double off_ms = 0.0;
   double full_ops_ratio = 0.0;
+  double tracing_ratio = 0.0;
   std::size_t base_alerts = 0;
 
-  std::printf("  mode        wall-ms   vs-off   alerts  provenance\n");
-  for (int m = 0; m < 4; ++m) {
+  std::printf("  mode          wall-ms   vs-off   alerts  provenance\n");
+  for (int m = 0; m < kModes; ++m) {
     const Mode& mode = modes[m];
     std::filesystem::remove_all(store_dir);
     telemetry::Telemetry tel;
@@ -133,14 +143,23 @@ int main() {
                   mode.name, with_provenance, epoch.alerts.size());
       return 1;
     }
+    // Profiling must actually run in tracing_full (every closed epoch
+    // carries a critical path) and stay off everywhere else.
+    if (epoch.profile.has_value() != mode.profile) {
+      std::printf("  FAIL: mode %s epoch profile %s\n", mode.name,
+                  mode.profile ? "missing" : "unexpectedly present");
+      return 1;
+    }
     const double ratio = off_ms > 0.0 ? best_ms / off_ms : 0.0;
-    if (mode.ops) full_ops_ratio = ratio;
-    std::printf("  %-10s %8.1f  %6.3fx  %6zu  %10zu\n", mode.name, best_ms,
+    if (mode.ops && !mode.profile) full_ops_ratio = ratio;
+    if (mode.profile) tracing_ratio = ratio;
+    std::printf("  %-12s %8.1f  %6.3fx  %6zu  %10zu\n", mode.name, best_ms,
                 ratio, epoch.alerts.size(), with_provenance);
     rows.push_back({{"mode", static_cast<double>(m)},
                     {"provenance", mode.provenance ? 1.0 : 0.0},
                     {"drift", mode.drift ? 1.0 : 0.0},
                     {"ops", mode.ops ? 1.0 : 0.0},
+                    {"profile", mode.profile ? 1.0 : 0.0},
                     {"wall_ms", best_ms},
                     {"epochs_per_sec", best_ms > 0.0 ? 1000.0 / best_ms : 0.0},
                     {"vs_off", ratio},
@@ -156,7 +175,17 @@ int main() {
         full_ops_ratio, kFullOpsOverheadMax);
     return 1;
   }
-  std::printf("  full_ops overhead %.3fx within the %.2fx acceptance bar\n",
-              full_ops_ratio, kFullOpsOverheadMax);
+  if (tracing_ratio > kTracingFullOverheadMax) {
+    std::printf(
+        "  FAIL: tracing_full overhead %.3fx exceeds the %.2fx acceptance "
+        "bar\n",
+        tracing_ratio, kTracingFullOverheadMax);
+    return 1;
+  }
+  std::printf(
+      "  full_ops overhead %.3fx within %.2fx; tracing_full %.3fx within "
+      "%.2fx\n",
+      full_ops_ratio, kFullOpsOverheadMax, tracing_ratio,
+      kTracingFullOverheadMax);
   return 0;
 }

@@ -101,6 +101,11 @@ struct DoctorRun {
   std::size_t drift_events = 0;
   std::uint64_t flight_dumps = 0;  ///< Automatic regression dumps taken.
   double final_caution = 0.0;
+  /// Wall-clock critical path of the slowest epoch close (display only —
+  /// wall times are not part of any determinism check).
+  std::optional<telemetry::CriticalPath> worst_profile;
+  std::uint64_t worst_epoch = 0;
+  std::string dominant_stage;  ///< SLO latency attribution, last epoch.
   std::string error;  ///< First provenance inconsistency, empty when clean.
 };
 
@@ -133,10 +138,20 @@ DoctorRun run_deployment(std::size_t threads, const std::string& store_dir) {
 
   DoctorRun out;
   std::vector<std::shared_ptr<const observe::AlertProvenance>> records;
+  std::uint64_t epoch_no = 0;
   auto consume = [&](const std::vector<core::EpochResult>& epochs) {
     for (const core::EpochResult& epoch : epochs) {
       out.drift_events += epoch.drift_events.size();
       out.final_caution = epoch.caution;
+      if (epoch.profile) {
+        if (!out.worst_profile || epoch.profile->root_inclusive_ms >
+                                      out.worst_profile->root_inclusive_ms) {
+          out.worst_profile = epoch.profile;
+          out.worst_epoch = epoch_no;
+        }
+        out.dominant_stage = epoch.profile->dominant_stage;
+      }
+      ++epoch_no;
       for (const inference::Alert& alert : epoch.alerts) {
         ++out.alerts;
         if (out.error.empty()) out.error = check_provenance(alert);
@@ -479,6 +494,17 @@ int main(int argc, char** argv) {
                 "%zu drift transitions, final caution %.2f\n",
                 base.alerts, base.alerts, base.drift_events,
                 base.final_caution);
+    if (base.worst_profile) {
+      // Where did the wall clock go?  The slowest epoch close's critical
+      // path, straight from the live profiler (wall times: informational,
+      // never part of the determinism checks above).
+      std::printf("\nslowest epoch close: epoch %llu (%.3f ms); SLO latency "
+                  "attribution: %s\n",
+                  static_cast<unsigned long long>(base.worst_epoch),
+                  base.worst_profile->root_inclusive_ms,
+                  base.dominant_stage.c_str());
+      std::fputs(base.worst_profile->to_text().c_str(), stdout);
+    }
     std::fputs(base.slo_jsonl.c_str(), stdout);
     std::printf("wrote jaal_doctor_provenance.jsonl, jaal_doctor_health.jsonl"
                 " and jaal_doctor_timeline.jsonl\n");

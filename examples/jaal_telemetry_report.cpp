@@ -13,6 +13,7 @@
 //   ROC          a small threshold sweep so cost sits next to quality
 //
 //   $ ./jaal_telemetry_report
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <memory>
@@ -20,6 +21,7 @@
 #include <vector>
 
 #include "jaal.hpp"
+#include "telemetry/chrome_trace.hpp"
 
 namespace {
 
@@ -120,10 +122,12 @@ int main() {
   std::size_t alerts_total = 0;
   std::size_t epochs_closed = 0;
   MetricsSnapshot warmup_snap;  // registry state after the first 3 epochs
+  telemetry::ProfileReport profile_report;  // cross-epoch critical paths
 
   auto close_and_ship = [&](double t) {
     const core::EpochResult result = controller.close_epoch(t);
     alerts_total += result.alerts.size();
+    if (result.profile) profile_report.add(*result.profile);
     // Drain the event queue up to the epoch boundary, then offer this
     // epoch's summary bytes onto each monitor's link in MTU-sized frames.
     (void)events.run_until(t);
@@ -247,12 +251,22 @@ int main() {
     svd_spans += s.name == "svd" ? 1 : 0;
     feedback_spans += s.name == "feedback" ? 1 : 0;
   }
+  // Highest trace id + 1 == epoch count (the striped tracer returns spans
+  // grouped by stripe, so the last record is not necessarily the newest).
+  std::uint64_t max_trace = 0;
+  for (const auto& s : spans) max_trace = std::max(max_trace, s.trace_id);
   std::printf("  %zu spans across %llu epoch traces "
               "(%zu svd, %zu feedback)\n",
               spans.size(),
               static_cast<unsigned long long>(
-                  spans.empty() ? 0 : spans.back().trace_id + 1),
+                  spans.empty() ? 0 : max_trace + 1),
               svd_spans, feedback_spans);
+
+  // --- 4b. Where the wall clock went: the cross-epoch critical-path table
+  // from the per-epoch profiler (stage self-times, % of total, how often
+  // each stage sat on the longest path).
+  std::printf("\n----- critical path (per-epoch profiler) -----\n");
+  std::fputs(profile_report.to_text().c_str(), stdout);
 
   // --- 5. The sharded tier's per-shard series: re-run a short sharded
   // deployment with its own registry.  jaal_shard_*{shard="..."} counters
@@ -302,7 +316,26 @@ int main() {
     std::ofstream jsonl("jaal_telemetry_report.jsonl");
     jsonl << telemetry::to_jsonl(snap, spans);
   }
-  std::printf("\nwrote jaal_telemetry_report.prom and "
-              "jaal_telemetry_report.jsonl\n");
+  {
+    // Wall-clock Chrome trace: load in Perfetto (ui.perfetto.dev) or
+    // chrome://tracing to see the epoch pipeline laid out on a timeline.
+    std::ofstream trace("jaal_telemetry_report.trace.json");
+    trace << telemetry::export_chrome_trace(spans);
+  }
+  {
+    // Deterministic variants: unit-weight trace (byte-identical across
+    // runs/threads/shards) and the profiler's stage table as JSONL.
+    telemetry::ChromeTraceOptions det;
+    det.mode = telemetry::DurationMode::kDeterministic;
+    std::ofstream trace("jaal_telemetry_report.det.trace.json");
+    trace << telemetry::export_chrome_trace(spans, det);
+    std::ofstream pj("jaal_telemetry_report.profile.jsonl");
+    pj << profile_report.to_jsonl();
+  }
+  std::printf("\nwrote jaal_telemetry_report.prom, "
+              "jaal_telemetry_report.jsonl,\n      "
+              "jaal_telemetry_report.trace.json (Perfetto-loadable), "
+              "jaal_telemetry_report.det.trace.json\n      "
+              "and jaal_telemetry_report.profile.jsonl\n");
   return 0;
 }

@@ -72,6 +72,11 @@ JaalController::JaalController(const JaalConfig& cfg,
       tel_slo_lat_budget_ =
           &m.gauge("jaal_slo_stage_ms_budget_remaining_permille");
     }
+    if (cfg_.observe.profile) {
+      tel_profile_path_ms_ = &m.histogram("jaal_profile_critical_path_ms");
+      tel_profile_epochs_ = &m.counter("jaal_profile_epochs_total");
+      tel_profile_stragglers_ = &m.counter("jaal_profile_stragglers_total");
+    }
     // One stats system: the pool's runtime counters land in the same
     // registry (and the same exports) as every other jaal metric.
     if (pool_) pool_->stats().bind(&cfg_.telemetry->metrics);
@@ -171,12 +176,20 @@ EpochResult JaalController::close_epoch(double now) {
   // the simulated end time rides along so traces line up across runs even
   // though wall-clock durations differ.
   telemetry::Telemetry* tel = cfg_.telemetry;
+  const bool profiling = tel != nullptr && cfg_.observe.profile;
   telemetry::Span epoch_span =
       tel != nullptr ? tel->tracer.span("epoch", {}, epoch)
                      : telemetry::Span{};
   epoch_span.set_sim_time(now);
   epoch_span.attr("packets", static_cast<double>(result.packets));
   const telemetry::SpanContext epoch_ctx = epoch_span.context();
+  if (store_) {
+    // Store appends/commits below emit store_append/store_commit/
+    // index_finalize spans under this epoch's trace when profiling; the
+    // default context keeps the store span-free.
+    store_->set_trace_context(profiling ? epoch_ctx
+                                        : telemetry::SpanContext{});
+  }
   if (tel != nullptr) {
     // The observe phase happened during ingest(); record it as a
     // zero-duration span carrying the epoch's packet count.
@@ -515,10 +528,89 @@ EpochResult JaalController::close_epoch(double now) {
     store_->commit_epoch(meta);
   };
 
-  if (tier_.pending() == 0) {
+  // Shared close-out for every exit path: the critical-path profile
+  // brackets close_health/commit_store so the deterministic digest lands in
+  // this epoch's ops stream while the wall-clock profile still covers the
+  // store commit itself.
+  const auto close_out = [&] {
+    if (!profiling) {
+      close_health();
+      commit_store();
+      result.shards = tier_.shard_stats();
+      return;
+    }
+    // Deterministic digest first, before anything is persisted: drain the
+    // spans recorded so far and rebuild the tree.  The epoch root is still
+    // open (it must cover the store commit), so synthesize its record —
+    // deterministic mode only needs the tree shape, never durations.
+    std::vector<telemetry::SpanRecord> spans = tel->tracer.drain();
+    {
+      telemetry::SpanRecord root;
+      root.name = "epoch";
+      root.key = epoch;
+      root.trace_id = epoch;
+      root.span_id = epoch_ctx.span_id;
+      root.parent_id = 0;
+      root.sim_time = now;
+      spans.push_back(root);
+    }
+    telemetry::CriticalPathOptions det_opts;
+    det_opts.mode = telemetry::DurationMode::kDeterministic;
+    const telemetry::CriticalPath det =
+        telemetry::CriticalPath::build(spans, epoch, det_opts);
+    {
+      observe::FlightEvent ev;
+      ev.kind = observe::FlightEventKind::kProfile;
+      ev.actor = telemetry::profile_stage_id(det.dominant_stage);
+      ev.a = det.root_inclusive_ms;
+      ev.b = static_cast<double>(det.path.size());
+      ev.u[0] = det.span_count;
+      ev.u[1] = det.sibling_groups;
+      fev(ev);
+    }
     close_health();
     commit_store();
+    // Close the root and take the wall-clock profile over the complete
+    // epoch — including the store spans the commit just recorded.
+    epoch_span.finish();
+    spans.pop_back();  // synthesized root; the finished one follows
+    {
+      std::vector<telemetry::SpanRecord> rest = tel->tracer.drain();
+      spans.insert(spans.end(), rest.begin(), rest.end());
+    }
+    telemetry::CriticalPath wall =
+        telemetry::CriticalPath::build(spans, epoch, {});
+    if (tel_profile_epochs_ != nullptr) {
+      tel_profile_epochs_->add(1);
+      tel_profile_path_ms_->observe(wall.root_inclusive_ms);
+      if (!wall.stragglers.empty()) {
+        tel_profile_stragglers_->add(wall.stragglers.size());
+      }
+      for (const telemetry::StageTime& st : wall.stages) {
+        telemetry::Histogram* h = nullptr;
+        for (auto& [name, handle] : tel_profile_stage_) {
+          if (name == st.name) {
+            h = handle;
+            break;
+          }
+        }
+        if (h == nullptr) {
+          h = &tel->metrics.histogram("jaal_profile_stage_exclusive_ms{stage=\"" +
+                                      st.name + "\"}");
+          tel_profile_stage_.emplace_back(st.name, h);
+        }
+        // Exclusive self-time can go negative when siblings overlap on the
+        // pool (parallelism credit); the histogram records the spent side.
+        h->observe(std::max(0.0, st.exclusive_ms));
+      }
+    }
+    if (slo_) slo_->attribute_latency(wall.dominant_stage);
+    result.profile = std::move(wall);
     result.shards = tier_.shard_stats();
+  };
+
+  if (tier_.pending() == 0) {
+    close_out();
     return result;
   }
 
@@ -526,8 +618,11 @@ EpochResult JaalController::close_epoch(double now) {
       tel != nullptr ? tel->tracer.span("aggregate", epoch_ctx)
                      : telemetry::Span{};
   // The tier builds the aggregate hierarchy: per-shard aggregates, then the
-  // cross-shard merge (at one shard, exactly the old flat Aggregator).
-  const inference::AggregatedSummary& aggregate = tier_.aggregate_epoch();
+  // cross-shard merge (at one shard, exactly the old flat Aggregator) —
+  // with per-shard shard_aggregate spans under this stage's span when the
+  // tier is genuinely sharded.
+  const inference::AggregatedSummary& aggregate =
+      tier_.aggregate_epoch(aggregate_span.context());
   aggregate_span.attr("rows", static_cast<double>(aggregate.origin.size()));
   aggregate_span.finish();
   span_event(3);  // aggregate
@@ -571,9 +666,7 @@ EpochResult JaalController::close_epoch(double now) {
     post.attr("via_feedback", static_cast<double>(via_feedback));
   }
   span_event(5);  // postprocess
-  close_health();
-  commit_store();
-  result.shards = tier_.shard_stats();
+  close_out();
   return result;
 }
 

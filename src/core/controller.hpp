@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/monitor.hpp"
@@ -27,6 +28,7 @@
 #include "runtime/thread_pool.hpp"
 #include "shard/tier.hpp"
 #include "store/store.hpp"
+#include "telemetry/profile.hpp"
 #include "trace/background.hpp"
 
 namespace jaal::core {
@@ -146,6 +148,11 @@ struct EpochResult {
   /// The caution signal in effect for this epoch's inference (fraction of
   /// monitors whose summary fidelity is drifting).
   double caution = 0.0;
+  /// Wall-clock critical path of this epoch's close (telemetry + profiling
+  /// on; nullopt otherwise).  Stage self-times, the longest root->leaf
+  /// path, and straggler attribution across sibling spans — see
+  /// telemetry::CriticalPath.
+  std::optional<telemetry::CriticalPath> profile;
 
   [[nodiscard]] bool degraded() const noexcept {
     return report_fraction < 1.0;
@@ -295,6 +302,15 @@ class JaalController {
   telemetry::Gauge* tel_slo_burn_ = nullptr;
   telemetry::Gauge* tel_slo_rf_budget_ = nullptr;
   telemetry::Gauge* tel_slo_lat_budget_ = nullptr;
+  /// jaal_profile_* family (telemetry + ObserveConfig::profile).
+  telemetry::Histogram* tel_profile_path_ms_ = nullptr;
+  telemetry::Counter* tel_profile_epochs_ = nullptr;
+  telemetry::Counter* tel_profile_stragglers_ = nullptr;
+  /// Lazily-bound per-stage exclusive-time histograms, keyed by stage
+  /// name (labels are interned by the registry; this cache just avoids
+  /// re-formatting the label on every epoch).
+  std::vector<std::pair<std::string, telemetry::Histogram*>>
+      tel_profile_stage_;
 };
 
 }  // namespace jaal::core

@@ -23,6 +23,7 @@ const char* flight_kind_name(FlightEventKind kind) noexcept {
     case FlightEventKind::kShip: return "ship";
     case FlightEventKind::kFeedback: return "feedback";
     case FlightEventKind::kSpan: return "span";
+    case FlightEventKind::kProfile: return "profile";
   }
   return "unknown";
 }

@@ -41,6 +41,7 @@ enum class FlightEventKind : std::uint8_t {
   kShip = 5,        ///< Fault-transport decision on one summary.
   kFeedback = 6,    ///< Feedback-loop fallbacks this epoch.
   kSpan = 7,        ///< Pipeline stage span completed (sim time only).
+  kProfile = 8,     ///< Deterministic critical-path digest of the epoch.
 };
 
 /// Stable name for a kind ("epoch_close", "fidelity", ...).
@@ -62,6 +63,12 @@ enum class FlightEventKind : std::uint8_t {
 ///                              3 rolled forward)
 ///   kFeedback    u0=fallbacks this epoch
 ///   kSpan        actor=stage id (0 observe .. 5 postprocess) a=sim_time
+///   kProfile     actor=dominant stage id (telemetry::profile_stage_id,
+///                deterministic-mode critical path) a=root inclusive units
+///                b=critical path depth  u = {span count, sibling groups}
+///                — all fields are derived from the deterministic span
+///                tree shape, so the persisted bytes stay byte-identical
+///                across runs, thread counts, and shard counts.
 struct FlightEvent {
   std::uint64_t seq = 0;  ///< Assigned by record(); global, gap-free.
   std::uint64_t epoch = 0;

@@ -43,6 +43,14 @@ struct ObserveConfig {
   /// jaal_slo_* metrics are exported.
   bool slo = false;
   SloConfig slo_config;
+  /// Per-epoch critical-path profiling (telemetry/profile.hpp): on by
+  /// default, but only active when JaalConfig::telemetry is set.  Each
+  /// epoch close reconstructs the span tree, fills EpochResult::profile,
+  /// exports the jaal_profile_* metric family, records one deterministic
+  /// kProfile flight event, and feeds SLO latency attribution.  Turn off
+  /// to keep spans without the per-epoch tree analysis (the perf gate for
+  /// the ops-focused bench mode).
+  bool profile = true;
 };
 
 /// Aggregated fidelity and drift state of one monitor.

@@ -42,12 +42,35 @@ void SloTracker::observe_epoch(std::uint64_t /*epoch*/,
   ++epochs_;
   const bool rf_bad = report_fraction < cfg_.report_fraction_min;
   if (rf_bad) ++rf_bad_;
-  if (latency_ms >= 0.0 && latency_ms > cfg_.latency_target_ms) ++lat_bad_;
+  last_latency_breached_ =
+      latency_ms >= 0.0 && latency_ms > cfg_.latency_target_ms;
+  if (last_latency_breached_) ++lat_bad_;
 
   window_bad_ -= rf_window_[window_pos_];
   rf_window_[window_pos_] = rf_bad ? 1 : 0;
   window_bad_ += rf_window_[window_pos_];
   window_pos_ = (window_pos_ + 1) % rf_window_.size();
+}
+
+void SloTracker::attribute_latency(const std::string& dominant_stage) {
+  if (dominant_stage.empty()) return;
+  last_dominant_stage_ = dominant_stage;
+  if (!last_latency_breached_) return;
+  for (auto& [stage, count] : stage_breaches_) {
+    if (stage == dominant_stage) {
+      ++count;
+      return;
+    }
+  }
+  stage_breaches_.emplace_back(dominant_stage, 1);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SloTracker::breaches_by_stage() const {
+  auto out = stage_breaches_;
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
 }
 
 std::int64_t SloTracker::budget_permille(std::uint64_t bad) const noexcept {

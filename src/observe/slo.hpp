@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace jaal::observe {
@@ -54,6 +55,24 @@ class SloTracker {
   /// reconstruction, where wall clock was not persisted).
   void observe_epoch(std::uint64_t epoch, double report_fraction,
                      double latency_ms);
+
+  /// Attributes the epoch most recently folded by observe_epoch to the
+  /// stage that dominated its critical path (telemetry::CriticalPath).
+  /// When that epoch breached the latency target, the stage's breach
+  /// count increments — the "which stage ate the budget" side channel the
+  /// live jaal_doctor surfaces.  Kept out of to_jsonl(): the latency SLI
+  /// is wall-clock derived, and to_jsonl() is pinned byte-identical
+  /// between live runs and offline store reconstruction.
+  void attribute_latency(const std::string& dominant_stage);
+
+  /// Dominant stage of the last attributed epoch ("" before any).
+  [[nodiscard]] const std::string& last_dominant_stage() const noexcept {
+    return last_dominant_stage_;
+  }
+  /// (stage, latency-breach count) pairs, sorted by stage name — only
+  /// epochs that breached the latency target count.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  breaches_by_stage() const;
 
   [[nodiscard]] const SloConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::uint64_t epochs() const noexcept { return epochs_; }
@@ -90,6 +109,10 @@ class SloTracker {
   std::vector<std::uint8_t> rf_window_;
   std::size_t window_pos_ = 0;
   std::uint64_t window_bad_ = 0;
+  bool last_latency_breached_ = false;
+  std::string last_dominant_stage_;
+  /// Unordered (stage, breach count); breaches_by_stage() sorts.
+  std::vector<std::pair<std::string, std::uint64_t>> stage_breaches_;
 };
 
 }  // namespace jaal::observe

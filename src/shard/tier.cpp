@@ -60,6 +60,7 @@ void InferenceTier::set_pool(std::shared_ptr<runtime::ThreadPool> pool) {
 }
 
 void InferenceTier::set_telemetry(telemetry::Telemetry* tel) {
+  tel_ = tel;
   root_.set_telemetry(tel);
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& sh = shards_[s];
@@ -167,9 +168,14 @@ inference::AggregatedSummary InferenceTier::build_shard_aggregate(
   return agg;
 }
 
-const inference::AggregatedSummary& InferenceTier::aggregate_epoch() {
+const inference::AggregatedSummary& InferenceTier::aggregate_epoch(
+    const telemetry::SpanContext& parent) {
   aggregated_ = true;
   const bool exact = sharding_.merge == MergePolicy::kExact;
+  // Tier-shape spans exist only for a genuinely sharded tier, so the
+  // shards == 1 span set (and the deterministic exports, which elide them
+  // either way) is unchanged.
+  const bool trace = tel_ != nullptr && shards_.size() > 1;
 
   if (shards_.size() == 1 && exact) {
     // Degenerate tier: the shard aggregate IS the global aggregate —
@@ -183,6 +189,9 @@ const inference::AggregatedSummary& InferenceTier::aggregate_epoch() {
   // buffers; results reduce serially below, so the hierarchy is
   // bit-identical to the serial build.
   const auto build_one = [&](std::size_t s) {
+    telemetry::Span span = trace
+                               ? tel_->tracer.span("shard_aggregate", parent, s)
+                               : telemetry::Span{};
     inference::AggregatedSummary agg = build_shard_aggregate(shards_[s]);
     if (!exact && !agg.empty()) {
       // Hierarchical reduction (the bench_ext_hierarchy extension): bound
@@ -192,6 +201,7 @@ const inference::AggregatedSummary& InferenceTier::aggregate_epoch() {
           agg, sharding_.reduce_rows,
           mix64(sharding_.hash_seed ^ (std::uint64_t{s} << 40) ^ epoch_));
     }
+    span.attr("rows", static_cast<double>(agg.rows()));
     return agg;
   };
   if (pool_ && shards_.size() > 1) {
@@ -225,6 +235,9 @@ const inference::AggregatedSummary& InferenceTier::aggregate_epoch() {
   }
 
   // Level 2: the cross-shard merge.
+  telemetry::Span merge_span =
+      trace ? tel_->tracer.span("cross_shard_merge", parent)
+            : telemetry::Span{};
   std::size_t total_rows = 0;
   std::size_t cols = 0;
   for (const Shard& sh : shards_) {
@@ -301,9 +314,10 @@ const inference::AggregatedSummary& InferenceTier::aggregate_epoch() {
 std::vector<inference::Alert> InferenceTier::infer_epoch(
     const inference::RawPacketFetcher& fetch,
     const telemetry::SpanContext& parent) {
-  if (!aggregated_) (void)aggregate_epoch();
+  if (!aggregated_) (void)aggregate_epoch(parent);
   if (global_.empty()) return {};
   const bool exact = sharding_.merge == MergePolicy::kExact;
+  const bool trace = tel_ != nullptr && shards_.size() > 1;
 
   if (shards_.size() == 1 || !exact) {
     // Single engine over the merged aggregate.  A reduced aggregate has no
@@ -316,6 +330,8 @@ std::vector<inference::Alert> InferenceTier::infer_epoch(
   // engine runs Algorithm 1 over its shard aggregate only.
   std::vector<std::vector<inference::QuestionMatch>> parts(shards_.size());
   const auto match_one = [&](std::size_t s) {
+    telemetry::Span span = trace ? tel_->tracer.span("shard_match", parent, s)
+                                 : telemetry::Span{};
     return shards_[s].agg.empty() ? std::vector<inference::QuestionMatch>{}
                                   : shards_[s].engine->match(shards_[s].agg);
   };
@@ -353,6 +369,9 @@ std::vector<inference::Alert> InferenceTier::infer_epoch(
   // union of the per-shard partials mapped through to_global, re-sorted
   // into global row order, with the alert flag re-derived against the root
   // engine's threshold.
+  telemetry::Span merge_span =
+      trace ? tel_->tracer.span("cross_shard_merge", parent)
+            : telemetry::Span{};
   const auto& questions = root_.questions();
   const auto merge_part = [&](std::size_t qi, bool strict_part,
                               std::uint64_t tau_c) {
@@ -385,6 +404,8 @@ std::vector<inference::Alert> InferenceTier::infer_epoch(
     merged[qi].strict = merge_part(qi, /*strict_part=*/true, tau_c);
     merged[qi].loose = merge_part(qi, /*strict_part=*/false, tau_c);
   }
+
+  merge_span.finish();
 
   // One serial decision/feedback/postprocess pass, at the root.
   return root_.decide(global_, merged, fetch, parent);

@@ -91,12 +91,18 @@ class InferenceTier final {
   /// sequence-interleaved under MergePolicy::kExact (byte-identical to the
   /// single-engine Aggregator), per-shard reduced + concatenated under
   /// kReduced.  The returned reference is valid until the next begin_epoch.
-  [[nodiscard]] const inference::AggregatedSummary& aggregate_epoch();
+  /// At shards > 1 with telemetry attached, per-shard 'shard_aggregate'
+  /// spans (key = shard) and a 'cross_shard_merge' span are recorded under
+  /// `parent` (the controller's aggregate span).
+  [[nodiscard]] const inference::AggregatedSummary& aggregate_epoch(
+      const telemetry::SpanContext& parent = {});
 
   /// Runs inference over the aggregate built by aggregate_epoch: per-shard
   /// matching fans out over the pool, partial matches merge exactly, and
   /// the root engine's serial decision/feedback phase runs once.  Under
-  /// kReduced the feedback loop is unavailable (`fetch` is ignored).
+  /// kReduced the feedback loop is unavailable (`fetch` is ignored).  At
+  /// shards > 1 with telemetry attached, per-shard 'shard_match' spans and
+  /// a 'cross_shard_merge' span are recorded under `parent`.
   [[nodiscard]] std::vector<inference::Alert> infer_epoch(
       const inference::RawPacketFetcher& fetch,
       const telemetry::SpanContext& parent = {});
@@ -202,6 +208,7 @@ class InferenceTier final {
   std::vector<Shard> shards_;
   std::vector<ShardEpochStats> stats_;
   std::vector<faults::ShardCrashWindow> shard_faults_;
+  telemetry::Telemetry* tel_ = nullptr;
   std::shared_ptr<runtime::ThreadPool> pool_;
   store::DeploymentStore* store_ = nullptr;
   inference::AggregatedSummary global_;

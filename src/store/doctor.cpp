@@ -6,6 +6,8 @@
 #include <cstring>
 #include <map>
 
+#include "telemetry/profile.hpp"
+
 namespace jaal::store {
 namespace {
 
@@ -168,6 +170,7 @@ StoreDiagnosis diagnose_store(const DeploymentStore& store,
   for (const auto& meta : out.metas) {
     const auto it = by_epoch.find(meta.epoch);
     const observe::FlightEvent* close = nullptr;
+    const observe::FlightEvent* profile = nullptr;
     std::vector<const observe::FlightEvent*> stored_drift;
     if (it != by_epoch.end()) {
       for (const auto& ev : *it->second) {
@@ -181,6 +184,9 @@ StoreDiagnosis diagnose_store(const DeploymentStore& store,
             break;
           case observe::FlightEventKind::kEpochClose:
             close = &ev;
+            break;
+          case observe::FlightEventKind::kProfile:
+            profile = &ev;
             break;
           default:
             break;  // kShip/kFeedback/kSpan: timeline color, not state
@@ -212,6 +218,18 @@ StoreDiagnosis diagnose_store(const DeploymentStore& store,
                   ",\"packets_lost\":" + std::to_string(close->u[4]) +
                   ",\"feedback_fallbacks\":" + std::to_string(close->u[5]) +
                   ",\"drift_events\":" + std::to_string(derived.size());
+    }
+    if (profile != nullptr) {
+      // Critical-path digest (live runs with profiling on): the stage that
+      // dominated the deterministic span tree, plus the tree's shape.  All
+      // fields come from the deterministic-mode profile, so the timeline
+      // stays byte-identical across runs, thread counts and shard counts.
+      timeline += ",\"dominant_stage\":\"";
+      timeline += telemetry::profile_stage_name(
+          static_cast<std::uint8_t>(profile->actor));
+      timeline += "\",\"path_depth\":" +
+                  std::to_string(static_cast<std::uint64_t>(profile->b)) +
+                  ",\"spans\":" + std::to_string(profile->u[0]);
     }
     timeline += "}\n";
   }

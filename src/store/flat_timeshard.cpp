@@ -320,9 +320,12 @@ bool TimeShardLog::sync() {
 
 void TimeShardLog::finalize() {
   if (!writable_ || !tail_.is_open()) return;
+  const auto start = std::chrono::steady_clock::now();
   (void)tail_.truncate_to(tail_used_);
   (void)sync();
   write_sidecar();
+  finalize_ms_accum_ += ms_since(start);
+  ++finalizes_;
 }
 
 bool TimeShardLog::truncate_after_epoch(std::optional<std::uint64_t> epoch) {

@@ -24,6 +24,7 @@
 #include <functional>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "store/flat_mmap.hpp"
@@ -139,6 +140,18 @@ class TimeShardLog {
   [[nodiscard]] std::uint64_t records_appended() const noexcept {
     return records_appended_;
   }
+
+  /// Wall time spent in finalize() (shard roll truncate+msync+sidecar)
+  /// since the last take, with the number of finalizes — consumed by the
+  /// store's per-epoch 'index_finalize' profiling span.  Resets on read.
+  [[nodiscard]] std::pair<double, std::uint64_t> take_finalize_stats()
+      noexcept {
+    const std::pair<double, std::uint64_t> out{finalize_ms_accum_,
+                                               finalizes_};
+    finalize_ms_accum_ = 0.0;
+    finalizes_ = 0;
+    return out;
+  }
   [[nodiscard]] std::vector<std::string> shard_paths() const;
   [[nodiscard]] const TimeShardConfig& config() const noexcept { return cfg_; }
 
@@ -184,6 +197,8 @@ class TimeShardLog {
   std::vector<EpochOffset> tail_offsets_;
   std::uint64_t torn_bytes_ = 0;
   std::uint64_t records_appended_ = 0;
+  double finalize_ms_accum_ = 0.0;
+  std::uint64_t finalizes_ = 0;
   std::optional<std::uint64_t> last_append_epoch_;
 
   telemetry::Counter* tel_bytes_ = nullptr;

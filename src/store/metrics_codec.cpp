@@ -239,7 +239,7 @@ std::optional<std::vector<observe::FlightEvent>> decode_flight_events(
     const std::uint8_t kind = r.get_u8();
     if (kind < static_cast<std::uint8_t>(
                    observe::FlightEventKind::kEpochClose) ||
-        kind > static_cast<std::uint8_t>(observe::FlightEventKind::kSpan)) {
+        kind > static_cast<std::uint8_t>(observe::FlightEventKind::kProfile)) {
       return std::nullopt;
     }
     e.kind = static_cast<observe::FlightEventKind>(kind);

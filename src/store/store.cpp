@@ -1,5 +1,6 @@
 #include "store/store.hpp"
 
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -73,7 +74,7 @@ std::optional<EpochMeta> decode_epoch_meta(
 
 DeploymentStore::DeploymentStore(const StoreConfig& cfg, bool writable,
                                  telemetry::Telemetry* tel)
-    : writable_(writable) {
+    : writable_(writable), tel_(tel) {
   summaries_ = std::make_unique<TimeShardLog>(
       TimeShardConfig{cfg.dir, "summaries", cfg.epochs_per_shard}, writable,
       tel);
@@ -102,6 +103,22 @@ DeploymentStore::DeploymentStore(const StoreConfig& cfg, bool writable,
   }
 }
 
+void DeploymentStore::timed_append(TimeShardLog& log, std::uint64_t epoch,
+                                   std::uint32_t stream, RecordKind kind,
+                                   std::span<const std::uint8_t> payload) {
+  if (!profiling()) {
+    (void)log.append(epoch, stream, kind, payload);
+    return;
+  }
+  const auto start = std::chrono::steady_clock::now();
+  (void)log.append(epoch, stream, kind, payload);
+  append_ms_ += std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  ++append_records_;
+  append_bytes_ += payload.size();
+}
+
 void DeploymentStore::put_summary(std::uint64_t epoch,
                                   const summarize::MonitorSummary& s) {
   // Full float64 fidelity: replaying these bytes must rebuild the exact
@@ -110,40 +127,78 @@ void DeploymentStore::put_summary(std::uint64_t epoch,
       summarize::serialize(s, summarize::WirePrecision::kFloat64);
   const std::uint32_t monitor =
       std::visit([](const auto& v) { return v.monitor; }, s);
-  (void)summaries_->append(epoch, monitor, RecordKind::kSummary, bytes);
+  timed_append(*summaries_, epoch, monitor, RecordKind::kSummary, bytes);
 }
 
 void DeploymentStore::put_alert(std::uint64_t epoch,
                                 const inference::Alert& a,
                                 double epoch_end_time) {
   const std::string line = inference::alert_to_json(a, epoch_end_time);
-  (void)alerts_->append(epoch, a.sid, RecordKind::kAlert, as_bytes(line));
+  timed_append(*alerts_, epoch, a.sid, RecordKind::kAlert, as_bytes(line));
 }
 
 void DeploymentStore::put_provenance(std::uint64_t epoch, std::uint32_t sid,
                                      const observe::AlertProvenance& p) {
   const std::string line = observe::to_json(p);
-  (void)provenance_->append(epoch, sid, RecordKind::kProvenance,
-                            as_bytes(line));
+  timed_append(*provenance_, epoch, sid, RecordKind::kProvenance,
+               as_bytes(line));
 }
 
 void DeploymentStore::put_metrics(std::uint64_t epoch,
                                   const telemetry::MetricsSnapshot& delta) {
   const std::vector<std::uint8_t> payload = encode_metrics_delta(delta);
-  (void)ops_->append(epoch, 0, RecordKind::kMetrics, payload);
+  timed_append(*ops_, epoch, 0, RecordKind::kMetrics, payload);
 }
 
 void DeploymentStore::put_events(
     std::uint64_t epoch, std::span<const observe::FlightEvent> events) {
   const std::vector<std::uint8_t> payload = encode_flight_events(events);
-  (void)ops_->append(epoch, 0, RecordKind::kEvents, payload);
+  timed_append(*ops_, epoch, 0, RecordKind::kEvents, payload);
 }
 
 void DeploymentStore::commit_epoch(const EpochMeta& meta) {
   const std::vector<std::uint8_t> payload = encode_epoch_meta(meta);
-  if (summaries_->append(meta.epoch, 0, RecordKind::kEpochMeta, payload)) {
-    last_committed_ = meta.epoch;
+  if (!profiling()) {
+    if (summaries_->append(meta.epoch, 0, RecordKind::kEpochMeta, payload)) {
+      last_committed_ = meta.epoch;
+    }
+    return;
   }
+  // One 'store_append' span carries the epoch's accumulated append cost
+  // (its duration is the summed wall time, not this instant).
+  {
+    telemetry::Span append_span =
+        tel_->tracer.span("store_append", trace_ctx_);
+    append_span.set_duration_ms(append_ms_);
+    append_span.attr("records", static_cast<double>(append_records_));
+    append_span.attr("bytes", static_cast<double>(append_bytes_));
+  }
+  {
+    telemetry::Span commit_span =
+        tel_->tracer.span("store_commit", trace_ctx_);
+    if (summaries_->append(meta.epoch, 0, RecordKind::kEpochMeta, payload)) {
+      last_committed_ = meta.epoch;
+    }
+  }
+  // Shard rolls (truncate + msync + sidecar index) since the last commit,
+  // including one the commit append itself may have triggered.
+  double fin_ms = 0.0;
+  std::uint64_t fins = 0;
+  for (TimeShardLog* log :
+       {summaries_.get(), alerts_.get(), provenance_.get(), ops_.get()}) {
+    const auto [ms, n] = log->take_finalize_stats();
+    fin_ms += ms;
+    fins += n;
+  }
+  if (fins > 0) {
+    telemetry::Span fin_span =
+        tel_->tracer.span("index_finalize", trace_ctx_);
+    fin_span.set_duration_ms(fin_ms);
+    fin_span.attr("finalizes", static_cast<double>(fins));
+  }
+  append_ms_ = 0.0;
+  append_records_ = 0;
+  append_bytes_ = 0;
 }
 
 void DeploymentStore::sync() {

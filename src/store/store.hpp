@@ -87,6 +87,15 @@ class DeploymentStore {
 
   // ---- writer path (per-epoch hot path: never throws) ----
 
+  /// Attaches the current epoch's trace context.  While set (and telemetry
+  /// was given at construction), the writer path accumulates per-append
+  /// wall time and commit_epoch records 'store_append' / 'store_commit' /
+  /// 'index_finalize' spans under it for the critical-path profiler.  A
+  /// default-constructed context (span_id == 0) disables profiling.
+  void set_trace_context(const telemetry::SpanContext& ctx) noexcept {
+    trace_ctx_ = ctx;
+  }
+
   /// Persists one aggregated summary, full-fidelity (float64), in
   /// aggregation order — replay reproduces the live aggregate bit-for-bit.
   void put_summary(std::uint64_t epoch, const summarize::MonitorSummary& s);
@@ -194,12 +203,26 @@ class DeploymentStore {
     return writable_ || (last_committed_ && epoch <= *last_committed_);
   }
 
+  /// True while commit_epoch should emit profiling spans.
+  [[nodiscard]] bool profiling() const noexcept {
+    return tel_ != nullptr && trace_ctx_.span_id != 0;
+  }
+  /// Appends through `log`, accumulating wall time when profiling.
+  void timed_append(TimeShardLog& log, std::uint64_t epoch,
+                    std::uint32_t stream, RecordKind kind,
+                    std::span<const std::uint8_t> payload);
+
   std::unique_ptr<TimeShardLog> summaries_;
   std::unique_ptr<TimeShardLog> alerts_;
   std::unique_ptr<TimeShardLog> provenance_;
   std::unique_ptr<TimeShardLog> ops_;
   std::optional<std::uint64_t> last_committed_;
   bool writable_ = false;
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::SpanContext trace_ctx_{};
+  double append_ms_ = 0.0;  ///< Accumulated wall time, reset per commit.
+  std::uint64_t append_records_ = 0;
+  std::uint64_t append_bytes_ = 0;
 };
 
 }  // namespace jaal::store

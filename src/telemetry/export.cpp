@@ -1,5 +1,7 @@
 #include "telemetry/export.hpp"
 
+#include "telemetry/profile.hpp"
+
 #include <algorithm>
 #include <cinttypes>
 #include <cmath>
@@ -164,6 +166,16 @@ constexpr HelpEntry kMetricHelp[] = {
      "Monitors currently flagged as drifting by the health tracker."},
     {"jaal_observe_provenance_records_total",
      "Alert provenance records captured."},
+    {"jaal_profile_critical_path_ms",
+     "Wall-clock inclusive latency of the epoch root span (critical-path "
+     "profiler)."},
+    {"jaal_profile_epochs_total",
+     "Epochs profiled by the critical-path profiler."},
+    {"jaal_profile_stage_exclusive_ms",
+     "Exclusive (self) wall-clock time per pipeline stage, labeled by "
+     "stage."},
+    {"jaal_profile_stragglers_total",
+     "Sibling spans flagged as stragglers by max-vs-median skew."},
     {"jaal_runtime_parallel_for_calls_total",
      "parallel_for invocations on the thread pool."},
     {"jaal_runtime_queue_depth_high_water",
@@ -241,7 +253,8 @@ std::string metric_help(const std::string& base_name) {
 
 bool is_wall_clock_metric(const std::string& name) noexcept {
   return name.find("_ms") != std::string::npos ||
-         name.rfind("jaal_runtime_", 0) == 0;
+         name.rfind("jaal_runtime_", 0) == 0 ||
+         name.rfind("jaal_profile_", 0) == 0;
 }
 
 bool is_tier_shape_metric(const std::string& name) noexcept {
@@ -377,6 +390,10 @@ std::string to_jsonl(const MetricsSnapshot& metrics,
               return a.span_id < b.span_id;
             });
   for (const SpanRecord& s : ordered) {
+    // Tier-shape spans exist only when shards > 1; the deterministic dump
+    // is pinned byte-identical across shard counts, so they are elided
+    // alongside the wall-clock fields.
+    if (!options.include_timings && is_tier_shape_span(s.name)) continue;
     std::snprintf(buf, sizeof(buf),
                   "{\"kind\":\"span\",\"trace\":%" PRIu64
                   ",\"span\":\"%016" PRIx64 "\",\"parent\":\"%016" PRIx64
@@ -388,6 +405,7 @@ std::string to_jsonl(const MetricsSnapshot& metrics,
     out += buf;
     out += "\"sim_time\":" + fmt_double(s.sim_time);
     if (options.include_timings) {
+      out += ",\"start_ms\":" + fmt_double(s.start_ms);
       out += ",\"duration_ms\":" + fmt_double(s.duration_ms);
     }
     if (!s.attrs.empty()) {

@@ -1,5 +1,7 @@
 #include "telemetry/span.hpp"
 
+#include "telemetry/metrics.hpp"
+
 namespace jaal::telemetry {
 
 std::uint64_t derive_span_id(std::uint64_t parent_span_id,
@@ -38,6 +40,7 @@ Span& Span::operator=(Span&& other) noexcept {
     finish();
     tracer_ = other.tracer_;
     rec_ = std::move(other.rec_);
+    duration_overridden_ = other.duration_overridden_;
     start_ = other.start_;
     other.tracer_ = nullptr;
   }
@@ -51,31 +54,74 @@ void Span::attr(std::string name, double value) {
 
 void Span::finish() {
   if (tracer_ == nullptr) return;
-  const auto elapsed = std::chrono::steady_clock::now() - start_;
-  rec_.duration_ms =
-      std::chrono::duration<double, std::milli>(elapsed).count();
+  if (!duration_overridden_) {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    rec_.duration_ms =
+        std::chrono::duration<double, std::milli>(elapsed).count();
+  }
   tracer_->record(std::move(rec_));
   tracer_ = nullptr;
 }
 
+Tracer::Tracer() : t0_(std::chrono::steady_clock::now()) {}
+
 void Tracer::record(SpanRecord&& rec) {
-  std::lock_guard lock(mu_);
-  records_.push_back(std::move(rec));
+  rec.start_ms = std::chrono::duration<double, std::milli>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count() -
+                 rec.duration_ms;
+  if (rec.start_ms < 0.0) rec.start_ms = 0.0;
+  Stripe& s = stripes_[stripe_index() % kTracerStripes];
+  std::lock_guard lock(s.mu);
+  s.records.push_back(std::move(rec));
+}
+
+std::vector<SpanRecord> Tracer::drain() {
+  std::vector<SpanRecord> fresh;
+  for (Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    fresh.insert(fresh.end(), std::make_move_iterator(s.records.begin()),
+                 std::make_move_iterator(s.records.end()));
+    s.records.clear();
+  }
+  std::lock_guard lock(drained_mu_);
+  drained_.insert(drained_.end(), fresh.begin(), fresh.end());
+  return fresh;
 }
 
 std::vector<SpanRecord> Tracer::records() const {
-  std::lock_guard lock(mu_);
-  return records_;
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard lock(drained_mu_);
+    out = drained_;
+  }
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    out.insert(out.end(), s.records.begin(), s.records.end());
+  }
+  return out;
 }
 
 std::size_t Tracer::size() const {
-  std::lock_guard lock(mu_);
-  return records_.size();
+  std::size_t n = 0;
+  {
+    std::lock_guard lock(drained_mu_);
+    n = drained_.size();
+  }
+  for (const Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    n += s.records.size();
+  }
+  return n;
 }
 
 void Tracer::clear() {
-  std::lock_guard lock(mu_);
-  records_.clear();
+  for (Stripe& s : stripes_) {
+    std::lock_guard lock(s.mu);
+    s.records.clear();
+  }
+  std::lock_guard lock(drained_mu_);
+  drained_.clear();
 }
 
 }  // namespace jaal::telemetry

@@ -13,8 +13,15 @@
 // Durations come from the monotonic clock (steady_clock) and are the only
 // nondeterministic field; `sim_time` carries the deterministic simulated
 // timestamp where the caller has one (epoch end time, event-queue now()).
+//
+// The tracer buffers finished spans in per-thread stripes (same
+// round-robin stripe map as the metric counters) so shard/monitor pool
+// workers never contend on one global mutex; `drain()` moves the stripe
+// buffers into a stable archive at epoch close.  Exports sort, so the
+// determinism contracts are unchanged.
 #pragma once
 
+#include <array>
 #include <chrono>
 #include <cstdint>
 #include <mutex>
@@ -40,6 +47,7 @@ struct SpanRecord {
   std::string name;
   std::uint64_t key = 0;
   double sim_time = -1.0;
+  double start_ms = 0.0;     ///< Wall clock, relative to tracer birth.
   double duration_ms = 0.0;  ///< Wall clock (nondeterministic).
   /// Deterministic numeric attributes, in insertion order.
   std::vector<std::pair<std::string, double>> attrs;
@@ -75,6 +83,13 @@ class Span {
   /// Overrides the inherited simulated timestamp.
   void set_sim_time(double t) noexcept { rec_.sim_time = t; }
 
+  /// Overrides the measured wall duration (for spans that report an
+  /// externally accumulated cost, e.g. summed store appends).
+  void set_duration_ms(double ms) noexcept {
+    rec_.duration_ms = ms;
+    duration_overridden_ = true;
+  }
+
   /// Context for spawning children.
   [[nodiscard]] SpanContext context() const noexcept {
     return {rec_.trace_id, rec_.span_id, rec_.sim_time};
@@ -86,13 +101,17 @@ class Span {
  private:
   Tracer* tracer_ = nullptr;  ///< Null = inert.
   SpanRecord rec_;
+  bool duration_overridden_ = false;
   std::chrono::steady_clock::time_point start_{};
 };
 
-/// Collects finished spans; thread-safe (appends happen per epoch / per
-/// monitor flush, far off the per-packet hot path).
+/// Collects finished spans.  Appends go to one of kStripes per-thread
+/// buffers (round-robin thread -> stripe, shared with the metric
+/// counters), so concurrent pool workers rarely touch the same lock.
 class Tracer {
  public:
+  Tracer();
+
   /// Starts a span.  A default-constructed parent makes it a root: the
   /// trace id is then taken from `key` (callers pass the epoch index).
   [[nodiscard]] Span span(std::string name, const SpanContext& parent = {},
@@ -100,6 +119,13 @@ class Tracer {
     return Span(this, std::move(name), parent, key);
   }
 
+  /// Moves all stripe buffers into the internal archive and returns the
+  /// spans drained by *this* call (callers wanting everything so far use
+  /// records()).  Called at epoch close, where no span is in flight.
+  std::vector<SpanRecord> drain();
+
+  /// All recorded spans: the drained archive plus whatever still sits in
+  /// the stripe buffers.  Order is unspecified; exports sort.
   [[nodiscard]] std::vector<SpanRecord> records() const;
   [[nodiscard]] std::size_t size() const;
   void clear();
@@ -108,8 +134,15 @@ class Tracer {
   friend class Span;
   void record(SpanRecord&& rec);
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> records_;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::vector<SpanRecord> records;
+  };
+  static constexpr std::size_t kTracerStripes = 16;
+  std::array<Stripe, kTracerStripes> stripes_;
+  mutable std::mutex drained_mu_;
+  std::vector<SpanRecord> drained_;
+  std::chrono::steady_clock::time_point t0_;
 };
 
 }  // namespace jaal::telemetry

@@ -1,0 +1,376 @@
+// Critical-path profiler and Chrome trace export.
+//
+// The two contracts pinned here:
+//   1. Telescoping: every span's exclusive time is its inclusive time minus
+//      its children's inclusive, so the tree's exclusive times sum exactly
+//      (up to float rounding) to the root's inclusive time — in both
+//      duration modes, on synthetic trees and on real controller epochs.
+//   2. Determinism: the deterministic-mode Chrome trace, span JSONL and
+//      per-epoch critical-path digests are byte-identical across runs,
+//      thread counts {1, 2} and shard counts {1, 2, 4}.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/controller.hpp"
+#include "core/experiment.hpp"
+#include "telemetry/chrome_trace.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/profile.hpp"
+#include "telemetry/span.hpp"
+#include "trace/background.hpp"
+
+namespace jaal::telemetry {
+namespace {
+
+/// A hand-built wall-clock tree with known durations:
+///   root (100) -> a (40) -> a1 (10)
+///             -> b (30)
+/// Exclusives: root 30, a 30, a1 10, b 30; sum = 100 = root inclusive.
+std::vector<SpanRecord> synthetic_tree() {
+  Tracer tracer;
+  {
+    Span root = tracer.span("epoch", {}, 9);
+    root.set_duration_ms(100.0);
+    {
+      Span a = tracer.span("aggregate", root.context(), 1);
+      a.set_duration_ms(40.0);
+      Span a1 = tracer.span("svd", a.context(), 1);
+      a1.set_duration_ms(10.0);
+    }
+    Span b = tracer.span("infer", root.context(), 2);
+    b.set_duration_ms(30.0);
+  }
+  return tracer.records();
+}
+
+TEST(Profile, ExclusiveTimesTelescopeToRootInclusive) {
+  const CriticalPath cp = CriticalPath::build(synthetic_tree(), 9);
+  EXPECT_DOUBLE_EQ(cp.root_inclusive_ms, 100.0);
+  EXPECT_NEAR(cp.total_exclusive_ms, cp.root_inclusive_ms, 1e-9);
+  EXPECT_EQ(cp.span_count, 4u);
+  EXPECT_EQ(cp.orphans, 0u);
+  EXPECT_EQ(cp.duplicates, 0u);
+  // Stage rollup is ranked by exclusive time; three stages tie at 30.
+  ASSERT_FALSE(cp.stages.empty());
+  double sum = 0.0;
+  for (const StageTime& st : cp.stages) sum += st.exclusive_ms;
+  EXPECT_NEAR(sum, cp.root_inclusive_ms, 1e-9);
+  // Dominant stage is the top-ranked non-root stage.
+  EXPECT_NE(cp.dominant_stage, "");
+  EXPECT_NE(cp.dominant_stage, "epoch");
+  // Longest path walks the max-inclusive child: epoch -> aggregate -> svd.
+  ASSERT_EQ(cp.path.size(), 3u);
+  EXPECT_EQ(cp.path[0].name, "epoch");
+  EXPECT_EQ(cp.path[1].name, "aggregate");
+  EXPECT_EQ(cp.path[2].name, "svd");
+}
+
+TEST(Profile, DeterministicModeUsesUnitWeights) {
+  CriticalPathOptions opts;
+  opts.mode = DurationMode::kDeterministic;
+  const CriticalPath cp = CriticalPath::build(synthetic_tree(), 9, opts);
+  // Root inclusive = subtree size; every span's exclusive = 1.
+  EXPECT_DOUBLE_EQ(cp.root_inclusive_ms, 4.0);
+  EXPECT_NEAR(cp.total_exclusive_ms, cp.root_inclusive_ms, 1e-12);
+  EXPECT_TRUE(cp.stragglers.empty());  // unit weights cannot diverge
+}
+
+TEST(Profile, ParallelChildrenGiveNegativeExclusiveNotClamped) {
+  // Two children of 80 ms each under a 100 ms root: child work overlapped
+  // on a pool, so the root's self time is 100 - 160 = -60 (parallelism
+  // credit).  The telescoping identity must survive.
+  Tracer tracer;
+  {
+    Span root = tracer.span("epoch", {}, 1);
+    root.set_duration_ms(100.0);
+    {
+      Span a = tracer.span("summarize", root.context(), 0);
+      a.set_duration_ms(80.0);
+    }
+    Span b = tracer.span("summarize", root.context(), 1);
+    b.set_duration_ms(80.0);
+  }
+  const CriticalPath cp = CriticalPath::build(tracer.records(), 1);
+  EXPECT_NEAR(cp.total_exclusive_ms, 100.0, 1e-9);
+  const StageTime* root_stage = nullptr;
+  for (const StageTime& st : cp.stages) {
+    if (st.name == "epoch") root_stage = &st;
+  }
+  ASSERT_NE(root_stage, nullptr);
+  EXPECT_DOUBLE_EQ(root_stage->exclusive_ms, -60.0);
+}
+
+TEST(Profile, OrphansAndDuplicatesAreCountedAndExcluded) {
+  std::vector<SpanRecord> spans = synthetic_tree();
+  // An orphan: parent id that no record carries.
+  SpanRecord orphan;
+  orphan.name = "ghost";
+  orphan.trace_id = 9;
+  orphan.span_id = 12345;
+  orphan.parent_id = 999999;
+  orphan.duration_ms = 5.0;
+  spans.push_back(orphan);
+  // A duplicate of an existing span id.
+  SpanRecord dup = spans[0];
+  spans.push_back(dup);
+  const CriticalPath cp = CriticalPath::build(spans, 9);
+  EXPECT_EQ(cp.orphans, 1u);
+  EXPECT_EQ(cp.duplicates, 1u);
+  EXPECT_EQ(cp.span_count, 4u);  // the tree itself is unchanged
+  EXPECT_NEAR(cp.total_exclusive_ms, cp.root_inclusive_ms, 1e-9);
+}
+
+TEST(Profile, AllOrphanTraceAttributesNothing) {
+  std::vector<SpanRecord> spans;
+  SpanRecord s;
+  s.name = "lost";
+  s.trace_id = 3;
+  s.span_id = 7;
+  s.parent_id = 99;  // never recorded
+  spans.push_back(s);
+  const CriticalPath cp = CriticalPath::build(spans, 3);
+  EXPECT_EQ(cp.span_count, 0u);
+  EXPECT_EQ(cp.orphans, 1u);
+  EXPECT_TRUE(cp.path.empty());
+}
+
+TEST(Profile, StragglerDetection) {
+  // Five per-monitor flushes, one 10x slower than its siblings.
+  Tracer tracer;
+  {
+    Span root = tracer.span("epoch", {}, 2);
+    root.set_duration_ms(120.0);
+    for (std::uint64_t m = 0; m < 5; ++m) {
+      Span flush = tracer.span("summarize", root.context(), m);
+      flush.set_duration_ms(m == 3 ? 100.0 : 10.0);
+    }
+  }
+  const CriticalPath cp = CriticalPath::build(tracer.records(), 2);
+  EXPECT_EQ(cp.sibling_groups, 1u);
+  ASSERT_EQ(cp.stragglers.size(), 1u);
+  EXPECT_EQ(cp.stragglers[0].name, "summarize");
+  EXPECT_EQ(cp.stragglers[0].key, 3u);
+  EXPECT_DOUBLE_EQ(cp.stragglers[0].max_ms, 100.0);
+  EXPECT_DOUBLE_EQ(cp.stragglers[0].median_ms, 10.0);
+  EXPECT_EQ(cp.stragglers[0].group_size, 5u);
+  // A balanced group is not a straggler.
+  Tracer even;
+  {
+    Span root = even.span("epoch", {}, 2);
+    root.set_duration_ms(50.0);
+    for (std::uint64_t m = 0; m < 4; ++m) {
+      Span flush = even.span("summarize", root.context(), m);
+      flush.set_duration_ms(10.0 + static_cast<double>(m));
+    }
+  }
+  EXPECT_TRUE(CriticalPath::build(even.records(), 2).stragglers.empty());
+}
+
+TEST(Profile, ReportRollsUpAcrossEpochs) {
+  ProfileReport report;
+  report.add(CriticalPath::build(synthetic_tree(), 9));
+  report.add(CriticalPath::build(synthetic_tree(), 9));
+  EXPECT_EQ(report.epochs(), 2u);
+  const std::string text = report.to_text();
+  EXPECT_NE(text.find("2 epochs"), std::string::npos);
+  EXPECT_NE(text.find("aggregate"), std::string::npos);
+  const std::string jsonl = report.to_jsonl();
+  EXPECT_NE(jsonl.find("\"kind\":\"profile_stage\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"kind\":\"profile_summary\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"epochs\":2"), std::string::npos);
+}
+
+TEST(Profile, StageIdsRoundTrip) {
+  EXPECT_EQ(profile_stage_id("observe"), 0);       // kSpan stage ids
+  EXPECT_EQ(profile_stage_id("postprocess"), 5);
+  EXPECT_EQ(profile_stage_name(profile_stage_id("shard_aggregate")),
+            "shard_aggregate");
+  EXPECT_EQ(profile_stage_name(profile_stage_id("store_commit")),
+            "store_commit");
+  EXPECT_EQ(profile_stage_id("not_a_stage"), 255);
+  EXPECT_EQ(profile_stage_name(255), "other");
+  EXPECT_TRUE(is_tier_shape_span("shard_match"));
+  EXPECT_FALSE(is_tier_shape_span("summarize"));
+}
+
+// ------------------------------------------------------------ chrome trace
+
+TEST(ChromeTrace, WallModeEmitsCompleteEvents) {
+  const std::string json = export_chrome_trace(synthetic_tree());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"epoch\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"aggregate\""), std::string::npos);
+  // Every span of the tree is present (4 events).
+  std::size_t events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos; ++pos) {
+    ++events;
+  }
+  EXPECT_EQ(events, 4u);
+}
+
+TEST(ChromeTrace, DeterministicModeDropsOrphansDuplicatesAndTierShape) {
+  std::vector<SpanRecord> spans = synthetic_tree();
+  SpanRecord shard;
+  shard.name = "shard_aggregate";
+  shard.trace_id = 9;
+  shard.span_id = 555;
+  shard.parent_id = spans[0].span_id;
+  spans.push_back(shard);
+  SpanRecord orphan;
+  orphan.name = "ghost";
+  orphan.trace_id = 9;
+  orphan.span_id = 556;
+  orphan.parent_id = 999999;
+  spans.push_back(orphan);
+  ChromeTraceOptions det;
+  det.mode = DurationMode::kDeterministic;
+  const std::string json = export_chrome_trace(spans, det);
+  EXPECT_EQ(json.find("shard_aggregate"), std::string::npos);
+  EXPECT_EQ(json.find("ghost"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"svd\""), std::string::npos);
+}
+
+// ----------------------------------------- controller-level determinism
+
+core::JaalConfig profile_config(std::size_t shards, std::size_t threads,
+                                telemetry::Telemetry* tel) {
+  core::JaalConfig cfg;
+  cfg.summarizer.batch_size = 400;
+  cfg.summarizer.min_batch = 150;
+  cfg.summarizer.rank = 12;
+  cfg.summarizer.centroids = 48;
+  cfg.monitor_count = 5;
+  cfg.epoch_seconds = 0.04;
+  cfg.threads = threads;
+  cfg.engine.default_thresholds = {0.008, 0.03};
+  cfg.engine.feedback_enabled = true;
+  cfg.sharding.shards = shards;
+  cfg.telemetry = tel;
+  return cfg;
+}
+
+struct DetOutputs {
+  std::string chrome;        ///< Deterministic Chrome trace.
+  std::string span_jsonl;    ///< Deterministic span JSONL.
+  std::string digests;       ///< Per-epoch deterministic critical paths.
+  std::size_t epochs = 0;
+  double wall_telescope_err = 0.0;  ///< Max |sum(excl) - root| over epochs.
+};
+
+DetOutputs run_profiled(std::size_t shards, std::size_t threads) {
+  telemetry::Telemetry tel;
+  core::JaalConfig cfg = profile_config(shards, threads, &tel);
+  core::JaalController controller(
+      cfg, rules::parse_rules(rules::default_ruleset_text(),
+                              core::evaluation_rule_vars()));
+  trace::BackgroundTraffic bg(trace::trace1_profile(), 11);
+  const auto epochs = controller.run(bg, 0.12);
+
+  DetOutputs out;
+  out.epochs = epochs.size();
+  const std::vector<SpanRecord> spans = tel.tracer.records();
+  ChromeTraceOptions copts;
+  copts.mode = DurationMode::kDeterministic;
+  out.chrome = export_chrome_trace(spans, copts);
+  out.span_jsonl = to_jsonl({}, spans, {.include_timings = false});
+  CriticalPathOptions det;
+  det.mode = DurationMode::kDeterministic;
+  for (std::size_t e = 0; e < epochs.size(); ++e) {
+    out.digests += CriticalPath::build(spans, e, det).to_text();
+  }
+  for (const core::EpochResult& epoch : epochs) {
+    if (!epoch.profile) continue;
+    out.wall_telescope_err = std::max(
+        out.wall_telescope_err,
+        std::abs(epoch.profile->total_exclusive_ms -
+                 epoch.profile->root_inclusive_ms));
+  }
+  return out;
+}
+
+TEST(ChromeTrace, DeterministicExportsByteIdenticalAcrossThreadsAndShards) {
+  const DetOutputs base = run_profiled(1, 1);
+  ASSERT_GT(base.epochs, 0u);
+  ASSERT_FALSE(base.chrome.empty());
+  ASSERT_FALSE(base.digests.empty());
+  // Repeat run: byte-identical.
+  const DetOutputs rerun = run_profiled(1, 1);
+  EXPECT_EQ(base.chrome, rerun.chrome);
+  EXPECT_EQ(base.span_jsonl, rerun.span_jsonl);
+  EXPECT_EQ(base.digests, rerun.digests);
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    for (const std::size_t shards :
+         {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+      if (threads == 1 && shards == 1) continue;
+      const DetOutputs got = run_profiled(shards, threads);
+      EXPECT_EQ(base.chrome, got.chrome)
+          << "chrome trace diverged at threads=" << threads
+          << " shards=" << shards;
+      EXPECT_EQ(base.span_jsonl, got.span_jsonl)
+          << "span JSONL diverged at threads=" << threads
+          << " shards=" << shards;
+      EXPECT_EQ(base.digests, got.digests)
+          << "critical-path digest diverged at threads=" << threads
+          << " shards=" << shards;
+    }
+  }
+}
+
+TEST(Profile, ControllerEpochsTelescopeInWallMode) {
+  const DetOutputs out = run_profiled(2, 2);
+  ASSERT_GT(out.epochs, 0u);
+  // Float rounding only — the identity itself is exact.
+  EXPECT_LT(out.wall_telescope_err, 1e-6);
+}
+
+TEST(Profile, ControllerFillsEpochProfile) {
+  telemetry::Telemetry tel;
+  core::JaalConfig cfg = profile_config(1, 1, &tel);
+  core::JaalController controller(
+      cfg, rules::parse_rules(rules::default_ruleset_text(),
+                              core::evaluation_rule_vars()));
+  trace::BackgroundTraffic bg(trace::trace1_profile(), 11);
+  const auto epochs = controller.run(bg, 0.12);
+  ASSERT_FALSE(epochs.empty());
+  for (const core::EpochResult& epoch : epochs) {
+    ASSERT_TRUE(epoch.profile.has_value());
+    EXPECT_EQ(epoch.profile->mode, DurationMode::kWall);
+    EXPECT_GT(epoch.profile->span_count, 0u);
+    ASSERT_FALSE(epoch.profile->path.empty());
+    EXPECT_EQ(epoch.profile->path.front().name, "epoch");
+  }
+  // The jaal_profile_* family is exported and classified wall-clock (so it
+  // never reaches deterministic exports or the persisted ops deltas).
+  bool saw_epochs_counter = false;
+  for (const auto& e : tel.metrics.snapshot().entries) {
+    if (e.name == "jaal_profile_epochs_total") {
+#ifndef JAAL_TELEMETRY_DISABLED
+      EXPECT_EQ(e.counter, epochs.size());
+#endif
+      saw_epochs_counter = true;
+    }
+  }
+  EXPECT_TRUE(saw_epochs_counter);
+  EXPECT_TRUE(is_wall_clock_metric("jaal_profile_epochs_total"));
+  EXPECT_TRUE(is_wall_clock_metric("jaal_profile_critical_path_ms"));
+
+  // Profiling off: spans still flow, but no per-epoch analysis.
+  telemetry::Telemetry tel2;
+  core::JaalConfig off = profile_config(1, 1, &tel2);
+  off.observe.profile = false;
+  core::JaalController plain(
+      off, rules::parse_rules(rules::default_ruleset_text(),
+                              core::evaluation_rule_vars()));
+  trace::BackgroundTraffic bg2(trace::trace1_profile(), 11);
+  for (const core::EpochResult& epoch : plain.run(bg2, 0.12)) {
+    EXPECT_FALSE(epoch.profile.has_value());
+  }
+}
+
+}  // namespace
+}  // namespace jaal::telemetry

@@ -138,8 +138,47 @@ TEST(Spans, WallClockMetricClassifier) {
   EXPECT_TRUE(is_wall_clock_metric("jaal_summarize_svd_ms"));
   EXPECT_TRUE(is_wall_clock_metric("jaal_runtime_stage_ms{stage=\"infer\"}"));
   EXPECT_TRUE(is_wall_clock_metric("jaal_runtime_tasks_submitted_total"));
+  // The profiler family is wall-clock-derived even where the name carries
+  // no "_ms" (counters of straggler flags, profiled epochs): keep it out of
+  // deterministic exports and the persisted ops deltas wholesale.
+  EXPECT_TRUE(is_wall_clock_metric("jaal_profile_epochs_total"));
+  EXPECT_TRUE(is_wall_clock_metric("jaal_profile_stragglers_total"));
+  EXPECT_TRUE(
+      is_wall_clock_metric("jaal_profile_stage_exclusive_ms{stage=\"infer\"}"));
   EXPECT_FALSE(is_wall_clock_metric("jaal_monitor_packets_observed_total"));
   EXPECT_FALSE(is_wall_clock_metric("jaal_summarize_svd_sweeps"));
+}
+
+TEST(Spans, DurationOverrideSticks) {
+  Tracer tracer;
+  {
+    Span s = tracer.span("store_append", {}, 4);
+    s.set_duration_ms(12.5);
+  }
+  const auto records = tracer.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_DOUBLE_EQ(records[0].duration_ms, 12.5);
+}
+
+TEST(Spans, DrainMovesSpansButRecordsStillSeesThem) {
+  Tracer tracer;
+  { Span s = tracer.span("epoch", {}, 0); }
+  { Span s = tracer.span("epoch", {}, 1); }
+  // First drain returns everything recorded so far...
+  const std::vector<SpanRecord> first = tracer.drain();
+  EXPECT_EQ(first.size(), 2u);
+  // ...a second drain returns only what arrived since...
+  { Span s = tracer.span("epoch", {}, 2); }
+  const std::vector<SpanRecord> second = tracer.drain();
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].trace_id, 2u);
+  // ...and records()/size() still cover the drained archive, so the
+  // end-of-run exports are unchanged by per-epoch draining.
+  EXPECT_EQ(tracer.records().size(), 3u);
+  EXPECT_EQ(tracer.size(), 3u);
+  tracer.clear();
+  EXPECT_EQ(tracer.size(), 0u);
+  EXPECT_TRUE(tracer.drain().empty());
 }
 
 TEST(Spans, JsonlSpanOrderIndependentOfRecordingOrder) {
